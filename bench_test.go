@@ -1,0 +1,406 @@
+// Benchmarks regenerating every figure and use case of the paper plus the
+// extension experiments of DESIGN.md §4. Each benchmark corresponds to one
+// experiment id; cmd/zigbench prints the same artifacts as tables, and
+// EXPERIMENTS.md records paper-claim vs measured output.
+//
+// Run all of them with:
+//
+//	go test -bench=. -benchmem
+package ziggy_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/effect"
+	"repro/internal/experiments"
+	"repro/internal/frame"
+	"repro/internal/server"
+	"repro/internal/synth"
+)
+
+// mustEngine builds an engine or aborts the benchmark.
+func mustEngine(b *testing.B, cfg core.Config) *core.Engine {
+	b.Helper()
+	e, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// mustCrime builds the Figure 1 scenario once per benchmark.
+func mustCrime(b *testing.B) *experiments.CrimeScenario {
+	b.Helper()
+	sc, err := experiments.NewCrimeScenario(42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sc
+}
+
+// BenchmarkFigure1CrimeViews measures the warm-path characterization of
+// the paper's running example (dependency structure cached, as in an
+// interactive session).
+func BenchmarkFigure1CrimeViews(b *testing.B) {
+	sc := mustCrime(b)
+	engine := mustEngine(b, core.DefaultConfig())
+	opts := core.Options{ExcludeColumns: sc.Exclude}
+	if _, err := engine.CharacterizeOpts(sc.Frame, sc.Mask, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.CharacterizeOpts(sc.Frame, sc.Mask, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1Cold measures the same run with a cold cache: the full
+// preparation stage (pairwise dependencies over 128 columns) is paid every
+// iteration.
+func BenchmarkFigure1Cold(b *testing.B) {
+	sc := mustCrime(b)
+	engine := mustEngine(b, core.DefaultConfig())
+	opts := core.Options{ExcludeColumns: sc.Exclude}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.InvalidateCache()
+		if _, err := engine.CharacterizeOpts(sc.Frame, sc.Mask, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2ColumnSplit measures the Cᴵ/Cᴼ split of Figure 2 across
+// all numeric columns of the crime table.
+func BenchmarkFigure2ColumnSplit(b *testing.B) {
+	sc := mustCrime(b)
+	names := make([]string, 0, sc.Frame.NumCols())
+	for _, idx := range sc.Frame.NumericColumns() {
+		names = append(names, sc.Frame.Col(idx).Name())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, name := range names {
+			if _, _, err := sc.Frame.SplitNumeric(name, sc.Mask); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure3ZigComponents measures the Figure 3 component battery on
+// the population × pop_density pair.
+func BenchmarkFigure3ZigComponents(b *testing.B) {
+	sc := mustCrime(b)
+	inP, outP, err := sc.Frame.SplitNumeric("population", sc.Mask)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inD, outD, err := sc.Frame.SplitNumeric("pop_density", sc.Mask)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		effect.Means("population", inP, outP)
+		effect.Means("pop_density", inD, outD)
+		effect.StdDevs("population", inP, outP)
+		effect.StdDevs("pop_density", inD, outD)
+		effect.Correlations("population", "pop_density", inP, inD, outP, outD)
+	}
+}
+
+// BenchmarkFigure4PipelineStages measures the full cold pipeline of Figure
+// 4 on the Box Office table (the demo's introductory dataset).
+func BenchmarkFigure4PipelineStages(b *testing.B) {
+	f := synth.BoxOffice(42)
+	q90, err := synth.QuantileOf(f, "gross_musd", 0.9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sel := thresholdMask(b, f, "gross_musd", q90)
+	engine := mustEngine(b, core.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.InvalidateCache()
+		if _, err := engine.Characterize(f, sel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5ServerRoundTrip measures the Figure 5 demo interaction:
+// one HTTP characterization request against the embedded web server.
+func BenchmarkFigure5ServerRoundTrip(b *testing.B) {
+	cat := db.NewCatalog()
+	if err := cat.Register(synth.BoxOffice(42)); err != nil {
+		b.Fatal(err)
+	}
+	engine := mustEngine(b, core.DefaultConfig())
+	srv := httptest.NewServer(server.New(cat, engine, nil))
+	defer srv.Close()
+	body, _ := json.Marshal(map[string]any{
+		"sql":              "SELECT * FROM boxoffice WHERE gross_musd >= 100",
+		"excludePredicate": true,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(srv.URL+"/api/characterize", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		if _, err := bytes.NewBuffer(nil).ReadFrom(resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+}
+
+// benchUseCase measures a warm characterization of one §4.2 scenario.
+func benchUseCase(b *testing.B, f *frame.Frame, col string, q float64) {
+	b.Helper()
+	threshold, err := synth.QuantileOf(f, col, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sel := thresholdMask(b, f, col, threshold)
+	engine := mustEngine(b, core.DefaultConfig())
+	opts := core.Options{ExcludeColumns: []string{col}}
+	if _, err := engine.CharacterizeOpts(f, sel, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.CharacterizeOpts(f, sel, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUseCaseBoxOffice measures §4.2's 900×12 walk-through scenario.
+func BenchmarkUseCaseBoxOffice(b *testing.B) {
+	benchUseCase(b, synth.BoxOffice(42), "gross_musd", 0.75)
+}
+
+// BenchmarkUseCaseUSCrime measures §4.2's 1994×128 crime scenario.
+func BenchmarkUseCaseUSCrime(b *testing.B) {
+	benchUseCase(b, synth.USCrime(42), "crime_violent_rate", 0.9)
+}
+
+// BenchmarkUseCaseInnovation measures §4.2's 6823×519 scale scenario.
+func BenchmarkUseCaseInnovation(b *testing.B) {
+	benchUseCase(b, synth.Innovation(42), "patents_per_capita", 0.9)
+}
+
+// plantedForBench builds the standard planted workload with the given
+// column count.
+func plantedForBench(b *testing.B, rows, cols int) *synth.PlantedData {
+	b.Helper()
+	pd, err := synth.Planted(synth.PlantedConfig{
+		Seed: 42, Rows: rows, SelectionFraction: 0.25,
+		Views: []synth.PlantedView{
+			{Cols: 2, WithinCorr: 0.75, MeanShift: 1.5},
+			{Cols: 2, WithinCorr: 0.75, ScaleRatio: 3},
+			{Cols: 2, WithinCorr: 0.8, DecorrelateInside: true},
+		},
+		NoiseCols: cols - 6,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pd
+}
+
+// BenchmarkScalingColumns measures experiment X1: cold pipeline cost as
+// the column count grows at N=2000.
+func BenchmarkScalingColumns(b *testing.B) {
+	for _, m := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("cols=%d", m), func(b *testing.B) {
+			pd := plantedForBench(b, 2000, m)
+			engine := mustEngine(b, core.DefaultConfig())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				engine.InvalidateCache()
+				if _, err := engine.Characterize(pd.Frame, pd.Selection); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScalingRows measures experiment X2: cold pipeline cost as the
+// row count grows at M=64.
+func BenchmarkScalingRows(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			pd := plantedForBench(b, n, 64)
+			engine := mustEngine(b, core.DefaultConfig())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				engine.InvalidateCache()
+				if _, err := engine.Characterize(pd.Frame, pd.Selection); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAccuracyVsBaselines measures experiment X3's per-method search
+// cost on the planted workload (accuracy itself is asserted in the
+// experiments package tests).
+func BenchmarkAccuracyVsBaselines(b *testing.B) {
+	pd := plantedForBench(b, 2000, 26)
+	k := len(pd.TrueViews)
+	b.Run("ziggy", func(b *testing.B) {
+		cfg := core.DefaultConfig()
+		cfg.MaxViews = k
+		engine := mustEngine(b, cfg)
+		if _, err := engine.Characterize(pd.Frame, pd.Selection); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Characterize(pd.Frame, pd.Selection); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	methods := []baseline.Method{
+		baseline.KLBeam{}, baseline.CentroidGreedy{}, baseline.PCA{}, baseline.Random{Seed: 1},
+	}
+	for _, m := range methods {
+		b.Run(m.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.FindViews(pd.Frame, pd.Selection, k, 2)
+			}
+		})
+	}
+}
+
+// BenchmarkMinTightSweep measures experiment X4: warm view search under
+// different tightness thresholds.
+func BenchmarkMinTightSweep(b *testing.B) {
+	sc := mustCrime(b)
+	for _, mt := range []float64{0.3, 0.6, 0.9} {
+		b.Run(fmt.Sprintf("minTight=%.1f", mt), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.MinTight = mt
+			engine := mustEngine(b, cfg)
+			opts := core.Options{ExcludeColumns: sc.Exclude}
+			if _, err := engine.CharacterizeOpts(sc.Frame, sc.Mask, opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.CharacterizeOpts(sc.Frame, sc.Mask, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSharedStatsCache measures experiment X5: the same query with
+// and without the shared dependency-statistics cache.
+func BenchmarkSharedStatsCache(b *testing.B) {
+	sc := mustCrime(b)
+	b.Run("cold", func(b *testing.B) {
+		engine := mustEngine(b, core.DefaultConfig())
+		for i := 0; i < b.N; i++ {
+			engine.InvalidateCache()
+			if _, err := engine.Characterize(sc.Frame, sc.Mask); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		engine := mustEngine(b, core.DefaultConfig())
+		if _, err := engine.Characterize(sc.Frame, sc.Mask); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Characterize(sc.Frame, sc.Mask); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkLinkageAblation measures experiment X6: the view search under
+// each linkage flavor (warm cache so the clustering itself dominates).
+func BenchmarkLinkageAblation(b *testing.B) {
+	pd := plantedForBench(b, 2000, 26)
+	for _, linkage := range []cluster.Linkage{cluster.Complete, cluster.Single, cluster.Average} {
+		b.Run(linkage.String(), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Linkage = linkage
+			engine := mustEngine(b, cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				engine.InvalidateCache()
+				if _, err := engine.Characterize(pd.Frame, pd.Selection); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSamplingAblation measures experiment X7: the warm query path
+// with and without the BlinkDB-style row cap on a 50k-row table.
+func BenchmarkSamplingAblation(b *testing.B) {
+	pd := plantedForBench(b, 50000, 26)
+	for _, cap := range []int{0, 10000, 2000} {
+		name := "exact"
+		if cap > 0 {
+			name = fmt.Sprintf("sample=%d", cap)
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.SampleRows = cap
+			engine := mustEngine(b, cfg)
+			if _, err := engine.Characterize(pd.Frame, pd.Selection); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Characterize(pd.Frame, pd.Selection); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// thresholdMask selects rows where col ≥ threshold.
+func thresholdMask(b *testing.B, f *frame.Frame, col string, threshold float64) *frame.Bitmap {
+	b.Helper()
+	c, ok := f.Lookup(col)
+	if !ok {
+		b.Fatalf("missing column %q", col)
+	}
+	mask := frame.NewBitmap(f.NumRows())
+	for i := 0; i < f.NumRows(); i++ {
+		if !c.IsNull(i) && c.Float(i) >= threshold {
+			mask.Set(i)
+		}
+	}
+	return mask
+}

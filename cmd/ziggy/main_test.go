@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/csvio"
+	"repro/internal/synth"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func TestCLICharacterizesBuiltinDataset(t *testing.T) {
+	out, err := runCLI(t,
+		"-dataset", "boxoffice",
+		"-query", "SELECT * FROM boxoffice WHERE gross_musd >= 100",
+		"-max-views", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"query:", "selection:", "score", "1."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Predicate exclusion is on by default.
+	if strings.Contains(out, "gross_musd ×") || strings.Contains(out, "× gross_musd") {
+		t.Errorf("predicate column appeared in a view:\n%s", out)
+	}
+}
+
+func TestCLIJSONOutput(t *testing.T) {
+	out, err := runCLI(t,
+		"-dataset", "boxoffice",
+		"-query", "SELECT * FROM boxoffice WHERE gross_musd >= 100",
+		"-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Views []struct {
+			Columns []string `json:"Columns"`
+			Score   float64  `json:"Score"`
+		} `json:"Views"`
+	}
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(decoded.Views) == 0 {
+		t.Fatal("no views in JSON output")
+	}
+}
+
+func TestCLICSVInput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "movies.csv")
+	if err := csvio.WriteFile(path, synth.BoxOffice(3)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t,
+		"-csv", path,
+		"-query", "SELECT * FROM movies WHERE gross_musd >= 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "selection:") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestCLIFlagCombinations(t *testing.T) {
+	good := [][]string{
+		{"-dataset", "boxoffice", "-query", "SELECT * FROM boxoffice WHERE gross_musd >= 100", "-robust"},
+		{"-dataset", "boxoffice", "-query", "SELECT * FROM boxoffice WHERE gross_musd >= 100", "-linkage", "average"},
+		{"-dataset", "boxoffice", "-query", "SELECT * FROM boxoffice WHERE gross_musd >= 100", "-measure", "spearman"},
+		{"-dataset", "boxoffice", "-query", "SELECT * FROM boxoffice WHERE gross_musd >= 100", "-generator", "cliques"},
+		{"-dataset", "boxoffice", "-query", "SELECT * FROM boxoffice WHERE gross_musd >= 100", "-agg", "bonferroni"},
+		{"-dataset", "boxoffice", "-query", "SELECT * FROM boxoffice WHERE gross_musd >= 100", "-exclude", "budget_musd, critic_score"},
+		{"-dataset", "boxoffice", "-query", "SELECT * FROM boxoffice WHERE gross_musd >= 100", "-significant-only"},
+	}
+	for _, args := range good {
+		if _, err := runCLI(t, args...); err != nil {
+			t.Errorf("args %v failed: %v", args, err)
+		}
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	bad := [][]string{
+		{},
+		{"-query", "SELECT * FROM x"},
+		{"-dataset", "nope", "-query", "SELECT * FROM nope"},
+		{"-dataset", "boxoffice", "-csv", "x.csv", "-query", "SELECT * FROM boxoffice"},
+		{"-dataset", "boxoffice", "-query", "not sql"},
+		{"-dataset", "boxoffice", "-query", "SELECT * FROM boxoffice", "-linkage", "bogus"},
+		{"-dataset", "boxoffice", "-query", "SELECT * FROM boxoffice", "-measure", "bogus"},
+		{"-dataset", "boxoffice", "-query", "SELECT * FROM boxoffice", "-generator", "bogus"},
+		{"-dataset", "boxoffice", "-query", "SELECT * FROM boxoffice", "-agg", "bogus"},
+		{"-csv", "/no/such/file.csv", "-query", "SELECT * FROM file"},
+	}
+	for _, args := range bad {
+		if _, err := runCLI(t, args...); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}

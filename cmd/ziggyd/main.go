@@ -1,0 +1,98 @@
+// Command ziggyd serves the interactive Ziggy demo of paper Figure 5: a
+// web page with a query box, the ranked characteristic views on the left
+// and per-view explanations on the right.
+//
+// By default it preloads the three demo datasets. Additional CSV files can
+// be registered with repeated -csv flags.
+//
+//	ziggyd -addr :8080
+//	ziggyd -addr :8080 -datasets uscrime,boxoffice -csv extra.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/csvio"
+	"repro/internal/db"
+	"repro/internal/server"
+	"repro/internal/synth"
+)
+
+type csvList []string
+
+func (c *csvList) String() string { return strings.Join(*c, ",") }
+
+func (c *csvList) Set(v string) error {
+	*c = append(*c, v)
+	return nil
+}
+
+func main() {
+	var csvs csvList
+	addr := flag.String("addr", ":8080", "listen address")
+	datasets := flag.String("datasets", "uscrime,boxoffice",
+		"comma-separated built-in datasets to preload (uscrime, boxoffice, innovation)")
+	seed := flag.Uint64("seed", 42, "seed for the built-in datasets")
+	minTight := flag.Float64("min-tight", 0.4, "tightness threshold")
+	maxViews := flag.Int("max-views", 8, "maximum views per query")
+	flag.Var(&csvs, "csv", "CSV file to register (repeatable)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "ziggyd: ", log.LstdFlags)
+	catalog := db.NewCatalog()
+
+	for _, name := range strings.Split(*datasets, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		var err error
+		switch name {
+		case "uscrime":
+			err = catalog.Register(synth.USCrime(*seed))
+		case "boxoffice":
+			err = catalog.Register(synth.BoxOffice(*seed))
+		case "innovation":
+			err = catalog.Register(synth.Innovation(*seed))
+		default:
+			err = fmt.Errorf("unknown dataset %q", name)
+		}
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("registered dataset %s", name)
+	}
+	for _, path := range csvs {
+		f, err := csvio.ReadFile(path, csvio.Options{})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		if err := catalog.Register(f); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("registered %s (%d rows × %d cols)", f.Name(), f.NumRows(), f.NumCols())
+	}
+	if len(catalog.TableNames()) == 0 {
+		logger.Fatal("no tables registered; pass -datasets or -csv")
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.MinTight = *minTight
+	cfg.MaxViews = *maxViews
+	engine, err := core.New(cfg)
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	srv := server.New(catalog, engine, logger)
+	logger.Printf("serving on %s (tables: %s)", *addr, strings.Join(catalog.TableNames(), ", "))
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		logger.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func testShell(t *testing.T) *shell {
+	t.Helper()
+	sh, err := newShell("boxoffice", "", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sh
+}
+
+func exec(t *testing.T, sh *shell, line string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := sh.execute(line, &buf)
+	return buf.String(), err
+}
+
+func TestShellCharacterize(t *testing.T) {
+	sh := testShell(t)
+	out, err := exec(t, sh, "SELECT * FROM boxoffice WHERE gross_musd >= 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "score") || !strings.Contains(out, "1.") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if sh.last == nil {
+		t.Fatal("last report not stored")
+	}
+}
+
+func TestShellTables(t *testing.T) {
+	sh := testShell(t)
+	out, err := exec(t, sh, `\tables`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "boxoffice: 900 rows × 12 columns") {
+		t.Fatalf("output: %q", out)
+	}
+	out, err = exec(t, sh, `\cols boxoffice`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "gross_musd") || !strings.Contains(out, "genre") {
+		t.Fatalf("output: %q", out)
+	}
+	if _, err := exec(t, sh, `\cols nope`); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	if _, err := exec(t, sh, `\cols`); err == nil {
+		t.Fatal("missing argument accepted")
+	}
+}
+
+func TestShellPlot(t *testing.T) {
+	sh := testShell(t)
+	if _, err := exec(t, sh, `\plot`); err == nil {
+		t.Fatal("plot before query accepted")
+	}
+	if _, err := exec(t, sh, "SELECT * FROM boxoffice WHERE gross_musd >= 100"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec(t, sh, `\plot 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "+") {
+		t.Fatalf("plot lacks glyphs:\n%s", out)
+	}
+	if _, err := exec(t, sh, `\plot 99`); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+	if _, err := exec(t, sh, `\plot zero`); err == nil {
+		t.Fatal("non-numeric rank accepted")
+	}
+}
+
+func TestShellConfigCommands(t *testing.T) {
+	sh := testShell(t)
+	for _, cmd := range []string{`\tight 0.6`, `\dim 3`, `\views 4`, `\robust on`, `\extended on`} {
+		if out, err := exec(t, sh, cmd); err != nil || !strings.Contains(out, "ok") {
+			t.Fatalf("%s: %v %q", cmd, err, out)
+		}
+	}
+	out, err := exec(t, sh, `\config`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"min_tight=0.60", "max_dim=3", "max_views=4", "robust=true", "extended=true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("config output %q missing %q", out, want)
+		}
+	}
+	// The rebuilt engine must apply the settings.
+	rout, err := exec(t, sh, "SELECT * FROM boxoffice WHERE gross_musd >= 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count view lines (" score X.XX" with surrounding spaces, which the
+	// column names critic_score/audience_score never produce).
+	if n := strings.Count(rout, " score "); n > 4 {
+		t.Errorf("max_views=4 but %d views printed:\n%s", n, rout)
+	}
+}
+
+func TestShellConfigErrors(t *testing.T) {
+	sh := testShell(t)
+	bad := []string{`\tight`, `\tight x`, `\dim x`, `\robust maybe`, `\tight 5`, `\nosuch`, `\dim 0`}
+	for _, cmd := range bad {
+		if _, err := exec(t, sh, cmd); err == nil {
+			t.Errorf("%s accepted", cmd)
+		}
+	}
+}
+
+func TestShellHelp(t *testing.T) {
+	sh := testShell(t)
+	out, err := exec(t, sh, `\help`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `\plot`) || !strings.Contains(out, `\tight`) {
+		t.Fatalf("help output: %q", out)
+	}
+}
+
+func TestShellREPL(t *testing.T) {
+	sh := testShell(t)
+	in := strings.NewReader("\\tables\nSELECT * FROM boxoffice WHERE gross_musd >= 100\nbad sql here\n\\quit\n")
+	var out bytes.Buffer
+	if err := sh.repl(in, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "boxoffice: 900") {
+		t.Errorf("repl missing tables output:\n%s", s)
+	}
+	if !strings.Contains(s, "error:") {
+		t.Errorf("repl should report SQL errors inline:\n%s", s)
+	}
+	if strings.Count(s, "ziggy>") < 4 {
+		t.Errorf("repl prompts missing:\n%s", s)
+	}
+}
+
+func TestNewShellErrors(t *testing.T) {
+	if _, err := newShell("nope", "", 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if _, err := newShell("", "/no/such/file.csv", 1); err == nil {
+		t.Fatal("missing csv accepted")
+	}
+}

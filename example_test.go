@@ -1,0 +1,75 @@
+package ziggy_test
+
+import (
+	"fmt"
+	"log"
+
+	ziggy "repro"
+)
+
+// ExampleSession_Characterize shows the core loop: register a table, run a
+// selection, read the characteristic views.
+func ExampleSession_Characterize() {
+	session, err := ziggy.NewSession(ziggy.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := session.Register(ziggy.BoxOfficeData(42)); err != nil {
+		log.Fatal(err)
+	}
+	// Exclude the predicate column so the top view is informative rather
+	// than "high grossers gross a lot".
+	sql := "SELECT * FROM boxoffice WHERE gross_musd >= 100"
+	pred, err := ziggy.PredicateColumns(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := session.CharacterizeOpts(sql, ziggy.Options{ExcludeColumns: pred})
+	if err != nil {
+		log.Fatal(err)
+	}
+	top := report.Views[0]
+	fmt.Println(top.Columns)
+	fmt.Println(top.Significant)
+	// Output:
+	// [budget_musd opening_weekend_musd]
+	// true
+}
+
+// ExamplePredicateColumns extracts the columns a query's WHERE clause
+// constrains — the natural exclusions for a characterization.
+func ExamplePredicateColumns() {
+	cols, err := ziggy.PredicateColumns(
+		"SELECT * FROM t WHERE price > 10 AND region IN ('EU') OR stock IS NULL")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(cols)
+	// Output:
+	// [price region stock]
+}
+
+// ExampleSession_Query runs plain SQL (including aggregates) without
+// characterization.
+func ExampleSession_Query() {
+	session, err := ziggy.NewSession(ziggy.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := session.Register(ziggy.BoxOfficeData(42)); err != nil {
+		log.Fatal(err)
+	}
+	rows, _, err := session.Query(
+		"SELECT studio_class, COUNT(*) FROM boxoffice GROUP BY studio_class ORDER BY studio_class")
+	if err != nil {
+		log.Fatal(err)
+	}
+	class, _ := rows.Lookup("studio_class")
+	for i := 0; i < rows.NumRows(); i++ {
+		fmt.Println(class.Str(i))
+	}
+	// Output:
+	// indie
+	// major
+	// mid
+}

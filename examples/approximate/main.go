@@ -1,0 +1,80 @@
+// Approximate demonstrates the two extension knobs beyond the demo paper's
+// defaults: BlinkDB-style row sampling (Config.SampleRows) for interactive
+// latency on large tables, and the extended Zig-Component families from the
+// companion research paper (Config.Extended).
+//
+// Run with:
+//
+//	go run ./examples/approximate
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	ziggy "repro"
+)
+
+func run(title string, cfg ziggy.Config, table *ziggy.Frame, sql string, exclude []string) {
+	session, err := ziggy.NewSession(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := session.Register(table); err != nil {
+		log.Fatal(err)
+	}
+	// Warm the dependency cache so the timing below is the per-query cost
+	// an interactive user feels.
+	if _, err := session.CharacterizeOpts(sql, ziggy.Options{ExcludeColumns: exclude}); err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	report, err := session.CharacterizeOpts(sql, ziggy.Options{ExcludeColumns: exclude})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("--- %s ---\n", title)
+	sampled := ""
+	if report.SampledRows > 0 {
+		sampled = fmt.Sprintf(" (statistics from %d sampled rows)", report.SampledRows)
+	}
+	fmt.Printf("warm query: %v%s\n", elapsed.Round(time.Millisecond), sampled)
+	for i, view := range report.Views {
+		if i >= 2 {
+			break
+		}
+		fmt.Printf("%d. %s\n   %s\n", i+1, strings.Join(view.Columns, " × "), view.Explanation)
+	}
+	fmt.Println()
+}
+
+func main() {
+	fmt.Println("generating the US Crime table...")
+	table := ziggy.USCrimeData(42)
+	p90, err := ziggy.Quantile(table, "crime_violent_rate", 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sql := fmt.Sprintf("SELECT * FROM uscrime WHERE crime_violent_rate >= %.1f", p90)
+	exclude := []string{"crime_violent_rate"}
+
+	// 1. Exact mode: every row feeds the statistics.
+	run("exact statistics", ziggy.DefaultConfig(), table, sql, exclude)
+
+	// 2. Approximate mode: cap the per-query statistics at 500 rows. The
+	//    views keep their shape; the latency drops.
+	approx := ziggy.DefaultConfig()
+	approx.SampleRows = 500
+	run("sampled statistics (500 rows)", approx, table, sql, exclude)
+
+	// 3. Extended components: quantile shifts, tail-weight changes,
+	//    entropy changes and categorical↔numeric separation changes join
+	//    the score and the explanations.
+	extended := ziggy.DefaultConfig()
+	extended.Extended = true
+	run("extended Zig-Components", extended, table, sql, exclude)
+}

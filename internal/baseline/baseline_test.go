@@ -1,0 +1,222 @@
+package baseline
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/synth"
+)
+
+func plantedFixture(t *testing.T, seed uint64) *synth.PlantedData {
+	t.Helper()
+	pd, err := synth.Planted(synth.PlantedConfig{
+		Seed: seed, Rows: 3000, SelectionFraction: 0.25,
+		Views: []synth.PlantedView{
+			{Cols: 2, WithinCorr: 0.75, MeanShift: 1.8},
+		},
+		NoiseCols: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pd
+}
+
+func flatten(views [][]string) []string {
+	var out []string
+	for _, v := range views {
+		cols := append([]string{}, v...)
+		sort.Strings(cols)
+		out = append(out, strings.Join(cols, "+"))
+	}
+	return out
+}
+
+func TestKLBeamFindsShiftedView(t *testing.T) {
+	pd := plantedFixture(t, 1)
+	views := KLBeam{}.FindViews(pd.Frame, pd.Selection, 3, 2)
+	if len(views) == 0 {
+		t.Fatal("no views")
+	}
+	// The top view must contain only planted columns.
+	for _, c := range views[0] {
+		if !strings.HasPrefix(c, "view0") {
+			t.Errorf("top KL view contains %q: %v", c, views[0])
+		}
+	}
+}
+
+func TestKLBeamDisjoint(t *testing.T) {
+	pd := plantedFixture(t, 2)
+	views := KLBeam{Width: 4}.FindViews(pd.Frame, pd.Selection, 5, 2)
+	seen := map[string]bool{}
+	for _, v := range views {
+		for _, c := range v {
+			if seen[c] {
+				t.Fatalf("column %q repeated across views", c)
+			}
+			seen[c] = true
+		}
+		if len(v) > 2 {
+			t.Fatalf("view larger than d: %v", v)
+		}
+	}
+}
+
+func TestCentroidGreedyRanksShiftFirst(t *testing.T) {
+	pd := plantedFixture(t, 3)
+	views := CentroidGreedy{}.FindViews(pd.Frame, pd.Selection, 3, 2)
+	if len(views) == 0 {
+		t.Fatal("no views")
+	}
+	for _, c := range views[0] {
+		if !strings.HasPrefix(c, "view0") {
+			t.Errorf("top centroid view contains %q", c)
+		}
+	}
+}
+
+func TestPCAIgnoresSelection(t *testing.T) {
+	// PCA must return the correlated block regardless of which rows are
+	// selected: it is context-free by construction.
+	pd := plantedFixture(t, 4)
+	empty := frame.NewBitmap(pd.Frame.NumRows())
+	a := PCA{}.FindViews(pd.Frame, pd.Selection, 1, 2)
+	b := PCA{}.FindViews(pd.Frame, empty, 1, 2)
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatal("PCA returned nothing")
+	}
+	ka, kb := flatten(a), flatten(b)
+	if ka[0] != kb[0] {
+		t.Errorf("PCA depends on the selection: %v vs %v", ka, kb)
+	}
+	// The dominant component of this fixture is the planted correlated
+	// block.
+	for _, c := range a[0] {
+		if !strings.HasPrefix(c, "view0") {
+			t.Errorf("PCA top component contains %q", c)
+		}
+	}
+}
+
+func TestRandomIsDeterministicPerSeed(t *testing.T) {
+	pd := plantedFixture(t, 5)
+	a := Random{Seed: 9}.FindViews(pd.Frame, pd.Selection, 3, 2)
+	b := Random{Seed: 9}.FindViews(pd.Frame, pd.Selection, 3, 2)
+	ka, kb := flatten(a), flatten(b)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Fatal("same seed differs")
+		}
+	}
+	c := Random{Seed: 10}.FindViews(pd.Frame, pd.Selection, 3, 2)
+	if strings.Join(flatten(a), "|") == strings.Join(flatten(c), "|") {
+		t.Error("different seeds agree exactly (suspicious)")
+	}
+}
+
+func TestFullSpace(t *testing.T) {
+	pd := plantedFixture(t, 6)
+	views := FullSpace{}.FindViews(pd.Frame, pd.Selection, 5, 2)
+	if len(views) != 1 {
+		t.Fatalf("views = %d, want 1", len(views))
+	}
+	if len(views[0]) != pd.Frame.NumCols() {
+		t.Fatalf("full view has %d columns, want %d", len(views[0]), pd.Frame.NumCols())
+	}
+}
+
+func TestMethodNames(t *testing.T) {
+	methods := []Method{KLBeam{}, CentroidGreedy{}, PCA{}, Random{}, FullSpace{}}
+	want := []string{"kl-beam", "centroid", "pca", "random", "full-space"}
+	for i, m := range methods {
+		if m.Name() != want[i] {
+			t.Errorf("Name = %q, want %q", m.Name(), want[i])
+		}
+	}
+}
+
+func TestGaussianKLProperties(t *testing.T) {
+	// KL of identical distributions is ~0; grows with mean separation.
+	pd, err := synth.Planted(synth.PlantedConfig{
+		Seed: 7, Rows: 4000, SelectionFraction: 0.5,
+		Views:     []synth.PlantedView{{Cols: 1, WithinCorr: 0}},
+		NoiseCols: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := splitNumericColumns(pd.Frame, pd.Selection)
+	klNull := gaussianKL(s, []int{0})
+	if math.IsNaN(klNull) || klNull > 0.01 {
+		t.Errorf("null KL = %v, want ≈0", klNull)
+	}
+
+	shifted, err := synth.Planted(synth.PlantedConfig{
+		Seed: 8, Rows: 4000, SelectionFraction: 0.5,
+		Views: []synth.PlantedView{{Cols: 1, WithinCorr: 0, MeanShift: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := splitNumericColumns(shifted.Frame, shifted.Selection)
+	klShift := gaussianKL(s2, []int{0})
+	if klShift < 1 {
+		t.Errorf("2σ-shift KL = %v, want ≥ 1", klShift)
+	}
+}
+
+func TestMatrixHelpers(t *testing.T) {
+	// invertSPD on a known 2×2.
+	a := []float64{4, 1, 1, 3}
+	inv, det, ok := invertSPD(a, 2)
+	if !ok {
+		t.Fatal("invertSPD failed")
+	}
+	if math.Abs(det-11) > 1e-9 {
+		t.Errorf("det = %v, want 11", det)
+	}
+	// A·A⁻¹ = I.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			sum := 0.0
+			for m := 0; m < 2; m++ {
+				sum += a[i*2+m] * inv[m*2+j]
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(sum-want) > 1e-9 {
+				t.Errorf("(A·A⁻¹)[%d][%d] = %v", i, j, sum)
+			}
+		}
+	}
+	// Singular matrix rejected.
+	if _, _, ok := invertSPD([]float64{1, 1, 1, 1}, 2); ok {
+		t.Error("singular matrix inverted")
+	}
+	d, ok := determinant([]float64{2, 0, 0, 5}, 2)
+	if !ok || math.Abs(d-10) > 1e-12 {
+		t.Errorf("determinant = %v, %v", d, ok)
+	}
+	if _, ok := determinant([]float64{0, 0, 0, 0}, 2); ok {
+		t.Error("zero matrix should report singular")
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	// A table with no numeric columns yields no views from any method.
+	f := frame.MustNew("t", []*frame.Column{
+		frame.NewCategoricalColumn("c", []string{"a", "b", "a", "b", "a", "b"}),
+	})
+	sel := frame.BitmapFromIndices(6, []int{0, 1, 2})
+	for _, m := range []Method{KLBeam{}, CentroidGreedy{}, PCA{}, Random{}, FullSpace{}} {
+		if views := m.FindViews(f, sel, 3, 2); len(views) != 0 {
+			t.Errorf("%s returned views on a numeric-free table: %v", m.Name(), views)
+		}
+	}
+}

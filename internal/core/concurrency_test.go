@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/synth"
+)
+
+// TestConcurrentCharacterize exercises the engine from many goroutines
+// sharing one cache: results must be deterministic and the cache must not
+// corrupt under the race detector.
+func TestConcurrentCharacterize(t *testing.T) {
+	pd := plantedFixture(t, 50)
+	e := defaultEngine(t)
+
+	// Reference run.
+	want, err := e.Characterize(pd.Frame, pd.Selection)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			// Alternate between the original selection and its complement
+			// so both cache paths are hit concurrently.
+			sel := pd.Selection
+			if worker%2 == 1 {
+				sel = pd.Selection.Clone().Not()
+			}
+			for i := 0; i < 5; i++ {
+				rep, err := e.Characterize(pd.Frame, sel)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if worker%2 == 0 {
+					if len(rep.Views) != len(want.Views) {
+						errs <- fmt.Errorf("worker %d: %d views, want %d", worker, len(rep.Views), len(want.Views))
+						return
+					}
+					for vi := range rep.Views {
+						if rep.Views[vi].Score != want.Views[vi].Score {
+							errs <- fmt.Errorf("worker %d: score drift on view %d", worker, vi)
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentDistinctFrames runs characterizations of different tables
+// through one engine concurrently; cache keys must not collide.
+func TestConcurrentDistinctFrames(t *testing.T) {
+	e := defaultEngine(t)
+	frames := make([]*frame.Frame, 4)
+	sels := make([]*frame.Bitmap, 4)
+	for i := range frames {
+		pd, err := synth.Planted(synth.PlantedConfig{
+			Seed: uint64(60 + i), Rows: 800, SelectionFraction: 0.3,
+			Views:     []synth.PlantedView{{Cols: 2, WithinCorr: 0.7, MeanShift: 1.5}},
+			NoiseCols: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames[i] = pd.Frame
+		sels[i] = pd.Selection
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(frames)*3)
+	for round := 0; round < 3; round++ {
+		for i := range frames {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				rep, err := e.Characterize(frames[i], sels[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(rep.Views) == 0 {
+					errs <- fmt.Errorf("frame %d: no views", i)
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestRepeatedRunsAreDeterministic guards against map-iteration order or
+// other nondeterminism leaking into the ranking.
+func TestRepeatedRunsAreDeterministic(t *testing.T) {
+	pd := plantedFixture(t, 70)
+	e := defaultEngine(t)
+	var first *Report
+	for run := 0; run < 5; run++ {
+		rep, err := e.Characterize(pd.Frame, pd.Selection)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = rep
+			continue
+		}
+		if len(rep.Views) != len(first.Views) {
+			t.Fatalf("run %d: view count drift", run)
+		}
+		for i := range rep.Views {
+			if rep.Views[i].Score != first.Views[i].Score ||
+				fmt.Sprint(rep.Views[i].Columns) != fmt.Sprint(first.Views[i].Columns) ||
+				rep.Views[i].Explanation != first.Views[i].Explanation {
+				t.Fatalf("run %d: view %d drifted", run, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,507 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/depend"
+	"repro/internal/effect"
+	"repro/internal/explain"
+	"repro/internal/frame"
+	"repro/internal/hypo"
+	"repro/internal/sample"
+)
+
+// Engine characterizes query results. It is safe for concurrent use; the
+// dependency structure of each table is computed once and shared across
+// queries (the computation-sharing strategy of the paper's preparation
+// stage).
+type Engine struct {
+	cfg Config
+
+	mu    sync.Mutex
+	cache map[cacheKey]*prepared
+}
+
+type cacheKey struct {
+	f       *frame.Frame
+	measure depend.Measure
+	linkage cluster.Linkage
+}
+
+// prepared holds the query-independent preparation products for one table.
+type prepared struct {
+	dep    *depend.Matrix
+	dendro *cluster.Dendrogram
+}
+
+// New validates cfg and builds an engine.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Extended {
+		// Extended component families default to unit weight unless the
+		// user priced them explicitly.
+		w := cfg.Weights.Clone()
+		for _, k := range []effect.Kind{effect.DiffQuantiles, effect.DiffTails, effect.DiffEntropy, effect.DiffSeparation} {
+			if _, ok := w[k]; !ok {
+				w[k] = 1
+			}
+		}
+		cfg.Weights = w
+	}
+	return &Engine{cfg: cfg, cache: make(map[cacheKey]*prepared)}, nil
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// InvalidateCache drops all cached dependency structures; callers must use
+// it if they mutate a frame that was previously characterized.
+func (e *Engine) InvalidateCache() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cache = make(map[cacheKey]*prepared)
+}
+
+// colData carries the per-column, per-query preparation products.
+type colData struct {
+	idx    int
+	name   string
+	kind   frame.Kind
+	usable bool
+
+	// Numeric split.
+	in, out []float64
+	// Categorical split.
+	inCodes, outCodes []int32
+	dict              []string
+
+	// One-dimensional Zig-Components of this column.
+	comps []effect.Component
+	// score is the weighted 1D component mass, used to order columns when
+	// packing oversized groups into views.
+	score float64
+}
+
+// Options tunes a single characterization run.
+type Options struct {
+	// ExcludeColumns are kept out of every view — typically the columns
+	// the user's predicate already constrains, which would otherwise
+	// dominate the ranking with tautological views ("high-crime cities
+	// have high crime").
+	ExcludeColumns []string
+}
+
+// Characterize runs the full pipeline on table f with selection sel (the
+// rows matched by the user's query).
+func (e *Engine) Characterize(f *frame.Frame, sel *frame.Bitmap) (*Report, error) {
+	return e.CharacterizeOpts(f, sel, Options{})
+}
+
+// CharacterizeOpts is Characterize with per-run options.
+func (e *Engine) CharacterizeOpts(f *frame.Frame, sel *frame.Bitmap, opts Options) (*Report, error) {
+	if f == nil {
+		return nil, fmt.Errorf("core: nil frame")
+	}
+	if sel == nil {
+		return nil, fmt.Errorf("core: nil selection")
+	}
+	if sel.Len() != f.NumRows() {
+		return nil, fmt.Errorf("core: selection covers %d rows, table has %d", sel.Len(), f.NumRows())
+	}
+	nIn := sel.Count()
+	nOut := f.NumRows() - nIn
+	rep := &Report{SelectedRows: nIn, TotalRows: f.NumRows()}
+	if nIn < e.cfg.MinRows || nOut < e.cfg.MinRows {
+		return nil, fmt.Errorf("core: selection has %d rows inside and %d outside; need at least %d on each side",
+			nIn, nOut, e.cfg.MinRows)
+	}
+
+	// ---- Stage 1: preparation -------------------------------------------
+	t0 := time.Now()
+	prep, hit := e.prepare(f)
+	rep.CacheHit = hit
+	// BlinkDB-style approximation: cap the rows feeding the per-query
+	// statistics. The dependency structure stays exact (it is computed
+	// once per table and cached).
+	var consider *frame.Bitmap
+	if e.cfg.SampleRows > 0 && f.NumRows() > e.cfg.SampleRows {
+		consider = sample.Stratified(sel, e.cfg.SampleRows, e.cfg.MinRows, sampleSeed)
+		rep.SampledRows = consider.Count()
+	}
+	cols := e.splitColumns(f, sel, consider, rep)
+	for _, name := range opts.ExcludeColumns {
+		if idx := f.ColIndex(name); idx >= 0 {
+			cols[idx].usable = false
+		} else {
+			rep.Warnings = append(rep.Warnings, fmt.Sprintf("excluded column %q does not exist", name))
+		}
+	}
+	rep.Timings.Preparation = time.Since(t0)
+
+	// ---- Stage 2: view search -------------------------------------------
+	t1 := time.Now()
+	candidates := e.generateCandidates(prep, cols)
+	scored := e.scoreCandidates(f, sel, consider, cols, prep.dep, candidates)
+	chosen := e.rankDisjoint(scored)
+	rep.Timings.Search = time.Since(t1)
+
+	// ---- Stage 3: post-processing ---------------------------------------
+	t2 := time.Now()
+	for i := range chosen {
+		v := &chosen[i]
+		sort.SliceStable(v.Components, func(a, b int) bool {
+			return v.Components[a].Norm > v.Components[b].Norm
+		})
+		v.Explanation = explain.View(v.Columns, v.Components, e.cfg.Alpha)
+	}
+	rep.Views = chosen
+	rep.Timings.Post = time.Since(t2)
+	return rep, nil
+}
+
+// prepare returns the cached dependency matrix and dendrogram for f,
+// computing them on first use.
+func (e *Engine) prepare(f *frame.Frame) (*prepared, bool) {
+	key := cacheKey{f: f, measure: e.cfg.Measure, linkage: e.cfg.Linkage}
+	e.mu.Lock()
+	if p, ok := e.cache[key]; ok {
+		e.mu.Unlock()
+		return p, true
+	}
+	e.mu.Unlock()
+
+	// Compute outside the lock: concurrent first queries may duplicate
+	// work but never block each other for the long haul.
+	dep := depend.NewMatrix(f, e.cfg.Measure)
+	var dendro *cluster.Dendrogram
+	if f.NumCols() >= 1 {
+		d, err := cluster.Agglomerate(dep.Distances(), f.NumCols(), e.cfg.Linkage)
+		if err == nil {
+			dendro = d
+		}
+	}
+	p := &prepared{dep: dep, dendro: dendro}
+	e.mu.Lock()
+	e.cache[key] = p
+	e.mu.Unlock()
+	return p, false
+}
+
+// sampleSeed fixes the subsampling stream so repeated characterizations of
+// the same query are identical.
+const sampleSeed = 0x5a1ad0c5
+
+// splitNumericCol extracts the non-NULL values of a numeric column split
+// by sel, restricted to the consider bitmap when non-nil.
+func splitNumericCol(c *frame.Column, sel, consider *frame.Bitmap) (in, out []float64) {
+	n := c.Len()
+	for i := 0; i < n; i++ {
+		if consider != nil && !consider.Get(i) {
+			continue
+		}
+		if c.IsNull(i) {
+			continue
+		}
+		if sel.Get(i) {
+			in = append(in, c.Float(i))
+		} else {
+			out = append(out, c.Float(i))
+		}
+	}
+	return in, out
+}
+
+// splitCatCol extracts the non-NULL dictionary codes of a categorical
+// column split by sel, restricted to consider when non-nil.
+func splitCatCol(c *frame.Column, sel, consider *frame.Bitmap) (in, out []int32) {
+	codes := c.Codes()
+	for i, code := range codes {
+		if consider != nil && !consider.Get(i) {
+			continue
+		}
+		if code < 0 {
+			continue
+		}
+		if sel.Get(i) {
+			in = append(in, code)
+		} else {
+			out = append(out, code)
+		}
+	}
+	return in, out
+}
+
+// splitColumns computes the Cᴵ/Cᴼ split and the 1D components per column.
+func (e *Engine) splitColumns(f *frame.Frame, sel, consider *frame.Bitmap, rep *Report) []colData {
+	cols := make([]colData, f.NumCols())
+	for i := 0; i < f.NumCols(); i++ {
+		c := f.Col(i)
+		cd := colData{idx: i, name: c.Name(), kind: c.Kind()}
+		switch c.Kind() {
+		case frame.Numeric:
+			in, out := splitNumericCol(c, sel, consider)
+			cd.in, cd.out = in, out
+			if len(in) < e.cfg.MinRows || len(out) < e.cfg.MinRows {
+				rep.Warnings = append(rep.Warnings,
+					fmt.Sprintf("column %q skipped: only %d/%d usable rows inside/outside", c.Name(), len(in), len(out)))
+				break
+			}
+			cd.usable = true
+			if e.cfg.Robust {
+				cd.comps = append(cd.comps, effect.CliffDelta(c.Name(), in, out))
+			} else {
+				cd.comps = append(cd.comps, effect.Means(c.Name(), in, out))
+			}
+			cd.comps = append(cd.comps, effect.StdDevs(c.Name(), in, out))
+			if e.cfg.Extended {
+				cd.comps = append(cd.comps,
+					effect.Quantiles(c.Name(), in, out),
+					effect.Tails(c.Name(), in, out))
+			}
+		case frame.Categorical:
+			in, out := splitCatCol(c, sel, consider)
+			cd.inCodes, cd.outCodes, cd.dict = in, out, c.Dict()
+			if len(in) < e.cfg.MinRows || len(out) < e.cfg.MinRows {
+				rep.Warnings = append(rep.Warnings,
+					fmt.Sprintf("column %q skipped: only %d/%d usable rows inside/outside", c.Name(), len(in), len(out)))
+				break
+			}
+			cd.usable = true
+			cd.comps = append(cd.comps, effect.Frequencies(c.Name(), in, out, cd.dict))
+			if e.cfg.Extended {
+				cd.comps = append(cd.comps, effect.Entropy(c.Name(), in, out, cd.dict))
+			}
+		}
+		cd.score = effect.Score(cd.comps, e.cfg.Weights)
+		cols[i] = cd
+	}
+	return cols
+}
+
+// generateCandidates produces tight column groups of size ≤ MaxDim.
+func (e *Engine) generateCandidates(prep *prepared, cols []colData) [][]int {
+	var groups [][]int
+	switch e.cfg.Generator {
+	case Cliques:
+		dep := prep.dep
+		n := dep.Len()
+		vals := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				vals[i*n+j] = dep.At(i, j)
+			}
+		}
+		g := cluster.GraphFromThreshold(vals, n, e.cfg.MinTight)
+		groups = g.MaximalCliques(e.cfg.MaxCliques)
+	default:
+		if prep.dendro == nil {
+			return nil
+		}
+		// Complete-linkage height h groups columns with max pairwise
+		// distance ≤ h, i.e. min pairwise dependency ≥ 1-h = MinTight.
+		groups = prep.dendro.CutAt(1 - e.cfg.MinTight)
+	}
+
+	seen := make(map[string]bool)
+	var out [][]int
+	for _, g := range groups {
+		for _, cand := range e.packGroup(g, prep.dep, cols) {
+			key := fmt.Sprint(cand)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+// packGroup splits a candidate group into views of at most MaxDim columns,
+// greedily grouping the highest-scoring columns while re-verifying the
+// tightness constraint (subset tightness is guaranteed under complete
+// linkage but not under single/average linkage or loose clique packing).
+func (e *Engine) packGroup(group []int, dep *depend.Matrix, cols []colData) [][]int {
+	usable := make([]int, 0, len(group))
+	for _, idx := range group {
+		if cols[idx].usable {
+			usable = append(usable, idx)
+		}
+	}
+	if len(usable) == 0 {
+		return nil
+	}
+	sort.SliceStable(usable, func(a, b int) bool {
+		return cols[usable[a]].score > cols[usable[b]].score
+	})
+
+	var views [][]int
+	taken := make([]bool, len(usable))
+	for s := 0; s < len(usable); s++ {
+		if taken[s] {
+			continue
+		}
+		view := []int{usable[s]}
+		taken[s] = true
+		for t := s + 1; t < len(usable) && len(view) < e.cfg.MaxDim; t++ {
+			if taken[t] {
+				continue
+			}
+			ok := true
+			for _, m := range view {
+				if dep.At(m, usable[t]) < e.cfg.MinTight {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				view = append(view, usable[t])
+				taken[t] = true
+			}
+		}
+		sort.Ints(view)
+		views = append(views, view)
+	}
+	return views
+}
+
+// scoreCandidates materializes Views (without explanations) for candidate
+// index groups, computing the pairwise correlation components lazily.
+func (e *Engine) scoreCandidates(f *frame.Frame, sel, consider *frame.Bitmap, cols []colData, dep *depend.Matrix, candidates [][]int) []View {
+	views := make([]View, 0, len(candidates))
+	for _, cand := range candidates {
+		var comps []effect.Component
+		for _, idx := range cand {
+			comps = append(comps, cols[idx].comps...)
+		}
+		// Two-dimensional components for column pairs inside the view:
+		// correlation differences for numeric pairs (Figure 3) and, in
+		// extended mode, separation changes for mixed pairs.
+		for a := 0; a < len(cand); a++ {
+			for b := a + 1; b < len(cand); b++ {
+				ca, cb := cols[cand[a]], cols[cand[b]]
+				switch {
+				case ca.kind == frame.Numeric && cb.kind == frame.Numeric:
+					inA, inB, outA, outB := alignedSplit(f.Col(ca.idx), f.Col(cb.idx), sel, consider)
+					comps = append(comps, effect.Correlations(ca.name, cb.name, inA, inB, outA, outB))
+				case e.cfg.Extended && ca.kind == frame.Categorical && cb.kind == frame.Numeric:
+					comps = append(comps, mixedSeparation(f, ca, cb, sel, consider))
+				case e.cfg.Extended && ca.kind == frame.Numeric && cb.kind == frame.Categorical:
+					comps = append(comps, mixedSeparation(f, cb, ca, sel, consider))
+				}
+			}
+		}
+
+		names := make([]string, len(cand))
+		for i, idx := range cand {
+			names[i] = cols[idx].name
+		}
+		ps := make([]float64, 0, len(comps))
+		for _, c := range comps {
+			ps = append(ps, c.Test.P)
+		}
+		p := hypo.Combine(ps, e.cfg.Aggregation)
+		views = append(views, View{
+			Columns:     names,
+			Score:       effect.Score(comps, e.cfg.Weights),
+			Tightness:   dep.MinPairwise(cand),
+			Components:  comps,
+			PValue:      p,
+			Significant: !math.IsNaN(p) && p < e.cfg.Alpha,
+		})
+	}
+	return views
+}
+
+// alignedSplit extracts row-aligned complete cases of two numeric columns,
+// split by the selection mask and restricted to consider when non-nil.
+func alignedSplit(a, b *frame.Column, sel, consider *frame.Bitmap) (inA, inB, outA, outB []float64) {
+	n := a.Len()
+	for i := 0; i < n; i++ {
+		if consider != nil && !consider.Get(i) {
+			continue
+		}
+		if a.IsNull(i) || b.IsNull(i) {
+			continue
+		}
+		va, vb := a.Float(i), b.Float(i)
+		if sel.Get(i) {
+			inA = append(inA, va)
+			inB = append(inB, vb)
+		} else {
+			outA = append(outA, va)
+			outB = append(outB, vb)
+		}
+	}
+	return
+}
+
+// mixedSeparation computes the extended DiffSeparation component for a
+// categorical × numeric pair.
+func mixedSeparation(f *frame.Frame, cat, num colData, sel, consider *frame.Bitmap) effect.Component {
+	cc := f.Col(cat.idx)
+	nc := f.Col(num.idx)
+	var catIn, catOut []int32
+	var numIn, numOut []float64
+	n := cc.Len()
+	for i := 0; i < n; i++ {
+		if consider != nil && !consider.Get(i) {
+			continue
+		}
+		if cc.IsNull(i) || nc.IsNull(i) {
+			continue
+		}
+		if sel.Get(i) {
+			catIn = append(catIn, cc.Code(i))
+			numIn = append(numIn, nc.Float(i))
+		} else {
+			catOut = append(catOut, cc.Code(i))
+			numOut = append(numOut, nc.Float(i))
+		}
+	}
+	return effect.Separation(cat.name, num.name, catIn, numIn, catOut, numOut, cc.Cardinality())
+}
+
+// rankDisjoint orders candidates by decreasing score and greedily keeps
+// those sharing no column with an already-kept view (Equation 4), stopping
+// at MaxViews.
+func (e *Engine) rankDisjoint(views []View) []View {
+	sort.SliceStable(views, func(i, j int) bool {
+		if views[i].Score != views[j].Score {
+			return views[i].Score > views[j].Score
+		}
+		// Deterministic tie-break on column names.
+		return fmt.Sprint(views[i].Columns) < fmt.Sprint(views[j].Columns)
+	})
+	used := make(map[string]bool)
+	var out []View
+	for _, v := range views {
+		if len(out) >= e.cfg.MaxViews {
+			break
+		}
+		if e.cfg.RequireSignificant && !v.Significant {
+			continue
+		}
+		overlap := false
+		for _, c := range v.Columns {
+			if used[c] {
+				overlap = true
+				break
+			}
+		}
+		if overlap {
+			continue
+		}
+		for _, c := range v.Columns {
+			used[c] = true
+		}
+		out = append(out, v)
+	}
+	return out
+}

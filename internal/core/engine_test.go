@@ -1,0 +1,575 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/depend"
+	"repro/internal/effect"
+	"repro/internal/frame"
+	"repro/internal/hypo"
+	"repro/internal/synth"
+)
+
+// plantedFixture builds a dataset with two planted views and noise, plus
+// its selection.
+func plantedFixture(t *testing.T, seed uint64) *synth.PlantedData {
+	t.Helper()
+	pd, err := synth.Planted(synth.PlantedConfig{
+		Seed: seed, Rows: 3000, SelectionFraction: 0.25,
+		Views: []synth.PlantedView{
+			{Cols: 2, WithinCorr: 0.75, MeanShift: 1.6},
+			{Cols: 2, WithinCorr: 0.75, ScaleRatio: 3},
+		},
+		NoiseCols: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pd
+}
+
+func defaultEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.MinTight = -0.1 },
+		func(c *Config) { c.MinTight = 1.1 },
+		func(c *Config) { c.MaxDim = 0 },
+		func(c *Config) { c.MaxViews = 0 },
+		func(c *Config) { c.Alpha = 0 },
+		func(c *Config) { c.Alpha = 1 },
+		func(c *Config) { c.MinRows = 1 },
+		func(c *Config) { c.Weights = effect.Weights{effect.DiffMeans: -1} },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestCharacterizeInputValidation(t *testing.T) {
+	e := defaultEngine(t)
+	f := frame.MustNew("t", []*frame.Column{
+		frame.NewNumericColumn("x", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}),
+	})
+	if _, err := e.Characterize(nil, frame.NewBitmap(10)); err == nil {
+		t.Error("nil frame accepted")
+	}
+	if _, err := e.Characterize(f, nil); err == nil {
+		t.Error("nil selection accepted")
+	}
+	if _, err := e.Characterize(f, frame.NewBitmap(5)); err == nil {
+		t.Error("mismatched selection accepted")
+	}
+	// Too-small selection.
+	tiny := frame.BitmapFromIndices(10, []int{0})
+	if _, err := e.Characterize(f, tiny); err == nil {
+		t.Error("1-row selection accepted")
+	}
+	full := frame.NewBitmap(10)
+	full.SetAll()
+	if _, err := e.Characterize(f, full); err == nil {
+		t.Error("empty complement accepted")
+	}
+}
+
+func TestRecoversPlantedViews(t *testing.T) {
+	pd := plantedFixture(t, 1)
+	e := defaultEngine(t)
+	rep, err := e.Characterize(pd.Frame, pd.Selection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Views) == 0 {
+		t.Fatal("no views found")
+	}
+	// The two planted views must be the top two results (in some order),
+	// each recovered exactly.
+	if len(rep.Views) < 2 {
+		t.Fatalf("found %d views, want ≥ 2", len(rep.Views))
+	}
+	got := map[string]bool{}
+	for _, v := range rep.Views[:2] {
+		cols := append([]string{}, v.Columns...)
+		sort.Strings(cols)
+		got[strings.Join(cols, "+")] = true
+	}
+	for _, tv := range pd.TrueViews {
+		cols := append([]string{}, tv...)
+		sort.Strings(cols)
+		if !got[strings.Join(cols, "+")] {
+			t.Errorf("planted view %v not in top-2; got %v and %v",
+				tv, rep.Views[0].Columns, rep.Views[1].Columns)
+		}
+	}
+	// Noise columns must not appear in any view with competitive score.
+	for _, v := range rep.Views[:2] {
+		for _, c := range v.Columns {
+			if strings.HasPrefix(c, "noise") {
+				t.Errorf("noise column %q in top view", c)
+			}
+		}
+	}
+}
+
+func TestViewInvariants(t *testing.T) {
+	pd := plantedFixture(t, 2)
+	cfg := DefaultConfig()
+	cfg.MaxViews = 20
+	cfg.MaxDim = 3
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Characterize(pd.Frame, pd.Selection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	lastScore := math.Inf(1)
+	for _, v := range rep.Views {
+		// Equation 4: views are disjoint.
+		for _, c := range v.Columns {
+			if seen[c] {
+				t.Errorf("column %q appears in two views", c)
+			}
+			seen[c] = true
+		}
+		// Equation 1: at most D columns.
+		if len(v.Columns) == 0 || len(v.Columns) > cfg.MaxDim {
+			t.Errorf("view size %d outside [1,%d]", len(v.Columns), cfg.MaxDim)
+		}
+		// Equation 3: tightness.
+		if v.Tightness < cfg.MinTight-1e-9 {
+			t.Errorf("view %v tightness %v < %v", v.Columns, v.Tightness, cfg.MinTight)
+		}
+		// Ranking is by decreasing score.
+		if v.Score > lastScore+1e-9 {
+			t.Errorf("views not sorted: %v after %v", v.Score, lastScore)
+		}
+		lastScore = v.Score
+		// Every view carries an explanation.
+		if v.Explanation == "" {
+			t.Errorf("view %v lacks explanation", v.Columns)
+		}
+		if v.String() == "" {
+			t.Error("View.String empty")
+		}
+	}
+	if rep.SelectedRows+0 == 0 || rep.TotalRows != pd.Frame.NumRows() {
+		t.Error("report row counts wrong")
+	}
+}
+
+func TestMeanShiftViewDetected(t *testing.T) {
+	pd := plantedFixture(t, 3)
+	e := defaultEngine(t)
+	rep, err := e.Characterize(pd.Frame, pd.Selection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the mean-shift view (view0) and check its dominant component.
+	for _, v := range rep.Views {
+		if len(v.Columns) == 2 && strings.HasPrefix(v.Columns[0], "view0") {
+			if len(v.Components) == 0 {
+				t.Fatal("no components")
+			}
+			top := v.Components[0]
+			if top.Kind != effect.DiffMeans {
+				t.Errorf("dominant component is %v, want diff-means", top.Kind)
+			}
+			if !v.Significant {
+				t.Error("planted 1.6σ shift should be significant")
+			}
+			if !strings.Contains(v.Explanation, "higher values") {
+				t.Errorf("explanation %q should mention higher values", v.Explanation)
+			}
+			return
+		}
+	}
+	t.Fatal("mean-shift view not found")
+}
+
+func TestScaleViewDetected(t *testing.T) {
+	pd := plantedFixture(t, 4)
+	e := defaultEngine(t)
+	rep, err := e.Characterize(pd.Frame, pd.Selection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Views {
+		if len(v.Columns) == 2 && strings.HasPrefix(v.Columns[0], "view1") {
+			top := v.Components[0]
+			if top.Kind != effect.DiffStdDevs {
+				t.Errorf("dominant component is %v, want diff-stddevs", top.Kind)
+			}
+			if !strings.Contains(v.Explanation, "variance") {
+				t.Errorf("explanation %q should mention variance", v.Explanation)
+			}
+			return
+		}
+	}
+	t.Fatal("scale view not found")
+}
+
+func TestCorrelationFlipDetected(t *testing.T) {
+	pd, err := synth.Planted(synth.PlantedConfig{
+		Seed: 5, Rows: 4000, SelectionFraction: 0.35,
+		Views:     []synth.PlantedView{{Cols: 2, WithinCorr: 0.8, DecorrelateInside: true}},
+		NoiseCols: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := defaultEngine(t)
+	rep, err := e.Characterize(pd.Frame, pd.Selection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Views) == 0 {
+		t.Fatal("no views")
+	}
+	top := rep.Views[0]
+	if !strings.HasPrefix(top.Columns[0], "view0") {
+		t.Fatalf("top view %v is not the planted one", top.Columns)
+	}
+	var hasCorrComp bool
+	for _, c := range top.Components {
+		if c.Kind == effect.DiffCorrelations && c.Valid() {
+			hasCorrComp = true
+			if c.Outside < 0.6 || math.Abs(c.Inside) > 0.25 {
+				t.Errorf("correlation component in/out = %v/%v, want ≈0/≈0.8", c.Inside, c.Outside)
+			}
+		}
+	}
+	if !hasCorrComp {
+		t.Error("no correlation component on the planted correlation-flip view")
+	}
+}
+
+func TestCliquesGeneratorAgrees(t *testing.T) {
+	pd := plantedFixture(t, 6)
+	cfg := DefaultConfig()
+	cfg.Generator = Cliques
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Characterize(pd.Frame, pd.Selection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Views) < 2 {
+		t.Fatalf("cliques generator found %d views", len(rep.Views))
+	}
+	found := 0
+	for _, v := range rep.Views[:2] {
+		if strings.HasPrefix(v.Columns[0], "view") {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("cliques generator missed planted views: %v", rep.Views[:2])
+	}
+}
+
+func TestRobustMode(t *testing.T) {
+	pd := plantedFixture(t, 7)
+	cfg := DefaultConfig()
+	cfg.Robust = true
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Characterize(pd.Frame, pd.Selection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The location component must now be Cliff's delta.
+	foundRobust := false
+	for _, v := range rep.Views {
+		for _, c := range v.Components {
+			if c.Kind == effect.DiffLocationsRobust {
+				foundRobust = true
+			}
+			if c.Kind == effect.DiffMeans {
+				t.Error("robust mode still emits diff-means")
+			}
+		}
+	}
+	if !foundRobust {
+		t.Error("robust mode emitted no rank-based components")
+	}
+}
+
+func TestRequireSignificantFiltersNullViews(t *testing.T) {
+	// Pure noise: no view should survive a significance requirement.
+	pd, err := synth.Planted(synth.PlantedConfig{
+		Seed: 8, Rows: 800, SelectionFraction: 0.3,
+		Views:     []synth.PlantedView{{Cols: 2, WithinCorr: 0.7}}, // no distortion
+		NoiseCols: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.RequireSignificant = true
+	cfg.Alpha = 0.001
+	e, _ := New(cfg)
+	rep, err := e.Characterize(pd.Frame, pd.Selection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Views {
+		if !v.Significant {
+			t.Errorf("insignificant view %v survived RequireSignificant", v.Columns)
+		}
+	}
+}
+
+func TestBonferroniIsMoreConservative(t *testing.T) {
+	pd := plantedFixture(t, 9)
+	minCfg := DefaultConfig()
+	minCfg.Aggregation = hypo.MinP
+	bonCfg := DefaultConfig()
+	bonCfg.Aggregation = hypo.Bonferroni
+	eMin, _ := New(minCfg)
+	eBon, _ := New(bonCfg)
+	repMin, err := eMin.Characterize(pd.Frame, pd.Selection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repBon, err := eBon.Characterize(pd.Frame, pd.Selection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repMin.Views) == 0 || len(repBon.Views) == 0 {
+		t.Fatal("no views")
+	}
+	// Same top view, larger (or equal) p under Bonferroni.
+	if repBon.Views[0].PValue < repMin.Views[0].PValue-1e-15 {
+		t.Errorf("Bonferroni p %v < min p %v", repBon.Views[0].PValue, repMin.Views[0].PValue)
+	}
+}
+
+func TestStatsCacheSharing(t *testing.T) {
+	pd := plantedFixture(t, 10)
+	e := defaultEngine(t)
+	rep1, err := e.Characterize(pd.Frame, pd.Selection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.CacheHit {
+		t.Error("first query should be a cache miss")
+	}
+	// Second query on the same table with a different selection.
+	sel2 := pd.Selection.Clone().Not()
+	rep2, err := e.Characterize(pd.Frame, sel2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.CacheHit {
+		t.Error("second query should hit the dependency cache")
+	}
+	e.InvalidateCache()
+	rep3, err := e.Characterize(pd.Frame, pd.Selection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.CacheHit {
+		t.Error("query after invalidation should miss")
+	}
+}
+
+func TestCategoricalViews(t *testing.T) {
+	// Build a table where a categorical column is the signal: selection is
+	// 80% "red", complement is uniform.
+	n := 900
+	colors := make([]string, n)
+	vals := make([]float64, n)
+	sel := frame.NewBitmap(n)
+	for i := 0; i < n; i++ {
+		vals[i] = float64(i % 17)
+		if i < 300 {
+			sel.Set(i)
+			if i%10 < 8 {
+				colors[i] = "red"
+			} else {
+				colors[i] = "blue"
+			}
+		} else {
+			switch i % 3 {
+			case 0:
+				colors[i] = "red"
+			case 1:
+				colors[i] = "blue"
+			default:
+				colors[i] = "green"
+			}
+		}
+	}
+	f := frame.MustNew("t", []*frame.Column{
+		frame.NewCategoricalColumn("color", colors),
+		frame.NewNumericColumn("filler", vals),
+	})
+	e := defaultEngine(t)
+	rep, err := e.Characterize(f, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Views {
+		if v.Columns[0] == "color" {
+			if v.Components[0].Kind != effect.DiffFrequencies {
+				t.Errorf("color view component = %v", v.Components[0].Kind)
+			}
+			if !strings.Contains(v.Explanation, "red") {
+				t.Errorf("explanation %q should name the shifted category", v.Explanation)
+			}
+			return
+		}
+	}
+	t.Fatal("categorical view not found")
+}
+
+func TestWarningsForDegenerateColumns(t *testing.T) {
+	n := 60
+	good := make([]float64, n)
+	mostlyNull := make([]float64, n)
+	for i := range good {
+		good[i] = float64(i)
+		mostlyNull[i] = math.NaN()
+	}
+	mostlyNull[0] = 1
+	f := frame.MustNew("t", []*frame.Column{
+		frame.NewNumericColumn("good", good),
+		frame.NewNumericColumn("mostly_null", mostlyNull),
+	})
+	sel := frame.BitmapFromIndices(n, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	e := defaultEngine(t)
+	rep, err := e.Characterize(f, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundWarning := false
+	for _, w := range rep.Warnings {
+		if strings.Contains(w, "mostly_null") {
+			foundWarning = true
+		}
+	}
+	if !foundWarning {
+		t.Errorf("expected warning about mostly_null, got %v", rep.Warnings)
+	}
+	for _, v := range rep.Views {
+		for _, c := range v.Columns {
+			if c == "mostly_null" {
+				t.Error("unusable column appeared in a view")
+			}
+		}
+	}
+}
+
+func TestMaxDimOne(t *testing.T) {
+	pd := plantedFixture(t, 11)
+	cfg := DefaultConfig()
+	cfg.MaxDim = 1
+	e, _ := New(cfg)
+	rep, err := e.Characterize(pd.Frame, pd.Selection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Views {
+		if len(v.Columns) != 1 {
+			t.Errorf("MaxDim=1 produced view %v", v.Columns)
+		}
+	}
+}
+
+func TestMaxViewsCap(t *testing.T) {
+	pd := plantedFixture(t, 12)
+	cfg := DefaultConfig()
+	cfg.MaxViews = 2
+	e, _ := New(cfg)
+	rep, err := e.Characterize(pd.Frame, pd.Selection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Views) > 2 {
+		t.Errorf("MaxViews=2 returned %d views", len(rep.Views))
+	}
+}
+
+func TestTimingsPopulated(t *testing.T) {
+	pd := plantedFixture(t, 13)
+	e := defaultEngine(t)
+	rep, err := e.Characterize(pd.Frame, pd.Selection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Timings.Preparation <= 0 || rep.Timings.Total() <= 0 {
+		t.Errorf("timings not populated: %+v", rep.Timings)
+	}
+}
+
+func TestLinkageAblationStillRespectsTightness(t *testing.T) {
+	pd := plantedFixture(t, 14)
+	for _, linkage := range []cluster.Linkage{cluster.Single, cluster.Average} {
+		cfg := DefaultConfig()
+		cfg.Linkage = linkage
+		e, _ := New(cfg)
+		rep, err := e.Characterize(pd.Frame, pd.Selection)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range rep.Views {
+			if v.Tightness < cfg.MinTight-1e-9 {
+				t.Errorf("%v linkage: view %v tightness %v < %v",
+					linkage, v.Columns, v.Tightness, cfg.MinTight)
+			}
+		}
+	}
+}
+
+func TestMeasureAblation(t *testing.T) {
+	pd := plantedFixture(t, 15)
+	for _, m := range []depend.Measure{depend.AbsSpearman, depend.NormalizedMI} {
+		cfg := DefaultConfig()
+		cfg.Measure = m
+		if m == depend.NormalizedMI {
+			// MI scores are smaller; relax the threshold accordingly.
+			cfg.MinTight = 0.15
+		}
+		e, _ := New(cfg)
+		rep, err := e.Characterize(pd.Frame, pd.Selection)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(rep.Views) == 0 {
+			t.Errorf("%v: no views", m)
+		}
+	}
+}
+
+func TestGeneratorString(t *testing.T) {
+	if Clustering.String() != "clustering" || Cliques.String() != "cliques" ||
+		CandidateGen(7).String() != "CandidateGen(7)" {
+		t.Error("CandidateGen.String wrong")
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/effect"
+	"repro/internal/synth"
+)
+
+// crimeSelection runs the paper's running-example query — communities above
+// the 90th percentile of violent crime — through the SQL layer and returns
+// the table plus selection mask.
+func crimeSelection(t testing.TB, seed uint64) (*synth.PlantedData, *db.Result) {
+	t.Helper()
+	f := synth.USCrime(seed)
+	q90, err := synth.QuantileOf(f, "crime_violent_rate", 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := db.NewCatalog()
+	if err := cat.Register(f); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cat.Query(fmt.Sprintf("SELECT * FROM uscrime WHERE crime_violent_rate >= %g", q90))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nil, res
+}
+
+// crimeColumns lists the outcome columns excluded from Figure 1 views (the
+// query itself constrains them).
+func crimeColumns(res *db.Result) []string {
+	var out []string
+	for _, name := range res.Base.ColumnNames() {
+		if strings.HasPrefix(name, "crime_") || name == "arson_count" || name == "gang_incidents" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// TestFigure1CharacteristicViews is the repository's acceptance test for
+// the paper's Figure 1: a high-crime selection on the US Crime twin must
+// surface the four socio-economic themes with the documented directions.
+func TestFigure1CharacteristicViews(t *testing.T) {
+	_, res := crimeSelection(t, 42)
+	cfg := DefaultConfig()
+	cfg.MaxViews = 12
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.CharacterizeOpts(res.Base, res.Mask, Options{ExcludeColumns: crimeColumns(res)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Views) < 4 {
+		t.Fatalf("found only %d views", len(rep.Views))
+	}
+
+	// Theme detectors: each Figure 1 view is identified by its columns'
+	// prefix family and the direction of its mean component.
+	type theme struct {
+		name      string
+		match     func(col string) bool
+		direction float64 // +1 selection higher, -1 selection lower
+		found     bool
+	}
+	themes := []theme{
+		{name: "demographics (pop/density ↑)", direction: +1, match: func(c string) bool {
+			return c == "population" || c == "pop_density" || c == "pct_urban" ||
+				c == "housing_units_density" || strings.HasPrefix(c, "urban_")
+		}},
+		{name: "education/income (↓)", direction: -1, match: func(c string) bool {
+			return c == "pct_college_educ" || c == "avg_salary" || c == "median_income" ||
+				c == "per_capita_income" || c == "pct_highschool_grad" ||
+				c == "pct_advanced_degree" || strings.HasPrefix(c, "income_")
+		}},
+		{name: "housing (rent/ownership ↓)", direction: -1, match: func(c string) bool {
+			return c == "avg_rent" || c == "pct_home_owners" || c == "median_home_value" ||
+				c == "pct_owner_occupied" || c == "avg_rooms_per_dwelling" ||
+				strings.HasPrefix(c, "housing_indicator")
+		}},
+		{name: "family/age (young/monoparental ↑)", direction: +1, match: func(c string) bool {
+			return c == "pct_monoparental" || c == "pct_under_25" || c == "pct_divorced" ||
+				c == "pct_never_married" || strings.HasPrefix(c, "family_")
+		}},
+	}
+
+	for _, v := range rep.Views {
+		for ti := range themes {
+			th := &themes[ti]
+			if th.found {
+				continue
+			}
+			all := true
+			for _, c := range v.Columns {
+				if !th.match(c) {
+					all = false
+					break
+				}
+			}
+			if !all {
+				continue
+			}
+			// Verify the direction on the view's mean components.
+			for _, comp := range v.Components {
+				if comp.Kind == effect.DiffMeans && comp.Valid() {
+					if comp.Raw*th.direction <= 0 {
+						t.Errorf("theme %s: component on %v has wrong direction (raw=%v)",
+							th.name, comp.Columns, comp.Raw)
+					}
+				}
+			}
+			th.found = true
+		}
+	}
+	for _, th := range themes {
+		if !th.found {
+			var got []string
+			for _, v := range rep.Views {
+				got = append(got, fmt.Sprint(v.Columns))
+			}
+			t.Errorf("theme %q not found among views: %v", th.name, got)
+		}
+	}
+}
+
+// TestFigure1BoardedWindows checks the §4.2 claim: the "seemingly
+// superfluous" boarded-windows indicator has strong predictive power for
+// crime, i.e. without exclusions it surfaces in a top view.
+func TestFigure1BoardedWindows(t *testing.T) {
+	_, res := crimeSelection(t, 42)
+	e, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Characterize(res.Base, res.Mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range rep.Views {
+		if i >= 3 {
+			break
+		}
+		for _, c := range v.Columns {
+			if c == "pct_boarded_windows" {
+				return
+			}
+		}
+	}
+	t.Error("pct_boarded_windows not in the top-3 views")
+}
+
+func TestExcludeColumnsOption(t *testing.T) {
+	_, res := crimeSelection(t, 7)
+	e, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	excluded := crimeColumns(res)
+	rep, err := e.CharacterizeOpts(res.Base, res.Mask, Options{ExcludeColumns: excluded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := make(map[string]bool, len(excluded))
+	for _, c := range excluded {
+		bad[c] = true
+	}
+	for _, v := range rep.Views {
+		for _, c := range v.Columns {
+			if bad[c] {
+				t.Errorf("excluded column %q appeared in view %v", c, v.Columns)
+			}
+		}
+	}
+	// Unknown exclusions warn but do not fail.
+	rep2, err := e.CharacterizeOpts(res.Base, res.Mask, Options{ExcludeColumns: []string{"no_such_col"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, w := range rep2.Warnings {
+		if strings.Contains(w, "no_such_col") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing warning for unknown excluded column")
+	}
+}

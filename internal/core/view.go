@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/effect"
+)
+
+// View is one characteristic view: a small set of columns on which the
+// selection's distribution diverges from the rest of the data.
+type View struct {
+	// Columns names the view's columns in frame order.
+	Columns []string
+	// Score is the Zig-Dissimilarity (Equation 1 with the composite
+	// measure of §2.2). Views are reported in decreasing score order.
+	Score float64
+	// Tightness is the minimum pairwise dependency of the view's columns
+	// (Equation 2); always ≥ the configured MinTight.
+	Tightness float64
+	// Components lists the Zig-Components backing the score, strongest
+	// first.
+	Components []effect.Component
+	// PValue is the aggregated confidence of the view under the configured
+	// aggregation scheme; NaN when no component was testable.
+	PValue float64
+	// Significant reports whether PValue clears the configured Alpha.
+	Significant bool
+	// Explanation is the generated natural-language description.
+	Explanation string
+}
+
+// String renders a one-line summary.
+func (v View) String() string {
+	return fmt.Sprintf("View{%s score=%.3f tight=%.2f p=%.3g}",
+		strings.Join(v.Columns, ", "), v.Score, v.Tightness, v.PValue)
+}
+
+// Timings reports per-stage wall time of one characterization run
+// (paper Figure 4's three stages).
+type Timings struct {
+	Preparation time.Duration
+	Search      time.Duration
+	Post        time.Duration
+}
+
+// Total sums the stages.
+func (t Timings) Total() time.Duration { return t.Preparation + t.Search + t.Post }
+
+// Report is the full outcome of Engine.Characterize.
+type Report struct {
+	// Views lists the characteristic views, best first, mutually disjoint
+	// (Equation 4).
+	Views []View
+	// SelectedRows and TotalRows describe the split sizes.
+	SelectedRows, TotalRows int
+	// SampledRows is the number of rows the per-query statistics actually
+	// consumed when Config.SampleRows capped them; 0 means no sampling.
+	SampledRows int
+	// Timings carries the stage breakdown.
+	Timings Timings
+	// Warnings lists non-fatal issues (skipped columns, tiny selections).
+	Warnings []string
+	// CacheHit reports whether the preparation-stage dependency structure
+	// was reused from a previous query on the same table.
+	CacheHit bool
+}

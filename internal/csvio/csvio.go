@@ -1,0 +1,222 @@
+// Package csvio loads and saves frames as CSV files.
+//
+// The reader infers a schema by scanning the data: a column whose non-empty
+// cells all parse as floats becomes numeric, everything else becomes
+// categorical. Empty cells and the literal tokens "NULL", "NA" and "?"
+// (the UCI convention used by the Communities & Crime data set the paper
+// demonstrates on) are treated as NULL.
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+
+	"repro/internal/frame"
+)
+
+// nullTokens are cell values interpreted as NULL during schema inference
+// and parsing.
+var nullTokens = map[string]bool{"": true, "NULL": true, "null": true, "NA": true, "na": true, "?": true}
+
+// IsNullToken reports whether a raw CSV cell is treated as NULL.
+func IsNullToken(s string) bool { return nullTokens[s] }
+
+// Options configures the reader.
+type Options struct {
+	// Comma is the field delimiter; ',' when zero.
+	Comma rune
+	// MaxInferRows bounds how many data rows the type-inference pass
+	// examines; 0 means all rows.
+	MaxInferRows int
+	// ForceCategorical lists column names that must be categorical even if
+	// all their values parse as numbers (e.g. zip codes).
+	ForceCategorical []string
+}
+
+// Read parses CSV data with a header row into a Frame named name.
+func Read(r io.Reader, name string, opts Options) (*frame.Frame, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.ReuseRecord = false
+	cr.TrimLeadingSpace = true
+
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("csvio: empty input")
+	}
+	if err != nil {
+		return nil, fmt.Errorf("csvio: reading header: %w", err)
+	}
+	if len(header) == 0 {
+		return nil, fmt.Errorf("csvio: header has no columns")
+	}
+
+	var rows [][]string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("csvio: reading row %d: %w", len(rows)+2, err)
+		}
+		rows = append(rows, rec)
+	}
+
+	forced := make(map[string]bool, len(opts.ForceCategorical))
+	for _, n := range opts.ForceCategorical {
+		forced[n] = true
+	}
+
+	kinds := inferKinds(header, rows, opts.MaxInferRows, forced)
+
+	b := frame.NewBuilder(name)
+	colIdx := make([]int, len(header))
+	for i, h := range header {
+		if kinds[i] == frame.Numeric {
+			colIdx[i] = b.AddNumeric(h)
+		} else {
+			colIdx[i] = b.AddCategorical(h)
+		}
+	}
+	for ri, rec := range rows {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("csvio: row %d has %d fields, want %d", ri+2, len(rec), len(header))
+		}
+		for ci, cell := range rec {
+			if nullTokens[cell] {
+				b.AppendNull(colIdx[ci])
+				continue
+			}
+			if kinds[ci] == frame.Numeric {
+				v, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return nil, fmt.Errorf("csvio: row %d column %q: %q is not numeric", ri+2, header[ci], cell)
+				}
+				b.AppendFloat(colIdx[ci], v)
+			} else {
+				b.AppendStr(colIdx[ci], cell)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// inferKinds decides each column's kind by scanning up to maxRows rows.
+func inferKinds(header []string, rows [][]string, maxRows int, forced map[string]bool) []frame.Kind {
+	kinds := make([]frame.Kind, len(header))
+	for ci, h := range header {
+		if forced[h] {
+			kinds[ci] = frame.Categorical
+			continue
+		}
+		numeric := true
+		seen := false
+		for ri, rec := range rows {
+			if maxRows > 0 && ri >= maxRows {
+				break
+			}
+			if ci >= len(rec) {
+				continue
+			}
+			cell := rec[ci]
+			if nullTokens[cell] {
+				continue
+			}
+			seen = true
+			if _, err := strconv.ParseFloat(cell, 64); err != nil {
+				numeric = false
+				break
+			}
+		}
+		// All-NULL columns default to numeric; a NULL float column is more
+		// useful downstream than a NULL dictionary.
+		if numeric || !seen {
+			kinds[ci] = frame.Numeric
+		} else {
+			kinds[ci] = frame.Categorical
+		}
+	}
+	return kinds
+}
+
+// ReadFile opens and parses a CSV file. The frame is named after the path's
+// base name without extension.
+func ReadFile(path string, opts Options) (*frame.Frame, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("csvio: %w", err)
+	}
+	defer f.Close()
+	name := path
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			name = path[i+1:]
+			break
+		}
+	}
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '.' {
+			name = name[:i]
+			break
+		}
+	}
+	return Read(f, name, opts)
+}
+
+// Write serializes a frame as CSV with a header row. NULLs are written as
+// empty cells; floats use the shortest round-trippable representation.
+func Write(w io.Writer, f *frame.Frame) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(f.ColumnNames()); err != nil {
+		return fmt.Errorf("csvio: writing header: %w", err)
+	}
+	rec := make([]string, f.NumCols())
+	for i := 0; i < f.NumRows(); i++ {
+		for j := 0; j < f.NumCols(); j++ {
+			c := f.Col(j)
+			switch {
+			case c.IsNull(i):
+				rec[j] = ""
+			case c.Kind() == frame.Numeric:
+				rec[j] = formatFloat(c.Float(i))
+			default:
+				rec[j] = c.Str(i)
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("csvio: writing row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFile serializes a frame to the given path.
+func WriteFile(path string, f *frame.Frame) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("csvio: %w", err)
+	}
+	defer out.Close()
+	if err := Write(out, f); err != nil {
+		return err
+	}
+	return out.Close()
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,195 @@
+package csvio
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/frame"
+)
+
+func TestReadInfersSchema(t *testing.T) {
+	in := "x,label,y\n1.5,a,10\n2.5,b,20\n,c,\n"
+	f, err := Read(strings.NewReader(in), "t", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumRows() != 3 || f.NumCols() != 3 {
+		t.Fatalf("shape %d×%d, want 3×3", f.NumRows(), f.NumCols())
+	}
+	x, _ := f.Lookup("x")
+	if x.Kind() != frame.Numeric {
+		t.Fatal("x should be numeric")
+	}
+	lbl, _ := f.Lookup("label")
+	if lbl.Kind() != frame.Categorical {
+		t.Fatal("label should be categorical")
+	}
+	if !x.IsNull(2) {
+		t.Fatal("empty cell should be NULL")
+	}
+	if x.Float(0) != 1.5 || x.Float(1) != 2.5 {
+		t.Fatal("numeric values wrong")
+	}
+}
+
+func TestNullTokens(t *testing.T) {
+	in := "x\n1\nNULL\nNA\n?\nna\nnull\n"
+	f, err := Read(strings.NewReader(in), "t", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := f.Lookup("x")
+	if x.NullCount() != 5 {
+		t.Fatalf("nulls = %d, want 5", x.NullCount())
+	}
+	if !IsNullToken("?") || IsNullToken("0") {
+		t.Fatal("IsNullToken wrong")
+	}
+}
+
+func TestForceCategorical(t *testing.T) {
+	in := "zip\n10001\n90210\n"
+	f, err := Read(strings.NewReader(in), "t", Options{ForceCategorical: []string{"zip"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, _ := f.Lookup("zip")
+	if z.Kind() != frame.Categorical {
+		t.Fatal("forced column should be categorical")
+	}
+	if z.Str(0) != "10001" {
+		t.Fatal("forced categorical value wrong")
+	}
+}
+
+func TestAllNullColumnDefaultsNumeric(t *testing.T) {
+	in := "a,b\n,x\n,y\n"
+	f, err := Read(strings.NewReader(in), "t", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := f.Lookup("a")
+	if a.Kind() != frame.Numeric || a.NullCount() != 2 {
+		t.Fatal("all-NULL column should be numeric and fully NULL")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader(""), "t", Options{}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Mixed numeric column discovered late (beyond inference window) must
+	// produce a clear parse error, not a panic.
+	in := "x\n1\n2\nnot-a-number\n"
+	if _, err := Read(strings.NewReader(in), "t", Options{MaxInferRows: 2}); err == nil {
+		t.Fatal("non-numeric cell in inferred-numeric column accepted")
+	}
+}
+
+func TestMaxInferRows(t *testing.T) {
+	// With full inference, the trailing string flips the column to
+	// categorical.
+	in := "x\n1\n2\nabc\n"
+	f, err := Read(strings.NewReader(in), "t", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Col(0).Kind() != frame.Categorical {
+		t.Fatal("full inference should detect categorical")
+	}
+}
+
+func TestCustomDelimiter(t *testing.T) {
+	in := "a;b\n1;x\n"
+	f, err := Read(strings.NewReader(in), "t", Options{Comma: ';'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumCols() != 2 {
+		t.Fatalf("cols = %d, want 2", f.NumCols())
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	b := frame.NewBuilder("rt")
+	xi := b.AddNumeric("x")
+	ci := b.AddCategorical("c")
+	b.AppendFloat(xi, 1.25)
+	b.AppendStr(ci, "hello, world") // embedded comma exercises quoting
+	b.AppendNull(xi)
+	b.AppendStr(ci, "plain")
+	b.AppendFloat(xi, -3)
+	b.AppendNull(ci)
+	f := b.MustBuild()
+
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(bytes.NewReader(buf.Bytes()), "rt", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 3 || back.NumCols() != 2 {
+		t.Fatalf("round-trip shape %d×%d", back.NumRows(), back.NumCols())
+	}
+	x, _ := back.Lookup("x")
+	if x.Float(0) != 1.25 || !x.IsNull(1) || x.Float(2) != -3 {
+		t.Fatal("numeric round-trip wrong")
+	}
+	c, _ := back.Lookup("c")
+	if c.Str(0) != "hello, world" || c.Str(1) != "plain" || !c.IsNull(2) {
+		t.Fatal("categorical round-trip wrong")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.csv")
+	b := frame.NewBuilder("data")
+	xi := b.AddNumeric("x")
+	b.AppendFloat(xi, 42)
+	f := b.MustBuild()
+	if err := WriteFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != "data" {
+		t.Fatalf("frame name = %q, want data", back.Name())
+	}
+	if back.Col(0).Float(0) != 42 {
+		t.Fatal("file round-trip value wrong")
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.csv"), Options{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestWriteFileToBadPath(t *testing.T) {
+	f := frame.MustNew("t", []*frame.Column{frame.NewNumericColumn("x", []float64{1})})
+	if err := WriteFile(string(os.PathSeparator)+"no/such/dir/file.csv", f); err == nil {
+		t.Fatal("writing to invalid path accepted")
+	}
+}
+
+func TestFormatFloatSpecials(t *testing.T) {
+	f := frame.MustNew("t", []*frame.Column{frame.NewNumericColumn("x", []float64{math.Inf(1), math.Inf(-1)})})
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "Inf") || !strings.Contains(s, "-Inf") {
+		t.Fatalf("infinities not serialized: %q", s)
+	}
+}

@@ -1,0 +1,301 @@
+package db
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/frame"
+)
+
+// salesCatalog builds a small sales table for the aggregation tests.
+func salesCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	b := frame.NewBuilder("sales")
+	region := b.AddCategorical("region")
+	product := b.AddCategorical("product")
+	amount := b.AddNumeric("amount")
+	units := b.AddNumeric("units")
+
+	rows := []struct {
+		region, product string
+		amount, units   float64
+	}{
+		{"east", "widget", 100, 10},
+		{"east", "widget", 200, 20},
+		{"east", "gadget", 50, 5},
+		{"west", "widget", 300, 30},
+		{"west", "gadget", 150, math.NaN()},
+		{"west", "gadget", 250, 25},
+	}
+	for _, r := range rows {
+		b.AppendStr(region, r.region)
+		b.AppendStr(product, r.product)
+		b.AppendFloat(amount, r.amount)
+		b.AppendFloat(units, r.units)
+	}
+	cat := NewCatalog()
+	if err := cat.Register(b.MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestGlobalAggregates(t *testing.T) {
+	cat := salesCatalog(t)
+	res, err := cat.Query("SELECT COUNT(*), SUM(amount), AVG(amount), MIN(amount), MAX(amount) FROM sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Rows
+	if rows.NumRows() != 1 {
+		t.Fatalf("rows = %d, want 1", rows.NumRows())
+	}
+	get := func(name string) float64 {
+		c, ok := rows.Lookup(name)
+		if !ok {
+			t.Fatalf("missing output column %q (have %v)", name, rows.ColumnNames())
+		}
+		return c.Float(0)
+	}
+	if get("count") != 6 {
+		t.Errorf("count = %v", get("count"))
+	}
+	if get("sum_amount") != 1050 {
+		t.Errorf("sum = %v", get("sum_amount"))
+	}
+	if get("avg_amount") != 175 {
+		t.Errorf("avg = %v", get("avg_amount"))
+	}
+	if get("min_amount") != 50 || get("max_amount") != 300 {
+		t.Errorf("min/max = %v/%v", get("min_amount"), get("max_amount"))
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	cat := salesCatalog(t)
+	res, err := cat.Query("SELECT region, COUNT(*), SUM(amount) FROM sales GROUP BY region ORDER BY region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Rows
+	if rows.NumRows() != 2 {
+		t.Fatalf("groups = %d, want 2", rows.NumRows())
+	}
+	region, _ := rows.Lookup("region")
+	count, _ := rows.Lookup("count")
+	sum, _ := rows.Lookup("sum_amount")
+	if region.Str(0) != "east" || count.Float(0) != 3 || sum.Float(0) != 350 {
+		t.Errorf("east row = %v/%v/%v", region.Str(0), count.Float(0), sum.Float(0))
+	}
+	if region.Str(1) != "west" || count.Float(1) != 3 || sum.Float(1) != 700 {
+		t.Errorf("west row = %v/%v/%v", region.Str(1), count.Float(1), sum.Float(1))
+	}
+}
+
+func TestGroupByMultipleKeys(t *testing.T) {
+	cat := salesCatalog(t)
+	res, err := cat.Query("SELECT region, product, COUNT(*) FROM sales GROUP BY region, product ORDER BY region, product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows.NumRows() != 4 {
+		t.Fatalf("groups = %d, want 4", res.Rows.NumRows())
+	}
+	region, _ := res.Rows.Lookup("region")
+	product, _ := res.Rows.Lookup("product")
+	if region.Str(0) != "east" || product.Str(0) != "gadget" {
+		t.Errorf("first group = %s/%s", region.Str(0), product.Str(0))
+	}
+}
+
+func TestAggregatesSkipNulls(t *testing.T) {
+	cat := salesCatalog(t)
+	// units has one NULL (west/gadget row).
+	res, err := cat.Query("SELECT COUNT(units), SUM(units), AVG(units) FROM sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, _ := res.Rows.Lookup("count_units")
+	sum, _ := res.Rows.Lookup("sum_units")
+	avg, _ := res.Rows.Lookup("avg_units")
+	if count.Float(0) != 5 {
+		t.Errorf("COUNT(units) = %v, want 5 (NULL skipped)", count.Float(0))
+	}
+	if sum.Float(0) != 90 {
+		t.Errorf("SUM(units) = %v, want 90", sum.Float(0))
+	}
+	if math.Abs(avg.Float(0)-18) > 1e-12 {
+		t.Errorf("AVG(units) = %v, want 18", avg.Float(0))
+	}
+}
+
+func TestAggregateAliases(t *testing.T) {
+	cat := salesCatalog(t)
+	res, err := cat.Query("SELECT AVG(amount) AS mean_revenue FROM sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Rows.Lookup("mean_revenue"); !ok {
+		t.Fatalf("alias missing: %v", res.Rows.ColumnNames())
+	}
+}
+
+func TestMinMaxOnCategorical(t *testing.T) {
+	cat := salesCatalog(t)
+	res, err := cat.Query("SELECT MIN(product), MAX(product) FROM sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	minC, _ := res.Rows.Lookup("min_product")
+	maxC, _ := res.Rows.Lookup("max_product")
+	if minC.Str(0) != "gadget" || maxC.Str(0) != "widget" {
+		t.Errorf("min/max = %q/%q", minC.Str(0), maxC.Str(0))
+	}
+}
+
+func TestAggregationWithWhere(t *testing.T) {
+	cat := salesCatalog(t)
+	res, err := cat.Query("SELECT region, SUM(amount) FROM sales WHERE product = 'widget' GROUP BY region ORDER BY region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows.NumRows() != 2 {
+		t.Fatalf("groups = %d", res.Rows.NumRows())
+	}
+	sum, _ := res.Rows.Lookup("sum_amount")
+	if sum.Float(0) != 300 || sum.Float(1) != 300 {
+		t.Errorf("widget sums = %v/%v", sum.Float(0), sum.Float(1))
+	}
+	// The mask still reflects the WHERE selection over the base table.
+	if res.Mask.Count() != 3 {
+		t.Errorf("mask count = %d, want 3", res.Mask.Count())
+	}
+}
+
+func TestAggregationOrderByAggregate(t *testing.T) {
+	cat := salesCatalog(t)
+	res, err := cat.Query("SELECT product, SUM(amount) FROM sales GROUP BY product ORDER BY sum_amount DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	product, _ := res.Rows.Lookup("product")
+	if product.Str(0) != "widget" { // 600 > 450
+		t.Errorf("first product = %q, want widget", product.Str(0))
+	}
+}
+
+func TestAggregationLimit(t *testing.T) {
+	cat := salesCatalog(t)
+	res, err := cat.Query("SELECT region, product, COUNT(*) FROM sales GROUP BY region, product LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2", res.Rows.NumRows())
+	}
+}
+
+func TestGroupByWithoutAggregatesActsAsDistinct(t *testing.T) {
+	cat := salesCatalog(t)
+	res, err := cat.Query("SELECT region FROM sales GROUP BY region ORDER BY region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, _ := res.Rows.Lookup("region")
+	if res.Rows.NumRows() != 2 || region.Str(0) != "east" || region.Str(1) != "west" {
+		t.Fatalf("distinct regions wrong: %d rows", res.Rows.NumRows())
+	}
+	// The implicit COUNT(*) is materialized.
+	if _, ok := res.Rows.Lookup("count"); !ok {
+		t.Error("implicit count missing")
+	}
+}
+
+func TestGroupByNumericKey(t *testing.T) {
+	cat := salesCatalog(t)
+	res, err := cat.Query("SELECT amount, COUNT(*) FROM sales GROUP BY amount ORDER BY amount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows.NumRows() != 6 { // all amounts distinct
+		t.Fatalf("groups = %d, want 6", res.Rows.NumRows())
+	}
+	amount, _ := res.Rows.Lookup("amount")
+	if amount.Kind() != frame.Numeric || amount.Float(0) != 50 {
+		t.Errorf("first amount = %v", amount.Float(0))
+	}
+}
+
+func TestAggregationErrors(t *testing.T) {
+	cat := salesCatalog(t)
+	bad := []string{
+		"SELECT region, COUNT(*) FROM sales",                                       // region not grouped
+		"SELECT amount FROM sales GROUP BY region",                                 // amount not grouped
+		"SELECT SUM(region) FROM sales",                                            // SUM over categorical
+		"SELECT AVG(region) FROM sales GROUP BY region",                            // AVG over categorical
+		"SELECT SUM(nosuch) FROM sales",                                            // unknown agg column
+		"SELECT COUNT(*) FROM sales GROUP BY nosuch",                               // unknown group column
+		"SELECT SUM(*) FROM sales",                                                 // * only valid in COUNT
+		"SELECT COUNT( FROM sales",                                                 // syntax
+		"SELECT COUNT(amount FROM sales",                                           // missing )
+		"SELECT COUNT(*) AS FROM sales",                                            // missing alias
+		"SELECT region, COUNT(*) FROM sales GROUP region",                          // missing BY
+		"SELECT COUNT(*) FROM sales GROUP BY",                                      // missing column
+		"SELECT COUNT(*) FROM sales ORDER BY nosuch",                               // unknown order key
+		"SELECT product, COUNT(*) FROM sales GROUP BY product ORDER BY sum_amount", // order key not in output
+	}
+	for _, q := range bad {
+		if _, err := cat.Query(q); err == nil {
+			t.Errorf("%s: expected error", q)
+		}
+	}
+}
+
+func TestEmptySelectionAggregates(t *testing.T) {
+	cat := salesCatalog(t)
+	res, err := cat.Query("SELECT COUNT(*), SUM(amount) FROM sales WHERE amount > 1e9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No rows matched: the engine produces zero groups (one-global-group
+	// with COUNT 0 would also be defensible; we document zero groups).
+	if res.Rows.NumRows() != 0 {
+		t.Fatalf("rows = %d, want 0 groups for an empty selection", res.Rows.NumRows())
+	}
+	if _, ok := res.Rows.Lookup("count"); !ok {
+		t.Error("output schema should still carry the aggregate columns")
+	}
+}
+
+func TestAggregateStatementString(t *testing.T) {
+	stmt, err := Parse("SELECT region, COUNT(*), AVG(amount) AS m FROM sales GROUP BY region ORDER BY region LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stmt.String()
+	for _, want := range []string{"COUNT(*)", "AVG(amount) AS m", "GROUP BY region"} {
+		if !reflect.DeepEqual(true, contains(s, want)) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	// Round trip.
+	stmt2, err := Parse(s)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", s, err)
+	}
+	if stmt2.String() != s {
+		t.Errorf("round trip: %q vs %q", s, stmt2.String())
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}

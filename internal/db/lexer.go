@@ -1,0 +1,230 @@
+// Package db implements the storage and query substrate that plays the role
+// of MonetDB in the paper's three-tier demo architecture: an in-memory
+// columnar store (package frame provides the column format) fronted by a
+// small SQL dialect.
+//
+// The dialect covers what a data explorer needs to carve out a selection:
+//
+//	SELECT * | col [, col ...]
+//	FROM table
+//	[WHERE predicate]
+//	[ORDER BY col [ASC|DESC] [, ...]]
+//	[LIMIT n]
+//
+// with predicates built from comparisons (=, !=, <>, <, <=, >, >=), IN
+// lists, BETWEEN ... AND ..., LIKE patterns (% and _ wildcards), IS [NOT]
+// NULL, and the Boolean connectives AND, OR, NOT with parentheses.
+//
+// Crucially for Ziggy, executing a query yields not only the result rows
+// but the selection Bitmap over the base table — the Cᴵ/Cᴼ split of paper
+// Figure 2 — which the characterization engine consumes directly.
+package db
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokComma
+	tokLParen
+	tokRParen
+	tokStar
+	tokOp      // comparison operators
+	tokKeyword // SELECT, FROM, WHERE, ...
+)
+
+// token is one lexical unit with its position for error reporting.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// keywords recognized by the dialect (stored uppercase).
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "IN": true, "BETWEEN": true, "LIKE": true, "IS": true,
+	"NULL": true, "ORDER": true, "BY": true, "ASC": true, "DESC": true,
+	"LIMIT": true, "TRUE": true, "FALSE": true, "GROUP": true, "AS": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// SyntaxError reports a lexing or parsing failure with its position in the
+// query text.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("db: syntax error at position %d: %s", e.Pos, e.Msg)
+}
+
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokOp, "=", i})
+			i++
+		case c == '<':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokOp, "<=", i})
+				i += 2
+			} else if i+1 < n && input[i+1] == '>' {
+				toks = append(toks, token{tokOp, "<>", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokOp, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, ">", i})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokOp, "!=", i})
+				i += 2
+			} else {
+				return nil, &SyntaxError{i, "unexpected '!'"}
+			}
+		case c == '\'':
+			// Single-quoted string literal; '' escapes a quote.
+			var sb strings.Builder
+			start := i
+			i++
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, &SyntaxError{start, "unterminated string literal"}
+			}
+			toks = append(toks, token{tokString, sb.String(), start})
+		case c == '"':
+			// Double-quoted identifier.
+			start := i
+			i++
+			j := i
+			for j < n && input[j] != '"' {
+				j++
+			}
+			if j >= n {
+				return nil, &SyntaxError{start, "unterminated quoted identifier"}
+			}
+			toks = append(toks, token{tokIdent, input[i:j], start})
+			i = j + 1
+		case c >= '0' && c <= '9' || c == '.':
+			start := i
+			j := i
+			seenDot := false
+			seenExp := false
+			for j < n {
+				ch := input[j]
+				if ch >= '0' && ch <= '9' {
+					j++
+				} else if ch == '.' && !seenDot && !seenExp {
+					seenDot = true
+					j++
+				} else if (ch == 'e' || ch == 'E') && !seenExp && j > start {
+					seenExp = true
+					j++
+					if j < n && (input[j] == '+' || input[j] == '-') {
+						j++
+					}
+				} else {
+					break
+				}
+			}
+			text := input[start:j]
+			if text == "." {
+				return nil, &SyntaxError{start, "unexpected '.'"}
+			}
+			toks = append(toks, token{tokNumber, text, start})
+			i = j
+		case c == '-' || c == '+':
+			// Signed number literal (only valid where a value is expected;
+			// the parser validates context).
+			start := i
+			j := i + 1
+			if j >= n || !(input[j] >= '0' && input[j] <= '9' || input[j] == '.') {
+				return nil, &SyntaxError{start, fmt.Sprintf("unexpected %q", string(c))}
+			}
+			for j < n && (input[j] >= '0' && input[j] <= '9' || input[j] == '.' || input[j] == 'e' || input[j] == 'E' ||
+				((input[j] == '+' || input[j] == '-') && (input[j-1] == 'e' || input[j-1] == 'E'))) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, input[start:j], start})
+			i = j
+		case isIdentStart(rune(c)):
+			start := i
+			j := i
+			for j < n && isIdentPart(rune(input[j])) {
+				j++
+			}
+			word := input[start:j]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{tokKeyword, up, start})
+			} else {
+				toks = append(toks, token{tokIdent, word, start})
+			}
+			i = j
+		default:
+			return nil, &SyntaxError{i, fmt.Sprintf("unexpected character %q", string(c))}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

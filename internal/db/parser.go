@@ -1,0 +1,439 @@
+package db
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse turns a query string into a SelectStmt.
+func Parse(input string) (*SelectStmt, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("unexpected %q after end of statement", p.peek().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &SyntaxError{Pos: p.peek().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.peek()
+	if t.kind != tokKeyword || t.text != kw {
+		return p.errorf("expected %s, found %q", kw, t.text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokKeyword && t.text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+
+	// Projection list: plain columns and/or aggregates.
+	if p.peek().kind == tokStar {
+		p.next()
+	} else {
+		for {
+			t := p.peek()
+			switch {
+			case t.kind == tokKeyword && aggFuncs[t.text]:
+				agg, err := p.parseAggregate()
+				if err != nil {
+					return nil, err
+				}
+				stmt.Aggs = append(stmt.Aggs, agg)
+			case t.kind == tokIdent:
+				stmt.Columns = append(stmt.Columns, t.text)
+				p.next()
+			default:
+				return nil, p.errorf("expected column name or aggregate, found %q", t.text)
+			}
+			if p.peek().kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind != tokIdent {
+		return nil, p.errorf("expected table name, found %q", t.text)
+	}
+	stmt.Table = t.text
+	p.next()
+
+	if p.acceptKeyword("WHERE") {
+		expr, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = expr
+	}
+
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			t := p.peek()
+			if t.kind != tokIdent {
+				return nil, p.errorf("expected column name in GROUP BY, found %q", t.text)
+			}
+			stmt.GroupBy = append(stmt.GroupBy, t.text)
+			p.next()
+			if p.peek().kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			t := p.peek()
+			if t.kind != tokIdent {
+				return nil, p.errorf("expected column name in ORDER BY, found %q", t.text)
+			}
+			key := OrderKey{Column: t.text}
+			p.next()
+			if p.acceptKeyword("DESC") {
+				key.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, key)
+			if p.peek().kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+
+	if p.acceptKeyword("LIMIT") {
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, p.errorf("expected number after LIMIT, found %q", t.text)
+		}
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil || v < 0 || v != float64(int(v)) {
+			return nil, p.errorf("invalid LIMIT value %q", t.text)
+		}
+		stmt.Limit = int(v)
+		p.next()
+	}
+	if err := validateAggregation(stmt, p); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+// aggFuncs names the supported aggregate functions.
+var aggFuncs = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true}
+
+// parseAggregate parses FUNC(col | *) [AS alias].
+func (p *parser) parseAggregate() (AggItem, error) {
+	fn := p.next().text // the aggregate keyword, already validated
+	if p.peek().kind != tokLParen {
+		return AggItem{}, p.errorf("expected '(' after %s", fn)
+	}
+	p.next()
+	var item AggItem
+	item.Func = fn
+	t := p.peek()
+	switch {
+	case t.kind == tokStar:
+		if fn != "COUNT" {
+			return AggItem{}, p.errorf("%s(*) is not supported; only COUNT(*)", fn)
+		}
+		p.next()
+	case t.kind == tokIdent:
+		item.Column = t.text
+		p.next()
+	default:
+		return AggItem{}, p.errorf("expected column or '*' in %s(), found %q", fn, t.text)
+	}
+	if p.peek().kind != tokRParen {
+		return AggItem{}, p.errorf("expected ')' to close %s(), found %q", fn, p.peek().text)
+	}
+	p.next()
+	if p.acceptKeyword("AS") {
+		t := p.peek()
+		if t.kind != tokIdent {
+			return AggItem{}, p.errorf("expected alias after AS, found %q", t.text)
+		}
+		item.Alias = t.text
+		p.next()
+	}
+	return item, nil
+}
+
+// validateAggregation enforces the SQL grouping rules at parse time: plain
+// projected columns must appear in GROUP BY whenever aggregates or GROUP BY
+// are present.
+func validateAggregation(stmt *SelectStmt, p *parser) error {
+	if len(stmt.Aggs) == 0 && len(stmt.GroupBy) == 0 {
+		return nil
+	}
+	grouped := make(map[string]bool, len(stmt.GroupBy))
+	for _, g := range stmt.GroupBy {
+		grouped[g] = true
+	}
+	for _, c := range stmt.Columns {
+		if !grouped[c] {
+			return &SyntaxError{Pos: 0, Msg: fmt.Sprintf("column %q must appear in GROUP BY", c)}
+		}
+	}
+	if len(stmt.Aggs) == 0 {
+		// Plain GROUP BY without aggregates is equivalent to DISTINCT over
+		// the grouped columns; allow it with an implicit COUNT(*).
+		stmt.Aggs = append(stmt.Aggs, AggItem{Func: "COUNT"})
+	}
+	return nil
+}
+
+// parseOr handles the lowest-precedence connective.
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryLogic{Op: "OR", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryLogic{Op: "AND", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{Inner: inner}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	if p.peek().kind == tokLParen {
+		p.next()
+		expr, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokRParen {
+			return nil, p.errorf("expected ')', found %q", p.peek().text)
+		}
+		p.next()
+		return expr, nil
+	}
+	t := p.peek()
+	if t.kind != tokIdent {
+		return nil, p.errorf("expected column name, found %q", t.text)
+	}
+	col := t.text
+	p.next()
+	return p.parsePredicateTail(col)
+}
+
+// parsePredicateTail parses everything after the column name of a simple
+// predicate.
+func (p *parser) parsePredicateTail(col string) (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokOp:
+		op := t.text
+		p.next()
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return &Comparison{Column: col, Op: op, Value: lit}, nil
+
+	case t.kind == tokKeyword && t.text == "NOT":
+		p.next()
+		nt := p.peek()
+		switch {
+		case nt.kind == tokKeyword && nt.text == "IN":
+			p.next()
+			e, err := p.parseInList(col)
+			if err != nil {
+				return nil, err
+			}
+			e.Negate = true
+			return e, nil
+		case nt.kind == tokKeyword && nt.text == "BETWEEN":
+			p.next()
+			e, err := p.parseBetween(col)
+			if err != nil {
+				return nil, err
+			}
+			e.Negate = true
+			return e, nil
+		case nt.kind == tokKeyword && nt.text == "LIKE":
+			p.next()
+			e, err := p.parseLike(col)
+			if err != nil {
+				return nil, err
+			}
+			e.Negate = true
+			return e, nil
+		default:
+			return nil, p.errorf("expected IN, BETWEEN or LIKE after NOT, found %q", nt.text)
+		}
+
+	case t.kind == tokKeyword && t.text == "IN":
+		p.next()
+		return p.parseInList(col)
+
+	case t.kind == tokKeyword && t.text == "BETWEEN":
+		p.next()
+		return p.parseBetween(col)
+
+	case t.kind == tokKeyword && t.text == "LIKE":
+		p.next()
+		return p.parseLike(col)
+
+	case t.kind == tokKeyword && t.text == "IS":
+		p.next()
+		negate := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{Column: col, Negate: negate}, nil
+
+	default:
+		return nil, p.errorf("expected predicate after column %q, found %q", col, t.text)
+	}
+}
+
+func (p *parser) parseInList(col string) (*InExpr, error) {
+	if p.peek().kind != tokLParen {
+		return nil, p.errorf("expected '(' after IN, found %q", p.peek().text)
+	}
+	p.next()
+	e := &InExpr{Column: col}
+	for {
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		e.Values = append(e.Values, lit)
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.peek().kind != tokRParen {
+		return nil, p.errorf("expected ')' to close IN list, found %q", p.peek().text)
+	}
+	p.next()
+	return e, nil
+}
+
+func (p *parser) parseBetween(col string) (*BetweenExpr, error) {
+	lo, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AND"); err != nil {
+		return nil, err
+	}
+	hi, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	return &BetweenExpr{Column: col, Lo: lo, Hi: hi}, nil
+}
+
+func (p *parser) parseLike(col string) (*LikeExpr, error) {
+	t := p.peek()
+	if t.kind != tokString {
+		return nil, p.errorf("expected string pattern after LIKE, found %q", t.text)
+	}
+	p.next()
+	return &LikeExpr{Column: col, Pattern: t.text}, nil
+}
+
+func (p *parser) parseLiteral() (Literal, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Literal{}, p.errorf("invalid number %q", t.text)
+		}
+		p.next()
+		return NumberLit(v), nil
+	case tokString:
+		p.next()
+		return StringLit(t.text), nil
+	default:
+		return Literal{}, p.errorf("expected literal, found %q", t.text)
+	}
+}

@@ -1,0 +1,226 @@
+package depend
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/randx"
+)
+
+func numericFrame(t *testing.T) *frame.Frame {
+	t.Helper()
+	r := randx.New(1)
+	n := 2000
+	x := make([]float64, n)
+	linked := make([]float64, n)
+	indep := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = r.NormFloat64()
+		linked[i] = 0.9*x[i] + 0.2*r.NormFloat64()
+		indep[i] = r.NormFloat64()
+	}
+	return frame.MustNew("t", []*frame.Column{
+		frame.NewNumericColumn("x", x),
+		frame.NewNumericColumn("linked", linked),
+		frame.NewNumericColumn("indep", indep),
+	})
+}
+
+func TestPairwiseNumeric(t *testing.T) {
+	f := numericFrame(t)
+	x, _ := f.Lookup("x")
+	linked, _ := f.Lookup("linked")
+	indep, _ := f.Lookup("indep")
+	for _, m := range []Measure{AbsPearson, AbsSpearman, NormalizedMI} {
+		strong := Pairwise(x, linked, m)
+		weak := Pairwise(x, indep, m)
+		if strong < 0.5 {
+			t.Errorf("%v: dependency of linked pair = %v, want > 0.5", m, strong)
+		}
+		if weak > 0.2 {
+			t.Errorf("%v: dependency of independent pair = %v, want < 0.2", m, weak)
+		}
+		if strong <= weak {
+			t.Errorf("%v: linked (%v) should exceed independent (%v)", m, strong, weak)
+		}
+	}
+}
+
+func TestPairwiseAntiCorrelation(t *testing.T) {
+	// Dependency is about strength, not sign: r = -1 gives S = 1.
+	x := frame.NewNumericColumn("x", []float64{1, 2, 3, 4, 5})
+	y := frame.NewNumericColumn("y", []float64{10, 8, 6, 4, 2})
+	if v := Pairwise(x, y, AbsPearson); math.Abs(v-1) > 1e-9 {
+		t.Fatalf("anti-correlated dependency = %v, want 1", v)
+	}
+}
+
+func TestPairwiseDegenerate(t *testing.T) {
+	con := frame.NewNumericColumn("c", []float64{5, 5, 5, 5})
+	x := frame.NewNumericColumn("x", []float64{1, 2, 3, 4})
+	if v := Pairwise(con, x, AbsPearson); v != 0 {
+		t.Errorf("constant column dependency = %v, want 0", v)
+	}
+	tiny1 := frame.NewNumericColumn("a", []float64{1, 2})
+	tiny2 := frame.NewNumericColumn("b", []float64{3, 4})
+	if v := Pairwise(tiny1, tiny2, AbsPearson); v != 0 {
+		t.Errorf("too-few-rows dependency = %v, want 0", v)
+	}
+}
+
+func TestPairwiseSkipsNulls(t *testing.T) {
+	x := frame.NewNumericColumn("x", []float64{1, math.NaN(), 2, 3, 4, 5, 6})
+	y := frame.NewNumericColumn("y", []float64{2, 100, 4, math.NaN(), 8, 10, 12})
+	// Complete cases are (1,2),(2,4),(8? no) -> rows 0,2,4,5,6 excluding each
+	// NULL: perfectly correlated.
+	if v := Pairwise(x, y, AbsPearson); math.Abs(v-1) > 1e-9 {
+		t.Fatalf("null-skipping dependency = %v, want 1", v)
+	}
+}
+
+func TestCramersVPerfectAssociation(t *testing.T) {
+	a := frame.NewCategoricalColumn("a", []string{"x", "x", "y", "y", "x", "y", "x", "y"})
+	b := frame.NewCategoricalColumn("b", []string{"p", "p", "q", "q", "p", "q", "p", "q"})
+	if v := Pairwise(a, b, AbsPearson); math.Abs(v-1) > 1e-9 {
+		t.Fatalf("perfectly associated Cramér's V = %v, want 1", v)
+	}
+}
+
+func TestCramersVIndependence(t *testing.T) {
+	r := randx.New(3)
+	n := 4000
+	as := make([]string, n)
+	bs := make([]string, n)
+	labels := []string{"u", "v", "w"}
+	for i := 0; i < n; i++ {
+		as[i] = labels[r.Intn(3)]
+		bs[i] = labels[r.Intn(3)]
+	}
+	a := frame.NewCategoricalColumn("a", as)
+	b := frame.NewCategoricalColumn("b", bs)
+	if v := Pairwise(a, b, AbsPearson); v > 0.1 {
+		t.Fatalf("independent Cramér's V = %v, want ~0", v)
+	}
+}
+
+func TestCramersVDegenerate(t *testing.T) {
+	single := frame.NewCategoricalColumn("s", []string{"only", "only", "only"})
+	other := frame.NewCategoricalColumn("o", []string{"a", "b", "a"})
+	if v := Pairwise(single, other, AbsPearson); v != 0 {
+		t.Fatalf("single-level Cramér's V = %v, want 0", v)
+	}
+}
+
+func TestCorrelationRatio(t *testing.T) {
+	// Strong separation: group means far apart relative to noise.
+	r := randx.New(5)
+	n := 3000
+	cats := make([]string, n)
+	nums := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.5) {
+			cats[i] = "low"
+			nums[i] = r.Normal(0, 1)
+		} else {
+			cats[i] = "high"
+			nums[i] = r.Normal(10, 1)
+		}
+	}
+	cat := frame.NewCategoricalColumn("g", cats)
+	num := frame.NewNumericColumn("v", nums)
+	// Both argument orders must work.
+	v1 := Pairwise(cat, num, AbsPearson)
+	v2 := Pairwise(num, cat, AbsPearson)
+	if math.Abs(v1-v2) > 1e-12 {
+		t.Fatalf("correlation ratio asymmetric: %v vs %v", v1, v2)
+	}
+	if v1 < 0.9 {
+		t.Fatalf("correlation ratio of separated groups = %v, want > 0.9", v1)
+	}
+
+	// No separation: η near zero.
+	for i := 0; i < n; i++ {
+		nums[i] = r.NormFloat64()
+	}
+	num2 := frame.NewNumericColumn("v2", nums)
+	if v := Pairwise(cat, num2, AbsPearson); v > 0.1 {
+		t.Fatalf("correlation ratio of identical groups = %v, want ~0", v)
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	f := numericFrame(t)
+	m := NewMatrix(f, AbsPearson)
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if m.Names()[1] != "linked" {
+		t.Fatal("names wrong")
+	}
+	for i := 0; i < 3; i++ {
+		if m.At(i, i) != 1 {
+			t.Fatal("diagonal must be 1")
+		}
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != m.At(j, i) {
+				t.Fatal("matrix must be symmetric")
+			}
+			if m.At(i, j) < 0 || m.At(i, j) > 1 {
+				t.Fatalf("dependency out of [0,1]: %v", m.At(i, j))
+			}
+		}
+	}
+	if m.At(0, 1) < m.At(0, 2) {
+		t.Fatal("linked pair should dominate independent pair")
+	}
+}
+
+func TestMinPairwise(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	vals := []float64{
+		1, 0.9, 0.2,
+		0.9, 1, 0.6,
+		0.2, 0.6, 1,
+	}
+	m, err := MatrixFromValues(names, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.MinPairwise([]int{0, 1}); got != 0.9 {
+		t.Fatalf("MinPairwise(a,b) = %v, want 0.9", got)
+	}
+	if got := m.MinPairwise([]int{0, 1, 2}); got != 0.2 {
+		t.Fatalf("MinPairwise(all) = %v, want 0.2", got)
+	}
+	if got := m.MinPairwise([]int{2}); got != 1 {
+		t.Fatalf("singleton tightness = %v, want 1", got)
+	}
+	if got := m.MinPairwise(nil); got != 1 {
+		t.Fatalf("empty tightness = %v, want 1", got)
+	}
+}
+
+func TestMatrixFromValuesValidation(t *testing.T) {
+	if _, err := MatrixFromValues([]string{"a", "b"}, []float64{1}); err == nil {
+		t.Fatal("mis-sized matrix accepted")
+	}
+}
+
+func TestDistances(t *testing.T) {
+	m, _ := MatrixFromValues([]string{"a", "b"}, []float64{1, 0.7, 0.7, 1})
+	d := m.Distances()
+	if d[0] != 0 || d[3] != 0 {
+		t.Fatal("diagonal distances must be 0")
+	}
+	if math.Abs(d[1]-0.3) > 1e-12 {
+		t.Fatalf("distance = %v, want 0.3", d[1])
+	}
+}
+
+func TestMeasureString(t *testing.T) {
+	if AbsPearson.String() != "abs-pearson" || AbsSpearman.String() != "abs-spearman" ||
+		NormalizedMI.String() != "normalized-mi" || Measure(42).String() != "Measure(42)" {
+		t.Fatal("Measure.String wrong")
+	}
+}

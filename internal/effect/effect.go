@@ -1,0 +1,273 @@
+// Package effect implements the Zig-Components of the paper (§2.2, Figure
+// 3): simple, verifiable indicators of how the distribution of the user's
+// selection differs from the rest of the data on one or two columns.
+//
+// Each component is an effect size from the meta-analysis literature
+// (Hedges & Olkin 1985, the paper's reference [2]):
+//
+//   - DiffMeans: Hedges' g, the bias-corrected standardized mean
+//     difference, with a Welch t-test as its asymptotic significance bound.
+//   - DiffStdDevs: the log ratio of sample standard deviations, with the
+//     F variance-ratio test.
+//   - DiffCorrelations: the difference of Fisher-z-transformed Pearson
+//     correlations of a column pair, with the Fisher z test — the
+//     two-dimensional component shown in Figure 3.
+//   - DiffFrequencies: the total variation distance between the category
+//     frequency vectors of a categorical column, with the chi-squared
+//     homogeneity test.
+//   - DiffLocationsRobust: Cliff's delta, a rank-based alternative to
+//     DiffMeans used when the engine runs in robust mode, tested with
+//     Mann-Whitney U.
+//
+// Raw effects live on different scales, so each component also carries a
+// normalized magnitude in [0, 1] (tanh of the absolute raw effect; total
+// variation distance is already in [0, 1]). The Zig-Dissimilarity of a view
+// is the weighted sum of its components' normalized magnitudes.
+package effect
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hypo"
+	"repro/internal/stats"
+)
+
+// Kind identifies a Zig-Component family.
+type Kind int
+
+const (
+	// DiffMeans is the standardized difference between means (Hedges' g).
+	DiffMeans Kind = iota
+	// DiffStdDevs is the log ratio between standard deviations.
+	DiffStdDevs
+	// DiffCorrelations is the difference between the correlation
+	// coefficients of a column pair (Fisher z scale).
+	DiffCorrelations
+	// DiffFrequencies is the total variation distance between categorical
+	// frequency vectors.
+	DiffFrequencies
+	// DiffLocationsRobust is Cliff's delta, a rank-based location shift.
+	DiffLocationsRobust
+)
+
+// String names the component kind.
+func (k Kind) String() string {
+	switch k {
+	case DiffMeans:
+		return "diff-means"
+	case DiffStdDevs:
+		return "diff-stddevs"
+	case DiffCorrelations:
+		return "diff-correlations"
+	case DiffFrequencies:
+		return "diff-frequencies"
+	case DiffLocationsRobust:
+		return "diff-locations-robust"
+	default:
+		if name, ok := extendedName(k); ok {
+			return name
+		}
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Component is one computed Zig-Component: a verifiable statement about how
+// the selection differs from its complement on specific columns.
+type Component struct {
+	// Kind is the component family.
+	Kind Kind
+	// Columns names the one or two columns the component involves.
+	Columns []string
+	// Raw is the signed effect size on its natural scale.
+	Raw float64
+	// Norm is the normalized magnitude in [0, 1] used for scoring.
+	Norm float64
+	// Inside and Outside carry the summary statistic of each side (means,
+	// standard deviations, correlations, or largest frequency shift),
+	// letting users verify the claim on a chart.
+	Inside, Outside float64
+	// Test is the significance test backing the component.
+	Test hypo.Result
+	// Detail is an optional component-specific annotation (e.g. the most
+	// shifted category of a frequency component).
+	Detail string
+}
+
+// Valid reports whether the component could be computed (enough data on
+// both sides).
+func (c Component) Valid() bool {
+	return !math.IsNaN(c.Raw) && !math.IsNaN(c.Norm)
+}
+
+// normalize squashes an unbounded effect magnitude into [0, 1).
+func normalize(x float64) float64 {
+	if math.IsNaN(x) {
+		return math.NaN()
+	}
+	return math.Tanh(math.Abs(x))
+}
+
+func invalid(kind Kind, cols ...string) Component {
+	return Component{Kind: kind, Columns: cols, Raw: math.NaN(), Norm: math.NaN(), Test: hypo.Result{P: math.NaN()}}
+}
+
+// Means computes the DiffMeans component for one column, split into the
+// selection (in) and its complement (out).
+func Means(col string, in, out []float64) Component {
+	if len(in) < 2 || len(out) < 2 {
+		return invalid(DiffMeans, col)
+	}
+	mi, mo := stats.Mean(in), stats.Mean(out)
+	vi, vo := stats.Variance(in), stats.Variance(out)
+	ni, no := float64(len(in)), float64(len(out))
+	pooledVar := ((ni-1)*vi + (no-1)*vo) / (ni + no - 2)
+	if pooledVar <= 0 || math.IsNaN(pooledVar) {
+		return invalid(DiffMeans, col)
+	}
+	d := (mi - mo) / math.Sqrt(pooledVar)
+	// Hedges' small-sample bias correction J ≈ 1 - 3/(4(nᵢ+nₒ)-9).
+	j := 1 - 3/(4*(ni+no)-9)
+	g := d * j
+	return Component{
+		Kind:    DiffMeans,
+		Columns: []string{col},
+		Raw:     g,
+		Norm:    normalize(g),
+		Inside:  mi,
+		Outside: mo,
+		Test:    hypo.WelchT(in, out),
+	}
+}
+
+// StdDevs computes the DiffStdDevs component for one column.
+func StdDevs(col string, in, out []float64) Component {
+	if len(in) < 2 || len(out) < 2 {
+		return invalid(DiffStdDevs, col)
+	}
+	si, so := stats.StdDev(in), stats.StdDev(out)
+	if si <= 0 || so <= 0 || math.IsNaN(si) || math.IsNaN(so) {
+		return invalid(DiffStdDevs, col)
+	}
+	raw := math.Log(si / so)
+	return Component{
+		Kind:    DiffStdDevs,
+		Columns: []string{col},
+		Raw:     raw,
+		Norm:    normalize(raw),
+		Inside:  si,
+		Outside: so,
+		Test:    hypo.VarianceF(in, out),
+	}
+}
+
+// Correlations computes the two-dimensional DiffCorrelations component for
+// a column pair. inA/inB are the selection's values on the two columns
+// (row-aligned), outA/outB the complement's.
+func Correlations(colA, colB string, inA, inB, outA, outB []float64) Component {
+	if len(inA) < 4 || len(outA) < 4 || len(inA) != len(inB) || len(outA) != len(outB) {
+		return invalid(DiffCorrelations, colA, colB)
+	}
+	ri := stats.Pearson(inA, inB)
+	ro := stats.Pearson(outA, outB)
+	if math.IsNaN(ri) || math.IsNaN(ro) {
+		return invalid(DiffCorrelations, colA, colB)
+	}
+	raw := stats.FisherZ(ri) - stats.FisherZ(ro)
+	return Component{
+		Kind:    DiffCorrelations,
+		Columns: []string{colA, colB},
+		Raw:     raw,
+		Norm:    normalize(raw),
+		Inside:  ri,
+		Outside: ro,
+		Test:    hypo.CorrelationZ(ri, len(inA), ro, len(outA)),
+	}
+}
+
+// Frequencies computes the DiffFrequencies component for a categorical
+// column given dictionary codes of both sides and the dictionary itself.
+// Raw and Norm are the total variation distance between the two frequency
+// vectors; Detail names the category with the largest absolute shift.
+func Frequencies(col string, in, out []int32, dict []string) Component {
+	if len(in) < 2 || len(out) < 2 || len(dict) == 0 {
+		return invalid(DiffFrequencies, col)
+	}
+	k := len(dict)
+	countsIn := make([]float64, k)
+	countsOut := make([]float64, k)
+	for _, c := range in {
+		if c >= 0 && int(c) < k {
+			countsIn[c]++
+		}
+	}
+	for _, c := range out {
+		if c >= 0 && int(c) < k {
+			countsOut[c]++
+		}
+	}
+	ni, no := float64(len(in)), float64(len(out))
+	tvd := 0.0
+	bestShift := -1.0
+	bestCat := ""
+	var bestIn, bestOut float64
+	for i := 0; i < k; i++ {
+		pi := countsIn[i] / ni
+		po := countsOut[i] / no
+		shift := math.Abs(pi - po)
+		tvd += shift
+		if shift > bestShift {
+			bestShift = shift
+			bestCat = dict[i]
+			bestIn, bestOut = pi, po
+		}
+	}
+	tvd /= 2
+	return Component{
+		Kind:    DiffFrequencies,
+		Columns: []string{col},
+		Raw:     tvd,
+		Norm:    tvd, // already in [0, 1]
+		Inside:  bestIn,
+		Outside: bestOut,
+		Test:    hypo.ChiSquareHomogeneity(countsIn, countsOut),
+		Detail:  bestCat,
+	}
+}
+
+// CliffDelta computes the rank-based DiffLocationsRobust component:
+// delta = P(x > y) - P(x < y) for x drawn from the selection and y from the
+// complement, in [-1, 1]. The O((n+m)·log(n+m)) merge implementation keeps
+// it usable on full columns.
+func CliffDelta(col string, in, out []float64) Component {
+	if len(in) < 2 || len(out) < 2 {
+		return invalid(DiffLocationsRobust, col)
+	}
+	delta := cliffDeltaValue(in, out)
+	return Component{
+		Kind:    DiffLocationsRobust,
+		Columns: []string{col},
+		Raw:     delta,
+		Norm:    math.Abs(delta), // already in [0, 1]
+		Inside:  stats.Median(in),
+		Outside: stats.Median(out),
+		Test:    hypo.MannWhitneyU(in, out),
+	}
+}
+
+// cliffDeltaValue computes Cliff's delta via ranks: with combined fractional
+// ranks, sum of in-ranks relates to the number of (in > out) pairs.
+func cliffDeltaValue(in, out []float64) float64 {
+	n, m := len(in), len(out)
+	combined := make([]float64, 0, n+m)
+	combined = append(combined, in...)
+	combined = append(combined, out...)
+	ranks := stats.Ranks(combined)
+	sumIn := 0.0
+	for i := 0; i < n; i++ {
+		sumIn += ranks[i]
+	}
+	// U = #(in > out) + ties/2; delta = 2U/(n·m) - 1.
+	u := sumIn - float64(n)*(float64(n)+1)/2
+	return 2*u/(float64(n)*float64(m)) - 1
+}

@@ -1,0 +1,220 @@
+package effect
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func TestQuantilesDetectsMedianShift(t *testing.T) {
+	in := normals(1, 500, 3, 1)
+	out := normals(2, 500, 0, 1)
+	c := Quantiles("x", in, out)
+	if !c.Valid() {
+		t.Fatal("component invalid")
+	}
+	if c.Kind != DiffQuantiles {
+		t.Fatal("wrong kind")
+	}
+	// Median shift of 3σ over IQR≈1.35σ gives raw ≈ 2.2.
+	if c.Raw < 1.5 || c.Raw > 3 {
+		t.Errorf("raw = %v, want ≈2.2", c.Raw)
+	}
+	if c.Inside < 2.5 || math.Abs(c.Outside) > 0.3 {
+		t.Errorf("medians = %v/%v", c.Inside, c.Outside)
+	}
+	if !c.Test.Significant(0.001) {
+		t.Error("3σ shift should be significant")
+	}
+	// Negative direction.
+	c = Quantiles("x", out, in)
+	if c.Raw >= 0 {
+		t.Errorf("reversed shift should be negative, got %v", c.Raw)
+	}
+}
+
+func TestQuantilesRobustToOutliers(t *testing.T) {
+	// A single enormous outlier barely moves the quantile component while
+	// it would wreck the mean component.
+	base := normals(3, 200, 0, 1)
+	spiked := append(append([]float64{}, base...), 1e9)
+	c := Quantiles("x", spiked, base)
+	if math.Abs(c.Raw) > 0.2 {
+		t.Errorf("outlier moved quantile component to %v", c.Raw)
+	}
+}
+
+func TestQuantilesDegenerate(t *testing.T) {
+	if Quantiles("x", []float64{1, 2, 3}, []float64{1, 2, 3, 4}).Valid() {
+		t.Error("n<4 should be invalid")
+	}
+	flat := []float64{5, 5, 5, 5, 5}
+	if Quantiles("x", flat, flat).Valid() {
+		t.Error("zero pooled IQR should be invalid")
+	}
+}
+
+func TestTailsDetectsHeavyTails(t *testing.T) {
+	r := randx.New(5)
+	n := 3000
+	light := make([]float64, n)
+	heavy := make([]float64, n)
+	for i := 0; i < n; i++ {
+		light[i] = r.NormFloat64()
+		// Student-t-ish heavy tails: normal scaled by inverse chi.
+		denom := math.Abs(r.NormFloat64())*0.8 + 0.2
+		heavy[i] = r.NormFloat64() / denom
+	}
+	c := Tails("x", heavy, light)
+	if !c.Valid() {
+		t.Fatal("component invalid")
+	}
+	if c.Raw <= 0.1 {
+		t.Errorf("heavy-tailed selection raw = %v, want > 0.1", c.Raw)
+	}
+	c2 := Tails("x", light, heavy)
+	if c2.Raw >= -0.1 {
+		t.Errorf("light-tailed selection raw = %v, want < -0.1", c2.Raw)
+	}
+}
+
+func TestTailsDegenerate(t *testing.T) {
+	short := []float64{1, 2, 3, 4, 5}
+	long := normals(6, 50, 0, 1)
+	if Tails("x", short, long).Valid() {
+		t.Error("n<10 should be invalid")
+	}
+	flat := make([]float64, 50)
+	for i := range flat {
+		flat[i] = 7
+	}
+	if Tails("x", flat, long).Valid() {
+		t.Error("zero IQR should be invalid")
+	}
+}
+
+func TestEntropyConcentration(t *testing.T) {
+	dict := []string{"a", "b", "c", "d"}
+	// Selection: all "a" plus a dash of "b" (low entropy). Complement:
+	// uniform (high entropy).
+	in := make([]int32, 100)
+	for i := 90; i < 100; i++ {
+		in[i] = 1
+	}
+	out := make([]int32, 400)
+	for i := range out {
+		out[i] = int32(i % 4)
+	}
+	c := Entropy("cat", in, out, dict)
+	if !c.Valid() {
+		t.Fatal("component invalid")
+	}
+	if c.Raw >= 0 {
+		t.Errorf("concentrated selection should have negative raw, got %v", c.Raw)
+	}
+	if c.Outside < 0.99 {
+		t.Errorf("uniform complement entropy = %v, want ≈1", c.Outside)
+	}
+	if c.Norm <= 0.2 {
+		t.Errorf("norm = %v, want substantial", c.Norm)
+	}
+	if !c.Test.Significant(0.001) {
+		t.Error("distribution change should be significant")
+	}
+}
+
+func TestEntropyDegenerate(t *testing.T) {
+	dict := []string{"a", "b"}
+	if Entropy("c", []int32{0}, []int32{0, 1}, dict).Valid() {
+		t.Error("n<2 should be invalid")
+	}
+	if Entropy("c", []int32{0, 1}, []int32{0, 1}, []string{"only"}).Valid() {
+		t.Error("single-category dict should be invalid")
+	}
+}
+
+func TestSeparationDetectsGroupDivergence(t *testing.T) {
+	r := randx.New(7)
+	n := 2000
+	// Inside: categories strongly separate the numeric values. Outside:
+	// no separation.
+	catIn := make([]int32, n)
+	numIn := make([]float64, n)
+	catOut := make([]int32, n)
+	numOut := make([]float64, n)
+	for i := 0; i < n; i++ {
+		g := int32(r.Intn(3))
+		catIn[i] = g
+		numIn[i] = float64(g)*5 + r.NormFloat64()
+		catOut[i] = int32(r.Intn(3))
+		numOut[i] = r.NormFloat64()
+	}
+	c := Separation("group", "value", catIn, numIn, catOut, numOut, 3)
+	if !c.Valid() {
+		t.Fatal("component invalid")
+	}
+	if c.Inside < 0.8 {
+		t.Errorf("inside η = %v, want > 0.8", c.Inside)
+	}
+	if c.Outside > 0.2 {
+		t.Errorf("outside η = %v, want ≈0", c.Outside)
+	}
+	if c.Raw <= 0 {
+		t.Errorf("raw = %v, want > 0", c.Raw)
+	}
+	if len(c.Columns) != 2 || c.Columns[0] != "group" {
+		t.Errorf("columns = %v", c.Columns)
+	}
+	if !c.Test.Significant(0.001) {
+		t.Error("separation flip should be significant")
+	}
+}
+
+func TestSeparationDegenerate(t *testing.T) {
+	short := []int32{0, 1}
+	shortF := []float64{1, 2}
+	if Separation("g", "v", short, shortF, short, shortF, 2).Valid() {
+		t.Error("n<8 should be invalid")
+	}
+	n := 20
+	cat := make([]int32, n)
+	num := make([]float64, n)
+	for i := range cat {
+		cat[i] = 0 // single group
+		num[i] = float64(i)
+	}
+	if Separation("g", "v", cat, num, cat, num, 1).Valid() {
+		t.Error("cardinality<2 should be invalid")
+	}
+	// Mismatched lengths.
+	if Separation("g", "v", cat, num[:10], cat, num, 2).Valid() {
+		t.Error("mismatched lengths should be invalid")
+	}
+}
+
+func TestExtendedKindStrings(t *testing.T) {
+	names := map[Kind]string{
+		DiffQuantiles:  "diff-quantiles",
+		DiffTails:      "diff-tails",
+		DiffEntropy:    "diff-entropy",
+		DiffSeparation: "diff-separation",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("String(%d) = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestExtendedWeights(t *testing.T) {
+	w := ExtendedWeights()
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []Kind{DiffQuantiles, DiffTails, DiffEntropy, DiffSeparation, DiffMeans} {
+		if w.Get(k) != 1 {
+			t.Errorf("weight for %v = %v, want 1", k, w.Get(k))
+		}
+	}
+}

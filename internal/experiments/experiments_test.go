@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestScoreMetrics(t *testing.T) {
+	truth := [][]string{{"a", "b"}, {"c", "d"}}
+	perfect := Score([][]string{{"b", "a"}, {"d", "c"}}, truth)
+	if perfect.Precision != 1 || perfect.Recall != 1 || perfect.F1 != 1 || perfect.SoftRecall != 1 {
+		t.Fatalf("perfect = %+v", perfect)
+	}
+	half := Score([][]string{{"a", "b"}, {"x", "y"}}, truth)
+	if half.Precision != 0.5 || half.Recall != 0.5 {
+		t.Fatalf("half = %+v", half)
+	}
+	nothing := Score(nil, truth)
+	if nothing.Precision != 0 || nothing.Recall != 0 || nothing.F1 != 0 {
+		t.Fatalf("nothing = %+v", nothing)
+	}
+	// Soft recall credits overlap: {a,x} vs {a,b} has Jaccard 1/3.
+	soft := Score([][]string{{"a", "x"}}, [][]string{{"a", "b"}})
+	if soft.Recall != 0 || soft.SoftRecall < 0.32 || soft.SoftRecall > 0.34 {
+		t.Fatalf("soft = %+v", soft)
+	}
+	// Empty truth scores zero.
+	if m := Score([][]string{{"a"}}, nil); m.Recall != 0 {
+		t.Fatalf("empty truth = %+v", m)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{ID: "t0", Title: "demo", Header: []string{"col", "value"}}
+	tbl.AddRow("first", "1")
+	tbl.AddRow("a-much-longer-cell", "2")
+	tbl.AddNote("a note with %d", 42)
+	s := tbl.String()
+	for _, want := range []string{"== t0: demo ==", "col", "a-much-longer-cell", "note: a note with 42"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFigure1Experiment(t *testing.T) {
+	tbl, err := Figure1(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 4 {
+		t.Fatalf("Figure1 produced %d views", len(tbl.Rows))
+	}
+	joined := tbl.String()
+	// The four Figure 1 themes must be represented among the views.
+	themeHits := 0
+	for _, marker := range []string{"pct_college_educ", "avg_rent", "pct_monoparental", "population"} {
+		if strings.Contains(joined, marker) {
+			themeHits++
+		}
+	}
+	if themeHits < 3 {
+		t.Errorf("only %d/4 Figure-1 themes surfaced:\n%s", themeHits, joined)
+	}
+}
+
+func TestFigure2Invariants(t *testing.T) {
+	tbl, err := Figure2(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every row must satisfy |C_I| + |C_O| + nulls == rows.
+	for _, row := range tbl.Rows {
+		sum, _ := strconv.Atoi(row[5])
+		rows, _ := strconv.Atoi(row[6])
+		if sum != rows {
+			t.Errorf("split invariant violated in row %v", row)
+		}
+	}
+}
+
+func TestFigure3Components(t *testing.T) {
+	tbl, err := Figure3(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.String()
+	for _, want := range []string{"diff-means", "diff-stddevs", "diff-correlations", "population"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Figure3 missing %q:\n%s", want, s)
+		}
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("Figure3 rows = %d, want 5", len(tbl.Rows))
+	}
+}
+
+func TestFigure4StageBreakdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("innovation dataset generation is slow")
+	}
+	tbl, err := Figure4(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 { // 3 datasets × cold/warm
+		t.Fatalf("Figure4 rows = %d, want 6", len(tbl.Rows))
+	}
+	// Warm preparation must beat cold preparation on the widest dataset.
+	var coldPrep, warmPrep float64
+	for _, row := range tbl.Rows {
+		if row[0] == "innovation" {
+			v, err := strconv.ParseFloat(row[4], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if row[3] == "cold" {
+				coldPrep = v
+			} else {
+				warmPrep = v
+			}
+		}
+	}
+	if warmPrep >= coldPrep {
+		t.Errorf("warm prep %.1fms not faster than cold %.1fms", warmPrep, coldPrep)
+	}
+}
+
+func TestFigure5ServerRoundTrip(t *testing.T) {
+	tbl, err := Figure5(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.String()
+	for _, want := range []string{"GET /", "POST /api/characterize", "200"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Figure5 missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(s, "view 1:") {
+		t.Errorf("Figure5 notes lack views:\n%s", s)
+	}
+}
+
+func TestUseCases(t *testing.T) {
+	uc1, err := UseCaseBoxOffice(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uc1.Rows) == 0 {
+		t.Error("uc1 empty")
+	}
+	uc2, err := UseCaseUSCrime(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(uc2.String(), "pct_boarded_windows") {
+		t.Errorf("uc2 should surface pct_boarded_windows:\n%s", uc2.String())
+	}
+}
+
+func TestAccuracyVsBaselines(t *testing.T) {
+	tbl, err := AccuracyVsBaselines(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := map[string]RecoveryMetrics{}
+	for _, row := range tbl.Rows {
+		p, _ := strconv.ParseFloat(row[1], 64)
+		r, _ := strconv.ParseFloat(row[2], 64)
+		s, _ := strconv.ParseFloat(row[3], 64)
+		f, _ := strconv.ParseFloat(row[4], 64)
+		metrics[row[0]] = RecoveryMetrics{Precision: p, Recall: r, SoftRecall: s, F1: f}
+	}
+	// The paper's headline shape: Ziggy recovers what black-box baselines
+	// miss; the context-free and random baselines trail far behind.
+	if metrics["ziggy"].Recall < 0.8 {
+		t.Errorf("ziggy recall %.2f, want ≥ 0.8\n%s", metrics["ziggy"].Recall, tbl.String())
+	}
+	if metrics["ziggy"].F1 < metrics["centroid"].F1 {
+		t.Errorf("ziggy F1 %.2f below centroid %.2f", metrics["ziggy"].F1, metrics["centroid"].F1)
+	}
+	if metrics["ziggy"].Recall < metrics["kl-beam"].Recall {
+		t.Errorf("ziggy recall %.2f below kl-beam %.2f", metrics["ziggy"].Recall, metrics["kl-beam"].Recall)
+	}
+	if metrics["random"].F1 > 0.3 {
+		t.Errorf("random F1 suspiciously high: %.2f", metrics["random"].F1)
+	}
+	if metrics["full-space"].F1 != 0 {
+		t.Errorf("full-space F1 should be 0, got %.2f", metrics["full-space"].F1)
+	}
+}
+
+func TestMinTightSweepMonotonicity(t *testing.T) {
+	tbl, err := MinTightSweep(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Average tightness of reported views must rise (weakly) with the
+	// threshold whenever views exist.
+	prev := -1.0
+	for _, row := range tbl.Rows {
+		if row[4] == "-" {
+			continue
+		}
+		v, _ := strconv.ParseFloat(row[4], 64)
+		if v+0.05 < prev { // allow small non-monotonic wiggle
+			t.Errorf("avg tightness fell from %.3f to %.3f:\n%s", prev, v, tbl.String())
+		}
+		prev = v
+	}
+}
+
+func TestSharedStatsCacheSpeedup(t *testing.T) {
+	tbl, err := SharedStatsCache(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// From the second query on, the shared engine must be faster than the
+	// fresh engine.
+	for _, row := range tbl.Rows[1:] {
+		sharedMs, _ := strconv.ParseFloat(row[2], 64)
+		freshMs, _ := strconv.ParseFloat(row[3], 64)
+		if sharedMs >= freshMs {
+			t.Errorf("query %s: shared %.1fms not faster than fresh %.1fms",
+				row[0], sharedMs, freshMs)
+		}
+	}
+}
+
+func TestLinkageAblation(t *testing.T) {
+	tbl, err := LinkageAblation(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		f1, _ := strconv.ParseFloat(row[4], 64)
+		if row[0] == "complete" && f1 < 0.8 {
+			t.Errorf("complete linkage F1 = %.2f, want ≥ 0.8", f1)
+		}
+	}
+}
+
+func TestSamplingAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50k-row workload is slow")
+	}
+	tbl, err := SamplingAblation(7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Exact row keeps full recall; a 10k-row sample must retain at least
+	// soft-recall 0.6.
+	exact, _ := strconv.ParseFloat(tbl.Rows[0][1], 64)
+	if exact < 0.8 {
+		t.Errorf("exact recall = %.2f, want ≥ 0.8\n%s", exact, tbl.String())
+	}
+	mid, _ := strconv.ParseFloat(tbl.Rows[2][2], 64)
+	if mid < 0.6 {
+		t.Errorf("10k-sample soft recall = %.2f, want ≥ 0.6\n%s", mid, tbl.String())
+	}
+}
+
+func TestByIDAndIDs(t *testing.T) {
+	for _, id := range []string{"f2", "f3"} {
+		tbl, err := ByID(id, 42)
+		if err != nil {
+			t.Fatalf("ByID(%s): %v", id, err)
+		}
+		if tbl.ID != id {
+			t.Errorf("ByID(%s) returned table %q", id, tbl.ID)
+		}
+	}
+	if _, err := ByID("nope", 42); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if len(IDs()) != 15 {
+		t.Fatalf("IDs = %v", IDs())
+	}
+	for _, id := range IDs() {
+		if id == "" {
+			t.Fatal("empty id")
+		}
+	}
+}

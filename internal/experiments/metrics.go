@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"sort"
+	"strings"
+)
+
+// viewKey canonicalizes a column group for set comparison.
+func viewKey(cols []string) string {
+	s := append([]string{}, cols...)
+	sort.Strings(s)
+	return strings.Join(s, "\x00")
+}
+
+// RecoveryMetrics scores how well a method's reported views match the
+// planted ground truth.
+type RecoveryMetrics struct {
+	// Precision is the fraction of reported views that exactly match a
+	// planted view (as column sets).
+	Precision float64
+	// Recall is the fraction of planted views exactly recovered.
+	Recall float64
+	// F1 is the harmonic mean of precision and recall.
+	F1 float64
+	// SoftRecall averages, over planted views, the best Jaccard similarity
+	// achieved by any reported view — credit for near misses.
+	SoftRecall float64
+}
+
+// Score compares reported views against ground truth.
+func Score(reported, truth [][]string) RecoveryMetrics {
+	var m RecoveryMetrics
+	if len(truth) == 0 {
+		return m
+	}
+	truthKeys := make(map[string]bool, len(truth))
+	for _, tv := range truth {
+		truthKeys[viewKey(tv)] = true
+	}
+	exactHits := 0
+	for _, rv := range reported {
+		if truthKeys[viewKey(rv)] {
+			exactHits++
+		}
+	}
+	recovered := 0
+	var softSum float64
+	for _, tv := range truth {
+		bestJ := 0.0
+		tKey := viewKey(tv)
+		for _, rv := range reported {
+			if viewKey(rv) == tKey {
+				bestJ = 1
+				break
+			}
+			if j := jaccard(tv, rv); j > bestJ {
+				bestJ = j
+			}
+		}
+		if bestJ == 1 {
+			recovered++
+		}
+		softSum += bestJ
+	}
+	if len(reported) > 0 {
+		m.Precision = float64(exactHits) / float64(len(reported))
+	}
+	m.Recall = float64(recovered) / float64(len(truth))
+	m.SoftRecall = softSum / float64(len(truth))
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
+
+// jaccard computes the Jaccard similarity of two column sets.
+func jaccard(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	set := make(map[string]bool, len(a))
+	for _, x := range a {
+		set[x] = true
+	}
+	inter := 0
+	for _, x := range b {
+		if set[x] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,180 @@
+package frame
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Bitmap is a fixed-length bitset over row indices. It is the selection
+// vector produced by the SQL layer and consumed by the Ziggy engine to split
+// columns into inside/outside parts.
+type Bitmap struct {
+	words []uint64
+	n     int
+}
+
+// NewBitmap returns an all-clear bitmap over n rows.
+func NewBitmap(n int) *Bitmap {
+	if n < 0 {
+		panic("frame: negative bitmap length")
+	}
+	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// BitmapFromBools builds a bitmap from a boolean slice.
+func BitmapFromBools(vals []bool) *Bitmap {
+	b := NewBitmap(len(vals))
+	for i, v := range vals {
+		if v {
+			b.Set(i)
+		}
+	}
+	return b
+}
+
+// BitmapFromIndices builds a bitmap over n rows with the given indices set.
+func BitmapFromIndices(n int, idx []int) *Bitmap {
+	b := NewBitmap(n)
+	for _, i := range idx {
+		b.Set(i)
+	}
+	return b
+}
+
+// Len returns the number of rows the bitmap covers.
+func (b *Bitmap) Len() int { return b.n }
+
+func (b *Bitmap) checkIndex(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("frame: bitmap index %d out of range [0,%d)", i, b.n))
+	}
+}
+
+// Set marks row i as selected.
+func (b *Bitmap) Set(i int) {
+	b.checkIndex(i)
+	b.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear unmarks row i.
+func (b *Bitmap) Clear(i int) {
+	b.checkIndex(i)
+	b.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Get reports whether row i is selected.
+func (b *Bitmap) Get(i int) bool {
+	b.checkIndex(i)
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of selected rows.
+func (b *Bitmap) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// SetAll selects every row.
+func (b *Bitmap) SetAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	b.trim()
+}
+
+// trim clears the unused high bits of the last word so Count and Not stay
+// correct.
+func (b *Bitmap) trim() {
+	if rem := uint(b.n) & 63; rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << rem) - 1
+	}
+}
+
+// Clone returns a deep copy.
+func (b *Bitmap) Clone() *Bitmap {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &Bitmap{words: w, n: b.n}
+}
+
+func (b *Bitmap) checkSame(o *Bitmap) {
+	if b.n != o.n {
+		panic(fmt.Sprintf("frame: bitmap length mismatch %d vs %d", b.n, o.n))
+	}
+}
+
+// And intersects b with o in place and returns b.
+func (b *Bitmap) And(o *Bitmap) *Bitmap {
+	b.checkSame(o)
+	for i := range b.words {
+		b.words[i] &= o.words[i]
+	}
+	return b
+}
+
+// Or unions b with o in place and returns b.
+func (b *Bitmap) Or(o *Bitmap) *Bitmap {
+	b.checkSame(o)
+	for i := range b.words {
+		b.words[i] |= o.words[i]
+	}
+	return b
+}
+
+// AndNot removes o's rows from b in place and returns b.
+func (b *Bitmap) AndNot(o *Bitmap) *Bitmap {
+	b.checkSame(o)
+	for i := range b.words {
+		b.words[i] &^= o.words[i]
+	}
+	return b
+}
+
+// Not complements b in place and returns b.
+func (b *Bitmap) Not() *Bitmap {
+	for i := range b.words {
+		b.words[i] = ^b.words[i]
+	}
+	b.trim()
+	return b
+}
+
+// ForEach calls fn for every selected row index in ascending order.
+func (b *Bitmap) ForEach(fn func(i int)) {
+	for wi, w := range b.words {
+		base := wi << 6
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			fn(base + tz)
+			w &= w - 1
+		}
+	}
+}
+
+// Indices returns the selected row indices in ascending order.
+func (b *Bitmap) Indices() []int {
+	out := make([]int, 0, b.Count())
+	b.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// Equal reports whether b and o select exactly the same rows.
+func (b *Bitmap) Equal(o *Bitmap) bool {
+	if b.n != o.n {
+		return false
+	}
+	for i := range b.words {
+		if b.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a short diagnostic form.
+func (b *Bitmap) String() string {
+	return fmt.Sprintf("Bitmap(%d/%d)", b.Count(), b.n)
+}

@@ -1,0 +1,199 @@
+package frame
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitmapBasics(t *testing.T) {
+	b := NewBitmap(130) // spans three words
+	if b.Len() != 130 || b.Count() != 0 {
+		t.Fatal("fresh bitmap not empty")
+	}
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	if b.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", b.Count())
+	}
+	if !b.Get(0) || !b.Get(64) || !b.Get(129) || b.Get(1) {
+		t.Fatal("Get wrong")
+	}
+	b.Clear(64)
+	if b.Get(64) || b.Count() != 2 {
+		t.Fatal("Clear wrong")
+	}
+}
+
+func TestBitmapOutOfRangePanics(t *testing.T) {
+	b := NewBitmap(10)
+	for _, fn := range []func(){
+		func() { b.Set(10) },
+		func() { b.Get(-1) },
+		func() { b.Clear(100) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range access did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBitmapNegativeLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBitmap(-1) did not panic")
+		}
+	}()
+	NewBitmap(-1)
+}
+
+func TestBitmapSetAllAndNot(t *testing.T) {
+	b := NewBitmap(100)
+	b.SetAll()
+	if b.Count() != 100 {
+		t.Fatalf("SetAll count = %d, want 100", b.Count())
+	}
+	b.Not()
+	if b.Count() != 0 {
+		t.Fatalf("Not of full = %d set bits, want 0", b.Count())
+	}
+	b.Not()
+	if b.Count() != 100 {
+		t.Fatalf("double Not count = %d, want 100", b.Count())
+	}
+}
+
+func TestBitmapAlgebra(t *testing.T) {
+	a := BitmapFromIndices(10, []int{1, 2, 3})
+	b := BitmapFromIndices(10, []int{2, 3, 4})
+
+	and := a.Clone().And(b)
+	if got := and.Indices(); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("And = %v", got)
+	}
+	or := a.Clone().Or(b)
+	if got := or.Indices(); len(got) != 4 {
+		t.Fatalf("Or = %v", got)
+	}
+	diff := a.Clone().AndNot(b)
+	if got := diff.Indices(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("AndNot = %v", got)
+	}
+}
+
+func TestBitmapMismatchedLengthsPanic(t *testing.T) {
+	a := NewBitmap(10)
+	b := NewBitmap(11)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("And with mismatched lengths did not panic")
+		}
+	}()
+	a.And(b)
+}
+
+func TestBitmapForEachOrder(t *testing.T) {
+	idx := []int{5, 0, 99, 64, 63}
+	b := BitmapFromIndices(100, idx)
+	got := b.Indices()
+	want := []int{0, 5, 63, 64, 99}
+	if len(got) != len(want) {
+		t.Fatalf("Indices = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Indices = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBitmapFromBools(t *testing.T) {
+	b := BitmapFromBools([]bool{true, false, true})
+	if b.Len() != 3 || b.Count() != 2 || !b.Get(0) || b.Get(1) || !b.Get(2) {
+		t.Fatal("BitmapFromBools wrong")
+	}
+}
+
+func TestBitmapEqualAndClone(t *testing.T) {
+	a := BitmapFromIndices(70, []int{0, 69})
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b.Set(5)
+	if a.Equal(b) {
+		t.Fatal("mutated clone still equal")
+	}
+	if a.Equal(NewBitmap(71)) {
+		t.Fatal("different lengths reported equal")
+	}
+	if a.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+// Property: for any boolean vector, Not(Not(b)) == b, Count(b) + Count(Not b)
+// == Len, and And/Or against the complement behave like set algebra.
+func TestBitmapProperties(t *testing.T) {
+	f := func(vals []bool) bool {
+		b := BitmapFromBools(vals)
+		n := b.Len()
+		comp := b.Clone().Not()
+		if b.Count()+comp.Count() != n {
+			return false
+		}
+		if !b.Clone().Not().Not().Equal(b) {
+			return false
+		}
+		if b.Clone().And(comp).Count() != 0 {
+			return false
+		}
+		if b.Clone().Or(comp).Count() != n {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Indices round-trips through BitmapFromIndices.
+func TestBitmapIndicesRoundTrip(t *testing.T) {
+	f := func(vals []bool) bool {
+		b := BitmapFromBools(vals)
+		return BitmapFromIndices(b.Len(), b.Indices()).Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBitmapCount(b *testing.B) {
+	bm := NewBitmap(1 << 20)
+	for i := 0; i < bm.Len(); i += 3 {
+		bm.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bm.Count()
+	}
+}
+
+func BenchmarkBitmapForEach(b *testing.B) {
+	bm := NewBitmap(1 << 16)
+	for i := 0; i < bm.Len(); i += 7 {
+		bm.Set(i)
+	}
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		bm.ForEach(func(j int) { sink += j })
+	}
+	_ = sink
+}

@@ -1,0 +1,108 @@
+package frame
+
+import (
+	"fmt"
+	"math"
+)
+
+// Builder assembles a Frame row by row or column by column. It is the
+// write-side companion of the read-only Frame and is used by the CSV reader
+// and the synthetic data generators.
+type Builder struct {
+	name string
+	cols []*colBuilder
+}
+
+type colBuilder struct {
+	name   string
+	kind   Kind
+	floats []float64
+	strs   []string
+	nulls  []bool
+}
+
+// NewBuilder creates a Builder for a table with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name}
+}
+
+// AddNumeric declares a numeric column and returns its index.
+func (b *Builder) AddNumeric(name string) int {
+	b.cols = append(b.cols, &colBuilder{name: name, kind: Numeric})
+	return len(b.cols) - 1
+}
+
+// AddCategorical declares a categorical column and returns its index.
+func (b *Builder) AddCategorical(name string) int {
+	b.cols = append(b.cols, &colBuilder{name: name, kind: Categorical})
+	return len(b.cols) - 1
+}
+
+// NumCols returns the number of declared columns.
+func (b *Builder) NumCols() int { return len(b.cols) }
+
+// AppendFloat appends a value to the numeric column at index col.
+func (b *Builder) AppendFloat(col int, v float64) {
+	cb := b.cols[col]
+	if cb.kind != Numeric {
+		panic(fmt.Sprintf("frame: AppendFloat on %s column %q", cb.kind, cb.name))
+	}
+	cb.floats = append(cb.floats, v)
+	cb.nulls = append(cb.nulls, math.IsNaN(v))
+}
+
+// AppendStr appends a value to the categorical column at index col.
+func (b *Builder) AppendStr(col int, v string) {
+	cb := b.cols[col]
+	if cb.kind != Categorical {
+		panic(fmt.Sprintf("frame: AppendStr on %s column %q", cb.kind, cb.name))
+	}
+	cb.strs = append(cb.strs, v)
+	cb.nulls = append(cb.nulls, false)
+}
+
+// AppendNull appends a NULL to the column at index col.
+func (b *Builder) AppendNull(col int) {
+	cb := b.cols[col]
+	switch cb.kind {
+	case Numeric:
+		cb.floats = append(cb.floats, math.NaN())
+	case Categorical:
+		cb.strs = append(cb.strs, "")
+	}
+	cb.nulls = append(cb.nulls, true)
+}
+
+// Build validates column lengths and returns the finished Frame.
+func (b *Builder) Build() (*Frame, error) {
+	cols := make([]*Column, 0, len(b.cols))
+	for _, cb := range b.cols {
+		switch cb.kind {
+		case Numeric:
+			vals := make([]float64, len(cb.floats))
+			copy(vals, cb.floats)
+			cols = append(cols, NewNumericColumn(cb.name, vals))
+		case Categorical:
+			c := &Column{name: cb.name, kind: Categorical, index: make(map[string]int32)}
+			c.codes = make([]int32, len(cb.strs))
+			for i, s := range cb.strs {
+				if cb.nulls[i] {
+					c.codes[i] = -1
+				} else {
+					c.codes[i] = c.intern(s)
+				}
+			}
+			cols = append(cols, c)
+		}
+	}
+	return New(b.name, cols)
+}
+
+// MustBuild is Build but panics on error.
+func (b *Builder) MustBuild() *Frame {
+	f, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

@@ -1,0 +1,459 @@
+// Package frame implements the in-memory columnar data representation that
+// every other layer of the system builds on.
+//
+// A Frame is an ordered collection of named, equally-long columns. Two
+// column kinds exist: numeric columns store float64 values (with NaN
+// representing NULL, matching how the paper's MonetDB/R stack surfaces
+// missing doubles) and categorical columns store dictionary-encoded strings
+// (code -1 representing NULL).
+//
+// Frames are the unit of exchange between the SQL layer (package db), the
+// statistics layers, and the Ziggy engine (package core). Selection results
+// are not materialized as new frames; instead they are represented by a
+// Bitmap over row indices, which is how the paper splits every column C
+// into an inside part Cᴵ and an outside part Cᴼ (paper Figure 2).
+package frame
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Kind identifies the type of a column.
+type Kind int
+
+const (
+	// Numeric columns hold float64 values; NaN encodes NULL.
+	Numeric Kind = iota
+	// Categorical columns hold dictionary-encoded strings; code -1
+	// encodes NULL.
+	Categorical
+)
+
+// String returns a human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case Numeric:
+		return "numeric"
+	case Categorical:
+		return "categorical"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Column is a single named column of a Frame.
+type Column struct {
+	name string
+	kind Kind
+
+	// Numeric storage. Valid only when kind == Numeric.
+	floats []float64
+
+	// Categorical storage. Valid only when kind == Categorical.
+	codes []int32
+	dict  []string
+	index map[string]int32 // dict value -> code
+}
+
+// NewNumericColumn builds a numeric column that takes ownership of values.
+func NewNumericColumn(name string, values []float64) *Column {
+	return &Column{name: name, kind: Numeric, floats: values}
+}
+
+// NewCategoricalColumn builds a categorical column from raw string values.
+// Empty strings are stored as regular values; use NULL explicitly via
+// AppendNull on a Builder if needed.
+func NewCategoricalColumn(name string, values []string) *Column {
+	c := &Column{name: name, kind: Categorical, index: make(map[string]int32)}
+	c.codes = make([]int32, len(values))
+	for i, v := range values {
+		c.codes[i] = c.intern(v)
+	}
+	return c
+}
+
+func (c *Column) intern(v string) int32 {
+	if code, ok := c.index[v]; ok {
+		return code
+	}
+	code := int32(len(c.dict))
+	c.dict = append(c.dict, v)
+	c.index[v] = code
+	return code
+}
+
+// Name returns the column name.
+func (c *Column) Name() string { return c.name }
+
+// Kind returns the column kind.
+func (c *Column) Kind() Kind { return c.kind }
+
+// Len returns the number of rows in the column.
+func (c *Column) Len() int {
+	if c.kind == Numeric {
+		return len(c.floats)
+	}
+	return len(c.codes)
+}
+
+// IsNull reports whether row i holds a NULL.
+func (c *Column) IsNull(i int) bool {
+	if c.kind == Numeric {
+		return math.IsNaN(c.floats[i])
+	}
+	return c.codes[i] < 0
+}
+
+// Float returns the numeric value at row i. It panics on categorical
+// columns.
+func (c *Column) Float(i int) float64 {
+	if c.kind != Numeric {
+		panic(fmt.Sprintf("frame: Float on %s column %q", c.kind, c.name))
+	}
+	return c.floats[i]
+}
+
+// Floats returns the backing numeric slice. Callers must not modify it.
+// It panics on categorical columns.
+func (c *Column) Floats() []float64 {
+	if c.kind != Numeric {
+		panic(fmt.Sprintf("frame: Floats on %s column %q", c.kind, c.name))
+	}
+	return c.floats
+}
+
+// Str returns the string value at row i, or "" for NULL. It panics on
+// numeric columns.
+func (c *Column) Str(i int) string {
+	code := c.Code(i)
+	if code < 0 {
+		return ""
+	}
+	return c.dict[code]
+}
+
+// Code returns the dictionary code at row i (-1 for NULL). It panics on
+// numeric columns.
+func (c *Column) Code(i int) int32 {
+	if c.kind != Categorical {
+		panic(fmt.Sprintf("frame: Code on %s column %q", c.kind, c.name))
+	}
+	return c.codes[i]
+}
+
+// Codes returns the backing code slice of a categorical column. Callers
+// must not modify it.
+func (c *Column) Codes() []int32 {
+	if c.kind != Categorical {
+		panic(fmt.Sprintf("frame: Codes on %s column %q", c.kind, c.name))
+	}
+	return c.codes
+}
+
+// Dict returns the dictionary of a categorical column, indexed by code.
+// Callers must not modify it.
+func (c *Column) Dict() []string {
+	if c.kind != Categorical {
+		panic(fmt.Sprintf("frame: Dict on %s column %q", c.kind, c.name))
+	}
+	return c.dict
+}
+
+// Cardinality returns the number of distinct non-NULL values of a
+// categorical column.
+func (c *Column) Cardinality() int {
+	if c.kind != Categorical {
+		panic(fmt.Sprintf("frame: Cardinality on %s column %q", c.kind, c.name))
+	}
+	return len(c.dict)
+}
+
+// CodeOf returns the dictionary code for value v, or -1 if v does not occur
+// in the column.
+func (c *Column) CodeOf(v string) int32 {
+	if c.kind != Categorical {
+		panic(fmt.Sprintf("frame: CodeOf on %s column %q", c.kind, c.name))
+	}
+	if code, ok := c.index[v]; ok {
+		return code
+	}
+	return -1
+}
+
+// NullCount returns the number of NULL rows.
+func (c *Column) NullCount() int {
+	n := 0
+	for i := 0; i < c.Len(); i++ {
+		if c.IsNull(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// Value returns the value at row i as an interface: float64, string, or nil
+// for NULL.
+func (c *Column) Value(i int) any {
+	if c.IsNull(i) {
+		return nil
+	}
+	if c.kind == Numeric {
+		return c.floats[i]
+	}
+	return c.dict[c.codes[i]]
+}
+
+// Frame is an immutable-by-convention table of columns.
+type Frame struct {
+	name    string
+	cols    []*Column
+	byName  map[string]int
+	numRows int
+}
+
+// New creates a Frame from columns. All columns must have equal length and
+// distinct, non-empty names.
+func New(name string, cols []*Column) (*Frame, error) {
+	f := &Frame{name: name, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if c == nil {
+			return nil, fmt.Errorf("frame: column %d is nil", i)
+		}
+		if c.name == "" {
+			return nil, fmt.Errorf("frame: column %d has an empty name", i)
+		}
+		if _, dup := f.byName[c.name]; dup {
+			return nil, fmt.Errorf("frame: duplicate column name %q", c.name)
+		}
+		if i == 0 {
+			f.numRows = c.Len()
+		} else if c.Len() != f.numRows {
+			return nil, fmt.Errorf("frame: column %q has %d rows, want %d", c.name, c.Len(), f.numRows)
+		}
+		f.byName[c.name] = i
+		f.cols = append(f.cols, c)
+	}
+	return f, nil
+}
+
+// MustNew is New but panics on error; intended for tests and generators
+// whose schemas are statically correct.
+func MustNew(name string, cols []*Column) *Frame {
+	f, err := New(name, cols)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Name returns the frame (table) name.
+func (f *Frame) Name() string { return f.name }
+
+// NumRows returns the row count.
+func (f *Frame) NumRows() int { return f.numRows }
+
+// NumCols returns the column count.
+func (f *Frame) NumCols() int { return len(f.cols) }
+
+// Col returns the i-th column.
+func (f *Frame) Col(i int) *Column { return f.cols[i] }
+
+// Columns returns the column slice. Callers must not modify it.
+func (f *Frame) Columns() []*Column { return f.cols }
+
+// ColumnNames returns the names of all columns in order.
+func (f *Frame) ColumnNames() []string {
+	names := make([]string, len(f.cols))
+	for i, c := range f.cols {
+		names[i] = c.name
+	}
+	return names
+}
+
+// Lookup returns the column with the given name.
+func (f *Frame) Lookup(name string) (*Column, bool) {
+	i, ok := f.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return f.cols[i], true
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (f *Frame) ColIndex(name string) int {
+	if i, ok := f.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// NumericColumns returns the indices of all numeric columns.
+func (f *Frame) NumericColumns() []int {
+	var idx []int
+	for i, c := range f.cols {
+		if c.kind == Numeric {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// CategoricalColumns returns the indices of all categorical columns.
+func (f *Frame) CategoricalColumns() []int {
+	var idx []int
+	for i, c := range f.cols {
+		if c.kind == Categorical {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// Select returns a new frame containing only the named columns, sharing the
+// underlying storage.
+func (f *Frame) Select(names ...string) (*Frame, error) {
+	cols := make([]*Column, 0, len(names))
+	for _, n := range names {
+		c, ok := f.Lookup(n)
+		if !ok {
+			return nil, fmt.Errorf("frame: unknown column %q in table %q", n, f.name)
+		}
+		cols = append(cols, c)
+	}
+	return New(f.name, cols)
+}
+
+// Filter materializes the rows where mask is set into a new frame.
+func (f *Frame) Filter(mask *Bitmap) (*Frame, error) {
+	if mask.Len() != f.numRows {
+		return nil, fmt.Errorf("frame: mask length %d does not match %d rows", mask.Len(), f.numRows)
+	}
+	out := make([]*Column, len(f.cols))
+	n := mask.Count()
+	for ci, c := range f.cols {
+		switch c.kind {
+		case Numeric:
+			vals := make([]float64, 0, n)
+			mask.ForEach(func(i int) {
+				vals = append(vals, c.floats[i])
+			})
+			out[ci] = NewNumericColumn(c.name, vals)
+		case Categorical:
+			nc := &Column{name: c.name, kind: Categorical, index: make(map[string]int32)}
+			nc.codes = make([]int32, 0, n)
+			mask.ForEach(func(i int) {
+				if c.codes[i] < 0 {
+					nc.codes = append(nc.codes, -1)
+				} else {
+					nc.codes = append(nc.codes, nc.intern(c.dict[c.codes[i]]))
+				}
+			})
+			out[ci] = nc
+		}
+	}
+	return New(f.name, out)
+}
+
+// Head returns a string rendering of the first n rows, for debugging and
+// CLI display.
+func (f *Frame) Head(n int) string {
+	if n > f.numRows {
+		n = f.numRows
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d rows × %d cols)\n", f.name, f.numRows, len(f.cols))
+	b.WriteString(strings.Join(f.ColumnNames(), "\t"))
+	b.WriteByte('\n')
+	for i := 0; i < n; i++ {
+		for j, c := range f.cols {
+			if j > 0 {
+				b.WriteByte('\t')
+			}
+			if c.IsNull(i) {
+				b.WriteString("NULL")
+			} else if c.kind == Numeric {
+				fmt.Fprintf(&b, "%g", c.floats[i])
+			} else {
+				b.WriteString(c.Str(i))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SplitNumeric partitions the non-NULL values of the named numeric column
+// into the rows inside the mask (Cᴵ) and outside it (Cᴼ). This is the
+// fundamental access pattern of the paper (Figure 2).
+func (f *Frame) SplitNumeric(name string, mask *Bitmap) (in, out []float64, err error) {
+	c, ok := f.Lookup(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("frame: unknown column %q", name)
+	}
+	if c.kind != Numeric {
+		return nil, nil, fmt.Errorf("frame: column %q is %s, want numeric", name, c.kind)
+	}
+	if mask.Len() != f.numRows {
+		return nil, nil, fmt.Errorf("frame: mask length %d does not match %d rows", mask.Len(), f.numRows)
+	}
+	for i, v := range c.floats {
+		if math.IsNaN(v) {
+			continue
+		}
+		if mask.Get(i) {
+			in = append(in, v)
+		} else {
+			out = append(out, v)
+		}
+	}
+	return in, out, nil
+}
+
+// SplitCodes partitions the non-NULL dictionary codes of the named
+// categorical column by the mask.
+func (f *Frame) SplitCodes(name string, mask *Bitmap) (in, out []int32, dict []string, err error) {
+	c, ok := f.Lookup(name)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("frame: unknown column %q", name)
+	}
+	if c.kind != Categorical {
+		return nil, nil, nil, fmt.Errorf("frame: column %q is %s, want categorical", name, c.kind)
+	}
+	if mask.Len() != f.numRows {
+		return nil, nil, nil, fmt.Errorf("frame: mask length %d does not match %d rows", mask.Len(), f.numRows)
+	}
+	for i, code := range c.codes {
+		if code < 0 {
+			continue
+		}
+		if mask.Get(i) {
+			in = append(in, code)
+		} else {
+			out = append(out, code)
+		}
+	}
+	return in, out, c.dict, nil
+}
+
+// SortedNumeric returns a sorted copy of the non-NULL values of a numeric
+// column; useful for quantile-based queries in examples and generators.
+func (f *Frame) SortedNumeric(name string) ([]float64, error) {
+	c, ok := f.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("frame: unknown column %q", name)
+	}
+	if c.kind != Numeric {
+		return nil, fmt.Errorf("frame: column %q is %s, want numeric", name, c.kind)
+	}
+	vals := make([]float64, 0, len(c.floats))
+	for _, v := range c.floats {
+		if !math.IsNaN(v) {
+			vals = append(vals, v)
+		}
+	}
+	sort.Float64s(vals)
+	return vals, nil
+}

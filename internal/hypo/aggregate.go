@@ -1,0 +1,173 @@
+package hypo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Aggregation selects how per-component p-values combine into a per-view
+// confidence score. The paper's post-processing retains the lowest value by
+// default and offers the Bonferroni correction as the conservative
+// alternative; Holm, Fisher and Stouffer are provided as the "more advanced
+// aggregation schemes" the paper alludes to.
+type Aggregation int
+
+const (
+	// MinP keeps the smallest p-value as-is (paper default).
+	MinP Aggregation = iota
+	// Bonferroni multiplies the smallest p-value by the number of tests.
+	Bonferroni
+	// Holm applies the Holm step-down adjustment and reports the smallest
+	// adjusted value.
+	Holm
+	// FisherMethod combines p-values via -2Σlog(p) against χ²(2k).
+	FisherMethod
+	// Stouffer combines p-values via summed z-scores.
+	Stouffer
+)
+
+// String names the aggregation scheme.
+func (a Aggregation) String() string {
+	switch a {
+	case MinP:
+		return "min"
+	case Bonferroni:
+		return "bonferroni"
+	case Holm:
+		return "holm"
+	case FisherMethod:
+		return "fisher"
+	case Stouffer:
+		return "stouffer"
+	default:
+		return fmt.Sprintf("Aggregation(%d)", int(a))
+	}
+}
+
+// ParseAggregation resolves a scheme name (as used in config files and CLI
+// flags) to an Aggregation.
+func ParseAggregation(s string) (Aggregation, error) {
+	switch s {
+	case "min", "":
+		return MinP, nil
+	case "bonferroni":
+		return Bonferroni, nil
+	case "holm":
+		return Holm, nil
+	case "fisher":
+		return FisherMethod, nil
+	case "stouffer":
+		return Stouffer, nil
+	default:
+		return MinP, fmt.Errorf("hypo: unknown aggregation scheme %q", s)
+	}
+}
+
+// Combine aggregates the valid p-values in ps under the given scheme,
+// returning NaN when no valid p-value exists. Results are clamped to [0, 1].
+func Combine(ps []float64, scheme Aggregation) float64 {
+	valid := make([]float64, 0, len(ps))
+	for _, p := range ps {
+		if !math.IsNaN(p) {
+			v := p
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			valid = append(valid, v)
+		}
+	}
+	if len(valid) == 0 {
+		return math.NaN()
+	}
+	switch scheme {
+	case Bonferroni:
+		min := minOf(valid)
+		return clamp01(min * float64(len(valid)))
+	case Holm:
+		return holmMin(valid)
+	case FisherMethod:
+		return fisherCombine(valid)
+	case Stouffer:
+		return stoufferCombine(valid)
+	default:
+		return minOf(valid)
+	}
+}
+
+func minOf(ps []float64) float64 {
+	m := ps[0]
+	for _, p := range ps[1:] {
+		if p < m {
+			m = p
+		}
+	}
+	return m
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// holmMin performs the Holm step-down adjustment and returns the smallest
+// adjusted p-value (the family-wise error rate needed to reject at least
+// one hypothesis).
+func holmMin(ps []float64) float64 {
+	k := len(ps)
+	sorted := make([]float64, k)
+	copy(sorted, ps)
+	sort.Float64s(sorted)
+	best := math.Inf(1)
+	running := 0.0
+	for i, p := range sorted {
+		adj := p * float64(k-i)
+		if adj < running {
+			adj = running // enforce monotonicity
+		}
+		running = adj
+		if adj < best {
+			best = adj
+		}
+	}
+	return clamp01(best)
+}
+
+// fisherCombine merges p-values with Fisher's method: X = -2 Σ ln(pᵢ) is
+// χ²-distributed with 2k degrees of freedom under the global null.
+func fisherCombine(ps []float64) float64 {
+	x := 0.0
+	for _, p := range ps {
+		if p <= 0 {
+			return 0
+		}
+		x += -2 * math.Log(p)
+	}
+	return clamp01(stats.ChiSquaredSF(x, float64(2*len(ps))))
+}
+
+// stoufferCombine merges p-values with Stouffer's z method using equal
+// weights. Two-sided inputs are treated as evidence magnitudes.
+func stoufferCombine(ps []float64) float64 {
+	sum := 0.0
+	for _, p := range ps {
+		if p <= 0 {
+			return 0
+		}
+		if p >= 1 {
+			continue
+		}
+		sum += stats.NormalQuantile(1 - p/2)
+	}
+	z := sum / math.Sqrt(float64(len(ps)))
+	return clamp01(2 * stats.NormalSF(z))
+}

@@ -1,0 +1,117 @@
+package hypo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCombineMin(t *testing.T) {
+	approx(t, "min", Combine([]float64{0.5, 0.01, 0.3}, MinP), 0.01, 1e-12)
+}
+
+func TestCombineBonferroni(t *testing.T) {
+	approx(t, "bonferroni", Combine([]float64{0.5, 0.01, 0.3}, Bonferroni), 0.03, 1e-12)
+	// Clamped at 1.
+	approx(t, "bonferroni clamp", Combine([]float64{0.9, 0.8, 0.7}, Bonferroni), 1, 0)
+}
+
+func TestCombineHolm(t *testing.T) {
+	// Holm's smallest adjusted value equals k*min when min dominates.
+	approx(t, "holm", Combine([]float64{0.01, 0.5, 0.9}, Holm), 0.03, 1e-12)
+	// Monotonicity: adjusted values never decrease down the list.
+	got := Combine([]float64{0.02, 0.021}, Holm)
+	approx(t, "holm pair", got, 0.04, 1e-12)
+}
+
+func TestCombineFisher(t *testing.T) {
+	// k identical p-values of 0.5: X = -2k·ln(0.5); for k=2, X≈2.7726,
+	// p = P(χ²₄ > 2.7726) ≈ 0.5966.
+	got := Combine([]float64{0.5, 0.5}, FisherMethod)
+	approx(t, "fisher", got, 0.5965736, 1e-5)
+	// A zero p-value forces 0.
+	approx(t, "fisher zero", Combine([]float64{0, 0.5}, FisherMethod), 0, 0)
+}
+
+func TestCombineStouffer(t *testing.T) {
+	// Identical strong evidence compounds: two p=0.05 should beat 0.05.
+	got := Combine([]float64{0.05, 0.05}, Stouffer)
+	if got >= 0.05 {
+		t.Errorf("stouffer(0.05, 0.05) = %v, want < 0.05", got)
+	}
+	approx(t, "stouffer zero", Combine([]float64{0, 0.3}, Stouffer), 0, 0)
+}
+
+func TestCombineSkipsNaN(t *testing.T) {
+	approx(t, "skip NaN", Combine([]float64{math.NaN(), 0.2}, MinP), 0.2, 1e-12)
+	if !math.IsNaN(Combine([]float64{math.NaN()}, MinP)) {
+		t.Error("all-NaN should combine to NaN")
+	}
+	if !math.IsNaN(Combine(nil, Bonferroni)) {
+		t.Error("empty should combine to NaN")
+	}
+}
+
+func TestCombineClampsInputs(t *testing.T) {
+	approx(t, "clamp negative", Combine([]float64{-0.5}, MinP), 0, 0)
+	approx(t, "clamp above one", Combine([]float64{1.5}, MinP), 1, 0)
+}
+
+// Property: every scheme returns a value in [0,1] (or NaN), and Bonferroni
+// never reports smaller (more significant) than MinP.
+func TestCombineProperties(t *testing.T) {
+	schemes := []Aggregation{MinP, Bonferroni, Holm, FisherMethod, Stouffer}
+	f := func(raw []float64) bool {
+		ps := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			ps = append(ps, math.Abs(math.Mod(v, 1)))
+		}
+		for _, s := range schemes {
+			got := Combine(ps, s)
+			if math.IsNaN(got) {
+				if len(ps) != 0 {
+					return false
+				}
+				continue
+			}
+			if got < 0 || got > 1 {
+				return false
+			}
+		}
+		if len(ps) > 0 {
+			if Combine(ps, Bonferroni) < Combine(ps, MinP)-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregationString(t *testing.T) {
+	cases := map[Aggregation]string{
+		MinP: "min", Bonferroni: "bonferroni", Holm: "holm",
+		FisherMethod: "fisher", Stouffer: "stouffer", Aggregation(9): "Aggregation(9)",
+	}
+	for a, want := range cases {
+		if a.String() != want {
+			t.Errorf("String(%d) = %q, want %q", int(a), a.String(), want)
+		}
+	}
+}
+
+func TestParseAggregation(t *testing.T) {
+	for _, name := range []string{"min", "bonferroni", "holm", "fisher", "stouffer", ""} {
+		if _, err := ParseAggregation(name); err != nil {
+			t.Errorf("ParseAggregation(%q) failed: %v", name, err)
+		}
+	}
+	if _, err := ParseAggregation("bogus"); err == nil {
+		t.Error("ParseAggregation accepted bogus scheme")
+	}
+	if a, _ := ParseAggregation("holm"); a != Holm {
+		t.Error("ParseAggregation(holm) wrong")
+	}
+}

@@ -1,0 +1,239 @@
+package hypo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.IsNaN(got) != math.IsNaN(want) || math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (tol %v)", name, got, want, tol)
+	}
+}
+
+func normals(seed uint64, n int, mean, std float64) []float64 {
+	r := randx.New(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Normal(mean, std)
+	}
+	return xs
+}
+
+func TestWelchTDetectsShift(t *testing.T) {
+	a := normals(1, 400, 0, 1)
+	b := normals(2, 400, 1, 1)
+	res := WelchT(a, b)
+	if !res.Valid() {
+		t.Fatal("result invalid")
+	}
+	if res.P > 1e-6 {
+		t.Errorf("shifted means p = %v, want tiny", res.P)
+	}
+	if res.Stat > 0 {
+		t.Errorf("t stat sign wrong: %v (a has smaller mean)", res.Stat)
+	}
+	if !res.Significant(0.05) {
+		t.Error("shifted means should be significant")
+	}
+}
+
+func TestWelchTNullCalibration(t *testing.T) {
+	// Under H0, p-values should be roughly uniform: check the rejection
+	// rate at alpha = 0.1 over many repetitions.
+	r := randx.New(3)
+	reject := 0
+	const trials = 400
+	for trial := 0; trial < trials; trial++ {
+		a := make([]float64, 60)
+		b := make([]float64, 60)
+		for i := range a {
+			a[i] = r.NormFloat64()
+			b[i] = r.NormFloat64()
+		}
+		if WelchT(a, b).P < 0.1 {
+			reject++
+		}
+	}
+	rate := float64(reject) / trials
+	if rate < 0.05 || rate > 0.17 {
+		t.Errorf("null rejection rate at α=0.1 was %v, want ≈0.1", rate)
+	}
+}
+
+func TestWelchTKnownValue(t *testing.T) {
+	// Hand-computed: means 3 and 6, variances 2.5 and 10, se² = 2.5,
+	// t = -3/√2.5 = -1.89737, Welch df = 6.25/1.0625 = 5.88235.
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{2, 4, 6, 8, 10}
+	res := WelchT(a, b)
+	approx(t, "t", res.Stat, -1.8973666, 1e-6)
+	approx(t, "df", res.DF, 5.8823529, 1e-6)
+	approx(t, "p", res.P, 0.1075312, 1e-6)
+}
+
+func TestWelchTDegenerate(t *testing.T) {
+	if WelchT([]float64{1}, []float64{2, 3}).Valid() {
+		t.Error("n<2 should be invalid")
+	}
+	res := WelchT([]float64{5, 5, 5}, []float64{5, 5, 5})
+	approx(t, "identical constants p", res.P, 1, 0)
+	res = WelchT([]float64{5, 5, 5}, []float64{7, 7, 7})
+	approx(t, "distinct constants p", res.P, 0, 0)
+}
+
+func TestVarianceFDetectsSpread(t *testing.T) {
+	a := normals(4, 300, 0, 1)
+	b := normals(5, 300, 0, 3)
+	res := VarianceF(a, b)
+	if res.P > 1e-6 {
+		t.Errorf("3× std should give tiny p, got %v", res.P)
+	}
+	if res.Stat < 1 {
+		t.Errorf("F statistic should be the larger ratio, got %v", res.Stat)
+	}
+}
+
+func TestVarianceFSymmetry(t *testing.T) {
+	a := normals(6, 200, 0, 1)
+	b := normals(7, 200, 0, 2)
+	r1 := VarianceF(a, b)
+	r2 := VarianceF(b, a)
+	approx(t, "F symmetric p", r1.P, r2.P, 1e-12)
+	approx(t, "F symmetric stat", r1.Stat, r2.Stat, 1e-12)
+}
+
+func TestVarianceFKnownValue(t *testing.T) {
+	// Hand-computed: F = 10/2.5 = 4 with (4,4) df; the F(4,4) CDF at 4 is
+	// I_{0.8}(2,2) = 0.896, so the two-sided p is 2·0.104 = 0.208.
+	res := VarianceF([]float64{1, 2, 3, 4, 5}, []float64{2, 4, 6, 8, 10})
+	approx(t, "F", res.Stat, 4, 1e-12) // we report the larger-over-smaller ratio
+	approx(t, "p", res.P, 0.208, 1e-9)
+}
+
+func TestVarianceFDegenerate(t *testing.T) {
+	if VarianceF([]float64{1}, []float64{1, 2}).Valid() {
+		t.Error("n<2 should be invalid")
+	}
+	res := VarianceF([]float64{3, 3, 3}, []float64{9, 9, 9})
+	approx(t, "both constant p", res.P, 1, 0)
+	res = VarianceF([]float64{3, 3, 3}, []float64{1, 2, 3})
+	approx(t, "one constant p", res.P, 0, 0)
+}
+
+func TestCorrelationZ(t *testing.T) {
+	// Same correlation: p should be large.
+	res := CorrelationZ(0.5, 100, 0.5, 100)
+	approx(t, "equal r p", res.P, 1, 1e-9)
+	// Very different correlations with large samples: p tiny.
+	res = CorrelationZ(0.9, 500, 0.0, 500)
+	if res.P > 1e-10 {
+		t.Errorf("0.9 vs 0 correlation p = %v, want tiny", res.P)
+	}
+	if CorrelationZ(0.5, 3, 0.5, 100).Valid() {
+		t.Error("n<4 should be invalid")
+	}
+	if CorrelationZ(math.NaN(), 100, 0.5, 100).Valid() {
+		t.Error("NaN r should be invalid")
+	}
+	// Perfect correlations stay finite thanks to the clamped transform.
+	res = CorrelationZ(1, 50, -1, 50)
+	if !res.Valid() {
+		t.Error("r=±1 should still yield a valid test")
+	}
+}
+
+func TestChiSquareHomogeneity(t *testing.T) {
+	// Identical distributions.
+	res := ChiSquareHomogeneity([]float64{50, 50}, []float64{100, 100})
+	approx(t, "identical p", res.P, 1, 1e-9)
+	// Strongly different distributions.
+	res = ChiSquareHomogeneity([]float64{90, 10}, []float64{10, 90})
+	if res.P > 1e-10 {
+		t.Errorf("opposite distributions p = %v, want tiny", res.P)
+	}
+	if res.DF != 1 {
+		t.Errorf("df = %v, want 1", res.DF)
+	}
+}
+
+func TestChiSquareDegenerate(t *testing.T) {
+	if ChiSquareHomogeneity(nil, nil).Valid() {
+		t.Error("empty counts should be invalid")
+	}
+	if ChiSquareHomogeneity([]float64{1, 2}, []float64{1}).Valid() {
+		t.Error("mismatched counts should be invalid")
+	}
+	if ChiSquareHomogeneity([]float64{0, 0}, []float64{1, 1}).Valid() {
+		t.Error("empty sample should be invalid")
+	}
+	if ChiSquareHomogeneity([]float64{-1, 2}, []float64{1, 1}).Valid() {
+		t.Error("negative counts should be invalid")
+	}
+	// Only one populated category → untestable.
+	if ChiSquareHomogeneity([]float64{5, 0}, []float64{7, 0}).Valid() {
+		t.Error("single category should be invalid")
+	}
+	// Categories empty in both samples are ignored but the test remains valid.
+	res := ChiSquareHomogeneity([]float64{5, 0, 5}, []float64{7, 0, 7})
+	if !res.Valid() || res.DF != 1 {
+		t.Error("shared-empty category should be ignored")
+	}
+}
+
+func TestTwoProportionZ(t *testing.T) {
+	res := TwoProportionZ(50, 100, 50, 100)
+	approx(t, "equal proportions p", res.P, 1, 1e-9)
+	res = TwoProportionZ(90, 100, 10, 100)
+	if res.P > 1e-10 {
+		t.Errorf("0.9 vs 0.1 p = %v, want tiny", res.P)
+	}
+	if TwoProportionZ(5, 0, 1, 10).Valid() {
+		t.Error("zero trials should be invalid")
+	}
+	if TwoProportionZ(11, 10, 1, 10).Valid() {
+		t.Error("successes > trials should be invalid")
+	}
+	res = TwoProportionZ(0, 10, 0, 20)
+	approx(t, "all-failure p", res.P, 1, 0)
+	// 10/10 vs 0/10 pools to p̂=0.5, so the z statistic is finite but large.
+	res = TwoProportionZ(10, 10, 0, 10)
+	if res.P > 1e-4 {
+		t.Errorf("10/10 vs 0/10 p = %v, want < 1e-4", res.P)
+	}
+}
+
+func TestMannWhitneyU(t *testing.T) {
+	a := normals(8, 200, 0, 1)
+	b := normals(9, 200, 2, 1)
+	res := MannWhitneyU(a, b)
+	if res.P > 1e-6 {
+		t.Errorf("shifted distributions p = %v, want tiny", res.P)
+	}
+	// Identical samples: p near 1.
+	c := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	res = MannWhitneyU(c, c)
+	if res.P < 0.9 {
+		t.Errorf("identical samples p = %v, want ≈1", res.P)
+	}
+	if MannWhitneyU([]float64{1}, c).Valid() {
+		t.Error("n<2 should be invalid")
+	}
+	// All-tied data: variance collapses to zero, p must be 1.
+	res = MannWhitneyU([]float64{5, 5, 5}, []float64{5, 5, 5})
+	approx(t, "all ties p", res.P, 1, 0)
+}
+
+func TestMannWhitneyRobustToOutliers(t *testing.T) {
+	// Same center but one wild outlier: MW should NOT scream, while the
+	// mean-based test might. This is why the engine offers robust mode.
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	b := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 1e6}
+	res := MannWhitneyU(a, b)
+	if res.P < 0.2 {
+		t.Errorf("outlier-only difference p = %v, want large", res.P)
+	}
+}

@@ -1,0 +1,56 @@
+package hypo
+
+import (
+	"math"
+
+	"repro/internal/randx"
+)
+
+// PermutationMeanDiff tests H₀: both samples come from the same
+// distribution, using the difference of means as the statistic and random
+// relabelling as the null model. It is the exact (asymptotics-free)
+// alternative to WelchT that the post-processing stage can fall back to for
+// small or ill-behaved samples; the paper's significance machinery relies
+// on asymptotic bounds, so this is an extension knob rather than a default.
+//
+// rounds controls the number of permutations (1000 gives a p-value
+// resolution of ~0.001); seed makes the test reproducible.
+func PermutationMeanDiff(a, b []float64, rounds int, seed uint64) Result {
+	na, nb := len(a), len(b)
+	if na < 2 || nb < 2 {
+		return Result{P: math.NaN()}
+	}
+	if rounds < 1 {
+		rounds = 1000
+	}
+	observed := math.Abs(meanOf(a) - meanOf(b))
+
+	pool := make([]float64, 0, na+nb)
+	pool = append(pool, a...)
+	pool = append(pool, b...)
+	r := randx.New(seed)
+
+	// Count permutations with a statistic at least as extreme. The +1
+	// correction keeps the p-value strictly positive (the observed
+	// labelling is itself one permutation).
+	extreme := 1
+	for round := 0; round < rounds; round++ {
+		r.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		stat := math.Abs(meanOf(pool[:na]) - meanOf(pool[na:]))
+		if stat >= observed-1e-15 {
+			extreme++
+		}
+	}
+	return Result{
+		Stat: observed,
+		P:    float64(extreme) / float64(rounds+1),
+	}
+}
+
+func meanOf(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

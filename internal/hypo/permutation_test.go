@@ -1,0 +1,82 @@
+package hypo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func TestPermutationDetectsShift(t *testing.T) {
+	a := normals(51, 80, 1.5, 1)
+	b := normals(52, 80, 0, 1)
+	res := PermutationMeanDiff(a, b, 500, 7)
+	if !res.Valid() {
+		t.Fatal("invalid result")
+	}
+	if res.P > 0.01 {
+		t.Errorf("1.5σ shift p = %v, want small", res.P)
+	}
+	if res.Stat < 1 {
+		t.Errorf("observed statistic = %v, want ≈1.5", res.Stat)
+	}
+}
+
+func TestPermutationNull(t *testing.T) {
+	// Under H0 the p-value should not be extreme most of the time.
+	r := randx.New(9)
+	small := 0
+	const trials = 60
+	for trial := 0; trial < trials; trial++ {
+		a := make([]float64, 40)
+		b := make([]float64, 40)
+		for i := range a {
+			a[i] = r.NormFloat64()
+			b[i] = r.NormFloat64()
+		}
+		if PermutationMeanDiff(a, b, 300, uint64(trial)).P < 0.05 {
+			small++
+		}
+	}
+	if small > 9 { // expect ~3 of 60
+		t.Errorf("null rejections = %d/60 at α=0.05, want ≈3", small)
+	}
+}
+
+func TestPermutationAgreesWithWelch(t *testing.T) {
+	// For well-behaved data the permutation p and Welch p should be in the
+	// same order of magnitude.
+	a := normals(53, 100, 0.5, 1)
+	b := normals(54, 100, 0, 1)
+	perm := PermutationMeanDiff(a, b, 2000, 11)
+	welch := WelchT(a, b)
+	if perm.P < welch.P/50 || perm.P > welch.P*50+0.05 {
+		t.Errorf("perm p = %v vs welch p = %v: too far apart", perm.P, welch.P)
+	}
+}
+
+func TestPermutationDeterministic(t *testing.T) {
+	a := normals(55, 30, 0.4, 1)
+	b := normals(56, 30, 0, 1)
+	p1 := PermutationMeanDiff(a, b, 200, 42).P
+	p2 := PermutationMeanDiff(a, b, 200, 42).P
+	if p1 != p2 {
+		t.Fatal("same seed gives different p-values")
+	}
+}
+
+func TestPermutationDegenerate(t *testing.T) {
+	if PermutationMeanDiff([]float64{1}, []float64{2, 3}, 100, 1).Valid() {
+		t.Error("n<2 should be invalid")
+	}
+	// Identical constant samples: p must be 1 (every permutation ties).
+	res := PermutationMeanDiff([]float64{5, 5, 5}, []float64{5, 5, 5}, 100, 1)
+	if math.Abs(res.P-1) > 1e-12 {
+		t.Errorf("constant samples p = %v, want 1", res.P)
+	}
+	// Default rounds kick in for rounds < 1.
+	res = PermutationMeanDiff(normals(57, 20, 0, 1), normals(58, 20, 0, 1), 0, 1)
+	if !res.Valid() {
+		t.Error("default rounds should produce a valid result")
+	}
+}

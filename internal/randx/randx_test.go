@@ -1,0 +1,327 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 agree on %d/100 outputs; streams are not independent", same)
+	}
+}
+
+func TestZeroSeedIsValid(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 99 {
+		t.Fatalf("seed 0 produced only %d distinct values out of 100", len(seen))
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(9)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("Intn(7) bucket %d has %d hits, want ~10000", i, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(11)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(17)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := r.ExpFloat64()
+		if x < 0 {
+			t.Fatalf("exponential variate negative: %v", x)
+		}
+		sum += x
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("exponential mean = %v, want ~1", mean)
+	}
+}
+
+func TestCategoricalFrequencies(t *testing.T) {
+	r := New(19)
+	w := []float64{1, 2, 7}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(w)]++
+	}
+	want := []float64{0.1, 0.2, 0.7}
+	for i, c := range counts {
+		got := float64(c) / n
+		if math.Abs(got-want[i]) > 0.01 {
+			t.Errorf("category %d frequency = %v, want ~%v", i, got, want[i])
+		}
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	cases := [][]float64{nil, {}, {0, 0}, {-1, 2}}
+	for _, w := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Categorical(%v) did not panic", w)
+				}
+			}()
+			New(1).Categorical(w)
+		}()
+	}
+}
+
+func TestCholeskyIdentity(t *testing.T) {
+	n := 4
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		a[i*n+i] = 1
+	}
+	l, err := Cholesky(a, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(l[i*n+j]-want) > 1e-12 {
+				t.Errorf("L[%d][%d] = %v, want %v", i, j, l[i*n+j], want)
+			}
+		}
+	}
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	// a = [[4,2,1],[2,3,0.5],[1,0.5,2]] is positive definite.
+	a := []float64{4, 2, 1, 2, 3, 0.5, 1, 0.5, 2}
+	n := 3
+	l, err := Cholesky(a, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for k := 0; k < n; k++ {
+				sum += l[i*n+k] * l[j*n+k]
+			}
+			if math.Abs(sum-a[i*n+j]) > 1e-10 {
+				t.Errorf("(LLᵀ)[%d][%d] = %v, want %v", i, j, sum, a[i*n+j])
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := []float64{1, 2, 2, 1} // eigenvalues 3 and -1
+	if _, err := Cholesky(a, 2); err == nil {
+		t.Fatal("Cholesky accepted an indefinite matrix")
+	}
+}
+
+func TestCholeskyRejectsWrongSize(t *testing.T) {
+	if _, err := Cholesky([]float64{1, 2, 3}, 2); err == nil {
+		t.Fatal("Cholesky accepted a mis-sized matrix")
+	}
+}
+
+func TestMultiNormalMomentsAndCorrelation(t *testing.T) {
+	mean := []float64{1, -2}
+	cov := []float64{1, 0.8, 0.8, 1}
+	mn, err := NewMultiNormal(mean, cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mn.Dim() != 2 {
+		t.Fatalf("Dim = %d, want 2", mn.Dim())
+	}
+	r := New(23)
+	const n = 100000
+	var sx, sy, sxx, syy, sxy float64
+	v := make([]float64, 2)
+	for i := 0; i < n; i++ {
+		mn.Sample(r, v)
+		sx += v[0]
+		sy += v[1]
+		sxx += v[0] * v[0]
+		syy += v[1] * v[1]
+		sxy += v[0] * v[1]
+	}
+	mx, my := sx/n, sy/n
+	vx := sxx/n - mx*mx
+	vy := syy/n - my*my
+	cxy := sxy/n - mx*my
+	if math.Abs(mx-1) > 0.02 || math.Abs(my+2) > 0.02 {
+		t.Errorf("means = (%v, %v), want (1, -2)", mx, my)
+	}
+	if math.Abs(vx-1) > 0.03 || math.Abs(vy-1) > 0.03 {
+		t.Errorf("variances = (%v, %v), want (1, 1)", vx, vy)
+	}
+	if corr := cxy / math.Sqrt(vx*vy); math.Abs(corr-0.8) > 0.02 {
+		t.Errorf("correlation = %v, want ~0.8", corr)
+	}
+}
+
+func TestEquiCorrelationMatrix(t *testing.T) {
+	cov := EquiCorrelation(3, 0.5)
+	want := []float64{1, 0.5, 0.5, 0.5, 1, 0.5, 0.5, 0.5, 1}
+	for i := range want {
+		if cov[i] != want[i] {
+			t.Fatalf("EquiCorrelation(3, 0.5) = %v, want %v", cov, want)
+		}
+	}
+	if _, err := Cholesky(cov, 3); err != nil {
+		t.Fatalf("equicorrelation matrix should be positive definite: %v", err)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(31)
+	child := parent.Fork()
+	// The child stream must not replay the parent stream.
+	p := make([]uint64, 50)
+	for i := range p {
+		p[i] = parent.Uint64()
+	}
+	matches := 0
+	for i := 0; i < 50; i++ {
+		v := child.Uint64()
+		for _, pv := range p {
+			if v == pv {
+				matches++
+			}
+		}
+	}
+	if matches > 1 {
+		t.Fatalf("fork shares %d outputs with parent", matches)
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	r := New(37)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed multiset: sum %d != %d", got, sum)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = r.NormFloat64()
+	}
+	_ = sink
+}

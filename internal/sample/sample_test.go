@@ -1,0 +1,149 @@
+package sample
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/frame"
+	"repro/internal/randx"
+)
+
+func TestReservoirBasics(t *testing.T) {
+	r := randx.New(1)
+	got := Reservoir(r, 10, 20)
+	if len(got) != 10 {
+		t.Fatalf("k>n should return all: %v", got)
+	}
+	got = Reservoir(r, 10, 0)
+	if got != nil {
+		t.Fatalf("k=0 should return nil: %v", got)
+	}
+	got = Reservoir(r, 0, 5)
+	if got != nil {
+		t.Fatalf("n=0 should return nil: %v", got)
+	}
+}
+
+func TestReservoirDistinctSortedInRange(t *testing.T) {
+	f := func(seed uint64, nRaw, kRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		k := int(kRaw%200) + 1
+		r := randx.New(seed)
+		got := Reservoir(r, n, k)
+		want := k
+		if want > n {
+			want = n
+		}
+		if len(got) != want {
+			return false
+		}
+		for i, v := range got {
+			if v < 0 || v >= n {
+				return false
+			}
+			if i > 0 && got[i-1] >= v {
+				return false // must be strictly ascending (distinct)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// Each of 10 items should appear in a k=5 sample about half the time.
+	counts := make([]int, 10)
+	const trials = 20000
+	r := randx.New(7)
+	for trial := 0; trial < trials; trial++ {
+		for _, v := range Reservoir(r, 10, 5) {
+			counts[v]++
+		}
+	}
+	for i, c := range counts {
+		freq := float64(c) / trials
+		if freq < 0.46 || freq > 0.54 {
+			t.Errorf("item %d sampled with frequency %.3f, want ≈0.5", i, freq)
+		}
+	}
+}
+
+func TestSubset(t *testing.T) {
+	from := frame.BitmapFromIndices(100, []int{3, 10, 20, 30, 40, 50, 60, 70, 80, 90})
+	r := randx.New(3)
+	got := Subset(r, from, 4)
+	if got.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", got.Count())
+	}
+	// Every sampled row must come from the source set.
+	got.ForEach(func(i int) {
+		if !from.Get(i) {
+			t.Errorf("sampled row %d not in source", i)
+		}
+	})
+}
+
+func TestStratifiedProportions(t *testing.T) {
+	n := 10000
+	sel := frame.NewBitmap(n)
+	for i := 0; i < 2000; i++ { // 20% selection
+		sel.Set(i)
+	}
+	consider := Stratified(sel, 1000, 5, 42)
+	if got := consider.Count(); got < 950 || got > 1050 {
+		t.Fatalf("consider count = %d, want ≈1000", got)
+	}
+	in := 0
+	consider.ForEach(func(i int) {
+		if sel.Get(i) {
+			in++
+		}
+	})
+	// Proportional allocation: ~20% of the sample inside.
+	if in < 150 || in > 250 {
+		t.Fatalf("inside share = %d/1000, want ≈200", in)
+	}
+}
+
+func TestStratifiedMinPerSide(t *testing.T) {
+	n := 10000
+	sel := frame.NewBitmap(n)
+	for i := 0; i < 20; i++ { // tiny selection
+		sel.Set(i)
+	}
+	consider := Stratified(sel, 100, 15, 42)
+	in := 0
+	consider.ForEach(func(i int) {
+		if sel.Get(i) {
+			in++
+		}
+	})
+	if in < 15 {
+		t.Fatalf("inside rows = %d, want ≥ 15 (minPerSide)", in)
+	}
+}
+
+func TestStratifiedNoCapReturnsAll(t *testing.T) {
+	sel := frame.BitmapFromIndices(50, []int{1, 2, 3})
+	for _, cap := range []int{0, 50, 100} {
+		consider := Stratified(sel, cap, 2, 1)
+		if consider.Count() != 50 {
+			t.Fatalf("cap=%d: count = %d, want all 50", cap, consider.Count())
+		}
+	}
+}
+
+func TestStratifiedDeterminism(t *testing.T) {
+	sel := frame.BitmapFromIndices(1000, []int{1, 5, 9, 100, 500, 900})
+	a := Stratified(sel, 100, 2, 7)
+	b := Stratified(sel, 100, 2, 7)
+	if !a.Equal(b) {
+		t.Fatal("same seed gives different samples")
+	}
+	c := Stratified(sel, 100, 2, 8)
+	if a.Equal(c) {
+		t.Fatal("different seeds give identical samples (suspicious)")
+	}
+}

@@ -1,0 +1,130 @@
+package server
+
+// indexHTML is the self-contained demo page mirroring paper Figure 5: an
+// input query box on top, the ranked views on the left, and the selected
+// view's details and explanations on the right.
+const indexHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>Ziggy — Characterizing Query Results</title>
+<style>
+  body { font-family: system-ui, sans-serif; margin: 0; background: #f4f4f7; color: #222; }
+  header { background: #2b2d42; color: #fff; padding: 12px 20px; }
+  header h1 { margin: 0; font-size: 20px; }
+  header p { margin: 2px 0 0; font-size: 12px; color: #c9c9d4; }
+  #query-panel { padding: 14px 20px; background: #fff; border-bottom: 1px solid #ddd; }
+  #sql { width: 100%; box-sizing: border-box; font-family: ui-monospace, monospace;
+         font-size: 13px; padding: 8px; border: 1px solid #bbb; border-radius: 4px; }
+  #controls { margin-top: 8px; display: flex; gap: 14px; align-items: center; font-size: 13px; }
+  button { background: #2b2d42; color: #fff; border: 0; padding: 7px 18px;
+           border-radius: 4px; cursor: pointer; font-size: 13px; }
+  button:hover { background: #43466b; }
+  #status { font-size: 12px; color: #666; }
+  main { display: flex; gap: 14px; padding: 14px 20px; align-items: flex-start; }
+  #views { flex: 1; min-width: 320px; }
+  #detail { flex: 1.2; background: #fff; border: 1px solid #ddd; border-radius: 6px;
+            padding: 14px; position: sticky; top: 10px; }
+  .view { background: #fff; border: 1px solid #ddd; border-radius: 6px;
+          padding: 10px 12px; margin-bottom: 8px; cursor: pointer; }
+  .view:hover { border-color: #2b2d42; }
+  .view.selected { border-color: #2b2d42; box-shadow: 0 0 0 2px #2b2d4233; }
+  .view .cols { font-weight: 600; font-size: 14px; }
+  .view .meta { font-size: 12px; color: #666; margin-top: 2px; }
+  .sig { color: #15803d; } .insig { color: #b45309; }
+  #detail h2 { margin-top: 0; font-size: 16px; }
+  #explanation { background: #eef4ee; border-left: 4px solid #15803d;
+                 padding: 10px 12px; font-size: 14px; margin: 10px 0; }
+  table { border-collapse: collapse; width: 100%; font-size: 12px; }
+  th, td { text-align: left; border-bottom: 1px solid #eee; padding: 5px 6px; }
+  th { color: #555; font-weight: 600; }
+  .warn { color: #b45309; font-size: 12px; }
+</style>
+</head>
+<body>
+<header>
+  <h1>Ziggy</h1>
+  <p>Characterizing query results for data explorers — type a query, inspect what makes its result special.</p>
+</header>
+<div id="query-panel">
+  <textarea id="sql" rows="2">SELECT * FROM uscrime WHERE crime_violent_rate &gt;= 1300</textarea>
+  <div id="controls">
+    <button id="run">Characterize</button>
+    <label><input type="checkbox" id="excludePredicate" checked> exclude predicate columns</label>
+    <span id="status"></span>
+  </div>
+</div>
+<main>
+  <div id="views"></div>
+  <div id="detail"><h2>Views</h2><p>Run a query to see its characteristic views.</p></div>
+</main>
+<script>
+let lastViews = [];
+
+function fmt(x, digits) {
+  if (x === null || x === undefined) return "–";
+  if (Math.abs(x) >= 1e5 || (Math.abs(x) < 1e-3 && x !== 0)) return x.toExponential(2);
+  return x.toFixed(digits === undefined ? 3 : digits);
+}
+
+function renderViews(resp) {
+  const el = document.getElementById("views");
+  el.innerHTML = "";
+  lastViews = resp.views || [];
+  lastViews.forEach((v, i) => {
+    const div = document.createElement("div");
+    div.className = "view";
+    div.innerHTML =
+      '<div class="cols">' + (i + 1) + ". " + v.columns.join(" × ") + "</div>" +
+      '<div class="meta">score ' + fmt(v.score) + " · tightness " + fmt(v.tightness, 2) +
+      " · <span class=\"" + (v.significant ? "sig" : "insig") + "\">p=" + fmt(v.pValue) + "</span></div>";
+    div.onclick = () => selectView(i);
+    el.appendChild(div);
+  });
+  if (lastViews.length > 0) selectView(0);
+  document.getElementById("status").textContent =
+    resp.selectedRows + "/" + resp.totalRows + " rows selected · prep " +
+    fmt(resp.prepMillis, 1) + "ms · search " + fmt(resp.searchMillis, 1) + "ms · post " +
+    fmt(resp.postMillis, 1) + "ms" + (resp.cacheHit ? " · cache hit" : "");
+}
+
+function selectView(i) {
+  document.querySelectorAll(".view").forEach((d, j) =>
+    d.classList.toggle("selected", i === j));
+  const v = lastViews[i];
+  const d = document.getElementById("detail");
+  let html = "<h2>" + v.columns.join(" × ") + "</h2>" +
+    '<div id="explanation">' + v.explanation + "</div>" +
+    "<table><tr><th>component</th><th>columns</th><th>inside</th><th>outside</th><th>effect</th><th>p</th></tr>";
+  (v.components || []).forEach(c => {
+    html += "<tr><td>" + c.kind + "</td><td>" + c.columns.join(", ") + "</td><td>" +
+      fmt(c.inside) + "</td><td>" + fmt(c.outside) + "</td><td>" + fmt(c.raw) +
+      "</td><td>" + fmt(c.pValue) + "</td></tr>";
+  });
+  html += "</table>";
+  d.innerHTML = html;
+}
+
+document.getElementById("run").onclick = async () => {
+  const status = document.getElementById("status");
+  status.textContent = "running…";
+  try {
+    const resp = await fetch("/api/characterize", {
+      method: "POST",
+      headers: {"Content-Type": "application/json"},
+      body: JSON.stringify({
+        sql: document.getElementById("sql").value,
+        excludePredicate: document.getElementById("excludePredicate").checked
+      })
+    });
+    const data = await resp.json();
+    if (!resp.ok) { status.textContent = "error: " + data.error; return; }
+    renderViews(data);
+  } catch (e) {
+    status.textContent = "request failed: " + e;
+  }
+};
+</script>
+</body>
+</html>
+`

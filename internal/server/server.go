@@ -1,0 +1,297 @@
+// Package server implements the interactive demo of paper §4 / Figure 5: a
+// web front-end where users type a query, see the ranked characteristic
+// views on the left and the explanations with per-view detail on the right.
+//
+// The original demo stacked MonetDB + R/Shiny + HTML/JS; here a single
+// net/http server exposes a JSON API over the embedded engine and serves a
+// self-contained HTML page. Endpoints:
+//
+//	GET  /                    the single-page UI
+//	GET  /api/tables          registered tables with schema summaries
+//	POST /api/characterize    {"sql": ..., "excludePredicate": bool}
+//	GET  /api/dendrogram      ?table=name — text dendrogram for MIN_tight
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/depend"
+	"repro/internal/plot"
+)
+
+// Server is the demo web server.
+type Server struct {
+	catalog *db.Catalog
+	engine  *core.Engine
+	mux     *http.ServeMux
+	logger  *log.Logger
+}
+
+// New builds a server over an existing catalog and engine. logger may be
+// nil for silence.
+func New(catalog *db.Catalog, engine *core.Engine, logger *log.Logger) *Server {
+	s := &Server{catalog: catalog, engine: engine, logger: logger}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/api/tables", s.handleTables)
+	mux.HandleFunc("/api/characterize", s.handleCharacterize)
+	mux.HandleFunc("/api/dendrogram", s.handleDendrogram)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.mux.ServeHTTP(w, r)
+	if s.logger != nil {
+		s.logger.Printf("%s %s (%v)", r.Method, r.URL.Path, time.Since(start))
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil && s.logger != nil {
+		s.logger.Printf("encoding response: %v", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, indexHTML)
+}
+
+// tableInfo summarizes one registered table for the UI.
+type tableInfo struct {
+	Name    string       `json:"name"`
+	Rows    int          `json:"rows"`
+	Columns []columnInfo `json:"columns"`
+}
+
+type columnInfo struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	var infos []tableInfo
+	for _, name := range s.catalog.TableNames() {
+		f, _ := s.catalog.Table(name)
+		info := tableInfo{Name: name, Rows: f.NumRows()}
+		for _, c := range f.Columns() {
+			info.Columns = append(info.Columns, columnInfo{Name: c.Name(), Kind: c.Kind().String()})
+		}
+		infos = append(infos, info)
+	}
+	s.writeJSON(w, http.StatusOK, infos)
+}
+
+// characterizeRequest is the POST body of /api/characterize.
+type characterizeRequest struct {
+	SQL string `json:"sql"`
+	// ExcludePredicate, when true, keeps the query's WHERE columns out of
+	// the views.
+	ExcludePredicate bool `json:"excludePredicate"`
+	// ExcludeColumns adds explicit exclusions.
+	ExcludeColumns []string `json:"excludeColumns"`
+	// IncludePlots attaches an ASCII chart to every view.
+	IncludePlots bool `json:"includePlots"`
+}
+
+// viewJSON is the wire form of a characteristic view.
+type viewJSON struct {
+	Columns     []string        `json:"columns"`
+	Score       float64         `json:"score"`
+	Tightness   float64         `json:"tightness"`
+	PValue      *float64        `json:"pValue"` // null when untestable
+	Significant bool            `json:"significant"`
+	Explanation string          `json:"explanation"`
+	Components  []componentJSON `json:"components"`
+	// Plot is the ASCII chart of the view, present when requested.
+	Plot string `json:"plot,omitempty"`
+}
+
+type componentJSON struct {
+	Kind    string   `json:"kind"`
+	Columns []string `json:"columns"`
+	Raw     float64  `json:"raw"`
+	Norm    float64  `json:"norm"`
+	Inside  float64  `json:"inside"`
+	Outside float64  `json:"outside"`
+	PValue  *float64 `json:"pValue"`
+	Detail  string   `json:"detail,omitempty"`
+}
+
+// characterizeResponse is the wire form of a report.
+type characterizeResponse struct {
+	SQL          string     `json:"sql"`
+	SelectedRows int        `json:"selectedRows"`
+	TotalRows    int        `json:"totalRows"`
+	PrepMillis   float64    `json:"prepMillis"`
+	SearchMillis float64    `json:"searchMillis"`
+	PostMillis   float64    `json:"postMillis"`
+	CacheHit     bool       `json:"cacheHit"`
+	Warnings     []string   `json:"warnings,omitempty"`
+	Views        []viewJSON `json:"views"`
+}
+
+func optFloat(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	var req characterizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
+		return
+	}
+	if req.SQL == "" {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("missing sql"))
+		return
+	}
+	res, err := s.catalog.Query(req.SQL)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts := core.Options{ExcludeColumns: req.ExcludeColumns}
+	if req.ExcludePredicate {
+		opts.ExcludeColumns = append(opts.ExcludeColumns, predicateColumns(res.Stmt)...)
+	}
+	rep, err := s.engine.CharacterizeOpts(res.Base, res.Mask, opts)
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+
+	resp := characterizeResponse{
+		SQL:          req.SQL,
+		SelectedRows: rep.SelectedRows,
+		TotalRows:    rep.TotalRows,
+		PrepMillis:   float64(rep.Timings.Preparation.Microseconds()) / 1000,
+		SearchMillis: float64(rep.Timings.Search.Microseconds()) / 1000,
+		PostMillis:   float64(rep.Timings.Post.Microseconds()) / 1000,
+		CacheHit:     rep.CacheHit,
+		Warnings:     rep.Warnings,
+	}
+	for _, v := range rep.Views {
+		vj := viewJSON{
+			Columns:     v.Columns,
+			Score:       v.Score,
+			Tightness:   v.Tightness,
+			PValue:      optFloat(v.PValue),
+			Significant: v.Significant,
+			Explanation: v.Explanation,
+		}
+		if req.IncludePlots {
+			if chart, err := plot.View(res.Base, res.Mask, v.Columns, 56, 14); err == nil {
+				vj.Plot = chart
+			}
+		}
+		for _, c := range v.Components {
+			if !c.Valid() {
+				continue
+			}
+			vj.Components = append(vj.Components, componentJSON{
+				Kind:    c.Kind.String(),
+				Columns: c.Columns,
+				Raw:     c.Raw,
+				Norm:    c.Norm,
+				Inside:  c.Inside,
+				Outside: c.Outside,
+				PValue:  optFloat(c.Test.P),
+				Detail:  c.Detail,
+			})
+		}
+		resp.Views = append(resp.Views, vj)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// predicateColumns extracts the WHERE-referenced columns of a statement.
+func predicateColumns(stmt *db.SelectStmt) []string {
+	if stmt == nil || stmt.Where == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	var out []string
+	add := func(c string) {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	var walk func(e db.Expr)
+	walk = func(e db.Expr) {
+		switch x := e.(type) {
+		case *db.BinaryLogic:
+			walk(x.L)
+			walk(x.R)
+		case *db.NotExpr:
+			walk(x.Inner)
+		case *db.Comparison:
+			add(x.Column)
+		case *db.InExpr:
+			add(x.Column)
+		case *db.BetweenExpr:
+			add(x.Column)
+		case *db.LikeExpr:
+			add(x.Column)
+		case *db.IsNullExpr:
+			add(x.Column)
+		}
+	}
+	walk(stmt.Where)
+	return out
+}
+
+func (s *Server) handleDendrogram(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	name := r.URL.Query().Get("table")
+	f, ok := s.catalog.Table(name)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown table %q", name))
+		return
+	}
+	// The dendrogram is the visual support the paper recommends for
+	// picking MIN_tight; recompute with the engine's configured measure.
+	dep := depend.NewMatrix(f, s.engine.Config().Measure)
+	dendro, err := cluster.Agglomerate(dep.Distances(), f.NumCols(), s.engine.Config().Linkage)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, dendro.Render(f.ColumnNames()))
+}

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/synth"
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	cat := db.NewCatalog()
+	if err := cat.Register(synth.BoxOffice(1)); err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(cat, e, nil)
+}
+
+func TestIndexServesUI(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"Ziggy", "Characterize", "/api/characterize"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index missing %q", want)
+		}
+	}
+	// Unknown path 404s.
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/nope", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown path status %d", rec.Code)
+	}
+}
+
+func TestTablesEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/tables", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var infos []tableInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "boxoffice" || infos[0].Rows != synth.BoxOfficeRows {
+		t.Fatalf("infos = %+v", infos)
+	}
+	if len(infos[0].Columns) != synth.BoxOfficeCols {
+		t.Fatalf("columns = %d", len(infos[0].Columns))
+	}
+	// Wrong method rejected.
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/api/tables", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status %d", rec.Code)
+	}
+}
+
+func characterize(t *testing.T, s *Server, body string) (*httptest.ResponseRecorder, characterizeResponse) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/api/characterize", bytes.NewBufferString(body))
+	req.Header.Set("Content-Type", "application/json")
+	s.ServeHTTP(rec, req)
+	var resp characterizeResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("decoding %q: %v", rec.Body.String(), err)
+		}
+	}
+	return rec, resp
+}
+
+func TestCharacterizeEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec, resp := characterize(t, s,
+		`{"sql": "SELECT * FROM boxoffice WHERE gross_musd >= 100", "excludePredicate": true}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if len(resp.Views) == 0 {
+		t.Fatal("no views in response")
+	}
+	if resp.SelectedRows == 0 || resp.TotalRows != synth.BoxOfficeRows {
+		t.Fatalf("row counts %d/%d", resp.SelectedRows, resp.TotalRows)
+	}
+	for _, v := range resp.Views {
+		if v.Explanation == "" {
+			t.Error("view lacks explanation")
+		}
+		for _, c := range v.Columns {
+			if c == "gross_musd" {
+				t.Error("predicate column not excluded")
+			}
+		}
+		if len(v.Components) == 0 {
+			t.Error("view lacks components")
+		}
+	}
+}
+
+func TestCharacterizeValidation(t *testing.T) {
+	s := testServer(t)
+	cases := []struct {
+		body string
+		code int
+	}{
+		{"not json", http.StatusBadRequest},
+		{`{}`, http.StatusBadRequest},
+		{`{"sql": "SELECT * FROM nope"}`, http.StatusBadRequest},
+		{`{"sql": "SELECT * FROM boxoffice WHERE gross_musd > 1e15"}`, http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		rec, _ := characterize(t, s, c.body)
+		if rec.Code != c.code {
+			t.Errorf("body %q: status %d, want %d (%s)", c.body, rec.Code, c.code, rec.Body.String())
+		}
+	}
+	// GET is rejected.
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/characterize", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d", rec.Code)
+	}
+}
+
+func TestCharacterizeExplicitExclusions(t *testing.T) {
+	s := testServer(t)
+	rec, resp := characterize(t, s,
+		`{"sql": "SELECT * FROM boxoffice WHERE gross_musd >= 100",
+		  "excludeColumns": ["budget_musd", "opening_weekend_musd"]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	for _, v := range resp.Views {
+		for _, c := range v.Columns {
+			if c == "budget_musd" || c == "opening_weekend_musd" {
+				t.Errorf("explicitly excluded column %q present", c)
+			}
+		}
+	}
+}
+
+func TestDendrogramEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/dendrogram?table=boxoffice", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "budget_musd") || !strings.Contains(body, "h=") {
+		t.Errorf("dendrogram output unexpected: %q", body[:120])
+	}
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/dendrogram?table=nope", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown table status %d", rec.Code)
+	}
+}
+
+func TestCacheHitReportedOnSecondQuery(t *testing.T) {
+	s := testServer(t)
+	_, first := characterize(t, s, `{"sql": "SELECT * FROM boxoffice WHERE gross_musd >= 100"}`)
+	if first.CacheHit {
+		t.Error("first query reported a cache hit")
+	}
+	_, second := characterize(t, s, `{"sql": "SELECT * FROM boxoffice WHERE gross_musd >= 50"}`)
+	if !second.CacheHit {
+		t.Error("second query missed the cache")
+	}
+}

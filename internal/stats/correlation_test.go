@@ -1,0 +1,220 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func TestPearsonExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	approx(t, "perfect", Pearson(xs, ys), 1, 1e-12)
+	neg := []float64{10, 8, 6, 4, 2}
+	approx(t, "anti", Pearson(xs, neg), -1, 1e-12)
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if !math.IsNaN(Pearson([]float64{1}, []float64{2})) {
+		t.Error("single pair should be NaN")
+	}
+	if !math.IsNaN(Pearson([]float64{1, 2}, []float64{3})) {
+		t.Error("length mismatch should be NaN")
+	}
+	if !math.IsNaN(Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})) {
+		t.Error("constant series should be NaN")
+	}
+}
+
+func TestPearsonRecoversPlantedCorrelation(t *testing.T) {
+	mn, err := randx.NewMultiNormal([]float64{0, 0}, []float64{1, 0.6, 0.6, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := randx.New(9)
+	const n = 50000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	v := make([]float64, 2)
+	for i := 0; i < n; i++ {
+		mn.Sample(r, v)
+		xs[i], ys[i] = v[0], v[1]
+	}
+	approx(t, "planted r", Pearson(xs, ys), 0.6, 0.01)
+}
+
+func TestCovariance(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys := []float64{4, 6, 8}
+	approx(t, "cov", Covariance(xs, ys), 2, 1e-12)
+	if !math.IsNaN(Covariance(xs, []float64{1})) {
+		t.Error("mismatch should be NaN")
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 4, 9, 16, 25} // monotone but nonlinear
+	approx(t, "spearman monotone", Spearman(xs, ys), 1, 1e-12)
+	if !math.IsNaN(Spearman([]float64{1}, []float64{1})) {
+		t.Error("single pair should be NaN")
+	}
+}
+
+func TestFisherZ(t *testing.T) {
+	for _, r := range []float64{-0.9, -0.5, 0, 0.3, 0.8} {
+		approx(t, "fisher round-trip", FisherZInv(FisherZ(r)), r, 1e-12)
+	}
+	if math.IsInf(FisherZ(1), 0) || math.IsInf(FisherZ(-1), 0) {
+		t.Error("FisherZ at ±1 must stay finite")
+	}
+	if FisherZ(0.5) <= FisherZ(0.3) {
+		t.Error("FisherZ must be increasing")
+	}
+}
+
+func TestCorrelationMatrix(t *testing.T) {
+	cols := [][]float64{
+		{1, 2, 3, 4},
+		{2, 4, 6, 8},
+		{4, 3, 2, 1},
+	}
+	m := CorrelationMatrix(cols)
+	// Diagonal ones.
+	for i := 0; i < 3; i++ {
+		approx(t, "diag", m[i*3+i], 1, 0)
+	}
+	approx(t, "m01", m[0*3+1], 1, 1e-12)
+	approx(t, "m02", m[0*3+2], -1, 1e-12)
+	// Symmetry.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if m[i*3+j] != m[j*3+i] {
+				t.Fatal("matrix not symmetric")
+			}
+		}
+	}
+}
+
+func TestMutualInformationIndependentVsDependent(t *testing.T) {
+	r := randx.New(11)
+	const n = 20000
+	xs := make([]float64, n)
+	indep := make([]float64, n)
+	dep := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = r.NormFloat64()
+		indep[i] = r.NormFloat64()
+		dep[i] = xs[i] + 0.1*r.NormFloat64()
+	}
+	miIndep := MutualInformationBinned(xs, indep, 16)
+	miDep := MutualInformationBinned(xs, dep, 16)
+	if miDep < 5*miIndep || miDep < 0.5 {
+		t.Errorf("MI(dep)=%v should dominate MI(indep)=%v", miDep, miIndep)
+	}
+	nmi := NormalizedMI(xs, dep, 16)
+	if nmi <= 0 || nmi > 1 {
+		t.Errorf("NormalizedMI out of (0,1]: %v", nmi)
+	}
+	if NormalizedMI(xs, indep, 16) > 0.1 {
+		t.Errorf("NormalizedMI of independent series too high: %v", NormalizedMI(xs, indep, 16))
+	}
+}
+
+func TestMutualInformationDegenerate(t *testing.T) {
+	if MutualInformationBinned(nil, nil, 8) != 0 {
+		t.Error("empty MI should be 0")
+	}
+	flat := []float64{1, 1, 1, 1}
+	vary := []float64{1, 2, 3, 4}
+	if MutualInformationBinned(flat, vary, 8) != 0 {
+		t.Error("constant-series MI should be 0")
+	}
+	if NormalizedMI(flat, vary, 8) != 0 {
+		t.Error("constant-series NMI should be 0")
+	}
+	if MutualInformationBinned(vary, []float64{1}, 8) != 0 {
+		t.Error("mismatched length MI should be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 0.1, 0.5, 0.9, 1.0}
+	h := NewHistogram(xs, 2, 0, 1)
+	if h.Total != 5 {
+		t.Fatalf("Total = %d", h.Total)
+	}
+	// 0.5 lands on the boundary and belongs to the upper bin; 1.0 clamps
+	// into the upper bin.
+	if h.Counts[0] != 2 || h.Counts[1] != 3 {
+		t.Fatalf("Counts = %v, want [2 3]", h.Counts)
+	}
+	p := h.Probabilities()
+	approx(t, "p0", p[0], 0.4, 1e-12)
+	if h.BinOf(-5) != 0 || h.BinOf(99) != 1 {
+		t.Error("out-of-range values must clamp")
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := NewHistogram([]float64{1, 2}, 0, 0, 1)
+	if len(h.Counts) != 1 || h.Counts[0] != 2 {
+		t.Error("k<=0 should give single-bin histogram")
+	}
+	h2 := NewHistogram([]float64{1, 2}, 4, 5, 5)
+	if len(h2.Counts) != 1 {
+		t.Error("hi<=lo should give single-bin histogram")
+	}
+	if h2.BinOf(123) != 0 {
+		t.Error("degenerate BinOf should be 0")
+	}
+	empty := Histogram{Counts: make([]int, 3)}
+	for _, p := range empty.Probabilities() {
+		if p != 0 {
+			t.Error("zero-total probabilities should be 0")
+		}
+	}
+}
+
+func TestSturgesBins(t *testing.T) {
+	if SturgesBins(0) != 4 || SturgesBins(1) != 4 {
+		t.Error("tiny n should clamp to 4")
+	}
+	if SturgesBins(1<<30) != 31 {
+		t.Errorf("SturgesBins(2^30) = %d, want 31", SturgesBins(1<<30))
+	}
+	if SturgesBins(2) < 4 {
+		t.Error("lower clamp broken")
+	}
+}
+
+func BenchmarkPearson(b *testing.B) {
+	r := randx.New(1)
+	n := 10000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+		ys[i] = r.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Pearson(xs, ys)
+	}
+}
+
+func BenchmarkMutualInformation(b *testing.B) {
+	r := randx.New(1)
+	n := 10000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+		ys[i] = xs[i] + r.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MutualInformationBinned(xs, ys, 16)
+	}
+}

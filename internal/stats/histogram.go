@@ -1,0 +1,170 @@
+package stats
+
+import "math"
+
+// Histogram is an equal-width binning of a numeric series, used for the
+// binned mutual-information dependency measure and for frequency-based
+// categorical comparisons.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Total  int
+}
+
+// NewHistogram bins xs into k equal-width bins spanning [lo, hi]. Values
+// outside the range are clamped to the edge bins. k must be positive and
+// hi > lo; otherwise a single-bin histogram is returned.
+func NewHistogram(xs []float64, k int, lo, hi float64) Histogram {
+	if k <= 0 || !(hi > lo) {
+		h := Histogram{Lo: lo, Hi: hi, Counts: make([]int, 1)}
+		h.Counts[0] = len(xs)
+		h.Total = len(xs)
+		return h
+	}
+	h := Histogram{Lo: lo, Hi: hi, Counts: make([]int, k)}
+	width := (hi - lo) / float64(k)
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b < 0 {
+			b = 0
+		} else if b >= k {
+			b = k - 1
+		}
+		h.Counts[b]++
+		h.Total++
+	}
+	return h
+}
+
+// BinOf returns the bin index for value x under the histogram's geometry.
+func (h Histogram) BinOf(x float64) int {
+	k := len(h.Counts)
+	if k == 1 || !(h.Hi > h.Lo) {
+		return 0
+	}
+	width := (h.Hi - h.Lo) / float64(k)
+	b := int((x - h.Lo) / width)
+	if b < 0 {
+		return 0
+	}
+	if b >= k {
+		return k - 1
+	}
+	return b
+}
+
+// Probabilities returns the normalized bin frequencies; a zero-total
+// histogram yields all zeros.
+func (h Histogram) Probabilities() []float64 {
+	p := make([]float64, len(h.Counts))
+	if h.Total == 0 {
+		return p
+	}
+	for i, c := range h.Counts {
+		p[i] = float64(c) / float64(h.Total)
+	}
+	return p
+}
+
+// SturgesBins returns the Sturges rule bin count for n observations,
+// clamped to [4, 64]. It is the default binning for mutual information.
+func SturgesBins(n int) int {
+	if n <= 1 {
+		return 4
+	}
+	k := int(math.Ceil(math.Log2(float64(n)))) + 1
+	if k < 4 {
+		k = 4
+	}
+	if k > 64 {
+		k = 64
+	}
+	return k
+}
+
+// MutualInformationBinned estimates the mutual information (in nats)
+// between two numeric series by equal-width binning each into k bins.
+// Returns 0 for degenerate inputs.
+func MutualInformationBinned(xs, ys []float64, k int) float64 {
+	n := len(xs)
+	if n == 0 || len(ys) != n {
+		return 0
+	}
+	loX, hiX := MinMax(xs)
+	loY, hiY := MinMax(ys)
+	if !(hiX > loX) || !(hiY > loY) {
+		return 0
+	}
+	if k <= 0 {
+		k = SturgesBins(n)
+	}
+	hx := Histogram{Lo: loX, Hi: hiX, Counts: make([]int, k)}
+	hy := Histogram{Lo: loY, Hi: hiY, Counts: make([]int, k)}
+	joint := make([]int, k*k)
+	for i := 0; i < n; i++ {
+		bx := hx.BinOf(xs[i])
+		by := hy.BinOf(ys[i])
+		hx.Counts[bx]++
+		hy.Counts[by]++
+		joint[bx*k+by]++
+	}
+	mi := 0.0
+	fn := float64(n)
+	for bx := 0; bx < k; bx++ {
+		if hx.Counts[bx] == 0 {
+			continue
+		}
+		px := float64(hx.Counts[bx]) / fn
+		for by := 0; by < k; by++ {
+			c := joint[bx*k+by]
+			if c == 0 || hy.Counts[by] == 0 {
+				continue
+			}
+			pxy := float64(c) / fn
+			py := float64(hy.Counts[by]) / fn
+			mi += pxy * math.Log(pxy/(px*py))
+		}
+	}
+	if mi < 0 {
+		mi = 0 // numerical noise
+	}
+	return mi
+}
+
+// NormalizedMI rescales mutual information to [0, 1] via
+// MI / sqrt(H(X)·H(Y)); it returns 0 when either marginal entropy is zero.
+func NormalizedMI(xs, ys []float64, k int) float64 {
+	n := len(xs)
+	if n == 0 || len(ys) != n {
+		return 0
+	}
+	if k <= 0 {
+		k = SturgesBins(n)
+	}
+	loX, hiX := MinMax(xs)
+	loY, hiY := MinMax(ys)
+	if !(hiX > loX) || !(hiY > loY) {
+		return 0
+	}
+	mi := MutualInformationBinned(xs, ys, k)
+	hX := entropyOf(NewHistogram(xs, k, loX, hiX))
+	hY := entropyOf(NewHistogram(ys, k, loY, hiY))
+	if hX <= 0 || hY <= 0 {
+		return 0
+	}
+	v := mi / math.Sqrt(hX*hY)
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+func entropyOf(h Histogram) float64 {
+	e := 0.0
+	for _, p := range h.Probabilities() {
+		if p > 0 {
+			e -= p * math.Log(p)
+		}
+	}
+	return e
+}

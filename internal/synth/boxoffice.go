@@ -1,0 +1,91 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/frame"
+	"repro/internal/randx"
+)
+
+// BoxOfficeRows and BoxOfficeCols match the Hollywood movie table the demo
+// uses to introduce Ziggy (900 movies released 2007-2013, 12 attributes).
+const (
+	BoxOfficeRows = 900
+	BoxOfficeCols = 12
+)
+
+// BoxOffice generates the synthetic twin of the Box Office dataset. Two
+// latent factors drive it: production scale (budget ↔ gross ↔ opening
+// weekend ↔ theater count) and quality (critic ↔ audience scores), weakly
+// coupled. Selecting top-grossing movies therefore yields a "scale" view
+// and, more faintly, a "quality" view — the walk-through the demo performs.
+func BoxOffice(seed uint64) *frame.Frame {
+	r := randx.New(seed)
+	n := BoxOfficeRows
+
+	scale := newFactor(r.Fork(), n)
+	quality := mix(r.Fork(), n, 0.93, []factor{scale}, []float64{0.25})
+	gross := mix(r.Fork(), n, 0.45, []factor{scale, quality}, []float64{0.85, 0.30})
+
+	b := frame.NewBuilder("boxoffice")
+	addNum := func(name string, vals []float64) {
+		idx := b.AddNumeric(name)
+		for _, v := range vals {
+			b.AppendFloat(idx, v)
+		}
+	}
+
+	cr := r.Fork()
+	addNum("budget_musd", expColumn(cr, scale, 0.88, 0.47, 3.4, 0.9))
+	addNum("gross_musd", expColumn(cr, gross, 0.92, 0.40, 3.8, 1.1))
+	addNum("opening_weekend_musd", expColumn(cr, gross, 0.88, 0.47, 2.4, 1.0))
+	addNum("theaters_opening", column(cr, scale, 0.85, 0.53, 2400, 900))
+	addNum("critic_score", column(cr, quality, 0.88, 0.47, 55, 17))
+	addNum("audience_score", column(cr, quality, 0.85, 0.53, 58, 15))
+	addNum("runtime_min", column(cr, scale, 0.35, 0.94, 108, 17))
+	addNum("weeks_in_theaters", column(cr, gross, 0.60, 0.80, 11, 4.5))
+
+	// Year is uniform over the window and independent of everything.
+	yr := r.Fork()
+	yearIdx := b.AddNumeric("year")
+	for i := 0; i < n; i++ {
+		b.AppendFloat(yearIdx, float64(2007+yr.Intn(7)))
+	}
+
+	// Profitability: gross relative to budget with noise; loads on quality
+	// more than on scale (expensive flops exist).
+	pr := r.Fork()
+	profit := mix(pr.Fork(), n, 0.60, []factor{quality, scale}, []float64{0.60, -0.25})
+	addNum("profitability_ratio", column(pr, profit, 0.80, 0.60, 2.1, 1.2))
+
+	// Categoricals: genre (weak quality link via drama/documentary skew)
+	// and studio class (weak scale link).
+	gr := r.Fork()
+	genreIdx := b.AddCategorical("genre")
+	studioIdx := b.AddCategorical("studio_class")
+	genres := []string{"action", "comedy", "drama", "horror", "animation", "documentary"}
+	for i := 0; i < n; i++ {
+		gi := gr.Intn(len(genres))
+		if quality[i] > 1.0 && gr.Bernoulli(0.4) {
+			gi = 2 // critically acclaimed titles skew drama
+		}
+		if scale[i] > 1.0 && gr.Bernoulli(0.4) {
+			gi = 0 // big productions skew action
+		}
+		b.AppendStr(genreIdx, genres[gi])
+		switch {
+		case scale[i] > 0.6:
+			b.AppendStr(studioIdx, "major")
+		case scale[i] > -0.6:
+			b.AppendStr(studioIdx, "mid")
+		default:
+			b.AppendStr(studioIdx, "indie")
+		}
+	}
+
+	f := b.MustBuild()
+	if f.NumCols() != BoxOfficeCols {
+		panic(fmt.Sprintf("synth: BoxOffice generated %d columns, want %d", f.NumCols(), BoxOfficeCols))
+	}
+	return f
+}

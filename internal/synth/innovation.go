@@ -1,0 +1,129 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/frame"
+	"repro/internal/randx"
+)
+
+// InnovationRows and InnovationCols match the OECD Countries & Innovation
+// compilation the demo uses for its scale test (6,823 region-year rows ×
+// 519 indicators).
+const (
+	InnovationRows = 6823
+	InnovationCols = 519
+)
+
+// innovationThemes names the 39 latent blocks of 13 columns each
+// (39·13 = 507 numeric columns, + 9 noise columns + 3 categoricals = 519).
+var innovationThemes = []string{
+	"rd_spend", "patents", "trademarks", "tertiary_educ", "gdp",
+	"venture_capital", "researchers", "publications", "hightech_exports",
+	"broadband", "urbanization", "energy", "manufacturing", "services",
+	"employment", "wages", "taxes", "trade", "fdi", "startup_density",
+	"university_rank", "phd_graduates", "ict_investment", "software_spend",
+	"design_filings", "utility_models", "scientific_staff", "lab_infrastructure",
+	"public_grants", "private_grants", "collaboration", "mobility",
+	"demography", "health", "transport", "tourism", "agriculture",
+	"construction", "culture",
+}
+
+// Innovation generates the synthetic twin of the OECD dataset. An
+// "innovation capacity" latent couples the R&D-flavored blocks (R&D spend,
+// patents, researchers, venture capital, tertiary education, GDP) while the
+// remaining blocks hang off shallower economic factors, giving the
+// tightness-constrained search realistic clique structure at width 519.
+func Innovation(seed uint64) *frame.Frame {
+	r := randx.New(seed)
+	n := InnovationRows
+
+	// Core latents.
+	capacity := newFactor(r.Fork(), n) // innovation capacity
+	economy := mix(r.Fork(), n, 0.70, []factor{capacity}, []float64{0.70})
+	society := mix(r.Fork(), n, 0.85, []factor{economy}, []float64{0.50})
+
+	// Per-theme factors: R&D themes load on capacity, economic themes on
+	// economy, the rest on society; loadings shrink down the list.
+	themeFactors := make([]factor, len(innovationThemes))
+	tf := r.Fork()
+	for t := range innovationThemes {
+		var parent factor
+		var loading float64
+		switch {
+		case t < 10: // R&D block: tightly coupled to capacity
+			parent = capacity
+			loading = 0.80 - 0.02*float64(t)
+		case t < 24: // economy block
+			parent = economy
+			loading = 0.65 - 0.015*float64(t-10)
+		default: // societal texture
+			parent = society
+			loading = 0.50 - 0.01*float64(t-24)
+		}
+		themeFactors[t] = mix(tf.Fork(), n, 1-loading, []factor{parent}, []float64{loading})
+	}
+
+	b := frame.NewBuilder("innovation")
+	addNum := func(name string, vals []float64) {
+		idx := b.AddNumeric(name)
+		for _, v := range vals {
+			b.AppendFloat(idx, v)
+		}
+	}
+
+	// The headline outcome: patents per capita, driven hard by capacity so
+	// that P90 selections light up the R&D blocks.
+	pr := r.Fork()
+	addNum("patents_per_capita", expColumn(pr, capacity, 0.90, 0.44, 3.0, 0.9))
+
+	// 39 theme blocks × 13 columns. The first column of each block gets a
+	// strong loading (the "marquee" indicator), the rest decay.
+	cr := r.Fork()
+	for t, theme := range innovationThemes {
+		f := themeFactors[t]
+		for j := 0; j < 13; j++ {
+			loading := 0.85 - 0.04*float64(j)
+			noise := 1 - loading
+			name := fmt.Sprintf("%s_%02d", theme, j)
+			if j%3 == 0 {
+				addNum(name, expColumn(cr, f, loading, noise+0.3, 4.0, 0.8))
+			} else {
+				addNum(name, column(cr, f, loading, noise+0.3, 100, 35))
+			}
+		}
+	}
+
+	// 8 pure-noise indicators.
+	nr := r.Fork()
+	for i := 1; i <= 8; i++ {
+		addNum(fmt.Sprintf("misc_indicator_%d", i), column(nr, newFactor(nr.Fork(), n), 0, 1, 50, 12))
+	}
+
+	// 3 categorical columns: continent, income group (economy-linked),
+	// period.
+	gr := r.Fork()
+	contIdx := b.AddCategorical("continent")
+	incomeIdx := b.AddCategorical("income_group")
+	periodIdx := b.AddCategorical("period")
+	continents := []string{"Europe", "Americas", "Asia", "Oceania", "Africa"}
+	periods := []string{"1995-2000", "2001-2005", "2006-2010", "2011-2015"}
+	for i := 0; i < n; i++ {
+		b.AppendStr(contIdx, continents[gr.Intn(len(continents))])
+		switch {
+		case economy[i] > 0.5:
+			b.AppendStr(incomeIdx, "high")
+		case economy[i] > -0.5:
+			b.AppendStr(incomeIdx, "middle")
+		default:
+			b.AppendStr(incomeIdx, "low")
+		}
+		b.AppendStr(periodIdx, periods[gr.Intn(len(periods))])
+	}
+
+	f := b.MustBuild()
+	if f.NumCols() != InnovationCols {
+		panic(fmt.Sprintf("synth: Innovation generated %d columns, want %d", f.NumCols(), InnovationCols))
+	}
+	return f
+}

@@ -1,0 +1,177 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/frame"
+	"repro/internal/randx"
+)
+
+// USCrimeRows and USCrimeCols match the UCI Communities & Crime dataset the
+// paper demonstrates on (1994 communities × 128 attributes).
+const (
+	USCrimeRows = 1994
+	USCrimeCols = 128
+)
+
+// USCrime generates the synthetic twin of the US Crime dataset. The latent
+// structure is wired so that selecting high-crime communities surfaces the
+// four characteristic views of paper Figure 1:
+//
+//  1. population / pop_density — high values, low variance,
+//  2. pct_college_educ / avg_salary — low values,
+//  3. avg_rent / pct_home_owners — low values,
+//  4. pct_under_25 / pct_monoparental — high values,
+//
+// plus the §4.2 easter egg: pct_boarded_windows, a "seemingly superfluous"
+// housing-decay variable that correlates strongly with crime.
+func USCrime(seed uint64) *frame.Frame {
+	r := randx.New(seed)
+	n := USCrimeRows
+
+	// Latent factors. Each is standardized by mix(). Urbanization is kept
+	// nearly orthogonal to the prosperity chain so its positive effect on
+	// crime is not cancelled by the negative education/wealth pathways.
+	urban := newFactor(r.Fork(), n)
+	educ := mix(r.Fork(), n, 0.99, []factor{urban}, []float64{0.15})
+	wealth := mix(r.Fork(), n, 0.75, []factor{educ}, []float64{0.65})
+	housing := mix(r.Fork(), n, 0.70, []factor{wealth}, []float64{0.70})
+	family := mix(r.Fork(), n, 0.85, []factor{wealth}, []float64{-0.55})
+	youth := mix(r.Fork(), n, 0.85, []factor{family}, []float64{0.55})
+	employ := mix(r.Fork(), n, 0.80, []factor{wealth}, []float64{0.60})
+	// eduWealth is the combined prosperity factor shared by the education
+	// and income block below and by the crime equation.
+	eduWealth := mix(r.Fork(), n, 0.35, []factor{educ, wealth}, []float64{0.70, 0.60})
+	// Crime loads positively on urbanization, family instability and youth;
+	// negatively on prosperity, housing quality and employment.
+	crime := mix(r.Fork(), n, 0.35,
+		[]factor{urban, eduWealth, housing, family, youth, employ},
+		[]float64{0.70, -0.40, -0.35, 0.50, 0.30, -0.25})
+
+	b := frame.NewBuilder("uscrime")
+	addNum := func(name string, vals []float64) {
+		idx := b.AddNumeric(name)
+		for _, v := range vals {
+			b.AppendFloat(idx, v)
+		}
+	}
+
+	// Block 1: demographics / urbanization (16 columns). The two headline
+	// columns carry strong loadings so that high-crime selections have
+	// high means AND visibly reduced variance (value compression near the
+	// top of the latent scale is induced by the log-normal shape).
+	cr := r.Fork()
+	addNum("population", expColumn(cr, urban, 0.92, 0.40, 10.5, 0.8))
+	addNum("pop_density", expColumn(cr, urban, 0.90, 0.45, 7.2, 0.7))
+	addNum("pct_urban", column(cr, urban, 0.85, 0.53, 62, 22))
+	addNum("housing_units_density", expColumn(cr, urban, 0.80, 0.60, 6.4, 0.8))
+	addNum("daytime_pop_ratio", column(cr, urban, 0.70, 0.71, 1.05, 0.18))
+	addNum("transit_share", column(cr, urban, 0.75, 0.66, 12, 9))
+	for i := 1; i <= 10; i++ {
+		addNum(fmt.Sprintf("urban_indicator_%d", i), column(cr, urban, 0.72, 0.69, 50, 18))
+	}
+
+	// Block 2: education & income (16 columns), all on the shared
+	// prosperity factor.
+	er := r.Fork()
+	addNum("pct_college_educ", column(er, eduWealth, 0.88, 0.47, 28, 11))
+	addNum("avg_salary", expColumn(er, eduWealth, 0.85, 0.53, 10.5, 0.35))
+	addNum("pct_highschool_grad", column(er, eduWealth, 0.80, 0.60, 78, 10))
+	addNum("median_income", expColumn(er, eduWealth, 0.82, 0.57, 10.6, 0.33))
+	addNum("pct_advanced_degree", column(er, eduWealth, 0.75, 0.66, 11, 6))
+	addNum("per_capita_income", expColumn(er, eduWealth, 0.78, 0.63, 10.0, 0.34))
+	for i := 1; i <= 10; i++ {
+		addNum(fmt.Sprintf("income_indicator_%d", i), column(er, eduWealth, 0.70, 0.71, 45, 14))
+	}
+
+	// Block 3: housing (16 columns).
+	hr := r.Fork()
+	addNum("avg_rent", expColumn(hr, housing, 0.88, 0.47, 6.6, 0.30))
+	addNum("pct_home_owners", column(hr, housing, 0.86, 0.51, 62, 13))
+	addNum("median_home_value", expColumn(hr, housing, 0.82, 0.57, 11.8, 0.45))
+	addNum("pct_vacant_housing", column(hr, housing, -0.75, 0.66, 9, 4.5))
+	addNum("pct_owner_occupied", column(hr, housing, 0.80, 0.60, 58, 12))
+	addNum("avg_rooms_per_dwelling", column(hr, housing, 0.70, 0.71, 5.4, 0.9))
+	for i := 1; i <= 10; i++ {
+		addNum(fmt.Sprintf("housing_indicator_%d", i), column(hr, housing, 0.72, 0.69, 50, 15))
+	}
+
+	// Block 4: family structure & age (16 columns).
+	fr := r.Fork()
+	famYouth := mix(fr.Fork(), n, 0.35, []factor{family, youth}, []float64{0.70, 0.60})
+	addNum("pct_monoparental", column(fr, famYouth, 0.88, 0.47, 18, 7))
+	addNum("pct_under_25", column(fr, famYouth, 0.85, 0.53, 34, 8))
+	addNum("pct_divorced", column(fr, famYouth, 0.78, 0.63, 10, 3.5))
+	addNum("avg_household_size", column(fr, famYouth, 0.55, 0.84, 2.6, 0.4))
+	addNum("pct_never_married", column(fr, famYouth, 0.74, 0.67, 24, 7))
+	addNum("median_age", column(fr, famYouth, -0.80, 0.60, 35, 5))
+	for i := 1; i <= 10; i++ {
+		addNum(fmt.Sprintf("family_indicator_%d", i), column(fr, famYouth, 0.70, 0.71, 30, 9))
+	}
+
+	// Block 5: employment (15 columns).
+	jr := r.Fork()
+	addNum("pct_unemployed", column(jr, employ, -0.85, 0.53, 6.5, 2.8))
+	addNum("pct_employed_prof", column(jr, employ, 0.80, 0.60, 32, 9))
+	addNum("labor_force_rate", column(jr, employ, 0.75, 0.66, 65, 8))
+	addNum("pct_working_mom", column(jr, employ, 0.55, 0.84, 58, 10))
+	addNum("pct_manufacturing", column(jr, employ, -0.45, 0.89, 14, 6))
+	for i := 1; i <= 10; i++ {
+		addNum(fmt.Sprintf("employment_indicator_%d", i), column(jr, employ, 0.70, 0.71, 50, 13))
+	}
+
+	// Block 6: social services & misc civic indicators (15 columns), weakly
+	// linked to wealth — background texture, not signal.
+	sr := r.Fork()
+	for i := 1; i <= 15; i++ {
+		addNum(fmt.Sprintf("civic_indicator_%d", i), column(sr, wealth, 0.35, 0.94, 40, 12))
+	}
+
+	// Block 7: pure noise columns (15) — Ziggy must NOT pick these.
+	nr := r.Fork()
+	for i := 1; i <= 15; i++ {
+		addNum(fmt.Sprintf("noise_indicator_%d", i), column(nr, newFactor(nr.Fork(), n), 0.0, 1.0, 50, 10))
+	}
+
+	// Block 8: crime outcomes (17 columns).
+	crr := r.Fork()
+	addNum("crime_violent_rate", column(crr, crime, 0.92, 0.40, 700, 420))
+	addNum("crime_murder_rate", column(crr, crime, 0.80, 0.60, 6.5, 4.5))
+	addNum("crime_robbery_rate", column(crr, crime, 0.82, 0.57, 180, 120))
+	addNum("crime_assault_rate", column(crr, crime, 0.84, 0.55, 330, 200))
+	addNum("crime_property_rate", column(crr, crime, 0.70, 0.71, 4300, 1700))
+	addNum("crime_burglary_rate", column(crr, crime, 0.68, 0.73, 950, 420))
+	// The §4.2 surprise: a housing-decay proxy that tracks crime closely.
+	boarded := mix(crr.Fork(), n, 0.35, []factor{crime, housing}, []float64{0.75, -0.40})
+	addNum("pct_boarded_windows", column(crr, boarded, 0.90, 0.44, 4.5, 2.6))
+	for i := 1; i <= 8; i++ {
+		addNum(fmt.Sprintf("crime_indicator_%d", i), column(crr, crime, 0.72, 0.69, 250, 110))
+	}
+	// Two sparse incident counters round out the block.
+	addNum("arson_count", expColumn(crr, crime, 0.60, 0.80, 2.2, 0.8))
+	addNum("gang_incidents", expColumn(crr, crime, 0.65, 0.76, 1.8, 0.9))
+
+	// Two categorical columns: region (independent) and size class
+	// (derived from population → urban factor).
+	regions := []string{"Northeast", "South", "Midwest", "West"}
+	gr := r.Fork()
+	regIdx := b.AddCategorical("region")
+	sizeIdx := b.AddCategorical("size_class")
+	for i := 0; i < n; i++ {
+		b.AppendStr(regIdx, regions[gr.Intn(len(regions))])
+		switch {
+		case urban[i] > 0.8:
+			b.AppendStr(sizeIdx, "large")
+		case urban[i] > -0.4:
+			b.AppendStr(sizeIdx, "mid")
+		default:
+			b.AppendStr(sizeIdx, "small")
+		}
+	}
+
+	f := b.MustBuild()
+	if f.NumCols() != USCrimeCols {
+		panic(fmt.Sprintf("synth: USCrime generated %d columns, want %d", f.NumCols(), USCrimeCols))
+	}
+	return f
+}

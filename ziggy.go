@@ -1,0 +1,287 @@
+// Package ziggy is the public API of the Ziggy reproduction: a library that
+// characterizes query results for data explorers.
+//
+// Given a table and a selection query, Ziggy finds characteristic views —
+// small, coherent sets of columns on which the selected tuples differ most
+// from the rest of the data — scores them with an explainable composite of
+// effect sizes (the Zig-Dissimilarity), verifies them with asymptotic
+// hypothesis tests, and describes each view in plain language.
+//
+// The package follows the paper's architecture: an embedded columnar store
+// with a SQL subset plays MonetDB's role, the engine implements the
+// three-stage pipeline (preparation, view search, post-processing), and the
+// companion cmd/ziggyd binary serves the interactive demo UI.
+//
+// Quick start:
+//
+//	session, err := ziggy.NewSession(ziggy.DefaultConfig())
+//	...
+//	session.Register(ziggy.USCrimeData(42))
+//	report, err := session.Characterize(
+//	    "SELECT * FROM uscrime WHERE crime_violent_rate >= 1300")
+//	for _, view := range report.Views {
+//	    fmt.Println(view.Columns, view.Score, view.Explanation)
+//	}
+package ziggy
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/csvio"
+	"repro/internal/db"
+	"repro/internal/effect"
+	"repro/internal/frame"
+	"repro/internal/plot"
+	"repro/internal/synth"
+)
+
+// Re-exported engine types. The aliases keep the public surface in one
+// import while the implementation lives in internal packages.
+type (
+	// Config parameterizes the engine; see DefaultConfig.
+	Config = core.Config
+	// Engine is the characterization pipeline.
+	Engine = core.Engine
+	// Options tunes one characterization run.
+	Options = core.Options
+	// Report is the outcome of a characterization.
+	Report = core.Report
+	// View is one characteristic view.
+	View = core.View
+	// Timings is the per-stage wall-time breakdown.
+	Timings = core.Timings
+
+	// Frame is an immutable column-oriented table.
+	Frame = frame.Frame
+	// Column is one named, typed column of a Frame.
+	Column = frame.Column
+	// Bitmap is a row-selection vector over a Frame.
+	Bitmap = frame.Bitmap
+)
+
+// Component is one Zig-Component: a verifiable indicator of how the
+// selection differs from the rest of the data on specific columns.
+type Component = effect.Component
+
+// ComponentKind identifies a Zig-Component family.
+type ComponentKind = effect.Kind
+
+// Weights maps component kinds to user preferences for the
+// Zig-Dissimilarity (paper §2.2).
+type Weights = effect.Weights
+
+// Zig-Component families for use in Weights.
+const (
+	// DiffMeans is the standardized difference between means (Hedges' g).
+	DiffMeans = effect.DiffMeans
+	// DiffStdDevs is the log ratio between standard deviations.
+	DiffStdDevs = effect.DiffStdDevs
+	// DiffCorrelations is the Fisher-z difference between the correlation
+	// coefficients of a column pair.
+	DiffCorrelations = effect.DiffCorrelations
+	// DiffFrequencies is the total variation distance between categorical
+	// frequency vectors.
+	DiffFrequencies = effect.DiffFrequencies
+	// DiffLocationsRobust is Cliff's delta, the rank-based location shift.
+	DiffLocationsRobust = effect.DiffLocationsRobust
+)
+
+// DefaultWeights weighs every component family equally.
+func DefaultWeights() Weights { return effect.DefaultWeights() }
+
+// CandidateGen selects the view-search candidate generator.
+type CandidateGen = core.CandidateGen
+
+// Candidate generators for Config.Generator.
+const (
+	// Clustering partitions the dependency graph with hierarchical
+	// clustering (the paper's choice).
+	Clustering = core.Clustering
+	// Cliques enumerates maximal cliques of the thresholded dependency
+	// graph.
+	Cliques = core.Cliques
+)
+
+// DefaultConfig returns the engine configuration used in the paper's demo
+// scenarios.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewEngine builds a standalone engine for callers that manage their own
+// frames and selections.
+func NewEngine(cfg Config) (*Engine, error) { return core.New(cfg) }
+
+// LoadCSV reads a CSV file with a header row into a Frame, inferring
+// numeric vs categorical column types.
+func LoadCSV(path string) (*Frame, error) {
+	return csvio.ReadFile(path, csvio.Options{})
+}
+
+// WriteCSV writes a Frame to a CSV file.
+func WriteCSV(path string, f *Frame) error {
+	return csvio.WriteFile(path, f)
+}
+
+// USCrimeData generates the synthetic twin of the UCI Communities & Crime
+// dataset (1994 rows × 128 columns) used by the paper's running example.
+func USCrimeData(seed uint64) *Frame { return synth.USCrime(seed) }
+
+// BoxOfficeData generates the synthetic twin of the Hollywood Box Office
+// dataset (900 rows × 12 columns).
+func BoxOfficeData(seed uint64) *Frame { return synth.BoxOffice(seed) }
+
+// InnovationData generates the synthetic twin of the OECD Countries &
+// Innovation dataset (6,823 rows × 519 columns).
+func InnovationData(seed uint64) *Frame { return synth.Innovation(seed) }
+
+// Quantile returns the q-th quantile of a numeric column; handy for
+// building threshold queries ("above the 90th percentile").
+func Quantile(f *Frame, column string, q float64) (float64, error) {
+	return synth.QuantileOf(f, column, q)
+}
+
+// PlotView renders a characteristic view as text: an ASCII scatter for two
+// numeric columns ('+' selection, '·' rest, as in paper Figure 1),
+// histograms or frequency bars otherwise.
+func PlotView(f *Frame, sel *Bitmap, columns []string, width, height int) (string, error) {
+	return plot.View(f, sel, columns, width, height)
+}
+
+// Session couples the embedded SQL layer with a characterization engine:
+// the "tuple description engine distributed as a library" the paper's
+// conclusion announces.
+type Session struct {
+	catalog *db.Catalog
+	engine  *core.Engine
+}
+
+// NewSession validates cfg and creates an empty session.
+func NewSession(cfg Config) (*Session, error) {
+	e, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{catalog: db.NewCatalog(), engine: e}, nil
+}
+
+// Register adds a table to the session under the frame's name.
+func (s *Session) Register(f *Frame) error { return s.catalog.Register(f) }
+
+// RegisterCSV loads a CSV file and registers it; the table is named after
+// the file's base name.
+func (s *Session) RegisterCSV(path string) (*Frame, error) {
+	f, err := LoadCSV(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Register(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Tables lists registered table names.
+func (s *Session) Tables() []string { return s.catalog.TableNames() }
+
+// Table returns a registered frame.
+func (s *Session) Table(name string) (*Frame, bool) { return s.catalog.Table(name) }
+
+// Engine exposes the underlying engine (for cache control and config
+// inspection).
+func (s *Session) Engine() *Engine { return s.engine }
+
+// QueryReport couples a characterization report with the query that
+// produced the selection.
+type QueryReport struct {
+	*Report
+	// SQL is the characterized query.
+	SQL string
+	// Rows is the materialized query result (projection, order, limit
+	// applied).
+	Rows *Frame
+	// Mask is the selection over the base table.
+	Mask *Bitmap
+	// Base is the queried table.
+	Base *Frame
+}
+
+// Characterize executes the SQL query and characterizes its selection.
+func (s *Session) Characterize(sql string) (*QueryReport, error) {
+	return s.CharacterizeOpts(sql, Options{})
+}
+
+// CharacterizeOpts is Characterize with per-run options. Columns referenced
+// by the query's WHERE clause are usually worth excluding via
+// opts.ExcludeColumns; PredicateColumns computes them.
+func (s *Session) CharacterizeOpts(sql string, opts Options) (*QueryReport, error) {
+	res, err := s.catalog.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := s.engine.CharacterizeOpts(res.Base, res.Mask, opts)
+	if err != nil {
+		return nil, fmt.Errorf("ziggy: characterizing %q: %w", sql, err)
+	}
+	return &QueryReport{Report: rep, SQL: sql, Rows: res.Rows, Mask: res.Mask, Base: res.Base}, nil
+}
+
+// Query executes SQL without characterization, returning the result rows
+// and the selection mask over the base table.
+func (s *Session) Query(sql string) (*Frame, *Bitmap, error) {
+	res, err := s.catalog.Query(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Rows, res.Mask, nil
+}
+
+// PredicateColumns parses a query and returns the column names referenced
+// in its WHERE clause — the natural candidates for Options.ExcludeColumns.
+func PredicateColumns(sql string) ([]string, error) {
+	stmt, err := db.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Where == nil {
+		return nil, nil
+	}
+	seen := make(map[string]bool)
+	var out []string
+	var walk func(e db.Expr)
+	walk = func(e db.Expr) {
+		switch x := e.(type) {
+		case *db.BinaryLogic:
+			walk(x.L)
+			walk(x.R)
+		case *db.NotExpr:
+			walk(x.Inner)
+		case *db.Comparison:
+			if !seen[x.Column] {
+				seen[x.Column] = true
+				out = append(out, x.Column)
+			}
+		case *db.InExpr:
+			if !seen[x.Column] {
+				seen[x.Column] = true
+				out = append(out, x.Column)
+			}
+		case *db.BetweenExpr:
+			if !seen[x.Column] {
+				seen[x.Column] = true
+				out = append(out, x.Column)
+			}
+		case *db.LikeExpr:
+			if !seen[x.Column] {
+				seen[x.Column] = true
+				out = append(out, x.Column)
+			}
+		case *db.IsNullExpr:
+			if !seen[x.Column] {
+				seen[x.Column] = true
+				out = append(out, x.Column)
+			}
+		}
+	}
+	walk(stmt.Where)
+	return out, nil
+}

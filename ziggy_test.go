@@ -1,0 +1,203 @@
+package ziggy_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	ziggy "repro"
+)
+
+func newSession(t *testing.T) *ziggy.Session {
+	t.Helper()
+	s, err := ziggy.NewSession(ziggy.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	s := newSession(t)
+	if err := s.Register(ziggy.BoxOfficeData(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Tables(); !reflect.DeepEqual(got, []string{"boxoffice"}) {
+		t.Fatalf("Tables = %v", got)
+	}
+	if _, ok := s.Table("boxoffice"); !ok {
+		t.Fatal("Table lookup failed")
+	}
+	if s.Engine() == nil {
+		t.Fatal("Engine nil")
+	}
+}
+
+func TestSessionQuery(t *testing.T) {
+	s := newSession(t)
+	if err := s.Register(ziggy.BoxOfficeData(1)); err != nil {
+		t.Fatal(err)
+	}
+	rows, mask, err := s.Query("SELECT gross_musd FROM boxoffice WHERE genre = 'action' LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.NumRows() > 5 || rows.NumCols() != 1 {
+		t.Fatalf("rows shape %d×%d", rows.NumRows(), rows.NumCols())
+	}
+	if mask.Count() == 0 {
+		t.Fatal("empty selection")
+	}
+}
+
+func TestEndToEndCharacterization(t *testing.T) {
+	s := newSession(t)
+	if err := s.Register(ziggy.BoxOfficeData(7)); err != nil {
+		t.Fatal(err)
+	}
+	table, ok := s.Table("boxoffice")
+	if !ok {
+		t.Fatal("table missing")
+	}
+	q75, err := ziggy.Quantile(table, "gross_musd", 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q75 <= 0 {
+		t.Fatalf("q75 = %v", q75)
+	}
+	rep, err := s.Characterize("SELECT * FROM boxoffice WHERE gross_musd >= 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Views) == 0 {
+		t.Fatal("no views")
+	}
+	if rep.SQL == "" || rep.Base == nil || rep.Mask == nil || rep.Rows == nil {
+		t.Fatal("QueryReport incomplete")
+	}
+	// The scale block must surface: budget/opening/theaters correlate with
+	// gross.
+	var found bool
+	for _, v := range rep.Views {
+		for _, c := range v.Columns {
+			if c == "budget_musd" || c == "opening_weekend_musd" || c == "theaters_opening" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("scale block missing from views: %v", rep.Views)
+	}
+}
+
+func TestCharacterizeWithExclusions(t *testing.T) {
+	s := newSession(t)
+	if err := s.Register(ziggy.USCrimeData(3)); err != nil {
+		t.Fatal(err)
+	}
+	sql := "SELECT * FROM uscrime WHERE crime_violent_rate >= 1200 AND population > 20000"
+	cols, err := ziggy.PredicateColumns(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(cols)
+	if !reflect.DeepEqual(cols, []string{"crime_violent_rate", "population"}) {
+		t.Fatalf("PredicateColumns = %v", cols)
+	}
+	rep, err := s.CharacterizeOpts(sql, ziggy.Options{ExcludeColumns: cols})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Views {
+		for _, c := range v.Columns {
+			if c == "crime_violent_rate" || c == "population" {
+				t.Errorf("excluded predicate column %q in view", c)
+			}
+		}
+	}
+}
+
+func TestPredicateColumnsAllForms(t *testing.T) {
+	sql := "SELECT * FROM t WHERE a > 1 AND b IN ('x') OR NOT (c BETWEEN 1 AND 2) AND d LIKE 'z%' AND e IS NULL"
+	cols, err := ziggy.PredicateColumns(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(cols)
+	if !reflect.DeepEqual(cols, []string{"a", "b", "c", "d", "e"}) {
+		t.Fatalf("PredicateColumns = %v", cols)
+	}
+	// No WHERE → empty.
+	cols, err = ziggy.PredicateColumns("SELECT * FROM t")
+	if err != nil || cols != nil {
+		t.Fatalf("no-WHERE PredicateColumns = %v, %v", cols, err)
+	}
+	if _, err := ziggy.PredicateColumns("not sql"); err == nil {
+		t.Fatal("bad SQL accepted")
+	}
+}
+
+func TestCharacterizeErrors(t *testing.T) {
+	s := newSession(t)
+	if err := s.Register(ziggy.BoxOfficeData(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Characterize("SELECT * FROM nope"); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	if _, err := s.Characterize("SELECT * FROM boxoffice WHERE gross_musd > 1e12"); err == nil {
+		t.Fatal("empty selection should error (too few rows inside)")
+	}
+	if _, err := s.Characterize("garbage"); err == nil {
+		t.Fatal("unparsable SQL accepted")
+	}
+}
+
+func TestCSVRoundTripThroughFacade(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "movies.csv")
+	f := ziggy.BoxOfficeData(5)
+	if err := ziggy.WriteCSV(path, f); err != nil {
+		t.Fatal(err)
+	}
+	s := newSession(t)
+	back, err := s.RegisterCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != f.NumRows() || back.NumCols() != f.NumCols() {
+		t.Fatalf("round-trip shape %d×%d", back.NumRows(), back.NumCols())
+	}
+	if got := s.Tables(); !reflect.DeepEqual(got, []string{"movies"}) {
+		t.Fatalf("Tables = %v", got)
+	}
+	rep, err := s.Characterize("SELECT * FROM movies WHERE gross_musd >= 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Views) == 0 {
+		t.Fatal("no views on CSV-loaded data")
+	}
+}
+
+func TestRegisterCSVMissingFile(t *testing.T) {
+	s := newSession(t)
+	if _, err := s.RegisterCSV(filepath.Join(t.TempDir(), "nope.csv")); err != nil {
+		if !strings.Contains(err.Error(), "csvio") {
+			t.Fatalf("unexpected error text: %v", err)
+		}
+		return
+	}
+	t.Fatal("missing CSV accepted")
+}
+
+func TestNewSessionValidatesConfig(t *testing.T) {
+	cfg := ziggy.DefaultConfig()
+	cfg.MaxDim = 0
+	if _, err := ziggy.NewSession(cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
