@@ -225,6 +225,30 @@ func plantedForBench(b *testing.B, rows, cols int) *synth.PlantedData {
 	return pd
 }
 
+// BenchmarkCharacterizeParallel measures the cold pipeline — column
+// splitting, the O(cols²) dependency matrix, candidate scoring — on the
+// large planted fixture under increasing worker counts. Output is
+// bit-for-bit identical across sub-benchmarks (TestParallelDeterminism
+// asserts it); only wall time changes. On a multi-core machine the
+// dependency matrix dominates and scales near-linearly.
+func BenchmarkCharacterizeParallel(b *testing.B) {
+	pd := plantedForBench(b, 4000, 128)
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallelism=%d", p), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Parallelism = p
+			engine := mustEngine(b, cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				engine.InvalidateCache()
+				if _, err := engine.Characterize(pd.Frame, pd.Selection); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkScalingColumns measures experiment X1: cold pipeline cost as
 // the column count grows at N=2000.
 func BenchmarkScalingColumns(b *testing.B) {

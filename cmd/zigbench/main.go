@@ -28,7 +28,9 @@ func run() error {
 	exp := flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 	seed := flag.Uint64("seed", 42, "workload seed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	parallel := flag.Int("parallelism", 0, "engine worker count (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
+	experiments.SetParallelism(*parallel)
 
 	if *list {
 		for _, id := range experiments.IDs() {

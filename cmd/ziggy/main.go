@@ -50,6 +50,7 @@ func run(args []string, out io.Writer) error {
 		agg        = fs.String("agg", "min", "p-value aggregation: min, bonferroni, holm, fisher, stouffer")
 		alpha      = fs.Float64("alpha", 0.05, "significance level")
 		sigOnly    = fs.Bool("significant-only", false, "report only statistically significant views")
+		parallel   = fs.Int("parallelism", 0, "engine worker count (0 = all CPUs, 1 = sequential)")
 		jsonOutput = fs.Bool("json", false, "emit the report as JSON")
 		plotViews  = fs.Bool("plot", false, "render an ASCII chart under each view")
 	)
@@ -67,6 +68,7 @@ func run(args []string, out io.Writer) error {
 	cfg.Robust = *robust
 	cfg.Alpha = *alpha
 	cfg.RequireSignificant = *sigOnly
+	cfg.Parallelism = *parallel
 	var err error
 	if cfg.Linkage, err = cluster.ParseLinkage(*linkage); err != nil {
 		return err

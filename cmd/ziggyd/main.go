@@ -41,6 +41,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "seed for the built-in datasets")
 	minTight := flag.Float64("min-tight", 0.4, "tightness threshold")
 	maxViews := flag.Int("max-views", 8, "maximum views per query")
+	parallel := flag.Int("parallelism", 0, "engine worker count (0 = all CPUs, 1 = sequential)")
 	flag.Var(&csvs, "csv", "CSV file to register (repeatable)")
 	flag.Parse()
 
@@ -85,6 +86,7 @@ func main() {
 	cfg := core.DefaultConfig()
 	cfg.MinTight = *minTight
 	cfg.MaxViews = *maxViews
+	cfg.Parallelism = *parallel
 	engine, err := core.New(cfg)
 	if err != nil {
 		logger.Fatal(err)

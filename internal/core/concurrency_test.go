@@ -1,11 +1,15 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/frame"
+	"repro/internal/par"
 	"repro/internal/synth"
 )
 
@@ -104,6 +108,214 @@ func TestConcurrentDistinctFrames(t *testing.T) {
 	for err := range errs {
 		t.Error(err)
 	}
+}
+
+// TestConcurrentCharacterizeParallelEngine layers the two levels of
+// concurrency: many goroutines calling Characterize on ONE engine whose
+// internal stages themselves fan out across workers. Run under -race, this
+// is the main guard for the worker pool's shared-state discipline.
+func TestConcurrentCharacterizeParallelEngine(t *testing.T) {
+	pd := plantedFixture(t, 55)
+	cfg := DefaultConfig()
+	cfg.Parallelism = 4
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := e.Characterize(pd.Frame, pd.Selection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(ref)
+
+	const workers = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				rep, err := e.Characterize(pd.Frame, pd.Selection)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := fingerprint(rep); got != want {
+					errs <- fmt.Errorf("worker %d run %d: output drifted from reference", worker, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestInvalidateCacheDuringRuns hammers InvalidateCache while parallel
+// characterizations are in flight: every run must still succeed and produce
+// the reference output, whichever side of an invalidation it lands on.
+func TestInvalidateCacheDuringRuns(t *testing.T) {
+	pd := plantedFixture(t, 56)
+	cfg := DefaultConfig()
+	cfg.Parallelism = 2
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := e.Characterize(pd.Frame, pd.Selection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(ref)
+
+	stop := make(chan struct{})
+	var invalidatorWG sync.WaitGroup
+	invalidatorWG.Add(1)
+	go func() {
+		defer invalidatorWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				e.InvalidateCache()
+			}
+		}
+	}()
+
+	const workers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				rep, err := e.Characterize(pd.Frame, pd.Selection)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := fingerprint(rep); got != want {
+					errs <- fmt.Errorf("worker %d run %d: output drifted during cache churn", worker, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	invalidatorWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestPoolCoversAllTasks verifies the pool's core contract: every task in
+// [0, n) runs exactly once, for worker counts below, at, and above n.
+func TestPoolCoversAllTasks(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 16} {
+		for _, n := range []int{0, 1, 7, 1000} {
+			hits := make([]int32, n)
+			par.For(workers, n, func(worker, task int) {
+				if worker < 0 || worker >= workers {
+					t.Errorf("workers=%d n=%d: worker index %d out of range", workers, n, worker)
+				}
+				atomic.AddInt32(&hits[task], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: task %d ran %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+// TestPoolPanicPropagation asserts a task panic resurfaces on the calling
+// goroutine wrapped in *par.Panic — identically for the inline sequential
+// path and the goroutine fan-out — with the original value and the worker
+// stack preserved, and error panic values reachable through errors.As.
+func TestPoolPanicPropagation(t *testing.T) {
+	sentinel := errors.New("task exploded")
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				p, ok := r.(*par.Panic)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T, want *par.Panic", workers, r)
+				}
+				if p.Value != sentinel {
+					t.Errorf("workers=%d: panic value %v, want sentinel", workers, p.Value)
+				}
+				if len(p.Stack) == 0 {
+					t.Errorf("workers=%d: worker stack not captured", workers)
+				}
+				if !errors.Is(p, sentinel) {
+					t.Errorf("workers=%d: errors.Is cannot reach the wrapped error", workers)
+				}
+			}()
+			par.For(workers, 8, func(_, task int) {
+				if task == 3 {
+					panic(sentinel)
+				}
+			})
+		}()
+	}
+}
+
+// TestPoolCancellationAfterPanic asserts a panic cancels the pending task
+// backlog: after one task dies, workers stop draining the queue instead of
+// running all remaining tasks.
+func TestPoolCancellationAfterPanic(t *testing.T) {
+	const n = 1 << 20
+	var executed atomic.Int64
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate")
+			}
+		}()
+		par.For(4, n, func(_, task int) {
+			executed.Add(1)
+			if task == 0 {
+				panic("early death")
+			}
+		})
+	}()
+	if got := executed.Load(); got >= n {
+		t.Fatalf("all %d tasks ran despite the panic; cancellation is broken", n)
+	}
+}
+
+// TestPoolPanicInEngineSurfaces sanity-checks that a panic inside a
+// parallel engine stage crosses Characterize's goroutines rather than
+// hanging or vanishing (nil frame columns are impossible through the public
+// API, so this drives the pool directly with engine-sized inputs).
+func TestPoolPanicInEngineSurfaces(t *testing.T) {
+	if runtime.NumCPU() < 1 {
+		t.Skip("no CPUs?")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected propagated panic")
+		}
+	}()
+	par.For(par.Workers(0), 128, func(_, task int) {
+		if task == 64 {
+			var c *frame.Column
+			_ = c.Len() // nil-pointer panic from a realistic callee
+		}
+	})
 }
 
 // TestRepeatedRunsAreDeterministic guards against map-iteration order or

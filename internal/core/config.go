@@ -96,6 +96,12 @@ type Config struct {
 	// proportionally (BlinkDB-style approximation; experiment X7 measures
 	// the accuracy cost). Zero disables sampling.
 	SampleRows int
+	// Parallelism is the worker count for the engine's parallel stages
+	// (column splitting, the pairwise dependency matrix, candidate
+	// scoring). Zero means all CPUs (runtime.GOMAXPROCS); 1 runs the
+	// sequential path with no goroutines. Results are bit-for-bit
+	// identical for every worker count.
+	Parallelism int
 }
 
 // DefaultConfig returns the configuration used throughout the paper's demo
@@ -134,6 +140,9 @@ func (c Config) Validate() error {
 	}
 	if c.MinRows < 2 {
 		return fmt.Errorf("core: MinRows %d < 2", c.MinRows)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("core: Parallelism %d < 0 (0 means all CPUs)", c.Parallelism)
 	}
 	if err := c.Weights.Validate(); err != nil {
 		return err

@@ -13,6 +13,7 @@ import (
 	"repro/internal/explain"
 	"repro/internal/frame"
 	"repro/internal/hypo"
+	"repro/internal/par"
 	"repro/internal/sample"
 )
 
@@ -75,6 +76,9 @@ type colData struct {
 	name   string
 	kind   frame.Kind
 	usable bool
+	// warning is the skip reason when the column is unusable; collected
+	// into Report.Warnings in column order after the parallel fan-out.
+	warning string
 
 	// Numeric split.
 	in, out []float64
@@ -179,7 +183,7 @@ func (e *Engine) prepare(f *frame.Frame) (*prepared, bool) {
 
 	// Compute outside the lock: concurrent first queries may duplicate
 	// work but never block each other for the long haul.
-	dep := depend.NewMatrix(f, e.cfg.Measure)
+	dep := depend.NewMatrixParallel(f, e.cfg.Measure, e.workers())
 	var dendro *cluster.Dendrogram
 	if f.NumCols() >= 1 {
 		d, err := cluster.Agglomerate(dep.Distances(), f.NumCols(), e.cfg.Linkage)
@@ -238,51 +242,63 @@ func splitCatCol(c *frame.Column, sel, consider *frame.Bitmap) (in, out []int32)
 	return in, out
 }
 
-// splitColumns computes the Cᴵ/Cᴼ split and the 1D components per column.
+// splitColumns computes the Cᴵ/Cᴼ split and the 1D components per column,
+// fanning the columns out across the engine's workers. Each task writes
+// only cols[i], so the result is identical for every worker count; skip
+// warnings are collected in column order afterwards.
 func (e *Engine) splitColumns(f *frame.Frame, sel, consider *frame.Bitmap, rep *Report) []colData {
 	cols := make([]colData, f.NumCols())
-	for i := 0; i < f.NumCols(); i++ {
-		c := f.Col(i)
-		cd := colData{idx: i, name: c.Name(), kind: c.Kind()}
-		switch c.Kind() {
-		case frame.Numeric:
-			in, out := splitNumericCol(c, sel, consider)
-			cd.in, cd.out = in, out
-			if len(in) < e.cfg.MinRows || len(out) < e.cfg.MinRows {
-				rep.Warnings = append(rep.Warnings,
-					fmt.Sprintf("column %q skipped: only %d/%d usable rows inside/outside", c.Name(), len(in), len(out)))
-				break
-			}
-			cd.usable = true
-			if e.cfg.Robust {
-				cd.comps = append(cd.comps, effect.CliffDelta(c.Name(), in, out))
-			} else {
-				cd.comps = append(cd.comps, effect.Means(c.Name(), in, out))
-			}
-			cd.comps = append(cd.comps, effect.StdDevs(c.Name(), in, out))
-			if e.cfg.Extended {
-				cd.comps = append(cd.comps,
-					effect.Quantiles(c.Name(), in, out),
-					effect.Tails(c.Name(), in, out))
-			}
-		case frame.Categorical:
-			in, out := splitCatCol(c, sel, consider)
-			cd.inCodes, cd.outCodes, cd.dict = in, out, c.Dict()
-			if len(in) < e.cfg.MinRows || len(out) < e.cfg.MinRows {
-				rep.Warnings = append(rep.Warnings,
-					fmt.Sprintf("column %q skipped: only %d/%d usable rows inside/outside", c.Name(), len(in), len(out)))
-				break
-			}
-			cd.usable = true
-			cd.comps = append(cd.comps, effect.Frequencies(c.Name(), in, out, cd.dict))
-			if e.cfg.Extended {
-				cd.comps = append(cd.comps, effect.Entropy(c.Name(), in, out, cd.dict))
-			}
+	workers := e.workers()
+	scratches := newScratchPool(workers)
+	par.For(workers, f.NumCols(), func(w, i int) {
+		cols[i] = e.splitColumn(f.Col(i), i, sel, consider, &scratches.get(w).eff)
+	})
+	for i := range cols {
+		if cols[i].warning != "" {
+			rep.Warnings = append(rep.Warnings, cols[i].warning)
 		}
-		cd.score = effect.Score(cd.comps, e.cfg.Weights)
-		cols[i] = cd
 	}
 	return cols
+}
+
+// splitColumn computes one column's Cᴵ/Cᴼ split and 1D components.
+func (e *Engine) splitColumn(c *frame.Column, idx int, sel, consider *frame.Bitmap, s *effect.Scratch) colData {
+	cd := colData{idx: idx, name: c.Name(), kind: c.Kind()}
+	switch c.Kind() {
+	case frame.Numeric:
+		in, out := splitNumericCol(c, sel, consider)
+		cd.in, cd.out = in, out
+		if len(in) < e.cfg.MinRows || len(out) < e.cfg.MinRows {
+			cd.warning = fmt.Sprintf("column %q skipped: only %d/%d usable rows inside/outside", c.Name(), len(in), len(out))
+			break
+		}
+		cd.usable = true
+		if e.cfg.Robust {
+			cd.comps = append(cd.comps, effect.CliffDeltaWith(s, c.Name(), in, out))
+		} else {
+			cd.comps = append(cd.comps, effect.Means(c.Name(), in, out))
+		}
+		cd.comps = append(cd.comps, effect.StdDevs(c.Name(), in, out))
+		if e.cfg.Extended {
+			cd.comps = append(cd.comps,
+				effect.Quantiles(c.Name(), in, out),
+				effect.Tails(c.Name(), in, out))
+		}
+	case frame.Categorical:
+		in, out := splitCatCol(c, sel, consider)
+		cd.inCodes, cd.outCodes, cd.dict = in, out, c.Dict()
+		if len(in) < e.cfg.MinRows || len(out) < e.cfg.MinRows {
+			cd.warning = fmt.Sprintf("column %q skipped: only %d/%d usable rows inside/outside", c.Name(), len(in), len(out))
+			break
+		}
+		cd.usable = true
+		cd.comps = append(cd.comps, effect.FrequenciesWith(s, c.Name(), in, out, cd.dict))
+		if e.cfg.Extended {
+			cd.comps = append(cd.comps, effect.EntropyWith(s, c.Name(), in, out, cd.dict))
+		}
+	}
+	cd.score = effect.Score(cd.comps, e.cfg.Weights)
+	return cd
 }
 
 // generateCandidates produces tight column groups of size ≤ MaxDim.
@@ -372,99 +388,70 @@ func (e *Engine) packGroup(group []int, dep *depend.Matrix, cols []colData) [][]
 }
 
 // scoreCandidates materializes Views (without explanations) for candidate
-// index groups, computing the pairwise correlation components lazily.
+// index groups, fanning the candidates out across the engine's workers.
+// Each task writes only views[i] and uses its worker's private scratch for
+// the effect and hypothesis computations, so the scored views are identical
+// for every worker count.
 func (e *Engine) scoreCandidates(f *frame.Frame, sel, consider *frame.Bitmap, cols []colData, dep *depend.Matrix, candidates [][]int) []View {
-	views := make([]View, 0, len(candidates))
-	for _, cand := range candidates {
-		var comps []effect.Component
-		for _, idx := range cand {
-			comps = append(comps, cols[idx].comps...)
-		}
-		// Two-dimensional components for column pairs inside the view:
-		// correlation differences for numeric pairs (Figure 3) and, in
-		// extended mode, separation changes for mixed pairs.
-		for a := 0; a < len(cand); a++ {
-			for b := a + 1; b < len(cand); b++ {
-				ca, cb := cols[cand[a]], cols[cand[b]]
-				switch {
-				case ca.kind == frame.Numeric && cb.kind == frame.Numeric:
-					inA, inB, outA, outB := alignedSplit(f.Col(ca.idx), f.Col(cb.idx), sel, consider)
-					comps = append(comps, effect.Correlations(ca.name, cb.name, inA, inB, outA, outB))
-				case e.cfg.Extended && ca.kind == frame.Categorical && cb.kind == frame.Numeric:
-					comps = append(comps, mixedSeparation(f, ca, cb, sel, consider))
-				case e.cfg.Extended && ca.kind == frame.Numeric && cb.kind == frame.Categorical:
-					comps = append(comps, mixedSeparation(f, cb, ca, sel, consider))
-				}
-			}
-		}
-
-		names := make([]string, len(cand))
-		for i, idx := range cand {
-			names[i] = cols[idx].name
-		}
-		ps := make([]float64, 0, len(comps))
-		for _, c := range comps {
-			ps = append(ps, c.Test.P)
-		}
-		p := hypo.Combine(ps, e.cfg.Aggregation)
-		views = append(views, View{
-			Columns:     names,
-			Score:       effect.Score(comps, e.cfg.Weights),
-			Tightness:   dep.MinPairwise(cand),
-			Components:  comps,
-			PValue:      p,
-			Significant: !math.IsNaN(p) && p < e.cfg.Alpha,
-		})
-	}
+	views := make([]View, len(candidates))
+	workers := e.workers()
+	scratches := newScratchPool(workers)
+	par.For(workers, len(candidates), func(w, i int) {
+		views[i] = e.scoreCandidate(f, sel, consider, cols, dep, candidates[i], scratches.get(w))
+	})
 	return views
 }
 
-// alignedSplit extracts row-aligned complete cases of two numeric columns,
-// split by the selection mask and restricted to consider when non-nil.
-func alignedSplit(a, b *frame.Column, sel, consider *frame.Bitmap) (inA, inB, outA, outB []float64) {
-	n := a.Len()
-	for i := 0; i < n; i++ {
-		if consider != nil && !consider.Get(i) {
-			continue
-		}
-		if a.IsNull(i) || b.IsNull(i) {
-			continue
-		}
-		va, vb := a.Float(i), b.Float(i)
-		if sel.Get(i) {
-			inA = append(inA, va)
-			inB = append(inB, vb)
-		} else {
-			outA = append(outA, va)
-			outB = append(outB, vb)
+// scoreCandidate scores one candidate column group, computing the pairwise
+// correlation components lazily.
+func (e *Engine) scoreCandidate(f *frame.Frame, sel, consider *frame.Bitmap, cols []colData, dep *depend.Matrix, cand []int, s *scoreScratch) View {
+	var comps []effect.Component
+	for _, idx := range cand {
+		comps = append(comps, cols[idx].comps...)
+	}
+	// Two-dimensional components for column pairs inside the view:
+	// correlation differences for numeric pairs (Figure 3) and, in
+	// extended mode, separation changes for mixed pairs.
+	for a := 0; a < len(cand); a++ {
+		for b := a + 1; b < len(cand); b++ {
+			ca, cb := cols[cand[a]], cols[cand[b]]
+			switch {
+			case ca.kind == frame.Numeric && cb.kind == frame.Numeric:
+				inA, inB, outA, outB := s.alignedSplit(f.Col(ca.idx), f.Col(cb.idx), sel, consider)
+				comps = append(comps, effect.Correlations(ca.name, cb.name, inA, inB, outA, outB))
+			case e.cfg.Extended && ca.kind == frame.Categorical && cb.kind == frame.Numeric:
+				comps = append(comps, mixedSeparation(f, ca, cb, sel, consider, s))
+			case e.cfg.Extended && ca.kind == frame.Numeric && cb.kind == frame.Categorical:
+				comps = append(comps, mixedSeparation(f, cb, ca, sel, consider, s))
+			}
 		}
 	}
-	return
+
+	names := make([]string, len(cand))
+	for i, idx := range cand {
+		names[i] = cols[idx].name
+	}
+	ps := make([]float64, 0, len(comps))
+	for _, c := range comps {
+		ps = append(ps, c.Test.P)
+	}
+	p := hypo.Combine(ps, e.cfg.Aggregation)
+	return View{
+		Columns:     names,
+		Score:       effect.Score(comps, e.cfg.Weights),
+		Tightness:   dep.MinPairwise(cand),
+		Components:  comps,
+		PValue:      p,
+		Significant: !math.IsNaN(p) && p < e.cfg.Alpha,
+	}
 }
 
 // mixedSeparation computes the extended DiffSeparation component for a
 // categorical × numeric pair.
-func mixedSeparation(f *frame.Frame, cat, num colData, sel, consider *frame.Bitmap) effect.Component {
+func mixedSeparation(f *frame.Frame, cat, num colData, sel, consider *frame.Bitmap, s *scoreScratch) effect.Component {
 	cc := f.Col(cat.idx)
 	nc := f.Col(num.idx)
-	var catIn, catOut []int32
-	var numIn, numOut []float64
-	n := cc.Len()
-	for i := 0; i < n; i++ {
-		if consider != nil && !consider.Get(i) {
-			continue
-		}
-		if cc.IsNull(i) || nc.IsNull(i) {
-			continue
-		}
-		if sel.Get(i) {
-			catIn = append(catIn, cc.Code(i))
-			numIn = append(numIn, nc.Float(i))
-		} else {
-			catOut = append(catOut, cc.Code(i))
-			numOut = append(numOut, nc.Float(i))
-		}
-	}
+	catIn, numIn, catOut, numOut := s.mixedSplit(cc, nc, sel, consider)
 	return effect.Separation(cat.name, num.name, catIn, numIn, catOut, numOut, cc.Cardinality())
 }
 

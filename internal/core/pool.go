@@ -1,0 +1,96 @@
+package core
+
+import (
+	"repro/internal/effect"
+	"repro/internal/frame"
+	"repro/internal/par"
+)
+
+// workers returns the effective worker count for this engine's parallel
+// stages: Config.Parallelism, with 0 meaning all CPUs. Each stage reads it
+// once and passes the same count to both its scratch pool and par.For, so
+// worker indices always address a valid scratch slot.
+func (e *Engine) workers() int { return par.Workers(e.cfg.Parallelism) }
+
+// scratchPool lazily allocates one scratch per worker. Worker indices are
+// goroutine-stable for the duration of one par.For, so slot access needs
+// no locking.
+type scratchPool struct {
+	slots []*scoreScratch
+}
+
+func newScratchPool(workers int) *scratchPool {
+	return &scratchPool{slots: make([]*scoreScratch, workers)}
+}
+
+// get returns worker w's scratch, allocating it on first use.
+func (p *scratchPool) get(w int) *scoreScratch {
+	if p.slots[w] == nil {
+		p.slots[w] = &scoreScratch{}
+	}
+	return p.slots[w]
+}
+
+// scoreScratch holds the per-worker buffers reused across candidate-scoring
+// tasks: the row-aligned splits feeding the two-dimensional components and
+// the effect-size scratch. Everything here is consumed before the task
+// returns — nothing scratch-backed escapes into a View.
+type scoreScratch struct {
+	inA, inB, outA, outB []float64
+	catIn, catOut        []int32
+	eff                  effect.Scratch
+}
+
+// alignedSplit extracts row-aligned complete cases of two numeric columns,
+// split by the selection mask and restricted to consider when non-nil. The
+// returned slices alias the scratch and are valid until the next call.
+func (s *scoreScratch) alignedSplit(a, b *frame.Column, sel, consider *frame.Bitmap) (inA, inB, outA, outB []float64) {
+	inA, inB = s.inA[:0], s.inB[:0]
+	outA, outB = s.outA[:0], s.outB[:0]
+	n := a.Len()
+	for i := 0; i < n; i++ {
+		if consider != nil && !consider.Get(i) {
+			continue
+		}
+		if a.IsNull(i) || b.IsNull(i) {
+			continue
+		}
+		va, vb := a.Float(i), b.Float(i)
+		if sel.Get(i) {
+			inA = append(inA, va)
+			inB = append(inB, vb)
+		} else {
+			outA = append(outA, va)
+			outB = append(outB, vb)
+		}
+	}
+	s.inA, s.inB, s.outA, s.outB = inA, inB, outA, outB
+	return inA, inB, outA, outB
+}
+
+// mixedSplit extracts the row-aligned categorical codes and numeric values
+// feeding the DiffSeparation component. The returned slices alias the
+// scratch and are valid until the next call.
+func (s *scoreScratch) mixedSplit(cc, nc *frame.Column, sel, consider *frame.Bitmap) (catIn []int32, numIn []float64, catOut []int32, numOut []float64) {
+	catIn, catOut = s.catIn[:0], s.catOut[:0]
+	numIn, numOut = s.inA[:0], s.outA[:0]
+	n := cc.Len()
+	for i := 0; i < n; i++ {
+		if consider != nil && !consider.Get(i) {
+			continue
+		}
+		if cc.IsNull(i) || nc.IsNull(i) {
+			continue
+		}
+		if sel.Get(i) {
+			catIn = append(catIn, cc.Code(i))
+			numIn = append(numIn, nc.Float(i))
+		} else {
+			catOut = append(catOut, cc.Code(i))
+			numOut = append(numOut, nc.Float(i))
+		}
+	}
+	s.catIn, s.catOut = catIn, catOut
+	s.inA, s.outA = numIn, numOut
+	return catIn, numIn, catOut, numOut
+}

@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"repro/internal/frame"
+	"repro/internal/par"
 	"repro/internal/stats"
 )
 
@@ -221,16 +222,45 @@ type Matrix struct {
 // NewMatrix computes pairwise dependencies for all column pairs of f under
 // measure m. The diagonal is 1.
 func NewMatrix(f *frame.Frame, m Measure) *Matrix {
+	return NewMatrixParallel(f, m, 1)
+}
+
+// NewMatrixParallel is NewMatrix with the upper triangle sharded across
+// `workers` goroutines (the dominant preparation-stage cost: O(cols²)
+// pairwise statistics over all rows). Each unordered pair is one task
+// writing its two mirror cells, so the matrix is bit-for-bit identical for
+// every worker count. workers < 1 means all CPUs; an effective count of 1
+// computes inline with no goroutines and no pair-list allocation.
+func NewMatrixParallel(f *frame.Frame, m Measure, workers int) *Matrix {
+	workers = par.Workers(workers)
 	n := f.NumCols()
 	mat := &Matrix{names: f.ColumnNames(), vals: make([]float64, n*n), n: n}
 	for i := 0; i < n; i++ {
 		mat.vals[i*n+i] = 1
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				v := Pairwise(f.Col(i), f.Col(j), m)
+				mat.vals[i*n+j] = v
+				mat.vals[j*n+i] = v
+			}
+		}
+		return mat
+	}
+	type pair struct{ i, j int }
+	pairs := make([]pair, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			v := Pairwise(f.Col(i), f.Col(j), m)
-			mat.vals[i*n+j] = v
-			mat.vals[j*n+i] = v
+			pairs = append(pairs, pair{i, j})
 		}
 	}
+	par.For(workers, len(pairs), func(_, k int) {
+		p := pairs[k]
+		v := Pairwise(f.Col(p.i), f.Col(p.j), m)
+		mat.vals[p.i*n+p.j] = v
+		mat.vals[p.j*n+p.i] = v
+	})
 	return mat
 }
 

@@ -1,0 +1,32 @@
+package depend
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// TestNewMatrixParallelMatchesSequential asserts the sharded upper-triangle
+// computation is bit-for-bit identical to the sequential one for every
+// measure, on a mixed numeric/categorical table.
+func TestNewMatrixParallelMatchesSequential(t *testing.T) {
+	f := synth.BoxOffice(7)
+	for _, m := range []Measure{AbsPearson, AbsSpearman, NormalizedMI} {
+		want := NewMatrix(f, m)
+		for _, workers := range []int{2, 3, 8, 0} {
+			got := NewMatrixParallel(f, m, workers)
+			if got.Len() != want.Len() {
+				t.Fatalf("%v workers=%d: size %d, want %d", m, workers, got.Len(), want.Len())
+			}
+			for i := 0; i < want.Len(); i++ {
+				for j := 0; j < want.Len(); j++ {
+					if math.Float64bits(got.At(i, j)) != math.Float64bits(want.At(i, j)) {
+						t.Fatalf("%v workers=%d: cell (%d,%d) = %v, want %v",
+							m, workers, i, j, got.At(i, j), want.At(i, j))
+					}
+				}
+			}
+		}
+	}
+}

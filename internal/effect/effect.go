@@ -190,49 +190,7 @@ func Correlations(colA, colB string, inA, inB, outA, outB []float64) Component {
 // Raw and Norm are the total variation distance between the two frequency
 // vectors; Detail names the category with the largest absolute shift.
 func Frequencies(col string, in, out []int32, dict []string) Component {
-	if len(in) < 2 || len(out) < 2 || len(dict) == 0 {
-		return invalid(DiffFrequencies, col)
-	}
-	k := len(dict)
-	countsIn := make([]float64, k)
-	countsOut := make([]float64, k)
-	for _, c := range in {
-		if c >= 0 && int(c) < k {
-			countsIn[c]++
-		}
-	}
-	for _, c := range out {
-		if c >= 0 && int(c) < k {
-			countsOut[c]++
-		}
-	}
-	ni, no := float64(len(in)), float64(len(out))
-	tvd := 0.0
-	bestShift := -1.0
-	bestCat := ""
-	var bestIn, bestOut float64
-	for i := 0; i < k; i++ {
-		pi := countsIn[i] / ni
-		po := countsOut[i] / no
-		shift := math.Abs(pi - po)
-		tvd += shift
-		if shift > bestShift {
-			bestShift = shift
-			bestCat = dict[i]
-			bestIn, bestOut = pi, po
-		}
-	}
-	tvd /= 2
-	return Component{
-		Kind:    DiffFrequencies,
-		Columns: []string{col},
-		Raw:     tvd,
-		Norm:    tvd, // already in [0, 1]
-		Inside:  bestIn,
-		Outside: bestOut,
-		Test:    hypo.ChiSquareHomogeneity(countsIn, countsOut),
-		Detail:  bestCat,
-	}
+	return FrequenciesWith(nil, col, in, out, dict)
 }
 
 // CliffDelta computes the rank-based DiffLocationsRobust component:
@@ -240,29 +198,27 @@ func Frequencies(col string, in, out []int32, dict []string) Component {
 // complement, in [-1, 1]. The O((n+m)·log(n+m)) merge implementation keeps
 // it usable on full columns.
 func CliffDelta(col string, in, out []float64) Component {
-	if len(in) < 2 || len(out) < 2 {
-		return invalid(DiffLocationsRobust, col)
-	}
-	delta := cliffDeltaValue(in, out)
-	return Component{
-		Kind:    DiffLocationsRobust,
-		Columns: []string{col},
-		Raw:     delta,
-		Norm:    math.Abs(delta), // already in [0, 1]
-		Inside:  stats.Median(in),
-		Outside: stats.Median(out),
-		Test:    hypo.MannWhitneyU(in, out),
-	}
+	return CliffDeltaWith(nil, col, in, out)
 }
 
 // cliffDeltaValue computes Cliff's delta via ranks: with combined fractional
-// ranks, sum of in-ranks relates to the number of (in > out) pairs.
-func cliffDeltaValue(in, out []float64) float64 {
+// ranks, sum of in-ranks relates to the number of (in > out) pairs. s may
+// be nil.
+func cliffDeltaValue(s *Scratch, in, out []float64) float64 {
 	n, m := len(in), len(out)
-	combined := make([]float64, 0, n+m)
+	var combined, ranks []float64
+	if s != nil {
+		combined = grownFloats(&s.combined, n+m)
+	} else {
+		combined = make([]float64, 0, n+m)
+	}
 	combined = append(combined, in...)
 	combined = append(combined, out...)
-	ranks := stats.Ranks(combined)
+	if s != nil {
+		ranks = stats.RanksIdx(sizedFloats(&s.ranks, n+m), sizedInts(&s.idx, n+m), combined)
+	} else {
+		ranks = stats.Ranks(combined)
+	}
 	sumIn := 0.0
 	for i := 0; i < n; i++ {
 		sumIn += ranks[i]

@@ -124,34 +124,7 @@ func Tails(col string, in, out []float64) Component {
 // difference of normalized Shannon entropies (in [0,1] each). A selection
 // concentrated on few categories scores negative raw values.
 func Entropy(col string, in, out []int32, dict []string) Component {
-	if len(in) < 2 || len(out) < 2 || len(dict) < 2 {
-		return invalid(DiffEntropy, col)
-	}
-	k := len(dict)
-	countsIn := make([]float64, k)
-	countsOut := make([]float64, k)
-	for _, c := range in {
-		if c >= 0 && int(c) < k {
-			countsIn[c]++
-		}
-	}
-	for _, c := range out {
-		if c >= 0 && int(c) < k {
-			countsOut[c]++
-		}
-	}
-	hi := normalizedEntropy(countsIn)
-	ho := normalizedEntropy(countsOut)
-	raw := hi - ho
-	return Component{
-		Kind:    DiffEntropy,
-		Columns: []string{col},
-		Raw:     raw,
-		Norm:    math.Abs(raw), // entropies are already normalized to [0,1]
-		Inside:  hi,
-		Outside: ho,
-		Test:    hypo.ChiSquareHomogeneity(countsIn, countsOut),
-	}
+	return EntropyWith(nil, col, in, out, dict)
 }
 
 // normalizedEntropy returns H(p)/log(k') where k' is the number of

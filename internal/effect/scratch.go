@@ -1,0 +1,172 @@
+package effect
+
+import (
+	"math"
+
+	"repro/internal/hypo"
+	"repro/internal/stats"
+)
+
+// Scratch holds reusable buffers for repeated component computations. The
+// engine keeps one per worker goroutine so the dominant per-column and
+// per-candidate buffers (rank vectors, category counts) are reused across
+// tasks and never shared across workers. The backing hypothesis tests
+// still allocate internally — see ROADMAP — so the steady state is
+// low-allocation, not zero-allocation. A nil *Scratch is valid everywhere
+// and falls back to fresh allocations, and a scratch-backed computation
+// returns exactly the same bytes as an allocation-backed one: the buffers
+// only ever carry values written by the current call.
+type Scratch struct {
+	combined, ranks     []float64
+	idx                 []int
+	countsIn, countsOut []float64
+}
+
+// grownFloats returns a zero-length slice with capacity ≥ n backed by
+// *buf, growing the backing array when needed.
+func grownFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, 0, n)
+	}
+	return (*buf)[:0]
+}
+
+// sizedFloats returns a length-n slice backed by *buf without zeroing; for
+// outputs whose every element is overwritten.
+func sizedFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+		return *buf
+	}
+	return (*buf)[:n]
+}
+
+// sizedInts is sizedFloats for index scratch.
+func sizedInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+		return *buf
+	}
+	return (*buf)[:n]
+}
+
+// zeroedFloats returns a length-n zeroed slice backed by *buf.
+func zeroedFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+		return *buf
+	}
+	s := (*buf)[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// CliffDeltaWith is CliffDelta reusing s's buffers; s may be nil.
+func CliffDeltaWith(s *Scratch, col string, in, out []float64) Component {
+	if len(in) < 2 || len(out) < 2 {
+		return invalid(DiffLocationsRobust, col)
+	}
+	delta := cliffDeltaValue(s, in, out)
+	return Component{
+		Kind:    DiffLocationsRobust,
+		Columns: []string{col},
+		Raw:     delta,
+		Norm:    math.Abs(delta), // already in [0, 1]
+		Inside:  stats.Median(in),
+		Outside: stats.Median(out),
+		Test:    hypo.MannWhitneyU(in, out),
+	}
+}
+
+// FrequenciesWith is Frequencies reusing s's count buffers; s may be nil.
+func FrequenciesWith(s *Scratch, col string, in, out []int32, dict []string) Component {
+	if len(in) < 2 || len(out) < 2 || len(dict) == 0 {
+		return invalid(DiffFrequencies, col)
+	}
+	k := len(dict)
+	var countsIn, countsOut []float64
+	if s != nil {
+		countsIn = zeroedFloats(&s.countsIn, k)
+		countsOut = zeroedFloats(&s.countsOut, k)
+	} else {
+		countsIn = make([]float64, k)
+		countsOut = make([]float64, k)
+	}
+	for _, c := range in {
+		if c >= 0 && int(c) < k {
+			countsIn[c]++
+		}
+	}
+	for _, c := range out {
+		if c >= 0 && int(c) < k {
+			countsOut[c]++
+		}
+	}
+	ni, no := float64(len(in)), float64(len(out))
+	tvd := 0.0
+	bestShift := -1.0
+	bestCat := ""
+	var bestIn, bestOut float64
+	for i := 0; i < k; i++ {
+		pi := countsIn[i] / ni
+		po := countsOut[i] / no
+		shift := math.Abs(pi - po)
+		tvd += shift
+		if shift > bestShift {
+			bestShift = shift
+			bestCat = dict[i]
+			bestIn, bestOut = pi, po
+		}
+	}
+	tvd /= 2
+	return Component{
+		Kind:    DiffFrequencies,
+		Columns: []string{col},
+		Raw:     tvd,
+		Norm:    tvd, // already in [0, 1]
+		Inside:  bestIn,
+		Outside: bestOut,
+		Test:    hypo.ChiSquareHomogeneity(countsIn, countsOut),
+		Detail:  bestCat,
+	}
+}
+
+// EntropyWith is Entropy reusing s's count buffers; s may be nil.
+func EntropyWith(s *Scratch, col string, in, out []int32, dict []string) Component {
+	if len(in) < 2 || len(out) < 2 || len(dict) < 2 {
+		return invalid(DiffEntropy, col)
+	}
+	k := len(dict)
+	var countsIn, countsOut []float64
+	if s != nil {
+		countsIn = zeroedFloats(&s.countsIn, k)
+		countsOut = zeroedFloats(&s.countsOut, k)
+	} else {
+		countsIn = make([]float64, k)
+		countsOut = make([]float64, k)
+	}
+	for _, c := range in {
+		if c >= 0 && int(c) < k {
+			countsIn[c]++
+		}
+	}
+	for _, c := range out {
+		if c >= 0 && int(c) < k {
+			countsOut[c]++
+		}
+	}
+	hi := normalizedEntropy(countsIn)
+	ho := normalizedEntropy(countsOut)
+	raw := hi - ho
+	return Component{
+		Kind:    DiffEntropy,
+		Columns: []string{col},
+		Raw:     raw,
+		Norm:    math.Abs(raw), // entropies are already normalized to [0,1]
+		Inside:  hi,
+		Outside: ho,
+		Test:    hypo.ChiSquareHomogeneity(countsIn, countsOut),
+	}
+}

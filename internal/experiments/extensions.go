@@ -75,7 +75,7 @@ func AccuracyVsBaselines(seed uint64, trials int) (*Table, error) {
 			return nil, err
 		}
 		k := len(pd.TrueViews)
-		cfg := core.DefaultConfig()
+		cfg := engineConfig()
 		cfg.MaxViews = k
 		zv, err := ziggyViews(pd, cfg)
 		if err != nil {
@@ -132,7 +132,7 @@ func ScalingColumns(seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		engine, err := core.New(core.DefaultConfig())
+		engine, err := core.New(engineConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -160,7 +160,7 @@ func ScalingRows(seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		engine, err := core.New(core.DefaultConfig())
+		engine, err := core.New(engineConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -188,7 +188,7 @@ func MinTightSweep(seed uint64) (*Table, error) {
 		Header: []string{"min_tight", "views", "avg size", "avg score", "avg tightness"},
 	}
 	for _, mt := range []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
-		cfg := core.DefaultConfig()
+		cfg := engineConfig()
 		cfg.MinTight = mt
 		cfg.MaxViews = 100
 		engine, err := core.New(cfg)
@@ -232,7 +232,7 @@ func SharedStatsCache(seed uint64) (*Table, error) {
 		Title:  "Computation sharing across a query session (paper §3 preparation)",
 		Header: []string{"query", "threshold", "shared(ms)", "fresh(ms)", "speedup"},
 	}
-	shared, err := core.New(core.DefaultConfig())
+	shared, err := core.New(engineConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -251,7 +251,7 @@ func SharedStatsCache(seed uint64) (*Table, error) {
 		sharedTime := time.Since(start)
 
 		// Fresh engine: every query pays full preparation.
-		freshEngine, err := core.New(core.DefaultConfig())
+		freshEngine, err := core.New(engineConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -291,7 +291,7 @@ func LinkageAblation(seed uint64, trials int) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			cfg := core.DefaultConfig()
+			cfg := engineConfig()
 			cfg.Linkage = linkage
 			cfg.MaxViews = len(pd.TrueViews)
 			views, err := ziggyViews(pd, cfg)
@@ -333,7 +333,7 @@ func SamplingAblation(seed uint64, trials int) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			cfg := core.DefaultConfig()
+			cfg := engineConfig()
 			cfg.SampleRows = cap
 			cfg.MaxViews = len(pd.TrueViews)
 			engine, err := core.New(cfg)

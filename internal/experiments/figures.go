@@ -61,7 +61,7 @@ func Figure1(seed uint64) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := core.DefaultConfig()
+	cfg := engineConfig()
 	cfg.MaxViews = 8
 	engine, err := core.New(cfg)
 	if err != nil {
@@ -236,7 +236,7 @@ func Figure4(seed uint64) (*Table, error) {
 		{"uscrime", synth.USCrime(seed), "crime_violent_rate"},
 		{"innovation", synth.Innovation(seed), "patents_per_capita"},
 	}
-	engine, err := core.New(core.DefaultConfig())
+	engine, err := core.New(engineConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -294,7 +294,7 @@ func Figure5(seed uint64) (*Table, error) {
 	if err := cat.Register(synth.USCrime(seed)); err != nil {
 		return nil, err
 	}
-	engine, err := core.New(core.DefaultConfig())
+	engine, err := core.New(engineConfig())
 	if err != nil {
 		return nil, err
 	}

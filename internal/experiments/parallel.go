@@ -1,0 +1,19 @@
+package experiments
+
+import "repro/internal/core"
+
+// parallelism is the engine worker count applied to every experiment; 0
+// means all CPUs. cmd/zigbench threads its -parallelism flag here.
+var parallelism int
+
+// SetParallelism fixes the engine parallelism used by subsequently built
+// experiment engines (0 = all CPUs, 1 = sequential). Experiment outputs
+// are bit-for-bit identical across settings; only wall time changes.
+func SetParallelism(p int) { parallelism = p }
+
+// engineConfig is core.DefaultConfig plus the experiment-wide parallelism.
+func engineConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Parallelism = parallelism
+	return cfg
+}

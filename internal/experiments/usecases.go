@@ -20,7 +20,7 @@ func runUseCase(id, title string, f *frame.Frame, col string, q float64, exclude
 	if err != nil {
 		return nil, err
 	}
-	cfg := core.DefaultConfig()
+	cfg := engineConfig()
 	cfg.MaxViews = maxViews
 	engine, err := core.New(cfg)
 	if err != nil {

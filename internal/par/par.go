@@ -1,0 +1,115 @@
+// Package par provides the deterministic fan-out primitive behind the
+// engine's parallel stages. The contract that keeps parallel runs
+// bit-for-bit identical to sequential ones is simple: For hands every task
+// index in [0, n) to exactly one worker, and the task function writes only
+// to task-indexed locations (no appends, no shared accumulators). Under
+// that contract the task schedule cannot influence the output, so any
+// worker count — including 1, which runs inline without goroutines —
+// produces the same bytes.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Panic wraps a panic recovered from a task so it can cross the goroutine
+// boundary and re-surface in the caller with the worker's stack attached.
+type Panic struct {
+	// Value is the original panic value.
+	Value any
+	// Stack is the worker goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error renders the wrapped panic.
+func (p *Panic) Error() string { return fmt.Sprintf("par: task panic: %v", p.Value) }
+
+// Unwrap exposes the original error, if the task panicked with one.
+func (p *Panic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Workers normalizes a parallelism request: values below 1 mean "all
+// available CPUs" (GOMAXPROCS).
+func Workers(requested int) int {
+	if requested < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// For runs fn(worker, task) for every task in [0, n), spread across at most
+// `workers` goroutines. Tasks are handed out dynamically (an atomic
+// counter), so skew between tasks load-balances itself; worker is a stable
+// index < min(workers, n) that fn may use to address per-worker scratch
+// state without locking.
+//
+// workers <= 1 (or n <= 1) runs every task inline on the calling goroutine.
+//
+// If any task panics, the pool stops handing out work — pending tasks are
+// cancelled, in-flight tasks on other workers drain — and the first panic
+// re-raises on the calling goroutine wrapped in *Panic. The sequential path
+// wraps panics the same way, so callers observe one contract regardless of
+// worker count.
+func For(workers, n int, fn func(worker, task int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if p := runTask(0, i, fn); p != nil {
+				panic(p)
+			}
+		}
+		return
+	}
+
+	var (
+		next  atomic.Int64
+		stop  atomic.Bool
+		first atomic.Pointer[Panic]
+		wg    sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for !stop.Load() {
+				task := int(next.Add(1)) - 1
+				if task >= n {
+					return
+				}
+				if p := runTask(worker, task, fn); p != nil {
+					first.CompareAndSwap(nil, p)
+					stop.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if p := first.Load(); p != nil {
+		panic(p)
+	}
+}
+
+// runTask executes one task, converting a panic into a *Panic value.
+func runTask(worker, task int, fn func(worker, task int)) (p *Panic) {
+	defer func() {
+		if v := recover(); v != nil {
+			p = &Panic{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	fn(worker, task)
+	return nil
+}

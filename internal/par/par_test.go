@@ -1,0 +1,58 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	for _, p := range []int{1, 2, 17} {
+		if got := Workers(p); got != p {
+			t.Errorf("Workers(%d) = %d", p, got)
+		}
+	}
+}
+
+func TestForEmptyAndSingle(t *testing.T) {
+	ran := 0
+	For(8, 0, func(_, _ int) { ran++ })
+	if ran != 0 {
+		t.Fatalf("n=0 ran %d tasks", ran)
+	}
+	For(8, 1, func(worker, task int) {
+		if worker != 0 || task != 0 {
+			t.Errorf("single task got worker=%d task=%d", worker, task)
+		}
+		ran++
+	})
+	if ran != 1 {
+		t.Fatalf("n=1 ran %d tasks", ran)
+	}
+}
+
+func TestForDynamicBalancing(t *testing.T) {
+	// Skewed tasks: task 0 is heavy; the atomic hand-out must still cover
+	// everything exactly once.
+	const n = 256
+	var hits [n]int32
+	For(4, n, func(_, task int) {
+		if task == 0 {
+			for i := 0; i < 1000; i++ {
+				runtime.Gosched()
+			}
+		}
+		atomic.AddInt32(&hits[task], 1)
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("task %d ran %d times", i, h)
+		}
+	}
+}

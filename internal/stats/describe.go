@@ -191,13 +191,23 @@ func (m *Moments) Merge(o Moments) {
 // Ranks returns the fractional ranks of xs (average ranks for ties),
 // 1-based, as used by Spearman correlation and the Mann-Whitney test.
 func Ranks(xs []float64) []float64 {
+	return RanksInto(make([]float64, len(xs)), xs)
+}
+
+// RanksInto is Ranks writing into caller-provided storage; dst must have
+// length len(xs) and is returned for convenience.
+func RanksInto(dst, xs []float64) []float64 {
+	return RanksIdx(dst, make([]int, len(xs)), xs)
+}
+
+// RanksIdx is RanksInto with caller-provided index scratch, for callers
+// that rank in a loop; idx must have length len(xs) and is overwritten.
+func RanksIdx(dst []float64, idx []int, xs []float64) []float64 {
 	n := len(xs)
-	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
 	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
-	ranks := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
 		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
@@ -206,11 +216,11 @@ func Ranks(xs []float64) []float64 {
 		// Average rank for the tie group [i, j].
 		avg := float64(i+j)/2 + 1
 		for k := i; k <= j; k++ {
-			ranks[idx[k]] = avg
+			dst[idx[k]] = avg
 		}
 		i = j + 1
 	}
-	return ranks
+	return dst
 }
 
 // ZScores returns (x - mean)/std for each value; all zeros if std is zero
