@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"testing"
 
 	"repro/internal/baseline"
@@ -23,7 +24,9 @@ import (
 	"repro/internal/effect"
 	"repro/internal/experiments"
 	"repro/internal/frame"
+	"repro/internal/hypo"
 	"repro/internal/server"
+	"repro/internal/stats"
 	"repro/internal/synth"
 )
 
@@ -247,6 +250,73 @@ func BenchmarkCharacterizeParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkRobustCharacterize measures the robust hot path (Cliff's delta
+// + Mann-Whitney per numeric column) through the full pipeline, warm and
+// cold, and reports the ranking-pass budget as rankops/op: exactly one
+// ranking per usable numeric column per characterization — the rank-once
+// pipeline — where the pre-refactor path paid five sorts per column (one
+// for Cliff's ranks, one inside Mann-Whitney, one for its tie correction,
+// and one per group median). TestRobustRankBudget pins the same invariant
+// as a hard assertion.
+func BenchmarkRobustCharacterize(b *testing.B) {
+	sc := mustCrime(b)
+	cfg := core.DefaultConfig()
+	cfg.Robust = true
+	opts := core.Options{ExcludeColumns: sc.Exclude}
+	run := func(b *testing.B, warm bool) {
+		engine := mustEngine(b, cfg)
+		if warm {
+			if _, err := engine.CharacterizeOpts(sc.Frame, sc.Mask, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		before := stats.RankOps()
+		for i := 0; i < b.N; i++ {
+			if !warm {
+				engine.InvalidateCache()
+			}
+			if _, err := engine.CharacterizeOpts(sc.Frame, sc.Mask, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(stats.RankOps()-before)/float64(b.N), "rankops/op")
+	}
+	b.Run("warm", func(b *testing.B) { run(b, true) })
+	b.Run("cold", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkRobustColumn isolates one robust column's statistics battery:
+// "rank-twice" replays the five sorts of the pre-refactor shape (Cliff's
+// ranking, two separate median sorts, Mann-Whitney's internal re-ranking,
+// and the tie-correction sort the old Mann-Whitney ran on the sorted
+// concatenation), "rank-once" is the shared-Ranking pipeline the engine
+// now runs. The gap is the per-column saving of the rank-once refactor.
+func BenchmarkRobustColumn(b *testing.B) {
+	sc := mustCrime(b)
+	in, out, err := sc.Frame.SplitNumeric("population", sc.Mask)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("rank-twice", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			combined := make([]float64, 0, len(in)+len(out))
+			combined = append(combined, in...)
+			combined = append(combined, out...)
+			_ = stats.Ranks(combined) // Cliff's delta ranking
+			_ = stats.Median(in)      // medians re-sorted separately
+			_ = stats.Median(out)
+			_ = hypo.MannWhitneyU(in, out) // internal re-ranking
+			sort.Float64s(combined)        // the old tie-correction pass
+		}
+	})
+	b.Run("rank-once", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = effect.CliffDelta("population", in, out)
+		}
+	})
 }
 
 // BenchmarkScalingColumns measures experiment X1: cold pipeline cost as

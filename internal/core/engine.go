@@ -15,6 +15,7 @@ import (
 	"repro/internal/hypo"
 	"repro/internal/par"
 	"repro/internal/sample"
+	"repro/internal/stats"
 )
 
 // Engine characterizes query results. It is safe for concurrent use; the
@@ -273,16 +274,24 @@ func (e *Engine) splitColumn(c *frame.Column, idx int, sel, consider *frame.Bitm
 			break
 		}
 		cd.usable = true
+		// Rank-once hot path: in robust mode one scratch-backed ranking of
+		// the in+out concatenation serves Cliff's delta, its Mann-Whitney
+		// bound, both medians, and (extended) the quantile-shift test.
+		var r stats.Ranking
 		if e.cfg.Robust {
-			cd.comps = append(cd.comps, effect.CliffDeltaWith(s, c.Name(), in, out))
+			r = effect.RankWith(s, in, out)
+			cd.comps = append(cd.comps, effect.CliffDeltaRanked(c.Name(), r))
 		} else {
 			cd.comps = append(cd.comps, effect.Means(c.Name(), in, out))
 		}
 		cd.comps = append(cd.comps, effect.StdDevs(c.Name(), in, out))
 		if e.cfg.Extended {
-			cd.comps = append(cd.comps,
-				effect.Quantiles(c.Name(), in, out),
-				effect.Tails(c.Name(), in, out))
+			if e.cfg.Robust {
+				cd.comps = append(cd.comps, effect.QuantilesRanked(c.Name(), in, out, r))
+			} else {
+				cd.comps = append(cd.comps, effect.Quantiles(c.Name(), in, out))
+			}
+			cd.comps = append(cd.comps, effect.Tails(c.Name(), in, out))
 		}
 	case frame.Categorical:
 		in, out := splitCatCol(c, sel, consider)

@@ -1,16 +1,3 @@
-// Package depend implements the statistical dependency measure S of the
-// paper (Equation 2): a symmetric score in [0, 1] quantifying how
-// interdependent two columns are. The tightness of a candidate view is the
-// minimum pairwise dependency of its columns, and Ziggy only reports views
-// whose tightness clears the user threshold MIN_tight.
-//
-// Three measures are provided, selectable per engine configuration:
-// absolute Pearson correlation (the default, matching the paper's
-// implementation), absolute Spearman rank correlation (robust to monotone
-// non-linearity), and normalized binned mutual information (captures
-// arbitrary dependencies at higher cost). Heterogeneous column pairs fall
-// back to the correlation ratio η (numeric vs categorical) or Cramér's V
-// (categorical vs categorical) under every measure.
 package depend
 
 import (
@@ -231,6 +218,11 @@ func NewMatrix(f *frame.Frame, m Measure) *Matrix {
 // writing its two mirror cells, so the matrix is bit-for-bit identical for
 // every worker count. workers < 1 means all CPUs; an effective count of 1
 // computes inline with no goroutines and no pair-list allocation.
+//
+// Under the Spearman measure a rank-once phase runs first: every eligible
+// numeric column is ranked exactly once (sharded per column, not per
+// pair), and the O(cols²) pair loop correlates the precomputed rank
+// vectors. That turns 2·cols·(cols−1) ranking sorts into cols.
 func NewMatrixParallel(f *frame.Frame, m Measure, workers int) *Matrix {
 	workers = par.Workers(workers)
 	n := f.NumCols()
@@ -238,10 +230,17 @@ func NewMatrixParallel(f *frame.Frame, m Measure, workers int) *Matrix {
 	for i := 0; i < n; i++ {
 		mat.vals[i*n+i] = 1
 	}
+	colRanks := rankColumns(f, m, workers)
+	cell := func(i, j int) float64 {
+		if colRanks != nil && colRanks[i] != nil && colRanks[j] != nil {
+			return rankedDependency(colRanks[i], colRanks[j])
+		}
+		return Pairwise(f.Col(i), f.Col(j), m)
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
-				v := Pairwise(f.Col(i), f.Col(j), m)
+				v := cell(i, j)
 				mat.vals[i*n+j] = v
 				mat.vals[j*n+i] = v
 			}
@@ -257,11 +256,48 @@ func NewMatrixParallel(f *frame.Frame, m Measure, workers int) *Matrix {
 	}
 	par.For(workers, len(pairs), func(_, k int) {
 		p := pairs[k]
-		v := Pairwise(f.Col(p.i), f.Col(p.j), m)
+		v := cell(p.i, p.j)
 		mat.vals[p.i*n+p.j] = v
 		mat.vals[p.j*n+p.i] = v
 	})
 	return mat
+}
+
+// rankColumns is the rank-once phase of the Spearman dependency matrix: it
+// returns per-column fractional rank vectors, computed one task per column
+// across the worker pool, or nil when the measure does not consume ranks.
+// Only NULL-free numeric columns with at least three rows are ranked —
+// exactly the columns whose pairwise complete cases equal the full column,
+// so correlating precomputed ranks is bit-identical to ranking the aligned
+// pair. Columns with NULLs keep the per-pair fallback, because their
+// complete-case set (and hence their ranks) differs per partner column.
+func rankColumns(f *frame.Frame, m Measure, workers int) [][]float64 {
+	if m != AbsSpearman {
+		return nil
+	}
+	n := f.NumCols()
+	ranks := make([][]float64, n)
+	par.For(workers, n, func(_, i int) {
+		c := f.Col(i)
+		if c.Kind() == frame.Numeric && c.NullCount() == 0 && c.Len() >= 3 {
+			ranks[i] = stats.Ranks(c.Floats())
+		}
+	})
+	return ranks
+}
+
+// rankedDependency mirrors numericDependency's Spearman branch on
+// precomputed rank vectors: |ρ| clamped into [0, 1], degenerate (constant)
+// columns scoring 0.
+func rankedDependency(rx, ry []float64) float64 {
+	v := math.Abs(stats.SpearmanRanked(rx, ry))
+	if math.IsNaN(v) {
+		return 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	return v
 }
 
 // MatrixFromValues wraps a precomputed symmetric matrix; used by tests and

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/frame"
 	"repro/internal/synth"
 )
 
@@ -26,6 +27,44 @@ func TestNewMatrixParallelMatchesSequential(t *testing.T) {
 							m, workers, i, j, got.At(i, j), want.At(i, j))
 					}
 				}
+			}
+		}
+	}
+}
+
+// TestSpearmanRankOnceMatchesPairwise asserts the Spearman matrix's
+// rank-once fast path is bit-identical to the per-pair Pairwise fallback:
+// NULL-free columns take the precomputed-rank route while NULL-bearing
+// columns (whose complete-case set differs per partner) fall back, and
+// every cell must agree with a direct Pairwise computation either way.
+func TestSpearmanRankOnceMatchesPairwise(t *testing.T) {
+	b := frame.NewBuilder("t")
+	x := b.AddNumeric("x")
+	y := b.AddNumeric("y")
+	z := b.AddNumeric("z") // NULL-bearing: forces the per-pair fallback
+	c := b.AddCategorical("c")
+	vals := []float64{5, 1, 4, 4, 2, 9, 7, 3, 8, 6}
+	for i, v := range vals {
+		b.AppendFloat(x, v)
+		b.AppendFloat(y, float64(i)+0.5*v)
+		if i%3 == 0 {
+			b.AppendNull(z)
+		} else {
+			b.AppendFloat(z, -v)
+		}
+		b.AppendStr(c, []string{"a", "b"}[i%2])
+	}
+	f := b.MustBuild()
+
+	got := NewMatrixParallel(f, AbsSpearman, 2)
+	for i := 0; i < f.NumCols(); i++ {
+		for j := 0; j < f.NumCols(); j++ {
+			want := 1.0
+			if i != j {
+				want = Pairwise(f.Col(i), f.Col(j), AbsSpearman)
+			}
+			if math.Float64bits(got.At(i, j)) != math.Float64bits(want) {
+				t.Errorf("cell (%d,%d) = %v, want Pairwise %v", i, j, got.At(i, j), want)
 			}
 		}
 	}

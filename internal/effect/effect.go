@@ -195,35 +195,33 @@ func Frequencies(col string, in, out []int32, dict []string) Component {
 
 // CliffDelta computes the rank-based DiffLocationsRobust component:
 // delta = P(x > y) - P(x < y) for x drawn from the selection and y from the
-// complement, in [-1, 1]. The O((n+m)·log(n+m)) merge implementation keeps
-// it usable on full columns.
+// complement, in [-1, 1]. One O((n+m)·log(n+m)) ranking pass produces the
+// delta, both group medians, and the Mann-Whitney significance bound.
 func CliffDelta(col string, in, out []float64) Component {
 	return CliffDeltaWith(nil, col, in, out)
 }
 
-// cliffDeltaValue computes Cliff's delta via ranks: with combined fractional
-// ranks, sum of in-ranks relates to the number of (in > out) pairs. s may
-// be nil.
-func cliffDeltaValue(s *Scratch, in, out []float64) float64 {
-	n, m := len(in), len(out)
-	var combined, ranks []float64
-	if s != nil {
-		combined = grownFloats(&s.combined, n+m)
-	} else {
-		combined = make([]float64, 0, n+m)
+// CliffDeltaRanked derives the DiffLocationsRobust component from a
+// precomputed two-group Ranking: the rank sum gives the delta (U = #(in >
+// out) + ties/2; delta = 2U/(n·m) − 1), the ranking's group medians give
+// the verifiable Inside/Outside summary, and the tie-corrected rank sum
+// feeds the Mann-Whitney test — all without touching the raw values again.
+// Degenerate rankings (a group below two elements, NaN-bearing input)
+// yield the invalid component.
+func CliffDeltaRanked(col string, r stats.Ranking) Component {
+	if r.NA < 2 || r.NB < 2 || r.HasNaN {
+		return invalid(DiffLocationsRobust, col)
 	}
-	combined = append(combined, in...)
-	combined = append(combined, out...)
-	if s != nil {
-		ranks = stats.RanksIdx(sizedFloats(&s.ranks, n+m), sizedInts(&s.idx, n+m), combined)
-	} else {
-		ranks = stats.Ranks(combined)
+	n, m := float64(r.NA), float64(r.NB)
+	u := r.RankSumA - n*(n+1)/2
+	delta := 2*u/(n*m) - 1
+	return Component{
+		Kind:    DiffLocationsRobust,
+		Columns: []string{col},
+		Raw:     delta,
+		Norm:    math.Abs(delta), // already in [0, 1]
+		Inside:  r.MedianA,
+		Outside: r.MedianB,
+		Test:    hypo.MannWhitneyURanked(r),
 	}
-	sumIn := 0.0
-	for i := 0; i < n; i++ {
-		sumIn += ranks[i]
-	}
-	// U = #(in > out) + ties/2; delta = 2U/(n·m) - 1.
-	u := sumIn - float64(n)*(float64(n)+1)/2
-	return 2*u/(float64(n)*float64(m)) - 1
 }

@@ -61,6 +61,25 @@ func ExtendedWeights() Weights {
 // Quantiles computes the DiffQuantiles component: the median shift scaled
 // by the pooled interquartile range, tested with Mann-Whitney U.
 func Quantiles(col string, in, out []float64) Component {
+	return quantilesTested(col, in, out, func() hypo.Result {
+		return hypo.MannWhitneyU(in, out)
+	})
+}
+
+// QuantilesRanked is Quantiles reusing a precomputed two-group Ranking for
+// its Mann-Whitney bound, so a robust extended characterization still pays
+// exactly one ranking pass per column (Cliff's delta and the quantile shift
+// share it). The quantile arithmetic itself works on per-group sorted
+// copies as before; r must rank the same in/out pair.
+func QuantilesRanked(col string, in, out []float64, r stats.Ranking) Component {
+	return quantilesTested(col, in, out, func() hypo.Result {
+		return hypo.MannWhitneyURanked(r)
+	})
+}
+
+// quantilesTested implements Quantiles with a pluggable significance bound;
+// test is only invoked once the component is known to be computable.
+func quantilesTested(col string, in, out []float64, test func() hypo.Result) Component {
 	if len(in) < 4 || len(out) < 4 {
 		return invalid(DiffQuantiles, col)
 	}
@@ -82,7 +101,7 @@ func Quantiles(col string, in, out []float64) Component {
 		Norm:    normalize(raw),
 		Inside:  medIn,
 		Outside: medOut,
-		Test:    hypo.MannWhitneyU(in, out),
+		Test:    test(),
 	}
 }
 

@@ -1,0 +1,112 @@
+package effect
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestCliffDeltaDegenerate pins the untestable-input contract of the robust
+// component across all three entry points (allocation-backed, scratch-
+// backed, precomputed-rank): all-ties columns keep a defined delta but an
+// untestable P = NaN, while single-element groups and NaN-bearing columns
+// yield the invalid component — never a panic.
+func TestCliffDeltaDegenerate(t *testing.T) {
+	var s Scratch
+	entries := []struct {
+		name string
+		comp func(in, out []float64) Component
+	}{
+		{"alloc", func(in, out []float64) Component { return CliffDelta("x", in, out) }},
+		{"scratch", func(in, out []float64) Component { return CliffDeltaWith(&s, "x", in, out) }},
+		{"ranked", func(in, out []float64) Component {
+			return CliffDeltaRanked("x", stats.NewRanking(in, out))
+		}},
+	}
+	for _, e := range entries {
+		t.Run(e.name, func(t *testing.T) {
+			// All ties: delta 0 and medians defined, but the Mann-Whitney
+			// variance collapses, so the significance bound is NaN.
+			c := e.comp([]float64{4, 4, 4, 4}, []float64{4, 4, 4})
+			if !c.Valid() || c.Raw != 0 || c.Inside != 4 || c.Outside != 4 {
+				t.Errorf("all-ties component = %+v, want valid delta 0 around 4", c)
+			}
+			if !math.IsNaN(c.Test.P) {
+				t.Errorf("all-ties P = %v, want NaN", c.Test.P)
+			}
+			// Single-element and empty groups.
+			for _, pair := range [][2][]float64{
+				{{1}, {2, 3, 4}},
+				{{1, 2, 3}, {4}},
+				{nil, {1, 2, 3}},
+			} {
+				if c := e.comp(pair[0], pair[1]); c.Valid() || !math.IsNaN(c.Test.P) {
+					t.Errorf("tiny groups %v gave %+v, want invalid", pair, c)
+				}
+			}
+			// NaN-bearing columns.
+			for _, pair := range [][2][]float64{
+				{{1, math.NaN(), 3}, {4, 5, 6}},
+				{{1, 2, 3}, {math.NaN(), 5, 6}},
+			} {
+				if c := e.comp(pair[0], pair[1]); c.Valid() || !math.IsNaN(c.Test.P) {
+					t.Errorf("NaN input %v gave %+v, want invalid", pair, c)
+				}
+			}
+		})
+	}
+}
+
+// TestCliffDeltaRankOnce asserts the tentpole budget at the component
+// level: one robust component — delta, medians, Mann-Whitney bound — costs
+// exactly one ranking pass, with and without scratch.
+func TestCliffDeltaRankOnce(t *testing.T) {
+	in := normals(21, 300, 0, 1)
+	out := normals(22, 400, 0.5, 1)
+
+	before := stats.RankOps()
+	alloc := CliffDelta("x", in, out)
+	if got := stats.RankOps() - before; got != 1 {
+		t.Errorf("CliffDelta cost %d ranking passes, want 1", got)
+	}
+
+	var s Scratch
+	before = stats.RankOps()
+	scratched := CliffDeltaWith(&s, "x", in, out)
+	if got := stats.RankOps() - before; got != 1 {
+		t.Errorf("CliffDeltaWith cost %d ranking passes, want 1", got)
+	}
+
+	// Scratch-backed and allocation-backed components are bit-identical.
+	for name, pair := range map[string][2]float64{
+		"raw":    {alloc.Raw, scratched.Raw},
+		"inside": {alloc.Inside, scratched.Inside},
+		"stat":   {alloc.Test.Stat, scratched.Test.Stat},
+		"p":      {alloc.Test.P, scratched.Test.P},
+	} {
+		if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+			t.Errorf("%s differs between entry points: %v vs %v", name, pair[0], pair[1])
+		}
+	}
+}
+
+// TestQuantilesRankedSharesRanking asserts the extended quantile-shift
+// component reuses the column's Ranking instead of re-ranking, and matches
+// the self-ranking entry point bit-for-bit.
+func TestQuantilesRankedSharesRanking(t *testing.T) {
+	in := normals(23, 120, 0, 1)
+	out := normals(24, 150, 0.8, 1.2)
+	r := stats.NewRanking(in, out)
+
+	before := stats.RankOps()
+	ranked := QuantilesRanked("x", in, out, r)
+	if got := stats.RankOps() - before; got != 0 {
+		t.Errorf("QuantilesRanked cost %d ranking passes, want 0", got)
+	}
+	plain := Quantiles("x", in, out)
+	if math.Float64bits(ranked.Raw) != math.Float64bits(plain.Raw) ||
+		math.Float64bits(ranked.Test.P) != math.Float64bits(plain.Test.P) {
+		t.Errorf("QuantilesRanked %+v differs from Quantiles %+v", ranked, plain)
+	}
+}

@@ -63,21 +63,30 @@ func zeroedFloats(buf *[]float64, n int) []float64 {
 	return s
 }
 
-// CliffDeltaWith is CliffDelta reusing s's buffers; s may be nil.
+// RankWith builds the two-group Ranking for the in/out split of one column,
+// reusing s's concatenation, rank and index buffers; s may be nil. The
+// returned Ranking's Ranks slice aliases the scratch and is valid only
+// until the scratch's next ranking — the scalar fields (rank sum, tie
+// correction, medians) remain valid indefinitely, which is all the robust
+// consumers read.
+func RankWith(s *Scratch, in, out []float64) stats.Ranking {
+	if s == nil {
+		return stats.NewRanking(in, out)
+	}
+	n, m := len(in), len(out)
+	combined := grownFloats(&s.combined, n+m)
+	combined = append(combined, in...)
+	combined = append(combined, out...)
+	return stats.RankingInto(sizedFloats(&s.ranks, n+m), sizedInts(&s.idx, n+m), combined, n)
+}
+
+// CliffDeltaWith is CliffDelta reusing s's buffers; s may be nil. It ranks
+// the concatenation once and hands the Ranking to CliffDeltaRanked.
 func CliffDeltaWith(s *Scratch, col string, in, out []float64) Component {
 	if len(in) < 2 || len(out) < 2 {
 		return invalid(DiffLocationsRobust, col)
 	}
-	delta := cliffDeltaValue(s, in, out)
-	return Component{
-		Kind:    DiffLocationsRobust,
-		Columns: []string{col},
-		Raw:     delta,
-		Norm:    math.Abs(delta), // already in [0, 1]
-		Inside:  stats.Median(in),
-		Outside: stats.Median(out),
-		Test:    hypo.MannWhitneyU(in, out),
-	}
+	return CliffDeltaRanked(col, RankWith(s, in, out))
 }
 
 // FrequenciesWith is Frequencies reusing s's count buffers; s may be nil.

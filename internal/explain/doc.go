@@ -1,0 +1,22 @@
+// Package explain turns Zig-Components into the short natural-language
+// descriptions Ziggy attaches to each characteristic view (paper §3,
+// post-processing: "Ziggy choses the Zig-Components associated with the
+// highest levels of confidence, and it describes them with text. We
+// implemented the text generation functionalities with handwritten rules").
+//
+// Example output, mirroring the paper's §2.2 sample sentence:
+//
+//	On the columns population and pop_density, your selection has markedly
+//	higher values (avg 61,234 vs 24,880 on population) and has a lower
+//	variance (σ 0.42× the outside on pop_density).
+//
+// The rules rank a view's components by evidence (significance under the
+// caller's alpha, then normalized magnitude), emit at most three clauses,
+// and phrase each component family with its own template — means and
+// robust location shifts compare averages/medians, spread components
+// compare σ ratios, correlation components name the direction change, and
+// frequency components name the most-shifted category. Components whose
+// tests are untestable (P = NaN, e.g. all-tied robust columns) are never
+// ranked as significant; when nothing clears the evidence bar the view is
+// described as having no reliable difference.
+package explain

@@ -1,14 +1,3 @@
-// Package explain turns Zig-Components into the short natural-language
-// descriptions Ziggy attaches to each characteristic view (paper §3,
-// post-processing: "Ziggy choses the Zig-Components associated with the
-// highest levels of confidence, and it describes them with text. We
-// implemented the text generation functionalities with handwritten rules").
-//
-// Example output, mirroring the paper's §2.2 sample sentence:
-//
-//	On the columns population and pop_density, your selection has markedly
-//	higher values (avg 61,234 vs 24,880 on population) and has a lower
-//	variance (σ 0.42× the outside on pop_density).
 package explain
 
 import (

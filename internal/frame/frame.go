@@ -1,17 +1,3 @@
-// Package frame implements the in-memory columnar data representation that
-// every other layer of the system builds on.
-//
-// A Frame is an ordered collection of named, equally-long columns. Two
-// column kinds exist: numeric columns store float64 values (with NaN
-// representing NULL, matching how the paper's MonetDB/R stack surfaces
-// missing doubles) and categorical columns store dictionary-encoded strings
-// (code -1 representing NULL).
-//
-// Frames are the unit of exchange between the SQL layer (package db), the
-// statistics layers, and the Ziggy engine (package core). Selection results
-// are not materialized as new frames; instead they are represented by a
-// Bitmap over row indices, which is how the paper splits every column C
-// into an inside part Cᴵ and an outside part Cᴼ (paper Figure 2).
 package frame
 
 import (

@@ -12,7 +12,6 @@ package hypo
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/stats"
 )
@@ -170,41 +169,34 @@ func TwoProportionZ(succ1, n1, succ2, n2 float64) Result {
 // using the rank-sum statistic with normal approximation and tie
 // correction. It is the distribution-free alternative to WelchT and is used
 // when the engine is configured for robust mode.
+//
+// MannWhitneyU ranks the concatenation itself; callers that already hold a
+// stats.Ranking for the pair — the robust pipeline computes one per column
+// for Cliff's delta — should call MannWhitneyURanked instead and pay no
+// second ranking pass.
 func MannWhitneyU(a, b []float64) Result {
-	na, nb := len(a), len(b)
-	if na < 2 || nb < 2 {
+	if len(a) < 2 || len(b) < 2 {
 		return Result{P: math.NaN()}
 	}
-	combined := make([]float64, 0, na+nb)
-	combined = append(combined, a...)
-	combined = append(combined, b...)
-	ranks := stats.Ranks(combined)
-	ra := 0.0
-	for i := 0; i < na; i++ {
-		ra += ranks[i]
+	return MannWhitneyURanked(stats.NewRanking(a, b))
+}
+
+// MannWhitneyURanked is MannWhitneyU on a precomputed two-group Ranking:
+// the rank sum, tie correction and group sizes it needs are all carried by
+// r, so no sorting happens here. Degenerate inputs — groups smaller than
+// two, NaN-bearing samples, or all-tied data whose variance collapses to
+// zero — yield P = NaN: the test is untestable, not significant.
+func MannWhitneyURanked(r stats.Ranking) Result {
+	if r.NA < 2 || r.NB < 2 || r.HasNaN {
+		return Result{P: math.NaN()}
 	}
-	fa, fb := float64(na), float64(nb)
-	u := ra - fa*(fa+1)/2
+	fa, fb := float64(r.NA), float64(r.NB)
+	u := r.RankSumA - fa*(fa+1)/2
 	mu := fa * fb / 2
 	n := fa + fb
-
-	// Tie correction for the variance.
-	sort.Float64s(combined)
-	tieSum := 0.0
-	for i := 0; i < len(combined); {
-		j := i
-		for j+1 < len(combined) && combined[j+1] == combined[i] {
-			j++
-		}
-		tlen := float64(j - i + 1)
-		if tlen > 1 {
-			tieSum += tlen*tlen*tlen - tlen
-		}
-		i = j + 1
-	}
-	sigma2 := fa * fb / 12 * ((n + 1) - tieSum/(n*(n-1)))
+	sigma2 := fa * fb / 12 * ((n + 1) - r.TieSum/(n*(n-1)))
 	if sigma2 <= 0 {
-		return Result{Stat: u, P: 1}
+		return Result{Stat: u, P: math.NaN()}
 	}
 	// Continuity correction of 0.5 toward the mean.
 	d := u - mu

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/randx"
+	"repro/internal/stats"
 )
 
 func approx(t *testing.T, name string, got, want, tol float64) {
@@ -222,9 +223,59 @@ func TestMannWhitneyU(t *testing.T) {
 	if MannWhitneyU([]float64{1}, c).Valid() {
 		t.Error("n<2 should be invalid")
 	}
-	// All-tied data: variance collapses to zero, p must be 1.
+	// All-tied data: the rank variance collapses to zero, so the test is
+	// untestable — P must be NaN, not a significance claim.
 	res = MannWhitneyU([]float64{5, 5, 5}, []float64{5, 5, 5})
-	approx(t, "all ties p", res.P, 1, 0)
+	if !math.IsNaN(res.P) {
+		t.Errorf("all ties p = %v, want NaN", res.P)
+	}
+}
+
+// TestMannWhitneyDegenerate pins the untestable-input contract for both the
+// slice entry point and the precomputed-rank entry point: all-ties columns,
+// single-element groups, and NaN-bearing samples yield P = NaN (never a
+// panic, never a fake significance).
+func TestMannWhitneyDegenerate(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []float64
+	}{
+		{"all-ties", []float64{7, 7, 7, 7}, []float64{7, 7, 7}},
+		{"single-element-a", []float64{1}, []float64{2, 3, 4}},
+		{"single-element-b", []float64{1, 2, 3}, []float64{4}},
+		{"empty-a", nil, []float64{1, 2, 3}},
+		{"nan-in-a", []float64{1, math.NaN(), 3}, []float64{4, 5, 6}},
+		{"nan-in-b", []float64{1, 2, 3}, []float64{4, math.NaN(), 6}},
+		{"all-nan", []float64{math.NaN(), math.NaN()}, []float64{math.NaN(), math.NaN()}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if res := MannWhitneyU(tc.a, tc.b); !math.IsNaN(res.P) {
+				t.Errorf("MannWhitneyU P = %v, want NaN", res.P)
+			}
+			if res := MannWhitneyURanked(stats.NewRanking(tc.a, tc.b)); !math.IsNaN(res.P) {
+				t.Errorf("MannWhitneyURanked P = %v, want NaN", res.P)
+			}
+		})
+	}
+}
+
+// TestMannWhitneyRankedMatchesSliceEntry asserts the precomputed-rank entry
+// point is bit-identical to the slice entry point on ordinary data.
+func TestMannWhitneyRankedMatchesSliceEntry(t *testing.T) {
+	a := normals(11, 80, 0, 1)
+	b := normals(12, 70, 0.4, 1.5)
+	// Inject ties so the tie-correction path is exercised.
+	for i := 0; i < 20; i++ {
+		a[i] = float64(i / 4)
+		b[i] = float64(i / 4)
+	}
+	want := MannWhitneyU(a, b)
+	got := MannWhitneyURanked(stats.NewRanking(a, b))
+	if math.Float64bits(want.Stat) != math.Float64bits(got.Stat) ||
+		math.Float64bits(want.P) != math.Float64bits(got.P) {
+		t.Errorf("ranked entry differs: want %+v got %+v", want, got)
+	}
 }
 
 func TestMannWhitneyRobustToOutliers(t *testing.T) {

@@ -1,11 +1,3 @@
-// Package par provides the deterministic fan-out primitive behind the
-// engine's parallel stages. The contract that keeps parallel runs
-// bit-for-bit identical to sequential ones is simple: For hands every task
-// index in [0, n) to exactly one worker, and the task function writes only
-// to task-indexed locations (no appends, no shared accumulators). Under
-// that contract the task schedule cannot influence the output, so any
-// worker count — including 1, which runs inline without goroutines —
-// produces the same bytes.
 package par
 
 import (

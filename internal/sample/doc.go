@@ -1,0 +1,20 @@
+// Package sample provides row-sampling primitives for approximate
+// characterization. The paper's introduction names BlinkDB — exploration
+// through sampling — as one of the systems Ziggy complements; this package
+// lets the engine cap the rows its per-query statistics consume
+// (Config.SampleRows), trading a bounded accuracy loss for latency.
+// Experiment X7 quantifies that trade-off.
+//
+// Two primitives are exposed:
+//
+//   - Reservoir: k distinct indices drawn uniformly from [0, n) in
+//     ascending order (algorithm R), the building block.
+//   - Stratified: a proportional two-strata sample over a selection
+//     bitmap, preserving the inside/outside ratio so effect sizes stay
+//     unbiased, with a per-stratum floor (the engine passes MinRows) so
+//     neither side collapses below testability.
+//
+// Both are driven by an explicit randx.Source seeded by the caller; the
+// engine fixes the seed per characterization, so sampled runs are exactly
+// repeatable and remain bit-for-bit identical across worker counts.
+package sample

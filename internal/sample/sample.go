@@ -1,9 +1,3 @@
-// Package sample provides row-sampling primitives for approximate
-// characterization. The paper's introduction names BlinkDB — exploration
-// through sampling — as one of the systems Ziggy complements; this package
-// lets the engine cap the rows its per-query statistics consume
-// (Config.SampleRows), trading a bounded accuracy loss for latency.
-// Experiment X7 quantifies that trade-off.
 package sample
 
 import (

@@ -46,12 +46,14 @@ func Pearson(xs, ys []float64) float64 {
 }
 
 // Spearman returns the Spearman rank correlation coefficient, i.e. the
-// Pearson correlation of the fractional ranks.
+// Pearson correlation of the fractional ranks. It ranks both series on
+// every call; callers correlating many pairs over the same columns should
+// rank each column once and use SpearmanRanked.
 func Spearman(xs, ys []float64) float64 {
 	if len(xs) != len(ys) || len(xs) < 2 {
 		return math.NaN()
 	}
-	return Pearson(Ranks(xs), Ranks(ys))
+	return SpearmanRanked(Ranks(xs), Ranks(ys))
 }
 
 // FisherZ transforms a correlation coefficient to the z scale

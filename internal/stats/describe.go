@@ -3,10 +3,13 @@
 // histograms, special functions, and the distribution CDFs required by the
 // hypothesis tests of package hypo.
 //
-// All functions operate on plain []float64 slices containing no NaNs;
-// callers (package frame) strip NULLs before the values reach this layer.
-// Sample (not population) estimators are used throughout, matching the
-// effect-size literature the paper builds on (Hedges & Olkin 1985).
+// Functions operate on plain []float64 slices and in general assume no
+// NaNs; callers (package frame) strip NULLs before the values reach this
+// layer. The exception is the two-group Ranking constructors, which detect
+// NaN-bearing input and mark it untestable (HasNaN) so the robust pipeline
+// degrades gracefully instead of ranking garbage. Sample (not population)
+// estimators are used throughout, matching the effect-size literature the
+// paper builds on (Hedges & Olkin 1985).
 package stats
 
 import (
@@ -202,24 +205,11 @@ func RanksInto(dst, xs []float64) []float64 {
 
 // RanksIdx is RanksInto with caller-provided index scratch, for callers
 // that rank in a loop; idx must have length len(xs) and is overwritten.
+// The ranking pass itself lives in ranksCore (ranking.go), shared with the
+// two-group Ranking constructor so every rank computation in the system is
+// metered by RankOps.
 func RanksIdx(dst []float64, idx []int, xs []float64) []float64 {
-	n := len(xs)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
-	for i := 0; i < n; {
-		j := i
-		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
-			j++
-		}
-		// Average rank for the tie group [i, j].
-		avg := float64(i+j)/2 + 1
-		for k := i; k <= j; k++ {
-			dst[idx[k]] = avg
-		}
-		i = j + 1
-	}
+	ranksCore(dst, idx, xs)
 	return dst
 }
 

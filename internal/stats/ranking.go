@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// rankOps counts ranking passes (each one O(n log n) comparison sort)
+// executed since process start. The robust hot path is specified to rank
+// each column's in+out concatenation exactly once per characterization;
+// tests and benchmarks read this counter to assert that budget instead of
+// guessing from allocation counts. One atomic add per ranking pass is
+// noise next to the sort it meters.
+var rankOps atomic.Int64
+
+// RankOps returns the number of ranking passes performed so far. Intended
+// for tests and benchmark metrics (read a delta around the measured code);
+// it never resets.
+func RankOps() int64 { return rankOps.Load() }
+
+// ranksCore writes the fractional 1-based ranks of xs into dst using idx as
+// index scratch, and returns the tie-correction term Σ(t³−t) summed over
+// tie groups in ascending value order — the quantity the Mann-Whitney
+// variance needs, computed for free while the tie groups are being walked
+// for rank averaging. dst and idx must have length len(xs).
+func ranksCore(dst []float64, idx []int, xs []float64) float64 {
+	rankOps.Add(1)
+	n := len(xs)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	tieSum := 0.0
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Average rank for the tie group [i, j].
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			dst[idx[k]] = avg
+		}
+		if tlen := float64(j - i + 1); tlen > 1 {
+			tieSum += tlen*tlen*tlen - tlen
+		}
+		i = j + 1
+	}
+	return tieSum
+}
+
+// Ranking is the rank-once product for a two-group sample: everything the
+// robust pipeline's downstream consumers need from the single ranking pass
+// over the concatenation of group A (the selection) and group B (its
+// complement). Computing it once per column and threading the value through
+// Cliff's delta, the Mann-Whitney test and the group medians replaces the
+// five sorts the pre-refactor robust path paid per column (Cliff's ranks,
+// Mann-Whitney's re-rank, its tie-correction sort, and one per group
+// median).
+type Ranking struct {
+	// Ranks are the fractional 1-based ranks of the combined sample, group
+	// A's values first. When built via RankingInto the slice aliases the
+	// caller's scratch and is only valid until the scratch is reused; the
+	// scalar fields below are always safe to retain.
+	Ranks []float64
+	// NA and NB are the group sizes.
+	NA, NB int
+	// RankSumA is the sum of group A's ranks (the Wilcoxon rank-sum W),
+	// accumulated in group-A element order.
+	RankSumA float64
+	// TieSum is Σ(t³−t) over tie groups, the Mann-Whitney tie correction.
+	TieSum float64
+	// MedianA and MedianB are the per-group medians (type-7 interpolation,
+	// identical to Median), read off the combined sort order so the groups
+	// are never re-sorted.
+	MedianA, MedianB float64
+	// HasNaN reports that the input contained a NaN, which makes ranks
+	// meaningless; consumers must treat the sample as untestable.
+	HasNaN bool
+}
+
+// NewRanking ranks the concatenation of a and b with fresh allocations.
+func NewRanking(a, b []float64) Ranking {
+	n := len(a) + len(b)
+	combined := make([]float64, 0, n)
+	combined = append(combined, a...)
+	combined = append(combined, b...)
+	return RankingInto(make([]float64, n), make([]int, n), combined, len(a))
+}
+
+// RankingInto ranks combined — group A's na values followed by group B's —
+// writing ranks into dst and using idx as index scratch; both must have
+// length len(combined). Inputs containing NaN yield a Ranking with HasNaN
+// set and no ranking pass performed (NaNs break comparison sorting, so any
+// rank-derived statistic would be garbage).
+func RankingInto(dst []float64, idx []int, combined []float64, na int) Ranking {
+	r := Ranking{NA: na, NB: len(combined) - na, MedianA: math.NaN(), MedianB: math.NaN()}
+	for _, v := range combined {
+		if math.IsNaN(v) {
+			r.HasNaN = true
+			return r
+		}
+	}
+	r.TieSum = ranksCore(dst, idx, combined)
+	r.Ranks = dst
+	for i := 0; i < na; i++ {
+		r.RankSumA += dst[i]
+	}
+	r.MedianA = groupMedian(combined, idx, na, func(orig int) bool { return orig < na })
+	r.MedianB = groupMedian(combined, idx, r.NB, func(orig int) bool { return orig >= na })
+	return r
+}
+
+// groupMedian computes the median of the group selected by member, reading
+// the group's order statistics off the combined sort order in idx. It
+// replicates Quantile(sorted, 0.5) arithmetic exactly (same interpolation
+// expression), so a Ranking-backed median is bit-identical to sorting the
+// group separately.
+func groupMedian(combined []float64, idx []int, n int, member func(orig int) bool) float64 {
+	if n == 0 {
+		return math.NaN()
+	}
+	h := 0.5 * float64(n-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	frac := h - float64(lo)
+	vlo, vhi := math.NaN(), math.NaN()
+	seen := -1
+	for _, orig := range idx {
+		if !member(orig) {
+			continue
+		}
+		seen++
+		if seen == lo {
+			vlo = combined[orig]
+			if n == 1 || hi >= n {
+				return vlo
+			}
+		}
+		if seen == hi {
+			vhi = combined[orig]
+			break
+		}
+	}
+	return vlo*(1-frac) + vhi*frac
+}
+
+// SpearmanRanked returns the Spearman correlation of two series whose
+// fractional ranks were already computed (it is their Pearson correlation).
+// Callers that correlate many pairs over the same columns — the dependency
+// matrix — rank each column once and call this per pair instead of paying
+// two ranking passes per pair through Spearman.
+func SpearmanRanked(rx, ry []float64) float64 {
+	return Pearson(rx, ry)
+}

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// TestRankingAgainstDirectComputation cross-checks every Ranking field
+// against independent from-scratch computations on a tie-heavy sample.
+func TestRankingAgainstDirectComputation(t *testing.T) {
+	a := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3}
+	b := []float64{5, 3, 5, 8, 9, 7, 9, 3}
+	r := NewRanking(a, b)
+
+	if r.NA != len(a) || r.NB != len(b) || r.HasNaN {
+		t.Fatalf("sizes: %+v", r)
+	}
+	combined := append(append([]float64{}, a...), b...)
+	wantRanks := Ranks(combined)
+	for i := range wantRanks {
+		if r.Ranks[i] != wantRanks[i] {
+			t.Fatalf("rank[%d] = %v, want %v", i, r.Ranks[i], wantRanks[i])
+		}
+	}
+	sumA := 0.0
+	for i := 0; i < len(a); i++ {
+		sumA += wantRanks[i]
+	}
+	if r.RankSumA != sumA {
+		t.Errorf("RankSumA = %v, want %v", r.RankSumA, sumA)
+	}
+	// Tie correction recomputed by sorting a copy.
+	sorted := append([]float64{}, combined...)
+	sort.Float64s(sorted)
+	tieSum := 0.0
+	for i := 0; i < len(sorted); {
+		j := i
+		for j+1 < len(sorted) && sorted[j+1] == sorted[i] {
+			j++
+		}
+		if tlen := float64(j - i + 1); tlen > 1 {
+			tieSum += tlen*tlen*tlen - tlen
+		}
+		i = j + 1
+	}
+	if r.TieSum != tieSum {
+		t.Errorf("TieSum = %v, want %v", r.TieSum, tieSum)
+	}
+	if ma := Median(a); math.Float64bits(r.MedianA) != math.Float64bits(ma) {
+		t.Errorf("MedianA = %v, want %v", r.MedianA, ma)
+	}
+	if mb := Median(b); math.Float64bits(r.MedianB) != math.Float64bits(mb) {
+		t.Errorf("MedianB = %v, want %v", r.MedianB, mb)
+	}
+}
+
+// TestRankingGroupMediansMatchMedian fuzzes group sizes (odd/even, size 1)
+// so the combined-order median walk is pinned to Median bit-for-bit.
+func TestRankingGroupMediansMatchMedian(t *testing.T) {
+	vals := []float64{0.5, 2, 2, -3, 7, 7, 7, 1.25, -0.5, 4, 11, 2}
+	for na := 1; na < len(vals); na++ {
+		a, b := vals[:na], vals[na:]
+		r := NewRanking(a, b)
+		if math.Float64bits(r.MedianA) != math.Float64bits(Median(a)) {
+			t.Errorf("na=%d MedianA = %v, want %v", na, r.MedianA, Median(a))
+		}
+		if math.Float64bits(r.MedianB) != math.Float64bits(Median(b)) {
+			t.Errorf("na=%d MedianB = %v, want %v", na, r.MedianB, Median(b))
+		}
+	}
+}
+
+// TestRankingNaN asserts NaN-bearing input short-circuits: HasNaN set, no
+// ranking pass spent, medians NaN.
+func TestRankingNaN(t *testing.T) {
+	before := RankOps()
+	r := NewRanking([]float64{1, math.NaN()}, []float64{3, 4})
+	if !r.HasNaN {
+		t.Fatal("HasNaN not set")
+	}
+	if RankOps() != before {
+		t.Error("NaN input still paid a ranking pass")
+	}
+	if !math.IsNaN(r.MedianA) || !math.IsNaN(r.MedianB) {
+		t.Error("medians of NaN-bearing ranking should be NaN")
+	}
+}
+
+// TestRankOpsCounts pins the meter: one ranking pass per Ranks/Ranking
+// call, two per Spearman, zero per SpearmanRanked.
+func TestRankOpsCounts(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 1, 4, 3, 5}
+
+	before := RankOps()
+	Ranks(xs)
+	if got := RankOps() - before; got != 1 {
+		t.Errorf("Ranks cost %d passes, want 1", got)
+	}
+	before = RankOps()
+	NewRanking(xs, ys)
+	if got := RankOps() - before; got != 1 {
+		t.Errorf("NewRanking cost %d passes, want 1", got)
+	}
+	before = RankOps()
+	Spearman(xs, ys)
+	if got := RankOps() - before; got != 2 {
+		t.Errorf("Spearman cost %d passes, want 2", got)
+	}
+	rx, ry := Ranks(xs), Ranks(ys)
+	before = RankOps()
+	if got, want := SpearmanRanked(rx, ry), Spearman(xs, ys); got != want {
+		t.Errorf("SpearmanRanked = %v, want %v", got, want)
+	}
+	if got := RankOps() - before - 2; got != 0 { // the Spearman above costs 2
+		t.Errorf("SpearmanRanked cost %d passes, want 0", got)
+	}
+}
