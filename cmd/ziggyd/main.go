@@ -3,10 +3,14 @@
 // and per-view explanations on the right.
 //
 // By default it preloads the three demo datasets. Additional CSV files can
-// be registered with repeated -csv flags.
+// be registered with repeated -csv flags. The serving hot path is memoized:
+// repeated identical queries are answered from the report cache
+// (bounded by -cache-entries / -cache-bytes per tier) and /api/stats
+// exposes the hit/miss/evict counters.
 //
 //	ziggyd -addr :8080
 //	ziggyd -addr :8080 -datasets uscrime,boxoffice -csv extra.csv
+//	ziggyd -addr :8080 -cache-entries 64 -cache-bytes 134217728
 package main
 
 import (
@@ -33,6 +37,76 @@ func (c *csvList) Set(v string) error {
 	return nil
 }
 
+// options collects everything main parses from flags; buildServer turns it
+// into a ready handler so tests can drive the exact serving stack without a
+// listener.
+type options struct {
+	datasets     string
+	csvs         []string
+	seed         uint64
+	minTight     float64
+	maxViews     int
+	parallelism  int
+	cacheEntries int
+	cacheBytes   int64
+}
+
+// buildServer registers the requested tables and wraps them in the demo
+// server; logger may be nil for silence.
+func buildServer(opts options, logger *log.Logger) (*server.Server, error) {
+	catalog := db.NewCatalog()
+	for _, name := range strings.Split(opts.datasets, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		var err error
+		switch name {
+		case "uscrime":
+			err = catalog.Register(synth.USCrime(opts.seed))
+		case "boxoffice":
+			err = catalog.Register(synth.BoxOffice(opts.seed))
+		case "innovation":
+			err = catalog.Register(synth.Innovation(opts.seed))
+		default:
+			err = fmt.Errorf("unknown dataset %q", name)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if logger != nil {
+			logger.Printf("registered dataset %s", name)
+		}
+	}
+	for _, path := range opts.csvs {
+		f, err := csvio.ReadFile(path, csvio.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if err := catalog.Register(f); err != nil {
+			return nil, err
+		}
+		if logger != nil {
+			logger.Printf("registered %s (%d rows × %d cols)", f.Name(), f.NumRows(), f.NumCols())
+		}
+	}
+	if len(catalog.TableNames()) == 0 {
+		return nil, fmt.Errorf("no tables registered; pass -datasets or -csv")
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.MinTight = opts.minTight
+	cfg.MaxViews = opts.maxViews
+	cfg.Parallelism = opts.parallelism
+	cfg.CacheEntries = opts.cacheEntries
+	cfg.CacheBytes = opts.cacheBytes
+	engine, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return server.New(catalog, engine, logger), nil
+}
+
 func main() {
 	var csvs csvList
 	addr := flag.String("addr", ":8080", "listen address")
@@ -42,58 +116,28 @@ func main() {
 	minTight := flag.Float64("min-tight", 0.4, "tightness threshold")
 	maxViews := flag.Int("max-views", 8, "maximum views per query")
 	parallel := flag.Int("parallelism", 0, "engine worker count (0 = all CPUs, 1 = sequential)")
+	cacheEntries := flag.Int("cache-entries", 0,
+		"LRU entry bound per cache tier (0 = engine default)")
+	cacheBytes := flag.Int64("cache-bytes", 0,
+		"approximate byte bound per cache tier (0 = engine default)")
 	flag.Var(&csvs, "csv", "CSV file to register (repeatable)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "ziggyd: ", log.LstdFlags)
-	catalog := db.NewCatalog()
-
-	for _, name := range strings.Split(*datasets, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
-		}
-		var err error
-		switch name {
-		case "uscrime":
-			err = catalog.Register(synth.USCrime(*seed))
-		case "boxoffice":
-			err = catalog.Register(synth.BoxOffice(*seed))
-		case "innovation":
-			err = catalog.Register(synth.Innovation(*seed))
-		default:
-			err = fmt.Errorf("unknown dataset %q", name)
-		}
-		if err != nil {
-			logger.Fatal(err)
-		}
-		logger.Printf("registered dataset %s", name)
-	}
-	for _, path := range csvs {
-		f, err := csvio.ReadFile(path, csvio.Options{})
-		if err != nil {
-			logger.Fatal(err)
-		}
-		if err := catalog.Register(f); err != nil {
-			logger.Fatal(err)
-		}
-		logger.Printf("registered %s (%d rows × %d cols)", f.Name(), f.NumRows(), f.NumCols())
-	}
-	if len(catalog.TableNames()) == 0 {
-		logger.Fatal("no tables registered; pass -datasets or -csv")
-	}
-
-	cfg := core.DefaultConfig()
-	cfg.MinTight = *minTight
-	cfg.MaxViews = *maxViews
-	cfg.Parallelism = *parallel
-	engine, err := core.New(cfg)
+	srv, err := buildServer(options{
+		datasets:     *datasets,
+		csvs:         csvs,
+		seed:         *seed,
+		minTight:     *minTight,
+		maxViews:     *maxViews,
+		parallelism:  *parallel,
+		cacheEntries: *cacheEntries,
+		cacheBytes:   *cacheBytes,
+	}, logger)
 	if err != nil {
 		logger.Fatal(err)
 	}
-
-	srv := server.New(catalog, engine, logger)
-	logger.Printf("serving on %s (tables: %s)", *addr, strings.Join(catalog.TableNames(), ", "))
+	logger.Printf("serving on %s", *addr)
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		logger.Fatal(err)
 	}

@@ -1,0 +1,240 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update regenerates the golden files from the current responses:
+//
+//	go test ./cmd/ziggyd -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenServer builds the exact serving stack main assembles, on the small
+// deterministic boxoffice dataset so golden responses are stable and fast.
+// Parallelism 1 pins the sequential path (output is identical for every
+// worker count, so this is belt and braces, not a requirement).
+func goldenServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv, err := buildServer(options{
+		datasets:    "boxoffice",
+		seed:        1,
+		minTight:    0.4,
+		maxViews:    8,
+		parallelism: 1,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// scrub zeroes the volatile fields of a decoded response in place: stage
+// wall times (they vary run to run) and cache byte estimates (they track
+// the size heuristic, not the semantics under test).
+func scrub(v any) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, val := range x {
+			switch k {
+			case "prepMillis", "searchMillis", "postMillis", "bytes":
+				x[k] = 0
+			default:
+				scrub(val)
+			}
+		}
+	case []any:
+		for _, val := range x {
+			scrub(val)
+		}
+	}
+}
+
+// checkGolden canonicalizes the body (decode, scrub volatile fields,
+// re-encode with sorted keys and indentation) and compares it against the
+// checked-in golden file, rewriting it under -update.
+func checkGolden(t *testing.T, name string, body []byte) {
+	t.Helper()
+	var decoded any
+	if err := json.Unmarshal(body, &decoded); err != nil {
+		t.Fatalf("%s: response is not JSON: %v\n%s", name, err, body)
+	}
+	scrub(decoded)
+	canon, err := json.MarshalIndent(decoded, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon = append(canon, '\n')
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, canon, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%s: %v (run `go test ./cmd/ziggyd -update` to create golden files)", name, err)
+	}
+	if !bytes.Equal(canon, want) {
+		t.Errorf("%s: response diverged from golden file\n--- want\n%s\n--- got\n%s", name, want, canon)
+	}
+}
+
+func post(t *testing.T, ts *httptest.Server, path, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+// TestGoldenCharacterizeTwiceAndStats is the end-to-end golden path of the
+// serving daemon: the same characterization twice over real HTTP — the
+// second response must assert cacheHit/reportCacheHit true and otherwise be
+// byte-identical to the first — followed by /api/stats with reconciling
+// counters. All three responses are pinned against checked-in golden JSON.
+func TestGoldenCharacterizeTwiceAndStats(t *testing.T) {
+	ts := goldenServer(t)
+	const query = `{"sql": "SELECT * FROM boxoffice WHERE gross_musd >= 100", "excludePredicate": true}`
+
+	code, first := post(t, ts, "/api/characterize", query)
+	if code != http.StatusOK {
+		t.Fatalf("first characterize status %d: %s", code, first)
+	}
+	checkGolden(t, "characterize_cold.json", first)
+
+	code, second := post(t, ts, "/api/characterize", query)
+	if code != http.StatusOK {
+		t.Fatalf("second characterize status %d: %s", code, second)
+	}
+	var rep struct {
+		CacheHit       bool `json:"cacheHit"`
+		ReportCacheHit bool `json:"reportCacheHit"`
+	}
+	if err := json.Unmarshal(second, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.CacheHit || !rep.ReportCacheHit {
+		t.Errorf("second identical query not served from the report cache: %s", second)
+	}
+	checkGolden(t, "characterize_cached.json", second)
+
+	code, stats := get(t, ts, "/api/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats status %d: %s", code, stats)
+	}
+	var sr struct {
+		Prepared, Reports struct {
+			Hits, Misses, Requests int64
+		}
+	}
+	if err := json.Unmarshal(stats, &sr); err != nil {
+		t.Fatal(err)
+	}
+	for name, tier := range map[string]struct{ Hits, Misses, Requests int64 }{
+		"prepared": sr.Prepared, "reports": sr.Reports,
+	} {
+		if tier.Hits+tier.Misses != tier.Requests {
+			t.Errorf("%s tier does not reconcile: %+v", name, tier)
+		}
+	}
+	if sr.Reports.Hits != 1 || sr.Reports.Misses != 1 {
+		t.Errorf("reports tier = %+v, want 1 hit / 1 miss", sr.Reports)
+	}
+	checkGolden(t, "stats.json", stats)
+}
+
+// TestGoldenErrorPaths pins the error wire format: malformed JSON, a
+// missing query, an unknown table, an uncharacterizable selection, and a
+// method mismatch.
+func TestGoldenErrorPaths(t *testing.T) {
+	ts := goldenServer(t)
+	cases := []struct {
+		name   string
+		body   string
+		status int
+		golden string
+	}{
+		{"bad-json", "{not json", http.StatusBadRequest, "error_bad_json.json"},
+		{"missing-sql", `{}`, http.StatusBadRequest, "error_missing_sql.json"},
+		{"unknown-table", `{"sql": "SELECT * FROM nope"}`, http.StatusBadRequest, "error_unknown_table.json"},
+		{"tiny-selection", `{"sql": "SELECT * FROM boxoffice WHERE gross_musd > 1e15"}`,
+			http.StatusUnprocessableEntity, "error_tiny_selection.json"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, body := post(t, ts, "/api/characterize", c.body)
+			if code != c.status {
+				t.Fatalf("status %d, want %d: %s", code, c.status, body)
+			}
+			checkGolden(t, c.golden, body)
+		})
+	}
+	t.Run("method-not-allowed", func(t *testing.T) {
+		code, body := get(t, ts, "/api/characterize")
+		if code != http.StatusMethodNotAllowed {
+			t.Fatalf("GET /api/characterize status %d", code)
+		}
+		checkGolden(t, "error_method.json", body)
+	})
+}
+
+// TestBuildServerValidation covers the daemon's option errors: unknown
+// datasets, missing tables, bad CSV paths and invalid cache bounds fail
+// construction instead of serving a broken daemon.
+func TestBuildServerValidation(t *testing.T) {
+	cases := []options{
+		{datasets: "nope", minTight: 0.4, maxViews: 8},
+		{datasets: "", minTight: 0.4, maxViews: 8},
+		{datasets: "boxoffice", csvs: []string{"/does/not/exist.csv"}, minTight: 0.4, maxViews: 8},
+		{datasets: "boxoffice", minTight: 0.4, maxViews: 8, cacheEntries: -1},
+		{datasets: "boxoffice", minTight: 0.4, maxViews: 8, cacheBytes: -1},
+	}
+	for i, opts := range cases {
+		if _, err := buildServer(opts, nil); err == nil {
+			t.Errorf("case %d: buildServer accepted invalid options %+v", i, opts)
+		}
+	}
+	// Custom cache bounds flow through to the engine.
+	srv, err := buildServer(options{
+		datasets: "boxoffice", seed: 1, minTight: 0.4, maxViews: 8,
+		cacheEntries: 3, cacheBytes: 1 << 20,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = srv
+}

@@ -117,6 +117,7 @@ func (s *shell) execute(line string, out io.Writer) error {
   \robust on|off        rank-based statistics
   \extended on|off      extended Zig-Components
   \config               show the engine configuration
+  \stats                show cache hit/miss/evict counters
   \quit                 leave
 `)
 		return nil
@@ -178,6 +179,16 @@ func (s *shell) execute(line string, out io.Writer) error {
 	case `\config`:
 		fmt.Fprintf(out, "min_tight=%.2f max_dim=%d max_views=%d robust=%v extended=%v alpha=%g\n",
 			s.cfg.MinTight, s.cfg.MaxDim, s.cfg.MaxViews, s.cfg.Robust, s.cfg.Extended, s.cfg.Alpha)
+		return nil
+
+	case `\stats`:
+		cs := s.session.CacheStats()
+		printTier := func(name string, t ziggy.CacheSnapshot) {
+			fmt.Fprintf(out, "%-9s hits=%d misses=%d evictions=%d deduped=%d entries=%d bytes=%d\n",
+				name, t.Hits, t.Misses, t.Evictions, t.Deduped, t.Entries, t.Bytes)
+		}
+		printTier("prepared", cs.Prepared)
+		printTier("reports", cs.Reports)
 		return nil
 
 	default:

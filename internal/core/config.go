@@ -102,7 +102,21 @@ type Config struct {
 	// sequential path with no goroutines. Results are bit-for-bit
 	// identical for every worker count.
 	Parallelism int
+	// CacheEntries bounds each memo tier (prepared structures and full
+	// reports) to this many LRU entries. Zero means DefaultCacheEntries;
+	// negative is invalid.
+	CacheEntries int
+	// CacheBytes bounds each memo tier to approximately this many resident
+	// bytes. Zero means DefaultCacheBytes; negative is invalid.
+	CacheBytes int64
 }
+
+// Default memo-tier bounds applied when Config leaves them zero. Each of
+// the two tiers gets its own budget.
+const (
+	DefaultCacheEntries = 128
+	DefaultCacheBytes   = 256 << 20 // 256 MiB
+)
 
 // DefaultConfig returns the configuration used throughout the paper's demo
 // scenarios: two-column views, moderate tightness, complete linkage, the
@@ -143,6 +157,12 @@ func (c Config) Validate() error {
 	}
 	if c.Parallelism < 0 {
 		return fmt.Errorf("core: Parallelism %d < 0 (0 means all CPUs)", c.Parallelism)
+	}
+	if c.CacheEntries < 0 {
+		return fmt.Errorf("core: CacheEntries %d < 0 (0 means the default)", c.CacheEntries)
+	}
+	if c.CacheBytes < 0 {
+		return fmt.Errorf("core: CacheBytes %d < 0 (0 means the default)", c.CacheBytes)
 	}
 	if err := c.Weights.Validate(); err != nil {
 		return err

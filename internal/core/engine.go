@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/cluster"
@@ -13,6 +12,7 @@ import (
 	"repro/internal/explain"
 	"repro/internal/frame"
 	"repro/internal/hypo"
+	"repro/internal/memo"
 	"repro/internal/par"
 	"repro/internal/sample"
 	"repro/internal/stats"
@@ -20,19 +20,18 @@ import (
 
 // Engine characterizes query results. It is safe for concurrent use; the
 // dependency structure of each table is computed once and shared across
-// queries (the computation-sharing strategy of the paper's preparation
-// stage).
+// queries, and entire reports are memoized by content fingerprint, so a
+// repeated identical query is served from cache and concurrent identical
+// queries compute once (the computation-sharing strategy of the paper's
+// preparation stage, extended to the whole serving hot path).
 type Engine struct {
 	cfg Config
+	// cfgHash keys the report cache on the effective (post-default)
+	// configuration.
+	cfgHash uint64
 
-	mu    sync.Mutex
-	cache map[cacheKey]*prepared
-}
-
-type cacheKey struct {
-	f       *frame.Frame
-	measure depend.Measure
-	linkage cluster.Linkage
+	prep    *memo.Cache[prepKey, *prepared]
+	reports *memo.Cache[reportKey, *Report]
 }
 
 // prepared holds the query-independent preparation products for one table.
@@ -57,18 +56,36 @@ func New(cfg Config) (*Engine, error) {
 		}
 		cfg.Weights = w
 	}
-	return &Engine{cfg: cfg, cache: make(map[cacheKey]*prepared)}, nil
+	entries, bytes := cfg.CacheEntries, cfg.CacheBytes
+	if entries == 0 {
+		entries = DefaultCacheEntries
+	}
+	if bytes == 0 {
+		bytes = DefaultCacheBytes
+	}
+	return &Engine{
+		cfg:     cfg,
+		cfgHash: hashConfig(cfg),
+		prep:    memo.New[prepKey, *prepared](entries, bytes),
+		reports: memo.New[reportKey, *Report](entries, bytes),
+	}, nil
 }
 
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
-// InvalidateCache drops all cached dependency structures; callers must use
-// it if they mutate a frame that was previously characterized.
+// InvalidateCache drops both cache tiers (prepared structures and memoized
+// reports). Content fingerprints make stale entries unreachable on their
+// own when a table is reloaded with different data — its key changes and
+// the old entries age out of the LRU — so this remains mainly for
+// benchmarks that need a cold engine. It is NOT sufficient on its own for
+// a frame mutated in place against the immutability convention: the
+// frame's cached fingerprint would key fresh results under the stale hash.
+// Such callers must also call Frame.InvalidateFingerprint (or, better,
+// build a new Frame instead of mutating one).
 func (e *Engine) InvalidateCache() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.cache = make(map[cacheKey]*prepared)
+	e.prep.Purge()
+	e.reports.Purge()
 }
 
 // colData carries the per-column, per-query preparation products.
@@ -101,6 +118,11 @@ type Options struct {
 	// dominate the ranking with tautological views ("high-crime cities
 	// have high crime").
 	ExcludeColumns []string
+	// SkipReportCache bypasses the report-level memo for this run: the
+	// pipeline always executes (the prepared-cache still applies) and the
+	// result is not stored. Benchmarks and tests use it to measure the
+	// per-query pipeline rather than a cache lookup.
+	SkipReportCache bool
 }
 
 // Characterize runs the full pipeline on table f with selection sel (the
@@ -109,7 +131,11 @@ func (e *Engine) Characterize(f *frame.Frame, sel *frame.Bitmap) (*Report, error
 	return e.CharacterizeOpts(f, sel, Options{})
 }
 
-// CharacterizeOpts is Characterize with per-run options.
+// CharacterizeOpts is Characterize with per-run options. Identical requests
+// — same table content, same selection, same options — are served from the
+// report-level memo: the first computes (concurrent duplicates wait for it
+// rather than recomputing) and the rest are lookups, byte-identical to an
+// uncached run except for the cache-hit flags and zeroed timings.
 func (e *Engine) CharacterizeOpts(f *frame.Frame, sel *frame.Bitmap, opts Options) (*Report, error) {
 	if f == nil {
 		return nil, fmt.Errorf("core: nil frame")
@@ -122,15 +148,52 @@ func (e *Engine) CharacterizeOpts(f *frame.Frame, sel *frame.Bitmap, opts Option
 	}
 	nIn := sel.Count()
 	nOut := f.NumRows() - nIn
-	rep := &Report{SelectedRows: nIn, TotalRows: f.NumRows()}
 	if nIn < e.cfg.MinRows || nOut < e.cfg.MinRows {
 		return nil, fmt.Errorf("core: selection has %d rows inside and %d outside; need at least %d on each side",
 			nIn, nOut, e.cfg.MinRows)
 	}
+	if opts.SkipReportCache {
+		return e.characterize(f, sel, opts, nIn)
+	}
+	key := reportKey{
+		frame: f.Fingerprint(),
+		sel:   sel.Fingerprint(),
+		cfg:   e.cfgHash,
+		opts:  hashOptions(opts),
+	}
+	rep, outcome, err := e.reports.Do(key, reportSize, func() (*Report, error) {
+		return e.characterize(f, sel, opts, nIn)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if outcome == memo.Miss {
+		return rep, nil
+	}
+	// Served from cache (or deduplicated onto a concurrent computation):
+	// hand out a shallow copy so the flags and timings of the cached value
+	// stay pristine. Views, components and warnings are shared — reports
+	// are immutable by convention, like frames.
+	clone := *rep
+	clone.CacheHit = true
+	clone.ReportCacheHit = true
+	clone.Timings = Timings{}
+	return &clone, nil
+}
+
+// characterize runs the full uncached pipeline; nIn is sel.Count(), already
+// computed by the caller's validation.
+func (e *Engine) characterize(f *frame.Frame, sel *frame.Bitmap, opts Options, nIn int) (*Report, error) {
+	rep := &Report{SelectedRows: nIn, TotalRows: f.NumRows()}
 
 	// ---- Stage 1: preparation -------------------------------------------
 	t0 := time.Now()
-	prep, hit := e.prepare(f)
+	prep, hit, err := e.prepare(f)
+	if err != nil {
+		// Only reachable when a concurrent preparation leader panicked;
+		// surface the condition instead of dereferencing a nil prepared.
+		return nil, fmt.Errorf("core: preparing table: %w", err)
+	}
 	rep.CacheHit = hit
 	// BlinkDB-style approximation: cap the rows feeding the per-query
 	// statistics. The dependency structure stays exact (it is computed
@@ -172,31 +235,24 @@ func (e *Engine) CharacterizeOpts(f *frame.Frame, sel *frame.Bitmap, opts Option
 }
 
 // prepare returns the cached dependency matrix and dendrogram for f,
-// computing them on first use.
-func (e *Engine) prepare(f *frame.Frame) (*prepared, bool) {
-	key := cacheKey{f: f, measure: e.cfg.Measure, linkage: e.cfg.Linkage}
-	e.mu.Lock()
-	if p, ok := e.cache[key]; ok {
-		e.mu.Unlock()
-		return p, true
-	}
-	e.mu.Unlock()
-
-	// Compute outside the lock: concurrent first queries may duplicate
-	// work but never block each other for the long haul.
-	dep := depend.NewMatrixParallel(f, e.cfg.Measure, e.workers())
-	var dendro *cluster.Dendrogram
-	if f.NumCols() >= 1 {
-		d, err := cluster.Agglomerate(dep.Distances(), f.NumCols(), e.cfg.Linkage)
-		if err == nil {
-			dendro = d
+// computing them on first use. Concurrent first queries on the same table
+// deduplicate: one computes, the rest wait and share the result. The error
+// is non-nil only when a deduplicated wait ended because the computing
+// leader panicked (memo.ErrComputePanicked).
+func (e *Engine) prepare(f *frame.Frame) (*prepared, bool, error) {
+	key := prepKey{frame: f.Fingerprint(), measure: e.cfg.Measure, linkage: e.cfg.Linkage}
+	p, outcome, err := e.prep.Do(key, preparedSize, func() (*prepared, error) {
+		dep := depend.NewMatrixParallel(f, e.cfg.Measure, e.workers())
+		var dendro *cluster.Dendrogram
+		if f.NumCols() >= 1 {
+			d, err := cluster.Agglomerate(dep.Distances(), f.NumCols(), e.cfg.Linkage)
+			if err == nil {
+				dendro = d
+			}
 		}
-	}
-	p := &prepared{dep: dep, dendro: dendro}
-	e.mu.Lock()
-	e.cache[key] = p
-	e.mu.Unlock()
-	return p, false
+		return &prepared{dep: dep, dendro: dendro}, nil
+	})
+	return p, outcome != memo.Miss, err
 }
 
 // sampleSeed fixes the subsampling stream so repeated characterizations of
@@ -287,11 +343,15 @@ func (e *Engine) splitColumn(c *frame.Column, idx int, sel, consider *frame.Bitm
 		cd.comps = append(cd.comps, effect.StdDevs(c.Name(), in, out))
 		if e.cfg.Extended {
 			if e.cfg.Robust {
+				// Both extended numeric components read their order
+				// statistics off the column's single Ranking: no
+				// per-group copy is ever sorted on the robust path.
 				cd.comps = append(cd.comps, effect.QuantilesRanked(c.Name(), in, out, r))
+				cd.comps = append(cd.comps, effect.TailsRanked(c.Name(), in, out, r))
 			} else {
 				cd.comps = append(cd.comps, effect.Quantiles(c.Name(), in, out))
+				cd.comps = append(cd.comps, effect.Tails(c.Name(), in, out))
 			}
-			cd.comps = append(cd.comps, effect.Tails(c.Name(), in, out))
 		}
 	case frame.Categorical:
 		in, out := splitCatCol(c, sel, consider)

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/depend"
+	"repro/internal/effect"
+	"repro/internal/memo"
+)
+
+// This file wires the engine to the content-addressed memoization substrate
+// (internal/memo). Two tiers serve the hot path:
+//
+//   - the prepared-cache keys the query-independent preparation products
+//     (dependency matrix + dendrogram) by (frame fingerprint, measure,
+//     linkage), replacing the old unbounded pointer-keyed map;
+//   - the report-cache memoizes entire characterization reports by (frame
+//     fingerprint, selection fingerprint, config hash, options hash), so a
+//     repeated identical query is a lookup and concurrent identical queries
+//     compute once (singleflight).
+//
+// Both tiers are LRU-bounded by Config.CacheEntries / CacheBytes.
+
+// prepKey addresses one table's preparation products. The measure and
+// linkage are part of the key rather than assumed constant so a future
+// shared (cross-engine) cache cannot mix configurations.
+type prepKey struct {
+	frame   uint64
+	measure depend.Measure
+	linkage cluster.Linkage
+}
+
+// reportKey addresses one full characterization.
+type reportKey struct {
+	frame, sel, cfg, opts uint64
+}
+
+// hashConfig folds every output-affecting Config field into a key
+// component. Parallelism is deliberately excluded: reports are bit-for-bit
+// identical for every worker count (TestParallelDeterminism), so a cached
+// report is valid regardless of how many workers would have recomputed it.
+func hashConfig(c Config) uint64 {
+	h := memo.NewHasher()
+	h.Float(c.MinTight)
+	h.Int(c.MaxDim)
+	h.Int(c.MaxViews)
+	kinds := make([]int, 0, len(c.Weights))
+	for k := range c.Weights {
+		kinds = append(kinds, int(k))
+	}
+	sort.Ints(kinds)
+	h.Int(len(kinds))
+	for _, k := range kinds {
+		h.Int(k)
+		h.Float(c.Weights[effect.Kind(k)])
+	}
+	h.Int(int(c.Measure))
+	h.Int(int(c.Linkage))
+	h.Int(int(c.Generator))
+	h.Float(c.Alpha)
+	h.Int(int(c.Aggregation))
+	h.Bool(c.Robust)
+	h.Bool(c.RequireSignificant)
+	h.Int(c.MinRows)
+	h.Int(c.MaxCliques)
+	h.Bool(c.Extended)
+	h.Int(c.SampleRows)
+	return h.Sum()
+}
+
+// hashOptions folds the per-run options into a key component. The exclusion
+// list is hashed in order because warnings about unknown excluded columns
+// are emitted in list order, and cached reports must be byte-identical to
+// uncached ones.
+func hashOptions(o Options) uint64 {
+	h := memo.NewHasher()
+	h.Int(len(o.ExcludeColumns))
+	for _, c := range o.ExcludeColumns {
+		h.String(c)
+	}
+	return h.Sum()
+}
+
+// preparedSize estimates the resident bytes of one prepared entry: the n×n
+// dependency matrix dominates, plus the distance copy and dendrogram nodes
+// (O(n) each).
+func preparedSize(p *prepared) int64 {
+	if p == nil || p.dep == nil {
+		return 128
+	}
+	n := int64(p.dep.Len())
+	return 128 + n*n*8 + n*96
+}
+
+// reportSize estimates the resident bytes of one cached report by walking
+// its views, components and strings.
+func reportSize(r *Report) int64 {
+	size := int64(256)
+	for i := range r.Views {
+		v := &r.Views[i]
+		size += 160 + int64(len(v.Explanation))
+		for _, c := range v.Columns {
+			size += int64(len(c)) + 16
+		}
+		for _, comp := range v.Components {
+			size += 128 + int64(len(comp.Detail))
+			for _, c := range comp.Columns {
+				size += int64(len(c)) + 16
+			}
+		}
+	}
+	for _, w := range r.Warnings {
+		size += int64(len(w)) + 16
+	}
+	return size
+}
+
+// CacheStats is a point-in-time view of the engine's two memo tiers; the
+// server's /api/stats endpoint serializes it directly. Within each tier,
+// Hits + Misses equals the number of requests and Misses - Deduped the
+// number of computations actually executed.
+type CacheStats struct {
+	// Prepared covers the query-independent preparation products.
+	Prepared memo.Snapshot `json:"prepared"`
+	// Reports covers full memoized characterization reports.
+	Reports memo.Snapshot `json:"reports"`
+}
+
+// CacheStats returns the engine's cache counters and occupancy.
+func (e *Engine) CacheStats() CacheStats {
+	return CacheStats{Prepared: e.prep.Snapshot(), Reports: e.reports.Snapshot()}
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/synth"
+)
+
+// stressTable builds one small planted table for the memo stress suites;
+// small enough that -race runs stay quick, structured enough that every
+// characterization finds at least one view.
+func stressTable(t *testing.T, seed uint64) (*frame.Frame, *frame.Bitmap) {
+	t.Helper()
+	pd, err := synth.Planted(synth.PlantedConfig{
+		Seed: seed, Rows: 600, SelectionFraction: 0.3,
+		Views:     []synth.PlantedView{{Cols: 2, WithinCorr: 0.75, MeanShift: 1.6}},
+		NoiseCols: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pd.Frame, pd.Selection
+}
+
+// referenceFingerprints characterizes each table on a throwaway engine with
+// the report cache bypassed, yielding the ground-truth output every cached,
+// deduplicated or post-eviction run must reproduce byte for byte.
+func referenceFingerprints(t *testing.T, cfg Config, frames []*frame.Frame, sels []*frame.Bitmap) []string {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := make([]string, len(frames))
+	for i := range frames {
+		rep, err := e.CharacterizeOpts(frames[i], sels[i], Options{SkipReportCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Views) == 0 {
+			t.Fatalf("table %d: reference run found no views", i)
+		}
+		refs[i] = fingerprint(rep)
+	}
+	return refs
+}
+
+// TestMemoRaceStress hammers one shared engine from N goroutines × M
+// tables under the race detector and then audits the memo counters: every
+// report must be byte-identical to the uncached reference, and the
+// singleflight discipline means each distinct key was computed exactly once
+// — misses - deduped == M — no matter how the goroutines interleaved
+// (requests that found a computation in flight joined it; requests that
+// arrived later hit the cache).
+func TestMemoRaceStress(t *testing.T) {
+	const goroutines = 8
+	const tables = 3
+	const rounds = 3
+
+	frames := make([]*frame.Frame, tables)
+	sels := make([]*frame.Bitmap, tables)
+	for i := range frames {
+		frames[i], sels[i] = stressTable(t, uint64(400+i))
+	}
+	cfg := DefaultConfig()
+	cfg.Parallelism = 2 // engine-internal fan-out layered under the goroutines
+	refs := referenceFingerprints(t, cfg, frames, sels)
+
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start // maximize concurrent first requests per table
+			for round := 0; round < rounds; round++ {
+				for m := 0; m < tables; m++ {
+					rep, err := e.Characterize(frames[m], sels[m])
+					if err != nil {
+						errs <- err
+						return
+					}
+					if got := fingerprint(rep); got != refs[m] {
+						errs <- fmt.Errorf("goroutine %d round %d table %d: cached output differs from uncached reference", g, round, m)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	stats := e.CacheStats()
+	wantRequests := int64(goroutines * tables * rounds)
+	if got := stats.Reports.Requests(); got != wantRequests {
+		t.Errorf("report tier saw %d requests, want %d", got, wantRequests)
+	}
+	if stats.Reports.Hits+stats.Reports.Misses != stats.Reports.Requests() {
+		t.Errorf("report counters do not reconcile: %+v", stats.Reports)
+	}
+	// The dedupe audit: every miss either computed or joined an in-flight
+	// computation, so computations = misses - deduped, and each of the
+	// `tables` distinct keys must have been computed exactly once.
+	if got := stats.Reports.Misses - stats.Reports.Deduped; got != tables {
+		t.Errorf("%d report computations for %d distinct keys (misses=%d deduped=%d); singleflight dedupe broken",
+			got, tables, stats.Reports.Misses, stats.Reports.Deduped)
+	}
+	// Preparation requests happen only inside report computations: one per
+	// distinct table.
+	if got := stats.Prepared.Requests(); got != tables {
+		t.Errorf("prepared tier saw %d requests, want %d", got, tables)
+	}
+	if got := stats.Prepared.Misses - stats.Prepared.Deduped; got != tables {
+		t.Errorf("%d prepared computations for %d tables: %+v", got, tables, stats.Prepared)
+	}
+	if stats.Reports.Inflight != 0 || stats.Prepared.Inflight != 0 {
+		t.Errorf("inflight gauges nonzero after quiescence: %+v", stats)
+	}
+	if stats.Reports.Entries != tables {
+		t.Errorf("report cache holds %d entries, want %d", stats.Reports.Entries, tables)
+	}
+}
+
+// TestMemoEvictionStress cycles more distinct tables than the configured
+// entry bound through a shared engine from several goroutines: entries are
+// continuously evicted and recomputed, results must stay byte-identical to
+// the uncached references throughout, and the counters must still
+// reconcile exactly.
+func TestMemoEvictionStress(t *testing.T) {
+	const goroutines = 4
+	const tables = 5
+	const bound = 2
+	const rounds = 3
+
+	frames := make([]*frame.Frame, tables)
+	sels := make([]*frame.Bitmap, tables)
+	for i := range frames {
+		frames[i], sels[i] = stressTable(t, uint64(500+i))
+	}
+	cfg := DefaultConfig()
+	cfg.CacheEntries = bound
+	refs := referenceFingerprints(t, cfg, frames, sels)
+
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				// Walk the tables in a goroutine-specific rotation so hits,
+				// misses and evictions interleave differently per goroutine.
+				for i := 0; i < tables; i++ {
+					m := (i + g) % tables
+					rep, err := e.Characterize(frames[m], sels[m])
+					if err != nil {
+						errs <- err
+						return
+					}
+					if got := fingerprint(rep); got != refs[m] {
+						errs <- fmt.Errorf("goroutine %d round %d table %d: output corrupted under eviction churn", g, round, m)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	stats := e.CacheStats()
+	wantRequests := int64(goroutines * tables * rounds)
+	if got := stats.Reports.Requests(); got != wantRequests {
+		t.Errorf("report tier saw %d requests, want %d", got, wantRequests)
+	}
+	if stats.Reports.Hits+stats.Reports.Misses != stats.Reports.Requests() {
+		t.Errorf("report counters do not reconcile: %+v", stats.Reports)
+	}
+	if stats.Prepared.Hits+stats.Prepared.Misses != stats.Prepared.Requests() {
+		t.Errorf("prepared counters do not reconcile: %+v", stats.Prepared)
+	}
+	// Cycling 5 distinct tables through a 2-entry LRU must evict.
+	if stats.Reports.Evictions == 0 {
+		t.Error("no report-cache evictions despite cycling more tables than the bound")
+	}
+	if stats.Prepared.Evictions == 0 {
+		t.Error("no prepared-cache evictions despite cycling more tables than the bound")
+	}
+	if stats.Reports.Entries > bound {
+		t.Errorf("report cache holds %d entries, bound is %d", stats.Reports.Entries, bound)
+	}
+	if stats.Prepared.Entries > bound {
+		t.Errorf("prepared cache holds %d entries, bound is %d", stats.Prepared.Entries, bound)
+	}
+}
+
+// TestReportCacheByteIdentical asserts, for the default, robust and
+// extended configurations, that a report served from the report cache is
+// byte-identical to the uncached pipeline output — the acceptance bar for
+// memoizing the serving hot path — and that SkipReportCache really
+// bypasses the tier.
+func TestReportCacheByteIdentical(t *testing.T) {
+	f, sel := stressTable(t, 600)
+	cfgs := map[string]func() Config{
+		"default": DefaultConfig,
+		"robust": func() Config {
+			c := DefaultConfig()
+			c.Robust = true
+			return c
+		},
+		"robust-extended": func() Config {
+			c := DefaultConfig()
+			c.Robust = true
+			c.Extended = true
+			return c
+		},
+	}
+	for name, mk := range cfgs {
+		t.Run(name, func(t *testing.T) {
+			e, err := New(mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := e.Characterize(f, sel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cold.ReportCacheHit {
+				t.Fatal("cold run flagged as report-cache hit")
+			}
+			cached, err := e.Characterize(f, sel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !cached.ReportCacheHit || !cached.CacheHit {
+				t.Fatalf("repeat run not served from the report cache: %+v", cached)
+			}
+			if cached.Timings.Total() != 0 {
+				t.Error("cached report carries stage timings")
+			}
+			uncached, err := e.CharacterizeOpts(f, sel, Options{SkipReportCache: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if uncached.ReportCacheHit {
+				t.Error("SkipReportCache run flagged as report-cache hit")
+			}
+			want := fingerprint(cold)
+			if got := fingerprint(cached); got != want {
+				t.Errorf("cached report differs from cold run\nwant:\n%s\ngot:\n%s", want, got)
+			}
+			if got := fingerprint(uncached); got != want {
+				t.Errorf("uncached repeat differs from cold run\nwant:\n%s\ngot:\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestReportCacheContentAddressed asserts the fingerprint keying: an
+// independently rebuilt identical table hits the report cache (the old
+// pointer-keyed cache missed here), while any content difference misses.
+func TestReportCacheContentAddressed(t *testing.T) {
+	build := func(seed uint64) (*frame.Frame, *frame.Bitmap) { return stressTable(t, seed) }
+	f1, s1 := build(700)
+	f2, s2 := build(700) // identical content, distinct objects
+	f3, s3 := build(701) // different content
+
+	e, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Characterize(f1, s1); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Characterize(f2, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ReportCacheHit {
+		t.Error("reloaded identical table missed the report cache")
+	}
+	rep, err = e.Characterize(f3, s3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ReportCacheHit {
+		t.Error("different table content hit the report cache")
+	}
+	// Different options under the same table must also miss.
+	rep, err = e.CharacterizeOpts(f1, s1, Options{ExcludeColumns: []string{"noise0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ReportCacheHit {
+		t.Error("different options hit the report cache")
+	}
+}

@@ -73,26 +73,75 @@ func TestRobustRankBudget(t *testing.T) {
 }
 
 // TestRobustExtendedRankBudget asserts the budget survives extended mode,
-// where the quantile-shift component shares the column's Ranking instead of
-// re-ranking for its own Mann-Whitney bound.
+// where the quantile-shift and tail components share the column's Ranking —
+// its Mann-Whitney bound AND its sort permutation: one ranking pass per
+// usable numeric column and zero per-group copy sorts, for every worker
+// count, with byte-identical output. (The non-robust extended path still
+// pays two copy sorts per column; TestExtendedSortBudgetNonRobust pins
+// that contrast.)
 func TestRobustExtendedRankBudget(t *testing.T) {
 	pd := plantedFixture(t, 78)
 	cfg := DefaultConfig()
 	cfg.Robust = true
+	cfg.Extended = true
+
+	wantRanks := int64(countNumeric(t, pd.Frame, pd.Selection, cfg.MinRows))
+	var wantFP string
+	for _, workers := range []int{1, 2, 4, runtime.NumCPU()} {
+		cfg.Parallelism = workers
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		beforeRank, beforeSort := stats.RankOps(), stats.SortOps()
+		rep, err := e.Characterize(pd.Frame, pd.Selection)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := stats.RankOps() - beforeRank; got != wantRanks {
+			t.Errorf("parallelism=%d: %d ranking passes for %d usable numeric columns, want exactly one each",
+				workers, got, wantRanks)
+		}
+		if got := stats.SortOps() - beforeSort; got != 0 {
+			t.Errorf("parallelism=%d: %d per-group copy sorts, want 0 (order statistics must come from the ranking permutation)",
+				workers, got)
+		}
+		fp := fingerprint(rep)
+		if workers == 1 {
+			wantFP = fp
+			if len(rep.Views) == 0 {
+				t.Fatal("reference run found no views")
+			}
+			continue
+		}
+		if fp != wantFP {
+			t.Errorf("parallelism=%d: extended robust output differs from sequential", workers)
+		}
+	}
+}
+
+// TestExtendedSortBudgetNonRobust pins the contrast: without a Ranking to
+// share, the extended quantile and tail components sort one copy each per
+// usable numeric column.
+func TestExtendedSortBudgetNonRobust(t *testing.T) {
+	pd := plantedFixture(t, 78)
+	cfg := DefaultConfig()
 	cfg.Extended = true
 	cfg.Parallelism = 1
 	e, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantRanks := int64(countNumeric(t, pd.Frame, pd.Selection, cfg.MinRows))
-	before := stats.RankOps()
+	usable := int64(countNumeric(t, pd.Frame, pd.Selection, cfg.MinRows))
+	before := stats.SortOps()
 	if _, err := e.Characterize(pd.Frame, pd.Selection); err != nil {
 		t.Fatal(err)
 	}
-	if got := stats.RankOps() - before; got != wantRanks {
-		t.Errorf("extended robust: %d ranking passes for %d usable numeric columns, want exactly one each",
-			got, wantRanks)
+	// Two sorted copies per component family call: 2 (quantiles) + 2
+	// (tails) per usable numeric column.
+	if got := stats.SortOps() - before; got != 4*usable {
+		t.Errorf("non-robust extended: %d copy sorts for %d usable numeric columns, want %d",
+			got, usable, 4*usable)
 	}
 }
 

@@ -63,6 +63,12 @@ type Report struct {
 	// Warnings lists non-fatal issues (skipped columns, tiny selections).
 	Warnings []string
 	// CacheHit reports whether the preparation-stage dependency structure
-	// was reused from a previous query on the same table.
+	// was reused from a previous (or concurrent) query on the same table.
 	CacheHit bool
+	// ReportCacheHit reports whether this entire report was served from
+	// the report-level memo — a lookup, or a wait on a concurrent
+	// identical computation — instead of running the pipeline. Such
+	// reports are byte-identical to a fresh run except for the cache
+	// flags and zeroed Timings.
+	ReportCacheHit bool
 }

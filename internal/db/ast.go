@@ -6,6 +6,47 @@ import (
 	"strings"
 )
 
+// quoteIdent renders an identifier so the lexer reads it back verbatim:
+// plain ASCII identifiers print bare, while anything else — keywords
+// (case-insensitively), non-ASCII bytes (the lexer scans bytes, so bare
+// multi-byte runes would not survive), empty names, or names with special
+// characters — prints double-quoted. Identifiers cannot contain a double
+// quote (the quoted form has no escape), so quoting is always sufficient.
+func quoteIdent(name string) string {
+	plain := len(name) > 0
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				plain = false
+			}
+		default:
+			plain = false
+		}
+		if !plain {
+			break
+		}
+	}
+	if plain && keywords[strings.ToUpper(name)] {
+		plain = false
+	}
+	if plain {
+		return name
+	}
+	return `"` + name + `"`
+}
+
+// quoteIdents maps quoteIdent over a name list.
+func quoteIdents(names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = quoteIdent(n)
+	}
+	return out
+}
+
 // SelectStmt is the parsed form of a query.
 type SelectStmt struct {
 	// Columns lists projected column names; empty means SELECT * unless
@@ -50,15 +91,17 @@ func (a AggItem) OutputName() string {
 	return lower + "_" + a.Column
 }
 
-// String renders the aggregate as SQL.
+// String renders the aggregate as SQL. Only COUNT's empty column means
+// "*"; an empty column on any other function is a genuine (quoted-empty)
+// identifier and must round-trip as such.
 func (a AggItem) String() string {
-	arg := a.Column
+	arg := quoteIdent(a.Column)
 	if a.Func == "COUNT" && a.Column == "" {
 		arg = "*"
 	}
 	s := fmt.Sprintf("%s(%s)", a.Func, arg)
 	if a.Alias != "" {
-		s += " AS " + a.Alias
+		s += " AS " + quoteIdent(a.Alias)
 	}
 	return s
 }
@@ -70,11 +113,13 @@ type OrderKey struct {
 }
 
 // String reconstructs a canonical SQL rendering of the statement.
+// Identifiers that would not lex back bare (keywords, non-ASCII or special
+// characters) are double-quoted, so Parse(stmt.String()) round-trips.
 func (s *SelectStmt) String() string {
 	var b strings.Builder
 	b.WriteString("SELECT ")
 	var items []string
-	items = append(items, s.Columns...)
+	items = append(items, quoteIdents(s.Columns)...)
 	for _, a := range s.Aggs {
 		items = append(items, a.String())
 	}
@@ -84,20 +129,20 @@ func (s *SelectStmt) String() string {
 		b.WriteString(strings.Join(items, ", "))
 	}
 	b.WriteString(" FROM ")
-	b.WriteString(s.Table)
+	b.WriteString(quoteIdent(s.Table))
 	if s.Where != nil {
 		b.WriteString(" WHERE ")
 		b.WriteString(s.Where.String())
 	}
 	if len(s.GroupBy) > 0 {
 		b.WriteString(" GROUP BY ")
-		b.WriteString(strings.Join(s.GroupBy, ", "))
+		b.WriteString(strings.Join(quoteIdents(s.GroupBy), ", "))
 	}
 	if len(s.OrderBy) > 0 {
 		b.WriteString(" ORDER BY ")
 		parts := make([]string, len(s.OrderBy))
 		for i, k := range s.OrderBy {
-			parts[i] = k.Column
+			parts[i] = quoteIdent(k.Column)
 			if k.Desc {
 				parts[i] += " DESC"
 			}
@@ -145,7 +190,7 @@ type Comparison struct {
 
 // String implements Expr.
 func (c *Comparison) String() string {
-	return fmt.Sprintf("%s %s %s", c.Column, c.Op, c.Value.String())
+	return fmt.Sprintf("%s %s %s", quoteIdent(c.Column), c.Op, c.Value.String())
 }
 
 // InExpr is column IN (v1, v2, ...).
@@ -165,7 +210,7 @@ func (e *InExpr) String() string {
 	if e.Negate {
 		op = "NOT IN"
 	}
-	return fmt.Sprintf("%s %s (%s)", e.Column, op, strings.Join(parts, ", "))
+	return fmt.Sprintf("%s %s (%s)", quoteIdent(e.Column), op, strings.Join(parts, ", "))
 }
 
 // BetweenExpr is column BETWEEN lo AND hi (inclusive).
@@ -181,7 +226,7 @@ func (e *BetweenExpr) String() string {
 	if e.Negate {
 		op = "NOT BETWEEN"
 	}
-	return fmt.Sprintf("%s %s %s AND %s", e.Column, op, e.Lo.String(), e.Hi.String())
+	return fmt.Sprintf("%s %s %s AND %s", quoteIdent(e.Column), op, e.Lo.String(), e.Hi.String())
 }
 
 // LikeExpr is column LIKE 'pattern' with % and _ wildcards.
@@ -197,7 +242,7 @@ func (e *LikeExpr) String() string {
 	if e.Negate {
 		op = "NOT LIKE"
 	}
-	return fmt.Sprintf("%s %s '%s'", e.Column, op, strings.ReplaceAll(e.Pattern, "'", "''"))
+	return fmt.Sprintf("%s %s '%s'", quoteIdent(e.Column), op, strings.ReplaceAll(e.Pattern, "'", "''"))
 }
 
 // IsNullExpr is column IS [NOT] NULL.
@@ -209,9 +254,9 @@ type IsNullExpr struct {
 // String implements Expr.
 func (e *IsNullExpr) String() string {
 	if e.Negate {
-		return fmt.Sprintf("%s IS NOT NULL", e.Column)
+		return fmt.Sprintf("%s IS NOT NULL", quoteIdent(e.Column))
 	}
-	return fmt.Sprintf("%s IS NULL", e.Column)
+	return fmt.Sprintf("%s IS NULL", quoteIdent(e.Column))
 }
 
 // Literal is a typed constant in a predicate.

@@ -2,7 +2,6 @@ package effect
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/hypo"
 	"repro/internal/stats"
@@ -66,29 +65,49 @@ func Quantiles(col string, in, out []float64) Component {
 	})
 }
 
-// QuantilesRanked is Quantiles reusing a precomputed two-group Ranking for
-// its Mann-Whitney bound, so a robust extended characterization still pays
-// exactly one ranking pass per column (Cliff's delta and the quantile shift
-// share it). The quantile arithmetic itself works on per-group sorted
-// copies as before; r must rank the same in/out pair.
+// QuantilesRanked is Quantiles reusing a precomputed two-group Ranking
+// end to end: the quartiles of both groups are read off the ranking's sort
+// permutation — no per-group copy is sorted — and the Mann-Whitney bound
+// reuses the same ranking, so a robust extended characterization pays
+// exactly one ranking pass and zero extra sorts per column. r must rank
+// the same in/out pair; degenerate rankings fall back to the sorting path.
 func QuantilesRanked(col string, in, out []float64, r stats.Ranking) Component {
-	return quantilesTested(col, in, out, func() hypo.Result {
+	if r.Perm == nil || r.NA != len(in) || r.NB != len(out) {
+		return quantilesTested(col, in, out, func() hypo.Result {
+			return hypo.MannWhitneyURanked(r)
+		})
+	}
+	if len(in) < 4 || len(out) < 4 {
+		return invalid(DiffQuantiles, col)
+	}
+	qs := [3]float64{0.25, 0.5, 0.75}
+	var qi, qo [3]float64
+	r.QuantilesA(qs[:], qi[:])
+	r.QuantilesB(qs[:], qo[:])
+	return quantilesComponent(col, qi[1], qo[1], qi[2]-qi[0], qo[2]-qo[0], func() hypo.Result {
 		return hypo.MannWhitneyURanked(r)
 	})
 }
 
-// quantilesTested implements Quantiles with a pluggable significance bound;
-// test is only invoked once the component is known to be computable.
+// quantilesTested implements Quantiles on sorted group copies with a
+// pluggable significance bound.
 func quantilesTested(col string, in, out []float64, test func() hypo.Result) Component {
 	if len(in) < 4 || len(out) < 4 {
 		return invalid(DiffQuantiles, col)
 	}
-	si := sortedCopy(in)
-	so := sortedCopy(out)
+	si := stats.SortedCopy(in)
+	so := stats.SortedCopy(out)
 	medIn := stats.Quantile(si, 0.5)
 	medOut := stats.Quantile(so, 0.5)
 	iqrIn := stats.Quantile(si, 0.75) - stats.Quantile(si, 0.25)
 	iqrOut := stats.Quantile(so, 0.75) - stats.Quantile(so, 0.25)
+	return quantilesComponent(col, medIn, medOut, iqrIn, iqrOut, test)
+}
+
+// quantilesComponent assembles the DiffQuantiles component from the two
+// medians and IQRs, however they were obtained; test is only invoked once
+// the component is known to be computable.
+func quantilesComponent(col string, medIn, medOut, iqrIn, iqrOut float64, test func() hypo.Result) Component {
 	pooled := (iqrIn + iqrOut) / 2
 	if pooled <= 0 {
 		return invalid(DiffQuantiles, col)
@@ -114,8 +133,8 @@ func Tails(col string, in, out []float64) Component {
 	if len(in) < 10 || len(out) < 10 {
 		return invalid(DiffTails, col)
 	}
-	si := sortedCopy(in)
-	so := sortedCopy(out)
+	si := stats.SortedCopy(in)
+	so := stats.SortedCopy(out)
 	tw := func(s []float64) float64 {
 		iqr := stats.Quantile(s, 0.75) - stats.Quantile(s, 0.25)
 		if iqr <= 0 {
@@ -123,7 +142,36 @@ func Tails(col string, in, out []float64) Component {
 		}
 		return (stats.Quantile(s, 0.95) - stats.Quantile(s, 0.05)) / iqr
 	}
-	ti, to := tw(si), tw(so)
+	return tailsComponent(col, tw(si), tw(so), in, out)
+}
+
+// TailsRanked is Tails reading all four order statistics per group off a
+// precomputed Ranking's sort permutation, sorting nothing. r must rank the
+// same in/out pair; degenerate rankings fall back to the sorting path.
+func TailsRanked(col string, in, out []float64, r stats.Ranking) Component {
+	if r.Perm == nil || r.NA != len(in) || r.NB != len(out) {
+		return Tails(col, in, out)
+	}
+	if len(in) < 10 || len(out) < 10 {
+		return invalid(DiffTails, col)
+	}
+	qs := [4]float64{0.05, 0.25, 0.75, 0.95}
+	var a, b [4]float64
+	r.QuantilesA(qs[:], a[:])
+	r.QuantilesB(qs[:], b[:])
+	tw := func(v [4]float64) float64 {
+		iqr := v[2] - v[1]
+		if iqr <= 0 {
+			return math.NaN()
+		}
+		return (v[3] - v[0]) / iqr
+	}
+	return tailsComponent(col, tw(a), tw(b), in, out)
+}
+
+// tailsComponent assembles the DiffTails component from the two tail-weight
+// statistics, however they were obtained.
+func tailsComponent(col string, ti, to float64, in, out []float64) Component {
 	if math.IsNaN(ti) || math.IsNaN(to) || ti <= 0 || to <= 0 {
 		return invalid(DiffTails, col)
 	}
@@ -238,11 +286,4 @@ func etaOf(codes []int32, vals []float64, card int) float64 {
 		eta = 1
 	}
 	return eta
-}
-
-func sortedCopy(xs []float64) []float64 {
-	s := make([]float64, len(xs))
-	copy(s, xs)
-	sort.Float64s(s)
-	return s
 }

@@ -1,10 +1,12 @@
 package effect
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
 	"repro/internal/randx"
+	"repro/internal/stats"
 )
 
 func TestQuantilesDetectsMedianShift(t *testing.T) {
@@ -215,6 +217,85 @@ func TestExtendedWeights(t *testing.T) {
 	for _, k := range []Kind{DiffQuantiles, DiffTails, DiffEntropy, DiffSeparation, DiffMeans} {
 		if w.Get(k) != 1 {
 			t.Errorf("weight for %v = %v, want 1", k, w.Get(k))
+		}
+	}
+}
+
+// componentBits serializes a component's numeric payload exactly, except
+// that -0 collapses to +0: when a group contains both signed zeros the two
+// sort orders may surface either representative as an order statistic, and
+// the zeros are numerically equal.
+func componentBits(c Component) string {
+	bits := func(x float64) uint64 { return math.Float64bits(x + 0) }
+	return fmt.Sprintf("%x %x %x %x %x %x %x",
+		bits(c.Raw), bits(c.Norm),
+		bits(c.Inside), bits(c.Outside),
+		bits(c.Test.Stat), bits(c.Test.DF), bits(c.Test.P))
+}
+
+// TestQuantilesRankedMatchesSortingPath asserts the permutation-backed
+// quantile component is bit-identical to the per-group sorting path,
+// including its Mann-Whitney bound.
+func TestQuantilesRankedMatchesSortingPath(t *testing.T) {
+	r := randx.New(11)
+	for trial := 0; trial < 25; trial++ {
+		n, m := 4+r.Intn(40), 4+r.Intn(40)
+		in := make([]float64, n)
+		out := make([]float64, m)
+		for i := range in {
+			in[i] = math.Round(r.Normal(0.5, 1) * 4)
+		}
+		for i := range out {
+			out[i] = math.Round(r.Normal(0, 1) * 4)
+		}
+		ranked := QuantilesRanked("c", in, out, stats.NewRanking(in, out))
+		plain := Quantiles("c", in, out)
+		if componentBits(ranked) != componentBits(plain) {
+			t.Fatalf("trial %d: ranked quantiles diverged from sorting path\nranked: %+v\nplain:  %+v",
+				trial, ranked, plain)
+		}
+	}
+}
+
+// TestTailsRankedMatchesSortingPath is the same assertion for the
+// tail-weight component.
+func TestTailsRankedMatchesSortingPath(t *testing.T) {
+	r := randx.New(12)
+	for trial := 0; trial < 25; trial++ {
+		n, m := 10+r.Intn(60), 10+r.Intn(60)
+		in := make([]float64, n)
+		out := make([]float64, m)
+		for i := range in {
+			in[i] = math.Round(r.Normal(0, 2) * 8)
+		}
+		for i := range out {
+			out[i] = math.Round(r.Normal(0, 1) * 8)
+		}
+		ranked := TailsRanked("c", in, out, stats.NewRanking(in, out))
+		plain := Tails("c", in, out)
+		if componentBits(ranked) != componentBits(plain) {
+			t.Fatalf("trial %d: ranked tails diverged from sorting path\nranked: %+v\nplain:  %+v",
+				trial, ranked, plain)
+		}
+	}
+}
+
+// TestRankedComponentsFallBackOnDegenerateRanking asserts mismatched or
+// NaN-bearing rankings degrade to the sorting path instead of misreading
+// the permutation.
+func TestRankedComponentsFallBackOnDegenerateRanking(t *testing.T) {
+	in := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	out := []float64{2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	nan := stats.NewRanking([]float64{math.NaN()}, []float64{1})
+	if c := TailsRanked("c", in, out, nan); componentBits(c) != componentBits(Tails("c", in, out)) {
+		t.Error("TailsRanked with NaN ranking did not fall back to the sorting path")
+	}
+	q := QuantilesRanked("c", in, out, nan)
+	if q.Valid() {
+		// The fallback keeps the degenerate ranking's Mann-Whitney bound,
+		// which is untestable — but the effect size itself must survive.
+		if q.Raw == 0 {
+			t.Error("fallback lost the quantile shift")
 		}
 	}
 }

@@ -340,12 +340,14 @@ func SamplingAblation(seed uint64, trials int) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			// Warm the dependency cache, then time the query path.
+			// Warm the dependency cache, then time the query path with the
+			// report memo bypassed so the sampling effect stays visible.
 			if _, err := engine.Characterize(pd.Frame, pd.Selection); err != nil {
 				return nil, err
 			}
 			start := time.Now()
-			rep, err := engine.Characterize(pd.Frame, pd.Selection)
+			rep, err := engine.CharacterizeOpts(pd.Frame, pd.Selection,
+				core.Options{SkipReportCache: true})
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,88 @@
+package frame
+
+import (
+	"math"
+
+	"repro/internal/memo"
+)
+
+// Content fingerprints turn frames and selection bitmaps into cheap value
+// keys for the memoization layer (internal/memo): two frames with the same
+// schema and cell contents fingerprint identically even when they are
+// distinct objects — reloading a CSV or regenerating a synthetic table hits
+// the caches a pointer-keyed map would miss. The hash is memo.Hasher
+// (FNV-1a) over a canonical serialization (schema, then column payloads),
+// chosen for determinism and zero allocation; 64 bits is ample for the
+// cache-key population of one process.
+
+// Fingerprint returns the content fingerprint of the frame: a hash of the
+// schema (column names, kinds, row count) and every cell, computed once and
+// cached on the frame. Frames are immutable by convention; the fingerprint
+// is not recomputed on its own, so code that mutates backing storage in
+// place must either build a new Frame or call InvalidateFingerprint
+// afterwards. The table name is deliberately excluded: a characterization
+// depends only on the data, so identical tables registered under different
+// names share cache entries.
+func (f *Frame) Fingerprint() uint64 {
+	if v := f.fp.Load(); v != 0 {
+		return v
+	}
+	h := memo.NewHasher()
+	h.Uint64(uint64(f.numRows))
+	h.Uint64(uint64(len(f.cols)))
+	for _, c := range f.cols {
+		c.hashInto(&h)
+	}
+	v := h.Sum()
+	if v == 0 {
+		v = 1 // keep 0 as the "not yet computed" sentinel
+	}
+	f.fp.Store(v)
+	return v
+}
+
+// InvalidateFingerprint clears the cached fingerprint so the next
+// Fingerprint call rehashes the current cell contents. Code that mutates a
+// frame's backing storage in place — against the immutability convention —
+// must call this (alongside Engine.InvalidateCache) before characterizing
+// the frame again; otherwise fresh results would be cached under the stale
+// pre-mutation hash and could be served to a frame that genuinely has that
+// content. It must not race with concurrent readers of the frame.
+func (f *Frame) InvalidateFingerprint() { f.fp.Store(0) }
+
+// hashInto folds one column's schema and payload into h.
+func (c *Column) hashInto(h *memo.Hasher) {
+	h.String(c.name)
+	h.Uint64(uint64(c.kind))
+	switch c.kind {
+	case Numeric:
+		for _, v := range c.floats {
+			h.Uint64(math.Float64bits(v))
+		}
+	case Categorical:
+		for _, code := range c.codes {
+			h.Uint32(uint32(code))
+		}
+		h.Uint64(uint64(len(c.dict)))
+		for _, s := range c.dict {
+			h.String(s)
+		}
+	}
+}
+
+// Fingerprint returns the content fingerprint of the bitmap (length and set
+// bits). Bitmaps are mutable, so the hash is recomputed on every call — it
+// is O(rows/64), which is noise next to any characterization — and callers
+// must not mutate a bitmap while another goroutine fingerprints it.
+func (b *Bitmap) Fingerprint() uint64 {
+	h := memo.NewHasher()
+	h.Uint64(uint64(b.n))
+	for _, w := range b.words {
+		h.Uint64(w)
+	}
+	v := h.Sum()
+	if v == 0 {
+		v = 1
+	}
+	return v
+}

@@ -1,0 +1,132 @@
+package frame
+
+import (
+	"sync"
+	"testing"
+)
+
+func twoColFrame(t *testing.T, name string, xs []float64, cats []string) *Frame {
+	t.Helper()
+	f, err := New(name, []*Column{
+		NewNumericColumn("x", xs),
+		NewCategoricalColumn("g", cats),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestFrameFingerprintContentAddressed asserts the core property the memo
+// layer relies on: two independently built frames with identical content
+// fingerprint identically, and any content or schema difference changes the
+// fingerprint.
+func TestFrameFingerprintContentAddressed(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	cats := []string{"a", "b", "a"}
+	a := twoColFrame(t, "t", append([]float64(nil), xs...), append([]string(nil), cats...))
+	b := twoColFrame(t, "t", append([]float64(nil), xs...), append([]string(nil), cats...))
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical frames fingerprint differently")
+	}
+	// The table name is excluded: same data under another name still hits.
+	renamed := twoColFrame(t, "other", append([]float64(nil), xs...), append([]string(nil), cats...))
+	if renamed.Fingerprint() != a.Fingerprint() {
+		t.Fatal("table name leaked into the content fingerprint")
+	}
+
+	different := []*Frame{
+		twoColFrame(t, "t", []float64{1, 2, 4}, cats),      // cell change
+		twoColFrame(t, "t", []float64{1, 2}, cats[:2]),     // row count
+		twoColFrame(t, "t", xs, []string{"a", "b", "b"}),   // categorical cell
+		MustNew("t", []*Column{NewNumericColumn("y", xs)}), // schema
+	}
+	seen := map[uint64]bool{a.Fingerprint(): true}
+	for i, f := range different {
+		fp := f.Fingerprint()
+		if seen[fp] {
+			t.Errorf("variant %d collides with a previous fingerprint", i)
+		}
+		seen[fp] = true
+	}
+}
+
+// TestFrameFingerprintDistinguishesColumnOrder asserts column identity is
+// positional: swapping two columns changes the fingerprint.
+func TestFrameFingerprintDistinguishesColumnOrder(t *testing.T) {
+	x := NewNumericColumn("x", []float64{1, 2})
+	y := NewNumericColumn("y", []float64{3, 4})
+	ab := MustNew("t", []*Column{x, y})
+	ba := MustNew("t", []*Column{y, x})
+	if ab.Fingerprint() == ba.Fingerprint() {
+		t.Fatal("column order does not affect the fingerprint")
+	}
+}
+
+// TestFrameFingerprintConcurrent asserts the lazily cached fingerprint is
+// race-free and stable under concurrent first reads.
+func TestFrameFingerprintConcurrent(t *testing.T) {
+	f := twoColFrame(t, "t", []float64{5, 6, 7, 8}, []string{"p", "q", "p", "q"})
+	const n = 8
+	got := make([]uint64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = f.Fingerprint()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("goroutine %d saw %x, goroutine 0 saw %x", i, got[i], got[0])
+		}
+	}
+}
+
+// TestBitmapFingerprint asserts selection fingerprints separate by length
+// and by set bits, and track mutation (they are recomputed per call).
+func TestBitmapFingerprint(t *testing.T) {
+	a := NewBitmap(100)
+	b := NewBitmap(100)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("equal bitmaps fingerprint differently")
+	}
+	if NewBitmap(101).Fingerprint() == a.Fingerprint() {
+		t.Fatal("length not fingerprinted")
+	}
+	a.Set(3)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("set bit not fingerprinted")
+	}
+	b.Set(3)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("same selection fingerprints differently")
+	}
+	a.Clear(3)
+	if a.Fingerprint() != NewBitmap(100).Fingerprint() {
+		t.Fatal("mutation not reflected: fingerprint must be recomputed per call")
+	}
+}
+
+// TestInvalidateFingerprint pins the escape hatch for in-place mutators:
+// the cached fingerprint survives mutation until invalidated, and rehashes
+// to the mutated content afterwards.
+func TestInvalidateFingerprint(t *testing.T) {
+	f := twoColFrame(t, "t", []float64{1, 2, 3}, []string{"a", "b", "a"})
+	before := f.Fingerprint()
+	f.Col(0).Floats()[0] = 99 // in-place mutation against the convention
+	if f.Fingerprint() != before {
+		t.Fatal("fingerprint recomputed without invalidation (caching broken)")
+	}
+	f.InvalidateFingerprint()
+	after := f.Fingerprint()
+	if after == before {
+		t.Fatal("fingerprint unchanged after invalidation despite mutated content")
+	}
+	want := twoColFrame(t, "t", []float64{99, 2, 3}, []string{"a", "b", "a"}).Fingerprint()
+	if after != want {
+		t.Fatal("post-invalidation fingerprint does not match the mutated content")
+	}
+}

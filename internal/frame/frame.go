@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Kind identifies the type of a column.
@@ -198,6 +199,9 @@ type Frame struct {
 	cols    []*Column
 	byName  map[string]int
 	numRows int
+
+	// fp caches the content fingerprint; 0 means not yet computed.
+	fp atomic.Uint64
 }
 
 // New creates a Frame from columns. All columns must have equal length and

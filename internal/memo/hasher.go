@@ -1,0 +1,59 @@
+package memo
+
+import "math"
+
+// Hasher is a tiny FNV-1a accumulator for deriving cache keys from
+// structured values (configs, option lists). It is a value type; pass by
+// pointer while accumulating.
+type Hasher uint64
+
+const (
+	hashOffset64 = 14695981039346656037
+	hashPrime64  = 1099511628211
+)
+
+// NewHasher returns an initialized accumulator.
+func NewHasher() Hasher { return hashOffset64 }
+
+// Byte folds one byte.
+func (h *Hasher) Byte(b byte) { *h = (*h ^ Hasher(b)) * hashPrime64 }
+
+// Uint64 folds a 64-bit value, little-endian.
+func (h *Hasher) Uint64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.Byte(byte(v >> (8 * i)))
+	}
+}
+
+// Uint32 folds a 32-bit value, little-endian.
+func (h *Hasher) Uint32(v uint32) {
+	for i := 0; i < 4; i++ {
+		h.Byte(byte(v >> (8 * i)))
+	}
+}
+
+// Int folds an int.
+func (h *Hasher) Int(v int) { h.Uint64(uint64(v)) }
+
+// Float folds a float64 by its bit pattern.
+func (h *Hasher) Float(v float64) { h.Uint64(math.Float64bits(v)) }
+
+// Bool folds a bool.
+func (h *Hasher) Bool(v bool) {
+	if v {
+		h.Byte(1)
+	} else {
+		h.Byte(0)
+	}
+}
+
+// String folds a length-prefixed string, so concatenations cannot collide.
+func (h *Hasher) String(s string) {
+	h.Uint64(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h.Byte(s[i])
+	}
+}
+
+// Sum returns the accumulated hash.
+func (h *Hasher) Sum() uint64 { return uint64(*h) }

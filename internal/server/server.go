@@ -10,6 +10,14 @@
 //	GET  /api/tables          registered tables with schema summaries
 //	POST /api/characterize    {"sql": ..., "excludePredicate": bool}
 //	GET  /api/dendrogram      ?table=name — text dendrogram for MIN_tight
+//	GET  /api/stats           cache counters of both memo tiers (also /stats)
+//
+// Characterization responses report two cache signals: cacheHit (the
+// query-independent dependency structure was reused) and reportCacheHit
+// (the entire report was served from the content-addressed report memo —
+// the serving hot path for repeated identical queries). /api/stats exposes
+// the underlying hit/miss/evict/dedup counters; within each tier
+// hits + misses equals the number of requests.
 package server
 
 import (
@@ -24,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/db"
 	"repro/internal/depend"
+	"repro/internal/memo"
 	"repro/internal/plot"
 )
 
@@ -44,6 +53,8 @@ func New(catalog *db.Catalog, engine *core.Engine, logger *log.Logger) *Server {
 	mux.HandleFunc("/api/tables", s.handleTables)
 	mux.HandleFunc("/api/characterize", s.handleCharacterize)
 	mux.HandleFunc("/api/dendrogram", s.handleDendrogram)
+	mux.HandleFunc("/api/stats", s.handleStats)
+	mux.HandleFunc("/stats", s.handleStats)
 	s.mux = mux
 	return s
 }
@@ -145,15 +156,19 @@ type componentJSON struct {
 
 // characterizeResponse is the wire form of a report.
 type characterizeResponse struct {
-	SQL          string     `json:"sql"`
-	SelectedRows int        `json:"selectedRows"`
-	TotalRows    int        `json:"totalRows"`
-	PrepMillis   float64    `json:"prepMillis"`
-	SearchMillis float64    `json:"searchMillis"`
-	PostMillis   float64    `json:"postMillis"`
-	CacheHit     bool       `json:"cacheHit"`
-	Warnings     []string   `json:"warnings,omitempty"`
-	Views        []viewJSON `json:"views"`
+	SQL          string  `json:"sql"`
+	SelectedRows int     `json:"selectedRows"`
+	TotalRows    int     `json:"totalRows"`
+	PrepMillis   float64 `json:"prepMillis"`
+	SearchMillis float64 `json:"searchMillis"`
+	PostMillis   float64 `json:"postMillis"`
+	// CacheHit reports reuse of the prepared dependency structure;
+	// ReportCacheHit reports that the entire report came from the
+	// report-level memo.
+	CacheHit       bool       `json:"cacheHit"`
+	ReportCacheHit bool       `json:"reportCacheHit"`
+	Warnings       []string   `json:"warnings,omitempty"`
+	Views          []viewJSON `json:"views"`
 }
 
 func optFloat(v float64) *float64 {
@@ -193,14 +208,15 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp := characterizeResponse{
-		SQL:          req.SQL,
-		SelectedRows: rep.SelectedRows,
-		TotalRows:    rep.TotalRows,
-		PrepMillis:   float64(rep.Timings.Preparation.Microseconds()) / 1000,
-		SearchMillis: float64(rep.Timings.Search.Microseconds()) / 1000,
-		PostMillis:   float64(rep.Timings.Post.Microseconds()) / 1000,
-		CacheHit:     rep.CacheHit,
-		Warnings:     rep.Warnings,
+		SQL:            req.SQL,
+		SelectedRows:   rep.SelectedRows,
+		TotalRows:      rep.TotalRows,
+		PrepMillis:     float64(rep.Timings.Preparation.Microseconds()) / 1000,
+		SearchMillis:   float64(rep.Timings.Search.Microseconds()) / 1000,
+		PostMillis:     float64(rep.Timings.Post.Microseconds()) / 1000,
+		CacheHit:       rep.CacheHit,
+		ReportCacheHit: rep.ReportCacheHit,
+		Warnings:       rep.Warnings,
 	}
 	for _, v := range rep.Views {
 		vj := viewJSON{
@@ -271,6 +287,50 @@ func predicateColumns(stmt *db.SelectStmt) []string {
 	}
 	walk(stmt.Where)
 	return out
+}
+
+// statsResponse is the wire form of /api/stats.
+type statsResponse struct {
+	// Prepared and Reports are the two memo tiers; within each,
+	// hits + misses = requests and misses - deduped = computations.
+	Prepared tierJSON `json:"prepared"`
+	Reports  tierJSON `json:"reports"`
+}
+
+type tierJSON struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Requests  int64 `json:"requests"`
+	Evictions int64 `json:"evictions"`
+	Deduped   int64 `json:"deduped"`
+	Inflight  int64 `json:"inflight"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+}
+
+func tierFrom(s memo.Snapshot) tierJSON {
+	return tierJSON{
+		Hits:      s.Hits,
+		Misses:    s.Misses,
+		Requests:  s.Requests(),
+		Evictions: s.Evictions,
+		Deduped:   s.Deduped,
+		Inflight:  s.Inflight,
+		Entries:   s.Entries,
+		Bytes:     s.Bytes,
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	cs := s.engine.CacheStats()
+	s.writeJSON(w, http.StatusOK, statsResponse{
+		Prepared: tierFrom(cs.Prepared),
+		Reports:  tierFrom(cs.Reports),
+	})
 }
 
 func (s *Server) handleDendrogram(w http.ResponseWriter, r *http.Request) {

@@ -186,3 +186,53 @@ func TestCacheHitReportedOnSecondQuery(t *testing.T) {
 		t.Error("second query missed the cache")
 	}
 }
+
+// TestStatsEndpointAndReportCache drives the serving hot path end to end:
+// the first characterization computes, the identical repeat is served from
+// the report memo (reportCacheHit), and /api/stats counters reconcile
+// (hits + misses = requests per tier).
+func TestStatsEndpointAndReportCache(t *testing.T) {
+	s := testServer(t)
+	body := `{"sql": "SELECT * FROM boxoffice WHERE gross_musd >= 100"}`
+	_, first := characterize(t, s, body)
+	if first.ReportCacheHit {
+		t.Error("first query reported a report-cache hit")
+	}
+	_, second := characterize(t, s, body)
+	if !second.ReportCacheHit || !second.CacheHit {
+		t.Errorf("identical repeat not served from the report cache: %+v", second)
+	}
+	if second.PrepMillis != 0 || second.SearchMillis != 0 || second.PostMillis != 0 {
+		t.Error("cached response reports nonzero stage timings")
+	}
+
+	for _, path := range []string{"/api/stats", "/stats"} {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s status %d: %s", path, rec.Code, rec.Body.String())
+		}
+		var stats statsResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+			t.Fatal(err)
+		}
+		if stats.Reports.Hits != 1 || stats.Reports.Misses != 1 {
+			t.Errorf("%s reports tier = %+v, want 1 hit / 1 miss", path, stats.Reports)
+		}
+		if stats.Prepared.Misses != 1 {
+			t.Errorf("%s prepared tier = %+v, want 1 miss", path, stats.Prepared)
+		}
+		for name, tier := range map[string]tierJSON{"prepared": stats.Prepared, "reports": stats.Reports} {
+			if tier.Hits+tier.Misses != tier.Requests {
+				t.Errorf("%s %s tier does not reconcile: %+v", path, name, tier)
+			}
+		}
+	}
+
+	// Wrong method rejected.
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/api/stats", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /api/stats status %d", rec.Code)
+	}
+}

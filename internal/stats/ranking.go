@@ -19,6 +19,27 @@ var rankOps atomic.Int64
 // it never resets.
 func RankOps() int64 { return rankOps.Load() }
 
+// sortOps counts per-group copy sorts (SortedCopy calls). The robust
+// extended pipeline is specified to perform none — its quantile and
+// tail components read order statistics off the column's Ranking sort
+// permutation — so budget tests assert a zero delta around it, while the
+// non-robust extended path still pays two per numeric column.
+var sortOps atomic.Int64
+
+// SortOps returns the number of metered copy sorts performed so far; like
+// RankOps it never resets and is read as a delta.
+func SortOps() int64 { return sortOps.Load() }
+
+// SortedCopy returns an ascending copy of xs, metering the sort so budget
+// tests can hold the hot path to its sort budget.
+func SortedCopy(xs []float64) []float64 {
+	sortOps.Add(1)
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return s
+}
+
 // ranksCore writes the fractional 1-based ranks of xs into dst using idx as
 // index scratch, and returns the tie-correction term Σ(t³−t) summed over
 // tie groups in ascending value order — the quantity the Mann-Whitney
@@ -64,6 +85,15 @@ type Ranking struct {
 	// caller's scratch and is only valid until the scratch is reused; the
 	// scalar fields below are always safe to retain.
 	Ranks []float64
+	// Values is the concatenated sample the ranking was built over (group
+	// A's values first) and Perm its ascending sort permutation: Values
+	// indexed through Perm is the combined sample in sorted order. The
+	// extended quantile and tail components read per-group order
+	// statistics off this pair instead of re-sorting group copies. Both
+	// slices alias caller storage under the same lifetime rules as Ranks;
+	// Perm is nil for NaN-bearing input.
+	Values []float64
+	Perm   []int
 	// NA and NB are the group sizes.
 	NA, NB int
 	// RankSumA is the sum of group A's ranks (the Wilcoxon rank-sum W),
@@ -104,6 +134,8 @@ func RankingInto(dst []float64, idx []int, combined []float64, na int) Ranking {
 	}
 	r.TieSum = ranksCore(dst, idx, combined)
 	r.Ranks = dst
+	r.Values = combined
+	r.Perm = idx
 	for i := 0; i < na; i++ {
 		r.RankSumA += dst[i]
 	}
@@ -144,6 +176,94 @@ func groupMedian(combined []float64, idx []int, n int, member func(orig int) boo
 		}
 	}
 	return vlo*(1-frac) + vhi*frac
+}
+
+// QuantilesA fills dst[i] with the qs[i]-th sample quantile of group A,
+// reading the group's order statistics off the combined sort permutation
+// instead of re-sorting a group copy. The interpolation replicates
+// Quantile (type-7) exactly, so the results are bit-identical to sorting
+// the group separately. dst must have len(qs); for NaN-bearing rankings
+// (Perm == nil) or an empty group every dst entry is NaN.
+func (r Ranking) QuantilesA(qs, dst []float64) { r.groupQuantiles(r.NA, false, qs, dst) }
+
+// QuantilesB is QuantilesA for group B.
+func (r Ranking) QuantilesB(qs, dst []float64) { r.groupQuantiles(r.NB, true, qs, dst) }
+
+// groupQuantiles walks the sort permutation once, capturing the order
+// statistics every requested quantile needs and interpolating with the
+// same expression as Quantile. The extended components call it four times
+// per numeric column on the robust hot path, so the bookkeeping for the
+// common ≤8-quantile case lives on the stack.
+func (r Ranking) groupQuantiles(n int, groupB bool, qs, dst []float64) {
+	if r.Perm == nil || n == 0 {
+		for i := range dst {
+			dst[i] = math.NaN()
+		}
+		return
+	}
+	var losBuf, hisBuf [8]int
+	var fracsBuf, vloBuf, vhiBuf [8]float64
+	los, his := losBuf[:0], hisBuf[:0]
+	fracs, vlo, vhi := fracsBuf[:0], vloBuf[:0], vhiBuf[:0]
+	if len(qs) > len(losBuf) {
+		los = make([]int, 0, len(qs))
+		his = make([]int, 0, len(qs))
+		fracs = make([]float64, 0, len(qs))
+		vlo = make([]float64, 0, len(qs))
+		vhi = make([]float64, 0, len(qs))
+	}
+	// Every read position is written before use: los/his in the planning
+	// loop below, fracs/vlo/vhi only on interpolation paths that assigned
+	// them first.
+	los = los[:len(qs)]
+	his = his[:len(qs)]
+	fracs = fracs[:len(qs)]
+	vlo = vlo[:len(qs)]
+	vhi = vhi[:len(qs)]
+	maxPos := 0
+	for i, q := range qs {
+		if n == 1 {
+			los[i], his[i] = 0, -1
+			continue
+		}
+		h := q * float64(n-1)
+		lo := int(math.Floor(h))
+		if hi := lo + 1; hi >= n {
+			los[i], his[i] = n-1, -1
+		} else {
+			los[i], his[i], fracs[i] = lo, hi, h-float64(lo)
+		}
+		for _, p := range [2]int{los[i], his[i]} {
+			if p > maxPos {
+				maxPos = p
+			}
+		}
+	}
+	seen := -1
+	for _, orig := range r.Perm {
+		if (orig >= r.NA) != groupB {
+			continue
+		}
+		seen++
+		for i := range qs {
+			if los[i] == seen {
+				vlo[i] = r.Values[orig]
+			}
+			if his[i] == seen {
+				vhi[i] = r.Values[orig]
+			}
+		}
+		if seen >= maxPos {
+			break
+		}
+	}
+	for i := range qs {
+		if his[i] < 0 {
+			dst[i] = vlo[i]
+		} else {
+			dst[i] = vlo[i]*(1-fracs[i]) + vhi[i]*fracs[i]
+		}
+	}
 }
 
 // SpearmanRanked returns the Spearman correlation of two series whose

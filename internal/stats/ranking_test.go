@@ -117,3 +117,69 @@ func TestRankOpsCounts(t *testing.T) {
 		t.Errorf("SpearmanRanked cost %d passes, want 0", got)
 	}
 }
+
+// TestGroupQuantilesMatchSortedCopy asserts the permutation-backed group
+// quantiles are bit-identical to sorting each group separately, across
+// group sizes (including singletons), tie-heavy data, and the full quantile
+// range the extended components use.
+func TestGroupQuantilesMatchSortedCopy(t *testing.T) {
+	// Nine quantiles also exercises the >8 heap-fallback path of the
+	// stack-buffered bookkeeping.
+	qs := []float64{0, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1}
+	cases := []struct{ a, b []float64 }{
+		{[]float64{5}, []float64{1, 2}},
+		{[]float64{3, 1, 4, 1, 5, 9, 2, 6}, []float64{2, 7, 1, 8, 2, 8}},
+		{[]float64{1, 1, 1, 2, 2}, []float64{2, 2, 1, 1}},           // heavy ties across groups
+		{[]float64{-1.5, 0.25, -3.75, 0.25}, []float64{0.25, 11.5}}, // interpolation hits ties
+		{[]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1}, []float64{2}},
+	}
+	for ci, c := range cases {
+		r := NewRanking(c.a, c.b)
+		gotA := make([]float64, len(qs))
+		gotB := make([]float64, len(qs))
+		r.QuantilesA(qs, gotA)
+		r.QuantilesB(qs, gotB)
+		sa, sb := SortedCopy(c.a), SortedCopy(c.b)
+		for i, q := range qs {
+			if want := Quantile(sa, q); math.Float64bits(gotA[i]) != math.Float64bits(want) {
+				t.Errorf("case %d group A q=%v: got %v, want %v", ci, q, gotA[i], want)
+			}
+			if want := Quantile(sb, q); math.Float64bits(gotB[i]) != math.Float64bits(want) {
+				t.Errorf("case %d group B q=%v: got %v, want %v", ci, q, gotB[i], want)
+			}
+		}
+	}
+}
+
+// TestGroupQuantilesDegenerate asserts NaN-bearing rankings (no Perm) and
+// empty groups yield NaN quantiles rather than garbage.
+func TestGroupQuantilesDegenerate(t *testing.T) {
+	qs := []float64{0.5}
+	dst := make([]float64, 1)
+	r := NewRanking([]float64{1, math.NaN()}, []float64{2})
+	r.QuantilesA(qs, dst)
+	if !math.IsNaN(dst[0]) {
+		t.Error("NaN-bearing ranking produced a quantile")
+	}
+	r = NewRanking([]float64{1, 2, 3}, nil)
+	r.QuantilesB(qs, dst)
+	if !math.IsNaN(dst[0]) {
+		t.Error("empty group produced a quantile")
+	}
+	r.QuantilesA(qs, dst)
+	if dst[0] != 2 {
+		t.Errorf("median of {1,2,3} = %v, want 2", dst[0])
+	}
+}
+
+// TestSortOpsCounts pins the copy-sort meter.
+func TestSortOpsCounts(t *testing.T) {
+	before := SortOps()
+	s := SortedCopy([]float64{3, 1, 2})
+	if got := SortOps() - before; got != 1 {
+		t.Errorf("SortedCopy cost %d metered sorts, want 1", got)
+	}
+	if s[0] != 1 || s[1] != 2 || s[2] != 3 {
+		t.Errorf("SortedCopy = %v", s)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/effect"
 	"repro/internal/frame"
+	"repro/internal/memo"
 	"repro/internal/plot"
 	"repro/internal/synth"
 )
@@ -58,6 +59,14 @@ type (
 	Column = frame.Column
 	// Bitmap is a row-selection vector over a Frame.
 	Bitmap = frame.Bitmap
+
+	// CacheStats reports the counters of the engine's two memo tiers
+	// (prepared structures and full reports); see Session.CacheStats.
+	CacheStats = core.CacheStats
+	// CacheSnapshot is one memo tier's counters: hits, misses, evictions,
+	// singleflight-deduplicated requests, and current occupancy. Within a
+	// tier, Hits + Misses equals the number of requests.
+	CacheSnapshot = memo.Snapshot
 )
 
 // Component is one Zig-Component: a verifiable indicator of how the
@@ -189,6 +198,12 @@ func (s *Session) Table(name string) (*Frame, bool) { return s.catalog.Table(nam
 // Engine exposes the underlying engine (for cache control and config
 // inspection).
 func (s *Session) Engine() *Engine { return s.engine }
+
+// CacheStats returns the engine's cache counters: how often repeated
+// queries were served from the prepared-structure and report memo tiers,
+// how many entries were evicted under the configured bounds, and how many
+// concurrent identical requests were deduplicated onto one computation.
+func (s *Session) CacheStats() CacheStats { return s.engine.CacheStats() }
 
 // QueryReport couples a characterization report with the query that
 // produced the selection.

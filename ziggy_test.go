@@ -201,3 +201,57 @@ func TestNewSessionValidatesConfig(t *testing.T) {
 		t.Fatal("invalid config accepted")
 	}
 }
+
+// TestSessionCacheStats drives the memoized serving path through the
+// public API: a repeated identical query is a report-cache hit, the
+// counters reconcile, and the cache bounds flow through Config.
+func TestSessionCacheStats(t *testing.T) {
+	cfg := ziggy.DefaultConfig()
+	cfg.CacheEntries = 4
+	session, err := ziggy.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := session.Register(ziggy.BoxOfficeData(7)); err != nil {
+		t.Fatal(err)
+	}
+	const q = "SELECT * FROM boxoffice WHERE gross_musd >= 120"
+	first, err := session.Characterize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.ReportCacheHit {
+		t.Error("first query reported a report-cache hit")
+	}
+	second, err := session.Characterize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.ReportCacheHit || !second.CacheHit {
+		t.Error("identical repeat not served from the report cache")
+	}
+	if len(second.Views) != len(first.Views) {
+		t.Fatalf("cached report has %d views, want %d", len(second.Views), len(first.Views))
+	}
+	for i := range second.Views {
+		if second.Views[i].Score != first.Views[i].Score ||
+			second.Views[i].Explanation != first.Views[i].Explanation {
+			t.Fatalf("cached view %d differs from the computed one", i)
+		}
+	}
+
+	stats := session.CacheStats()
+	if stats.Reports.Hits != 1 || stats.Reports.Misses != 1 {
+		t.Errorf("reports tier = %+v, want 1 hit / 1 miss", stats.Reports)
+	}
+	for name, tier := range map[string]ziggy.CacheSnapshot{
+		"prepared": stats.Prepared, "reports": stats.Reports,
+	} {
+		if tier.Hits+tier.Misses != tier.Requests() {
+			t.Errorf("%s tier does not reconcile: %+v", name, tier)
+		}
+	}
+	if stats.Reports.Entries != 1 || stats.Prepared.Entries != 1 {
+		t.Errorf("unexpected occupancy: %+v", stats)
+	}
+}
