@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sort"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/baseline"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/frame"
 	"repro/internal/hypo"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/synth"
 )
@@ -152,8 +154,11 @@ func BenchmarkFigure5ServerRoundTrip(b *testing.B) {
 	if err := cat.Register(synth.BoxOffice(42)); err != nil {
 		b.Fatal(err)
 	}
-	engine := mustEngine(b, core.DefaultConfig())
-	srv := httptest.NewServer(server.New(cat, engine, nil))
+	router, err := shard.New(core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(server.New(cat, router, nil))
 	defer srv.Close()
 	body, _ := json.Marshal(map[string]any{
 		"sql":              "SELECT * FROM boxoffice WHERE gross_musd >= 100",
@@ -275,6 +280,68 @@ func BenchmarkCharacterizeCached(b *testing.B) {
 		if !rep.ReportCacheHit {
 			b.Fatal("repeat characterization missed the report cache")
 		}
+	}
+}
+
+// BenchmarkShardedThroughput measures sustained multi-table serving through
+// the shard router — the IDEBench-style workload the sharded layer exists
+// for: four distinct tables, each owned by one shard, queried round-robin
+// from GOMAXPROCS client goroutines. SkipReportCache forces every request
+// through the per-query pipeline (prepared structures stay warm), so the
+// number measures compute throughput under admission control rather than
+// cache lookups; ns/op is the per-request wall time across all clients. On
+// a multi-core runner, higher shard counts let distinct tables
+// characterize concurrently.
+func BenchmarkShardedThroughput(b *testing.B) {
+	const tables = 4
+	fixtures := make([]*synth.PlantedData, tables)
+	for i := range fixtures {
+		pd, err := synth.Planted(synth.PlantedConfig{
+			Seed: uint64(i + 1), Rows: 1000, SelectionFraction: 0.25,
+			Views: []synth.PlantedView{
+				{Cols: 2, WithinCorr: 0.75, MeanShift: 1.5},
+			},
+			NoiseCols: 10,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fixtures[i] = pd
+	}
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Shards = n
+			cfg.Parallelism = 1 // per-request parallelism off: shards provide the concurrency
+			router, err := shard.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := core.Options{SkipReportCache: true}
+			for _, pd := range fixtures {
+				if _, err := router.CharacterizeOpts(pd.Frame, pd.Selection, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var next atomic.Int64
+			var firstErr atomic.Value
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					pd := fixtures[int(next.Add(1))%tables]
+					if _, err := router.CharacterizeOpts(pd.Frame, pd.Selection, opts); err != nil {
+						// b.Fatal must not be called from worker goroutines;
+						// record and fail after the fan-in.
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			if err := firstErr.Load(); err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,239 @@
+// Command benchdiff turns `go test -bench` output into a stable JSON form
+// and gates benchmark regressions against a checked-in baseline. The CI
+// bench job runs the key benchmarks with a fixed -benchtime and -count 3,
+// parses the output into BENCH_ci.json, and fails if any benchmark got more
+// than `threshold` times slower than BENCH_baseline.json:
+//
+//	go test -run '^$' -bench . -benchtime 100ms -count 3 . | tee bench.txt
+//	benchdiff parse -in bench.txt -out BENCH_ci.json
+//	benchdiff compare -baseline BENCH_baseline.json -current BENCH_ci.json -threshold 2.0
+//
+// Parsing keeps the minimum ns/op across repeated runs of one benchmark
+// (the least-noisy estimate of its true cost) and strips the -N GOMAXPROCS
+// suffix from names, so files recorded on machines with different core
+// counts stay comparable. The suffix is indistinguishable from a benchmark
+// name that itself ends in "-<digits>" (on a GOMAXPROCS=1 machine no suffix
+// is printed at all), so parsing fails loudly when two distinct printed
+// names fold into one after stripping — name sub-benchmarks "key=value",
+// not "key-123". Comparison fails on regressions past the threshold and on
+// benchmarks that disappeared from the current run; benchmarks without a
+// baseline entry are reported but pass (record them into the baseline on
+// the next refresh).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	// Name is the benchmark name with the -N GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// NsPerOp is the minimum ns/op observed across repeated runs.
+	NsPerOp float64 `json:"nsPerOp"`
+	// Samples is the number of runs folded into NsPerOp.
+	Samples int `json:"samples"`
+}
+
+// File is the JSON document benchdiff reads and writes.
+type File struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// benchLine matches one result line of `go test -bench` output: name (with
+// optional -N procs suffix), iteration count, ns/op value. Trailing metrics
+// (B/op, rankops/op, …) are ignored.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// parseBench folds raw `go test -bench` output into per-name minima. It
+// errors when two distinct printed names collapse onto one stripped name —
+// the signature of a benchmark name ending in "-<digits>" being mistaken
+// for a GOMAXPROCS suffix, which would silently merge different benchmarks.
+func parseBench(raw string) (File, error) {
+	best := make(map[string]*Benchmark)
+	printed := make(map[string]string) // stripped name → raw printed name
+	for _, line := range strings.Split(raw, "\n") {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[4], 64)
+		if err != nil {
+			continue
+		}
+		rawName := m[1] + m[2]
+		if prev, ok := printed[m[1]]; ok && prev != rawName {
+			return File{}, fmt.Errorf("benchmarks %q and %q both parse to %q after GOMAXPROCS-suffix stripping; rename sub-benchmarks to avoid a trailing -<digits>", prev, rawName, m[1])
+		}
+		printed[m[1]] = rawName
+		b, ok := best[m[1]]
+		if !ok {
+			best[m[1]] = &Benchmark{Name: m[1], NsPerOp: ns, Samples: 1}
+			continue
+		}
+		b.Samples++
+		if ns < b.NsPerOp {
+			b.NsPerOp = ns
+		}
+	}
+	var f File
+	for _, b := range best {
+		f.Benchmarks = append(f.Benchmarks, *b)
+	}
+	sort.Slice(f.Benchmarks, func(i, j int) bool { return f.Benchmarks[i].Name < f.Benchmarks[j].Name })
+	return f, nil
+}
+
+// delta is one comparison row.
+type delta struct {
+	name       string
+	base, cur  float64
+	ratio      float64
+	regression bool
+}
+
+// compare evaluates current against baseline under the threshold. It
+// returns the report rows and the names of failures: regressions past the
+// threshold and baseline benchmarks missing from the current run.
+func compare(baseline, current File, threshold float64) (rows []delta, failures []string, extras []string) {
+	cur := make(map[string]Benchmark, len(current.Benchmarks))
+	for _, b := range current.Benchmarks {
+		cur[b.Name] = b
+	}
+	for _, base := range baseline.Benchmarks {
+		c, ok := cur[base.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline but missing from the current run", base.Name))
+			continue
+		}
+		delete(cur, base.Name)
+		r := delta{name: base.Name, base: base.NsPerOp, cur: c.NsPerOp}
+		if base.NsPerOp > 0 {
+			r.ratio = c.NsPerOp / base.NsPerOp
+			r.regression = r.ratio > threshold
+		}
+		if r.regression {
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%.2fx > %.2fx threshold)",
+				r.name, r.cur, r.base, r.ratio, threshold))
+		}
+		rows = append(rows, r)
+	}
+	for name := range cur {
+		extras = append(extras, name)
+	}
+	sort.Strings(extras)
+	return rows, failures, extras
+}
+
+func readFile(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func runParse(args []string) {
+	fs := flag.NewFlagSet("parse", flag.ExitOnError)
+	in := fs.String("in", "", "raw `go test -bench` output (default stdin)")
+	out := fs.String("out", "", "JSON output path (default stdout)")
+	fs.Parse(args)
+	var raw []byte
+	var err error
+	if *in == "" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(*in)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	f, err := parseBench(string(raw))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(f.Benchmarks) == 0 {
+		fatalf("no benchmark lines found in input")
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(f.Benchmarks), *out)
+}
+
+func runCompare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	basePath := fs.String("baseline", "BENCH_baseline.json", "baseline JSON")
+	curPath := fs.String("current", "BENCH_ci.json", "current JSON")
+	threshold := fs.Float64("threshold", 2.0, "fail when current/baseline exceeds this ratio")
+	fs.Parse(args)
+	if *threshold <= 1 {
+		fatalf("threshold %v must be > 1", *threshold)
+	}
+	baseline, err := readFile(*basePath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	current, err := readFile(*curPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rows, failures, extras := compare(baseline, current, *threshold)
+	for _, r := range rows {
+		status := "ok"
+		if r.regression {
+			status = "REGRESSION"
+		}
+		fmt.Printf("%-60s %14.0f %14.0f %8.2fx  %s\n", r.name, r.base, r.cur, r.ratio, status)
+	}
+	for _, name := range extras {
+		fmt.Printf("%-60s %14s %14s %9s  new (no baseline)\n", name, "-", "-", "-")
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "benchdiff: FAIL %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d benchmarks within %.2fx of baseline\n", len(rows), *threshold)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fatalf("usage: benchdiff parse|compare [flags]")
+	}
+	switch os.Args[1] {
+	case "parse":
+		runParse(os.Args[2:])
+	case "compare":
+		runCompare(os.Args[2:])
+	default:
+		fatalf("unknown subcommand %q (want parse or compare)", os.Args[1])
+	}
+}

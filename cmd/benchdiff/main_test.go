@@ -1,0 +1,149 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// sampleOutput mimics a real `go test -bench -count 3` run: repeated lines
+// per benchmark, sub-benchmarks, GOMAXPROCS suffixes, extra metrics, and
+// noise lines that must be ignored.
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkCharacterizeParallel/parallelism=1-4         	       3	 509000000 ns/op
+BenchmarkCharacterizeParallel/parallelism=1-4         	       3	 520000000 ns/op
+BenchmarkCharacterizeParallel/parallelism=1-4         	       3	 512000000 ns/op
+BenchmarkCharacterizeCached-4                         	       3	      2100 ns/op	     312 B/op	       5 allocs/op
+BenchmarkCharacterizeCached-4                         	       3	      1980 ns/op	     312 B/op	       5 allocs/op
+BenchmarkRobustCharacterize/warm-4                    	       3	 253000000 ns/op	       126.0 rankops/op
+BenchmarkShardedThroughput/shards=2                   	       3	    300300 ns/op
+PASS
+ok  	repro	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	f, err := parseBench(sampleOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]struct {
+		ns      float64
+		samples int
+	}{
+		"BenchmarkCharacterizeParallel/parallelism=1": {509000000, 3},
+		"BenchmarkCharacterizeCached":                 {1980, 2},
+		"BenchmarkRobustCharacterize/warm":            {253000000, 1},
+		"BenchmarkShardedThroughput/shards=2":         {300300, 1},
+	}
+	if len(f.Benchmarks) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %+v", len(f.Benchmarks), len(want), f.Benchmarks)
+	}
+	for _, b := range f.Benchmarks {
+		w, ok := want[b.Name]
+		if !ok {
+			t.Errorf("unexpected benchmark %q (GOMAXPROCS suffix not stripped?)", b.Name)
+			continue
+		}
+		if b.NsPerOp != w.ns {
+			t.Errorf("%s: ns/op = %v, want the minimum %v", b.Name, b.NsPerOp, w.ns)
+		}
+		if b.Samples != w.samples {
+			t.Errorf("%s: samples = %d, want %d", b.Name, b.Samples, w.samples)
+		}
+	}
+	// Output is sorted by name for stable diffs.
+	for i := 1; i < len(f.Benchmarks); i++ {
+		if f.Benchmarks[i-1].Name > f.Benchmarks[i].Name {
+			t.Fatalf("output not sorted: %q after %q", f.Benchmarks[i].Name, f.Benchmarks[i-1].Name)
+		}
+	}
+}
+
+func bench(name string, ns float64) Benchmark {
+	return Benchmark{Name: name, NsPerOp: ns, Samples: 3}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	baseline := File{Benchmarks: []Benchmark{bench("A", 100), bench("B", 1000)}}
+	current := File{Benchmarks: []Benchmark{bench("A", 199), bench("B", 500)}}
+	rows, failures, extras := compare(baseline, current, 2.0)
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+	if len(rows) != 2 || len(extras) != 0 {
+		t.Fatalf("rows=%d extras=%d, want 2/0", len(rows), len(extras))
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	baseline := File{Benchmarks: []Benchmark{bench("A", 100), bench("B", 1000)}}
+	current := File{Benchmarks: []Benchmark{bench("A", 201), bench("B", 900)}}
+	_, failures, _ := compare(baseline, current, 2.0)
+	if len(failures) != 1 || !strings.Contains(failures[0], "A") {
+		t.Fatalf("failures = %v, want exactly the regression on A", failures)
+	}
+}
+
+func TestCompareFailsOnMissingBenchmark(t *testing.T) {
+	baseline := File{Benchmarks: []Benchmark{bench("A", 100), bench("Gone", 50)}}
+	current := File{Benchmarks: []Benchmark{bench("A", 100)}}
+	_, failures, _ := compare(baseline, current, 2.0)
+	if len(failures) != 1 || !strings.Contains(failures[0], "Gone") {
+		t.Fatalf("failures = %v, want the missing benchmark", failures)
+	}
+}
+
+func TestCompareReportsNewBenchmarks(t *testing.T) {
+	baseline := File{Benchmarks: []Benchmark{bench("A", 100)}}
+	current := File{Benchmarks: []Benchmark{bench("A", 100), bench("New", 10)}}
+	_, failures, extras := compare(baseline, current, 2.0)
+	if len(failures) != 0 {
+		t.Fatalf("new benchmark must not fail the gate: %v", failures)
+	}
+	if len(extras) != 1 || extras[0] != "New" {
+		t.Fatalf("extras = %v, want [New]", extras)
+	}
+}
+
+func TestParseCompareRoundTrip(t *testing.T) {
+	f, err := parseBench(sampleOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, failures, extras := compare(f, f, 2.0)
+	if len(failures) != 0 || len(extras) != 0 {
+		t.Fatalf("self-comparison failed: failures=%v extras=%v", failures, extras)
+	}
+	for _, r := range rows {
+		if r.ratio != 1 {
+			t.Errorf("%s: self-comparison ratio %v, want 1", r.name, r.ratio)
+		}
+	}
+}
+
+// TestParseRejectsAmbiguousNames pins the guard against the inherent
+// ambiguity of GOMAXPROCS-suffix stripping: a sub-benchmark named with a
+// trailing -<digits> would fold into another name on a suffix-less
+// (GOMAXPROCS=1) machine, so the parser must fail loudly instead of
+// silently merging distinct benchmarks.
+func TestParseRejectsAmbiguousNames(t *testing.T) {
+	const ambiguous = `BenchmarkX/rows-100         	       3	      1000 ns/op
+BenchmarkX/rows-1000        	       3	      2000 ns/op
+`
+	if _, err := parseBench(ambiguous); err == nil {
+		t.Fatal("distinct names folding onto one stripped name must fail parsing")
+	}
+	// The same names WITH a procs suffix stay distinct and parse fine.
+	const suffixed = `BenchmarkX/rows-100-4       	       3	      1000 ns/op
+BenchmarkX/rows-1000-4      	       3	      2000 ns/op
+`
+	f, err := parseBench(suffixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(f.Benchmarks), f.Benchmarks)
+	}
+}

@@ -3,12 +3,15 @@
 // and per-view explanations on the right.
 //
 // By default it preloads the three demo datasets. Additional CSV files can
-// be registered with repeated -csv flags. The serving hot path is memoized:
-// repeated identical queries are answered from the report cache
-// (bounded by -cache-entries / -cache-bytes per tier) and /api/stats
-// exposes the hit/miss/evict counters.
+// be registered with repeated -csv flags. Serving is sharded: -shards engine
+// shards (0 = all CPUs) sit behind a consistent-hash router that owns each
+// table by content fingerprint, with per-shard admission queues and one
+// shared report cache, so repeated identical queries are answered in ~µs no
+// matter which shard serves them (bounds: -cache-entries / -cache-bytes) and
+// /api/stats exposes the per-shard and shared-cache counters.
 //
 //	ziggyd -addr :8080
+//	ziggyd -addr :8080 -shards 4
 //	ziggyd -addr :8080 -datasets uscrime,boxoffice -csv extra.csv
 //	ziggyd -addr :8080 -cache-entries 64 -cache-bytes 134217728
 package main
@@ -25,6 +28,7 @@ import (
 	"repro/internal/csvio"
 	"repro/internal/db"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/synth"
 )
 
@@ -47,6 +51,7 @@ type options struct {
 	minTight     float64
 	maxViews     int
 	parallelism  int
+	shards       int
 	cacheEntries int
 	cacheBytes   int64
 }
@@ -98,13 +103,17 @@ func buildServer(opts options, logger *log.Logger) (*server.Server, error) {
 	cfg.MinTight = opts.minTight
 	cfg.MaxViews = opts.maxViews
 	cfg.Parallelism = opts.parallelism
+	cfg.Shards = opts.shards
 	cfg.CacheEntries = opts.cacheEntries
 	cfg.CacheBytes = opts.cacheBytes
-	engine, err := core.New(cfg)
+	router, err := shard.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return server.New(catalog, engine, logger), nil
+	if logger != nil {
+		logger.Printf("serving with %d engine shards", router.NumShards())
+	}
+	return server.New(catalog, router, logger), nil
 }
 
 func main() {
@@ -116,10 +125,11 @@ func main() {
 	minTight := flag.Float64("min-tight", 0.4, "tightness threshold")
 	maxViews := flag.Int("max-views", 8, "maximum views per query")
 	parallel := flag.Int("parallelism", 0, "engine worker count (0 = all CPUs, 1 = sequential)")
+	shards := flag.Int("shards", 0, "engine shard count behind the router (0 = all CPUs)")
 	cacheEntries := flag.Int("cache-entries", 0,
-		"LRU entry bound per cache tier (0 = engine default)")
+		"LRU entry bound per cache tier, covering all shards together (0 = engine default)")
 	cacheBytes := flag.Int64("cache-bytes", 0,
-		"approximate byte bound per cache tier (0 = engine default)")
+		"approximate byte bound per cache tier, covering all shards together (0 = engine default)")
 	flag.Var(&csvs, "csv", "CSV file to register (repeatable)")
 	flag.Parse()
 
@@ -131,6 +141,7 @@ func main() {
 		minTight:     *minTight,
 		maxViews:     *maxViews,
 		parallelism:  *parallel,
+		shards:       *shards,
 		cacheEntries: *cacheEntries,
 		cacheBytes:   *cacheBytes,
 	}, logger)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -19,9 +20,17 @@ var update = flag.Bool("update", false, "rewrite golden files")
 
 // goldenServer builds the exact serving stack main assembles, on the small
 // deterministic boxoffice dataset so golden responses are stable and fast.
-// Parallelism 1 pins the sequential path (output is identical for every
-// worker count, so this is belt and braces, not a requirement).
+// Parallelism 1 pins the sequential path and shards 2 pins the router
+// topology (output is identical for every worker and shard count, so both
+// are belt and braces, not a requirement — but the per-shard stats counters
+// depend on the shard count, so the golden /api/stats shape needs it fixed).
 func goldenServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	return shardedServer(t, 2)
+}
+
+// shardedServer is goldenServer with an explicit shard count.
+func shardedServer(t *testing.T, shards int) *httptest.Server {
 	t.Helper()
 	srv, err := buildServer(options{
 		datasets:    "boxoffice",
@@ -29,6 +38,7 @@ func goldenServer(t *testing.T) *httptest.Server {
 		minTight:    0.4,
 		maxViews:    8,
 		parallelism: 1,
+		shards:      shards,
 	}, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -59,10 +69,9 @@ func scrub(v any) {
 	}
 }
 
-// checkGolden canonicalizes the body (decode, scrub volatile fields,
-// re-encode with sorted keys and indentation) and compares it against the
-// checked-in golden file, rewriting it under -update.
-func checkGolden(t *testing.T, name string, body []byte) {
+// canonicalize decodes the body, scrubs volatile fields, and re-encodes it
+// with sorted keys and indentation, so responses can be byte-compared.
+func canonicalize(t *testing.T, name string, body []byte) []byte {
 	t.Helper()
 	var decoded any
 	if err := json.Unmarshal(body, &decoded); err != nil {
@@ -73,7 +82,14 @@ func checkGolden(t *testing.T, name string, body []byte) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	canon = append(canon, '\n')
+	return append(canon, '\n')
+}
+
+// checkGolden canonicalizes the body and compares it against the checked-in
+// golden file, rewriting it under -update.
+func checkGolden(t *testing.T, name string, body []byte) {
+	t.Helper()
+	canon := canonicalize(t, name, body)
 	path := filepath.Join("testdata", "golden", name)
 	if *update {
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
@@ -220,6 +236,7 @@ func TestBuildServerValidation(t *testing.T) {
 		{datasets: "nope", minTight: 0.4, maxViews: 8},
 		{datasets: "", minTight: 0.4, maxViews: 8},
 		{datasets: "boxoffice", csvs: []string{"/does/not/exist.csv"}, minTight: 0.4, maxViews: 8},
+		{datasets: "boxoffice", minTight: 0.4, maxViews: 8, shards: -1},
 		{datasets: "boxoffice", minTight: 0.4, maxViews: 8, cacheEntries: -1},
 		{datasets: "boxoffice", minTight: 0.4, maxViews: 8, cacheBytes: -1},
 	}
@@ -237,4 +254,103 @@ func TestBuildServerValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	_ = srv
+}
+
+// scrubCacheFlags zeroes the two cache signals in place, so cached
+// responses can be byte-compared against cold ones.
+func scrubCacheFlags(v any) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, val := range x {
+			switch k {
+			case "cacheHit", "reportCacheHit":
+				x[k] = false
+			default:
+				scrubCacheFlags(val)
+			}
+		}
+	case []any:
+		for _, val := range x {
+			scrubCacheFlags(val)
+		}
+	}
+}
+
+// TestGoldenShardCountsAgree pins the determinism contract of the sharded
+// daemon at the wire level: the same query answered by 1-, 2- and 4-shard
+// servers produces byte-identical cold responses, every shard count serves
+// the identical repeat from the shared report cache, and the cached body is
+// byte-identical to the cold one except for the two cache flags. The
+// 1-shard cold body is also pinned against the checked-in golden file, so
+// all shard counts agree with the golden wire format.
+func TestGoldenShardCountsAgree(t *testing.T) {
+	const query = `{"sql": "SELECT * FROM boxoffice WHERE gross_musd >= 100", "excludePredicate": true}`
+	type run struct {
+		shards       int
+		cold, cached []byte
+	}
+	var runs []run
+	for _, n := range []int{1, 2, 4} {
+		ts := shardedServer(t, n)
+		code, cold := post(t, ts, "/api/characterize", query)
+		if code != http.StatusOK {
+			t.Fatalf("shards=%d: cold status %d: %s", n, code, cold)
+		}
+		code, cached := post(t, ts, "/api/characterize", query)
+		if code != http.StatusOK {
+			t.Fatalf("shards=%d: cached status %d: %s", n, code, cached)
+		}
+		var rep struct {
+			CacheHit       bool `json:"cacheHit"`
+			ReportCacheHit bool `json:"reportCacheHit"`
+		}
+		if err := json.Unmarshal(cached, &rep); err != nil {
+			t.Fatal(err)
+		}
+		if !rep.CacheHit || !rep.ReportCacheHit {
+			t.Errorf("shards=%d: repeat not served from the shared report cache", n)
+		}
+		runs = append(runs, run{
+			shards: n,
+			cold:   canonicalize(t, fmt.Sprintf("shards=%d cold", n), cold),
+			cached: canonicalize(t, fmt.Sprintf("shards=%d cached", n), cached),
+		})
+	}
+	for _, r := range runs[1:] {
+		if !bytes.Equal(r.cold, runs[0].cold) {
+			t.Errorf("cold response differs between shards=%d and shards=%d\n--- shards=%d\n%s\n--- shards=%d\n%s",
+				runs[0].shards, r.shards, runs[0].shards, runs[0].cold, r.shards, r.cold)
+		}
+		if !bytes.Equal(r.cached, runs[0].cached) {
+			t.Errorf("cached response differs between shards=%d and shards=%d", runs[0].shards, r.shards)
+		}
+	}
+	// Cached == cold once the cache flags are neutralized.
+	for _, r := range runs {
+		var cold, cached any
+		if err := json.Unmarshal(r.cold, &cold); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(r.cached, &cached); err != nil {
+			t.Fatal(err)
+		}
+		scrubCacheFlags(cold)
+		scrubCacheFlags(cached)
+		c1, _ := json.MarshalIndent(cold, "", "  ")
+		c2, _ := json.MarshalIndent(cached, "", "  ")
+		if !bytes.Equal(c1, c2) {
+			t.Errorf("shards=%d: cached response differs from cold beyond the cache flags\n--- cold\n%s\n--- cached\n%s", r.shards, c1, c2)
+		}
+	}
+	// And the shard-count-independent body matches the checked-in golden
+	// (written by TestGoldenCharacterizeTwiceAndStats under -update).
+	if !*update {
+		want, err := os.ReadFile(filepath.Join("testdata", "golden", "characterize_cold.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(runs[0].cold, want) {
+			t.Error("sharded cold response diverged from the checked-in golden file")
+		}
+	}
 }

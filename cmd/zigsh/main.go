@@ -116,8 +116,9 @@ func (s *shell) execute(line string, out io.Writer) error {
   \views <value>        set the maximum number of views
   \robust on|off        rank-based statistics
   \extended on|off      extended Zig-Components
+  \shards <value>       set the engine shard count (0 = all CPUs)
   \config               show the engine configuration
-  \stats                show cache hit/miss/evict counters
+  \stats                show shared-cache and per-shard counters
   \quit                 leave
 `)
 		return nil
@@ -175,20 +176,28 @@ func (s *shell) execute(line string, out io.Writer) error {
 		return s.setBool(fields, out, func(v bool) { s.cfg.Robust = v })
 	case `\extended`:
 		return s.setBool(fields, out, func(v bool) { s.cfg.Extended = v })
+	case `\shards`:
+		return s.setInt(fields, out, func(v int) { s.cfg.Shards = v })
 
 	case `\config`:
-		fmt.Fprintf(out, "min_tight=%.2f max_dim=%d max_views=%d robust=%v extended=%v alpha=%g\n",
-			s.cfg.MinTight, s.cfg.MaxDim, s.cfg.MaxViews, s.cfg.Robust, s.cfg.Extended, s.cfg.Alpha)
+		fmt.Fprintf(out, "min_tight=%.2f max_dim=%d max_views=%d robust=%v extended=%v alpha=%g shards=%d\n",
+			s.cfg.MinTight, s.cfg.MaxDim, s.cfg.MaxViews, s.cfg.Robust, s.cfg.Extended, s.cfg.Alpha, s.session.Shards())
 		return nil
 
 	case `\stats`:
-		cs := s.session.CacheStats()
+		ss := s.session.ShardStats()
 		printTier := func(name string, t ziggy.CacheSnapshot) {
 			fmt.Fprintf(out, "%-9s hits=%d misses=%d evictions=%d deduped=%d entries=%d bytes=%d\n",
 				name, t.Hits, t.Misses, t.Evictions, t.Deduped, t.Entries, t.Bytes)
 		}
-		printTier("prepared", cs.Prepared)
-		printTier("reports", cs.Reports)
+		totals := ss.Totals()
+		printTier("prepared", totals.Prepared)
+		printTier("reports", totals.Reports)
+		for _, sh := range ss.Shards {
+			fmt.Fprintf(out, "shard %-3d requests=%d rejected=%d inflight=%d queued=%d prepared{hits=%d misses=%d entries=%d}\n",
+				sh.Shard, sh.Requests, sh.Rejected, sh.Inflight, sh.Queued,
+				sh.Prepared.Hits, sh.Prepared.Misses, sh.Prepared.Entries)
+		}
 		return nil
 
 	default:

@@ -102,6 +102,14 @@ type Config struct {
 	// sequential path with no goroutines. Results are bit-for-bit
 	// identical for every worker count.
 	Parallelism int
+	// Shards is the number of independent engine shards the serving layer
+	// (internal/shard, ziggy.Session, ziggyd -shards) runs behind its
+	// router; each loaded table is assigned to one shard by content
+	// fingerprint. Zero means all CPUs (runtime.GOMAXPROCS). The engine
+	// itself ignores the field — it parameterizes the router — and like
+	// Parallelism it never affects report bytes (TestShardedDeterminism),
+	// so it is excluded from the report-cache key.
+	Shards int
 	// CacheEntries bounds each memo tier (prepared structures and full
 	// reports) to this many LRU entries. Zero means DefaultCacheEntries;
 	// negative is invalid.
@@ -117,6 +125,21 @@ const (
 	DefaultCacheEntries = 128
 	DefaultCacheBytes   = 256 << 20 // 256 MiB
 )
+
+// EffectiveCacheBounds resolves the zero-means-default cache bounds: the
+// single place (shared by the engine, the report cache, and the shard
+// router's per-shard budget split) that maps 0 to DefaultCacheEntries /
+// DefaultCacheBytes.
+func (c Config) EffectiveCacheBounds() (entries int, bytes int64) {
+	entries, bytes = c.CacheEntries, c.CacheBytes
+	if entries == 0 {
+		entries = DefaultCacheEntries
+	}
+	if bytes == 0 {
+		bytes = DefaultCacheBytes
+	}
+	return entries, bytes
+}
 
 // DefaultConfig returns the configuration used throughout the paper's demo
 // scenarios: two-column views, moderate tightness, complete linkage, the
@@ -157,6 +180,9 @@ func (c Config) Validate() error {
 	}
 	if c.Parallelism < 0 {
 		return fmt.Errorf("core: Parallelism %d < 0 (0 means all CPUs)", c.Parallelism)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("core: Shards %d < 0 (0 means all CPUs)", c.Shards)
 	}
 	if c.CacheEntries < 0 {
 		return fmt.Errorf("core: CacheEntries %d < 0 (0 means the default)", c.CacheEntries)

@@ -30,8 +30,11 @@ type Engine struct {
 	// configuration.
 	cfgHash uint64
 
-	prep    *memo.Cache[prepKey, *prepared]
-	reports *memo.Cache[reportKey, *Report]
+	prep *memo.Cache[prepKey, *prepared]
+	// reports may be private to this engine (New) or shared with other
+	// engines (NewShared) — the shard router runs one report cache behind
+	// all of its shard engines.
+	reports *ReportCache
 }
 
 // prepared holds the query-independent preparation products for one table.
@@ -40,8 +43,17 @@ type prepared struct {
 	dendro *cluster.Dendrogram
 }
 
-// New validates cfg and builds an engine.
+// New validates cfg and builds an engine with a private report cache.
 func New(cfg Config) (*Engine, error) {
+	return NewShared(cfg, nil)
+}
+
+// NewShared validates cfg and builds an engine whose report-level memo is
+// the given shared cache; nil builds a private one (equivalent to New).
+// Sharing is safe because report keys are pure content fingerprints plus the
+// effective config/options hashes — which engine computes a report never
+// affects its bytes.
+func NewShared(cfg Config, reports *ReportCache) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -56,23 +68,24 @@ func New(cfg Config) (*Engine, error) {
 		}
 		cfg.Weights = w
 	}
-	entries, bytes := cfg.CacheEntries, cfg.CacheBytes
-	if entries == 0 {
-		entries = DefaultCacheEntries
-	}
-	if bytes == 0 {
-		bytes = DefaultCacheBytes
+	entries, bytes := cfg.EffectiveCacheBounds()
+	if reports == nil {
+		reports = NewReportCache(entries, bytes)
 	}
 	return &Engine{
 		cfg:     cfg,
 		cfgHash: hashConfig(cfg),
 		prep:    memo.New[prepKey, *prepared](entries, bytes),
-		reports: memo.New[reportKey, *Report](entries, bytes),
+		reports: reports,
 	}, nil
 }
 
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// ReportCache returns the engine's report-level memo — the engine's own when
+// built with New, the shared one when built with NewShared.
+func (e *Engine) ReportCache() *ReportCache { return e.reports }
 
 // InvalidateCache drops both cache tiers (prepared structures and memoized
 // reports). Content fingerprints make stale entries unreachable on their
@@ -161,7 +174,7 @@ func (e *Engine) CharacterizeOpts(f *frame.Frame, sel *frame.Bitmap, opts Option
 		cfg:   e.cfgHash,
 		opts:  hashOptions(opts),
 	}
-	rep, outcome, err := e.reports.Do(key, reportSize, func() (*Report, error) {
+	rep, outcome, err := e.reports.c.Do(key, reportSize, func() (*Report, error) {
 		return e.characterize(f, sel, opts, nIn)
 	})
 	if err != nil {
@@ -170,15 +183,41 @@ func (e *Engine) CharacterizeOpts(f *frame.Frame, sel *frame.Bitmap, opts Option
 	if outcome == memo.Miss {
 		return rep, nil
 	}
-	// Served from cache (or deduplicated onto a concurrent computation):
-	// hand out a shallow copy so the flags and timings of the cached value
-	// stay pristine. Views, components and warnings are shared — reports
-	// are immutable by convention, like frames.
+	return cloneCached(rep), nil
+}
+
+// cloneCached hands out a cache-served report: a shallow copy so the flags
+// and timings of the cached value stay pristine. Views, components and
+// warnings are shared — reports are immutable by convention, like frames.
+func cloneCached(rep *Report) *Report {
 	clone := *rep
 	clone.CacheHit = true
 	clone.ReportCacheHit = true
 	clone.Timings = Timings{}
-	return &clone, nil
+	return &clone
+}
+
+// CachedReport returns the memoized report for (f, sel, opts) without
+// running any part of the pipeline; ok is false on a miss. A hit counts
+// toward the report cache's hit counter exactly as if the request had been
+// served by CharacterizeOpts — the shard router uses this as its
+// pre-admission fast path, so repeat queries stay ~µs even when the owning
+// shard's queue is saturated by slow characterizations.
+func (e *Engine) CachedReport(f *frame.Frame, sel *frame.Bitmap, opts Options) (*Report, bool) {
+	if f == nil || sel == nil || opts.SkipReportCache || sel.Len() != f.NumRows() {
+		return nil, false
+	}
+	key := reportKey{
+		frame: f.Fingerprint(),
+		sel:   sel.Fingerprint(),
+		cfg:   e.cfgHash,
+		opts:  hashOptions(opts),
+	}
+	rep, ok := e.reports.c.Lookup(key)
+	if !ok {
+		return nil, false
+	}
+	return cloneCached(rep), true
 }
 
 // characterize runs the full uncached pipeline; nIn is sel.Count(), already

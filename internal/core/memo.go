@@ -37,9 +37,11 @@ type reportKey struct {
 }
 
 // hashConfig folds every output-affecting Config field into a key
-// component. Parallelism is deliberately excluded: reports are bit-for-bit
-// identical for every worker count (TestParallelDeterminism), so a cached
-// report is valid regardless of how many workers would have recomputed it.
+// component. Parallelism and Shards are deliberately excluded: reports are
+// bit-for-bit identical for every worker count (TestParallelDeterminism) and
+// every shard count (TestShardedDeterminism), so a cached report is valid
+// regardless of how many workers or shards would have recomputed it — and a
+// shared cache serves routers of different shard counts interchangeably.
 func hashConfig(c Config) uint64 {
 	h := memo.NewHasher()
 	h.Float(c.MinTight)
@@ -116,6 +118,37 @@ func reportSize(r *Report) int64 {
 	return size
 }
 
+// ReportCache is the content-addressed report memo: full characterization
+// reports keyed by (frame fingerprint, selection fingerprint, config hash,
+// options hash). Because every key component is derived from content — never
+// from object identity or from which engine computes the value — one
+// ReportCache is safe to share across engines: the shard router
+// (internal/shard) runs one ReportCache behind all of its shards, and
+// sessions sharing one (ziggy.NewSessionShared) serve each other's repeat
+// queries. The wrapper keeps the key type private so callers cannot insert
+// entries that bypass the engine's hashing discipline.
+type ReportCache struct {
+	c *memo.Cache[reportKey, *Report]
+}
+
+// NewReportCache builds a report cache bounded to entries LRU entries and
+// approximately bytes resident bytes. Zero applies the engine defaults
+// (DefaultCacheEntries / DefaultCacheBytes); negative bounds are invalid at
+// the Config layer and treated as unbounded here.
+func NewReportCache(entries int, bytes int64) *ReportCache {
+	entries, bytes = Config{CacheEntries: entries, CacheBytes: bytes}.EffectiveCacheBounds()
+	return &ReportCache{c: memo.New[reportKey, *Report](entries, bytes)}
+}
+
+// Snapshot returns the cache's counters and occupancy.
+func (rc *ReportCache) Snapshot() memo.Snapshot { return rc.c.Snapshot() }
+
+// Purge drops every cached report; in-flight computations are unaffected.
+func (rc *ReportCache) Purge() { rc.c.Purge() }
+
+// Len returns the number of cached reports.
+func (rc *ReportCache) Len() int { return rc.c.Len() }
+
 // CacheStats is a point-in-time view of the engine's two memo tiers; the
 // server's /api/stats endpoint serializes it directly. Within each tier,
 // Hits + Misses equals the number of requests and Misses - Deduped the
@@ -127,7 +160,23 @@ type CacheStats struct {
 	Reports memo.Snapshot `json:"reports"`
 }
 
-// CacheStats returns the engine's cache counters and occupancy.
+// CacheStats returns the engine's cache counters and occupancy. When the
+// engine shares its report cache (NewShared), the Reports tier reflects the
+// shared cache, i.e. traffic from every engine attached to it.
 func (e *Engine) CacheStats() CacheStats {
 	return CacheStats{Prepared: e.prep.Snapshot(), Reports: e.reports.Snapshot()}
+}
+
+// AddSnapshots sums two snapshots' counters and occupancy; the shard router
+// uses it to aggregate the per-shard prepared tiers into one view.
+func AddSnapshots(a, b memo.Snapshot) memo.Snapshot {
+	return memo.Snapshot{
+		Hits:      a.Hits + b.Hits,
+		Misses:    a.Misses + b.Misses,
+		Evictions: a.Evictions + b.Evictions,
+		Deduped:   a.Deduped + b.Deduped,
+		Inflight:  a.Inflight + b.Inflight,
+		Entries:   a.Entries + b.Entries,
+		Bytes:     a.Bytes + b.Bytes,
+	}
 }

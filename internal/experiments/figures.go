@@ -13,6 +13,7 @@ import (
 	"repro/internal/effect"
 	"repro/internal/frame"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/synth"
 )
@@ -297,11 +298,13 @@ func Figure5(seed uint64) (*Table, error) {
 	if err := cat.Register(synth.USCrime(seed)); err != nil {
 		return nil, err
 	}
-	engine, err := core.New(engineConfig())
+	cfg := engineConfig()
+	cfg.Shards = 1 // one table, one shard: keep the figure cheap
+	router, err := shard.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	srv := httptest.NewServer(server.New(cat, engine, nil))
+	srv := httptest.NewServer(server.New(cat, router, nil))
 	defer srv.Close()
 
 	t := &Table{

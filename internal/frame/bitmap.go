@@ -3,6 +3,7 @@ package frame
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 )
 
 // Bitmap is a fixed-length bitset over row indices. It is the selection
@@ -11,6 +12,25 @@ import (
 type Bitmap struct {
 	words []uint64
 	n     int
+	// fp caches the content fingerprint (0 = not computed) and gen counts
+	// mutation events. Every mutating method calls invalidate both before
+	// and after touching words, and Fingerprint only keeps a published hash
+	// if gen did not advance around the computation, so a mutation racing an
+	// in-flight Fingerprint can never leave a stale hash cached. See
+	// fingerprint.go.
+	fp  atomic.Uint64
+	gen atomic.Uint64
+}
+
+// invalidate drops the cached fingerprint and records a mutation event.
+// Mutators call it on both sides of the word write: the leading call keeps
+// sequential readers from seeing a pre-mutation hash, the trailing call
+// advances gen past any hash computed while the words were changing (and
+// its fp.Store(0) clears one that was already published). The gen bump
+// precedes the fp clear so Fingerprint's post-publish recheck pairs with it.
+func (b *Bitmap) invalidate() {
+	b.gen.Add(1)
+	b.fp.Store(0)
 }
 
 // NewBitmap returns an all-clear bitmap over n rows.
@@ -53,13 +73,17 @@ func (b *Bitmap) checkIndex(i int) {
 // Set marks row i as selected.
 func (b *Bitmap) Set(i int) {
 	b.checkIndex(i)
+	b.invalidate()
 	b.words[i>>6] |= 1 << (uint(i) & 63)
+	b.invalidate()
 }
 
 // Clear unmarks row i.
 func (b *Bitmap) Clear(i int) {
 	b.checkIndex(i)
+	b.invalidate()
 	b.words[i>>6] &^= 1 << (uint(i) & 63)
+	b.invalidate()
 }
 
 // Get reports whether row i is selected.
@@ -79,10 +103,12 @@ func (b *Bitmap) Count() int {
 
 // SetAll selects every row.
 func (b *Bitmap) SetAll() {
+	b.invalidate()
 	for i := range b.words {
 		b.words[i] = ^uint64(0)
 	}
 	b.trim()
+	b.invalidate()
 }
 
 // trim clears the unused high bits of the last word so Count and Not stay
@@ -93,11 +119,14 @@ func (b *Bitmap) trim() {
 	}
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy, carrying over the cached fingerprint (the
+// contents are identical, so the hash is too).
 func (b *Bitmap) Clone() *Bitmap {
 	w := make([]uint64, len(b.words))
 	copy(w, b.words)
-	return &Bitmap{words: w, n: b.n}
+	nb := &Bitmap{words: w, n: b.n}
+	nb.fp.Store(b.fp.Load())
+	return nb
 }
 
 func (b *Bitmap) checkSame(o *Bitmap) {
@@ -109,36 +138,44 @@ func (b *Bitmap) checkSame(o *Bitmap) {
 // And intersects b with o in place and returns b.
 func (b *Bitmap) And(o *Bitmap) *Bitmap {
 	b.checkSame(o)
+	b.invalidate()
 	for i := range b.words {
 		b.words[i] &= o.words[i]
 	}
+	b.invalidate()
 	return b
 }
 
 // Or unions b with o in place and returns b.
 func (b *Bitmap) Or(o *Bitmap) *Bitmap {
 	b.checkSame(o)
+	b.invalidate()
 	for i := range b.words {
 		b.words[i] |= o.words[i]
 	}
+	b.invalidate()
 	return b
 }
 
 // AndNot removes o's rows from b in place and returns b.
 func (b *Bitmap) AndNot(o *Bitmap) *Bitmap {
 	b.checkSame(o)
+	b.invalidate()
 	for i := range b.words {
 		b.words[i] &^= o.words[i]
 	}
+	b.invalidate()
 	return b
 }
 
 // Not complements b in place and returns b.
 func (b *Bitmap) Not() *Bitmap {
+	b.invalidate()
 	for i := range b.words {
 		b.words[i] = ^b.words[i]
 	}
 	b.trim()
+	b.invalidate()
 	return b
 }
 

@@ -71,10 +71,28 @@ func (c *Column) hashInto(h *memo.Hasher) {
 }
 
 // Fingerprint returns the content fingerprint of the bitmap (length and set
-// bits). Bitmaps are mutable, so the hash is recomputed on every call — it
-// is O(rows/64), which is noise next to any characterization — and callers
-// must not mutate a bitmap while another goroutine fingerprints it.
+// bits), computed once and cached on the bitmap. Bitmaps are mutable, so
+// every mutating method (Set, Clear, SetAll, And, Or, AndNot, Not)
+// invalidates the cached value and the next call rehashes the current bits —
+// the sharded serving layer fingerprints the same selection on every request,
+// so the O(rows/64) pass is paid once per distinct content instead of once
+// per request.
+//
+// Callers must not mutate a bitmap while another goroutine fingerprints it
+// (the words themselves are not atomic), but the cache is hardened against
+// that misuse: mutators bump the generation counter on both sides of the
+// word write, a hash is only published when the generation did not advance
+// around the computation, and the publish rechecks the generation and
+// retracts itself if a mutation slipped in between. A racing mutation can
+// therefore produce one transiently wrong return value — as before caching —
+// but never a permanently poisoned cache: once mutations quiesce, the next
+// call rehashes the true content. Concurrent Fingerprint calls on an
+// unchanging bitmap are safe.
 func (b *Bitmap) Fingerprint() uint64 {
+	gen := b.gen.Load()
+	if v := b.fp.Load(); v != 0 {
+		return v
+	}
 	h := memo.NewHasher()
 	h.Uint64(uint64(b.n))
 	for _, w := range b.words {
@@ -82,7 +100,17 @@ func (b *Bitmap) Fingerprint() uint64 {
 	}
 	v := h.Sum()
 	if v == 0 {
-		v = 1
+		v = 1 // keep 0 as the "not yet computed" sentinel
+	}
+	if b.gen.Load() == gen {
+		b.fp.Store(v)
+		if b.gen.Load() != gen {
+			// A mutation's trailing invalidate may have run between the
+			// check and the store; retract the now-doubtful hash. The
+			// mutator's gen bump precedes its fp clear, so whenever its
+			// clear landed before our store, this recheck sees the bump.
+			b.fp.Store(0)
+		}
 	}
 	return v
 }

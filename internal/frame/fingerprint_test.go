@@ -86,7 +86,8 @@ func TestFrameFingerprintConcurrent(t *testing.T) {
 }
 
 // TestBitmapFingerprint asserts selection fingerprints separate by length
-// and by set bits, and track mutation (they are recomputed per call).
+// and by set bits, and track mutation (the cached hash is invalidated by
+// every mutating method).
 func TestBitmapFingerprint(t *testing.T) {
 	a := NewBitmap(100)
 	b := NewBitmap(100)
@@ -128,5 +129,63 @@ func TestInvalidateFingerprint(t *testing.T) {
 	want := twoColFrame(t, "t", []float64{99, 2, 3}, []string{"a", "b", "a"}).Fingerprint()
 	if after != want {
 		t.Fatal("post-invalidation fingerprint does not match the mutated content")
+	}
+}
+
+// TestBitmapFingerprintCachedAndInvalidated pins the caching contract of
+// Bitmap.Fingerprint: repeated calls on an unchanged bitmap return the
+// cached value, every mutating method invalidates it, and the recomputed
+// hash always matches a fresh bitmap with the same content.
+func TestBitmapFingerprintCachedAndInvalidated(t *testing.T) {
+	fresh := func(n int, idx ...int) uint64 {
+		return BitmapFromIndices(n, idx).Fingerprint()
+	}
+	b := BitmapFromIndices(100, []int{1, 40, 99})
+	if b.Fingerprint() != b.Fingerprint() {
+		t.Fatal("repeated fingerprint of an unchanged bitmap differs")
+	}
+
+	mutations := []struct {
+		name  string
+		apply func(*Bitmap)
+		want  uint64
+	}{
+		{"Set", func(b *Bitmap) { b.Set(7) }, fresh(100, 1, 7, 40, 99)},
+		{"Clear", func(b *Bitmap) { b.Clear(7) }, fresh(100, 1, 40, 99)},
+		{"Or", func(b *Bitmap) { b.Or(BitmapFromIndices(100, []int{2})) }, fresh(100, 1, 2, 40, 99)},
+		{"AndNot", func(b *Bitmap) { b.AndNot(BitmapFromIndices(100, []int{2})) }, fresh(100, 1, 40, 99)},
+		{"And", func(b *Bitmap) { b.And(BitmapFromIndices(100, []int{1, 40})) }, fresh(100, 1, 40)},
+		{"Not", func(b *Bitmap) { b.Not() }, func() uint64 {
+			nb := BitmapFromIndices(100, []int{1, 40})
+			return nb.Not().Fingerprint()
+		}()},
+		{"SetAll", func(b *Bitmap) { b.SetAll() }, func() uint64 {
+			nb := NewBitmap(100)
+			nb.SetAll()
+			return nb.Fingerprint()
+		}()},
+	}
+	for _, m := range mutations {
+		before := b.Fingerprint() // populate the cache
+		m.apply(b)
+		after := b.Fingerprint()
+		if after != m.want {
+			t.Errorf("%s: fingerprint %#x does not match fresh content %#x (stale cache?)", m.name, after, m.want)
+		}
+		if after == before {
+			t.Errorf("%s: fingerprint unchanged after mutation", m.name)
+		}
+	}
+
+	// Clone carries the cached value and stays equal to its source…
+	c := b.Clone()
+	if c.Fingerprint() != b.Fingerprint() {
+		t.Fatal("clone fingerprints differently from its source")
+	}
+	// …but mutating the clone must not disturb the original's cache.
+	c.Clear(0)
+	c.Set(0)
+	if b.Fingerprint() != c.Fingerprint() {
+		t.Fatal("identical content after clone round-trip fingerprints differently")
 	}
 }

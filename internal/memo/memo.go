@@ -166,6 +166,22 @@ func (c *Cache[K, V]) Do(key K, size func(V) int64, compute func() (V, error)) (
 	return v, Miss, err
 }
 
+// Lookup returns the cached value without computing. A hit touches LRU
+// recency and counts toward the hit counter — it serves a request — but a
+// miss counts nothing: the caller is expected to follow up with Do, which
+// accounts the full request, so hits + misses = requests stays true.
+func (c *Cache[K, V]) Lookup(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
 // Get returns the cached value without computing, touching LRU recency but
 // not the hit/miss counters (it is a peek, not a request).
 func (c *Cache[K, V]) Get(key K) (V, bool) {

@@ -10,18 +10,23 @@
 //	GET  /api/tables          registered tables with schema summaries
 //	POST /api/characterize    {"sql": ..., "excludePredicate": bool}
 //	GET  /api/dendrogram      ?table=name — text dendrogram for MIN_tight
-//	GET  /api/stats           cache counters of both memo tiers (also /stats)
+//	GET  /api/stats           cache + shard counters (also /stats)
 //
-// Characterization responses report two cache signals: cacheHit (the
-// query-independent dependency structure was reused) and reportCacheHit
-// (the entire report was served from the content-addressed report memo —
-// the serving hot path for repeated identical queries). /api/stats exposes
-// the underlying hit/miss/evict/dedup counters; within each tier
+// Requests are served by a sharded layer (internal/shard): each table is
+// owned by one engine shard, chosen by content fingerprint, and all shards
+// share one report cache. Characterization responses report two cache
+// signals: cacheHit (the owning shard reused the query-independent
+// dependency structure) and reportCacheHit (the entire report was served
+// from the shared content-addressed report memo — the serving hot path for
+// repeated identical queries). /api/stats exposes the aggregated
+// prepared/reports tiers plus a per-shard breakdown (admitted, rejected,
+// in-flight and queued requests, prepared-tier counters); within each tier
 // hits + misses equals the number of requests.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"math"
@@ -34,20 +39,21 @@ import (
 	"repro/internal/depend"
 	"repro/internal/memo"
 	"repro/internal/plot"
+	"repro/internal/shard"
 )
 
 // Server is the demo web server.
 type Server struct {
 	catalog *db.Catalog
-	engine  *core.Engine
+	router  *shard.Router
 	mux     *http.ServeMux
 	logger  *log.Logger
 }
 
-// New builds a server over an existing catalog and engine. logger may be
-// nil for silence.
-func New(catalog *db.Catalog, engine *core.Engine, logger *log.Logger) *Server {
-	s := &Server{catalog: catalog, engine: engine, logger: logger}
+// New builds a server over an existing catalog and sharded router. logger
+// may be nil for silence.
+func New(catalog *db.Catalog, router *shard.Router, logger *log.Logger) *Server {
+	s := &Server{catalog: catalog, router: router, logger: logger}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/api/tables", s.handleTables)
@@ -201,9 +207,13 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	if req.ExcludePredicate {
 		opts.ExcludeColumns = append(opts.ExcludeColumns, predicateColumns(res.Stmt)...)
 	}
-	rep, err := s.engine.CharacterizeOpts(res.Base, res.Mask, opts)
+	rep, err := s.router.CharacterizeOpts(res.Base, res.Mask, opts)
 	if err != nil {
-		s.writeError(w, http.StatusUnprocessableEntity, err)
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, shard.ErrSaturated) {
+			status = http.StatusServiceUnavailable
+		}
+		s.writeError(w, status, err)
 		return
 	}
 
@@ -289,12 +299,28 @@ func predicateColumns(stmt *db.SelectStmt) []string {
 	return out
 }
 
-// statsResponse is the wire form of /api/stats.
+// statsResponse is the wire form of /api/stats. Prepared aggregates the
+// per-shard prepared tiers; Reports is the shared cross-shard report cache;
+// Shards breaks traffic and prepared counters down per shard.
 type statsResponse struct {
 	// Prepared and Reports are the two memo tiers; within each,
 	// hits + misses = requests and misses - deduped = computations.
 	Prepared tierJSON `json:"prepared"`
 	Reports  tierJSON `json:"reports"`
+	// ShardCount is the number of engine shards behind the router.
+	ShardCount int `json:"shardCount"`
+	// Shards is the per-shard breakdown.
+	Shards []shardJSON `json:"shards"`
+}
+
+// shardJSON is one shard's traffic and prepared-tier counters.
+type shardJSON struct {
+	Shard    int      `json:"shard"`
+	Requests int64    `json:"requests"`
+	Rejected int64    `json:"rejected"`
+	Inflight int64    `json:"inflight"`
+	Queued   int64    `json:"queued"`
+	Prepared tierJSON `json:"prepared"`
 }
 
 type tierJSON struct {
@@ -326,11 +352,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
 		return
 	}
-	cs := s.engine.CacheStats()
-	s.writeJSON(w, http.StatusOK, statsResponse{
-		Prepared: tierFrom(cs.Prepared),
-		Reports:  tierFrom(cs.Reports),
-	})
+	stats := s.router.Stats()
+	totals := stats.Totals()
+	resp := statsResponse{
+		Prepared:   tierFrom(totals.Prepared),
+		Reports:    tierFrom(totals.Reports),
+		ShardCount: s.router.NumShards(),
+	}
+	for _, sh := range stats.Shards {
+		resp.Shards = append(resp.Shards, shardJSON{
+			Shard:    sh.Shard,
+			Requests: sh.Requests,
+			Rejected: sh.Rejected,
+			Inflight: sh.Inflight,
+			Queued:   sh.Queued,
+			Prepared: tierFrom(sh.Prepared),
+		})
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleDendrogram(w http.ResponseWriter, r *http.Request) {
@@ -346,8 +385,8 @@ func (s *Server) handleDendrogram(w http.ResponseWriter, r *http.Request) {
 	}
 	// The dendrogram is the visual support the paper recommends for
 	// picking MIN_tight; recompute with the engine's configured measure.
-	dep := depend.NewMatrix(f, s.engine.Config().Measure)
-	dendro, err := cluster.Agglomerate(dep.Distances(), f.NumCols(), s.engine.Config().Linkage)
+	dep := depend.NewMatrix(f, s.router.Config().Measure)
+	dendro, err := cluster.Agglomerate(dep.Distances(), f.NumCols(), s.router.Config().Linkage)
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, err)
 		return

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/db"
+	"repro/internal/shard"
 	"repro/internal/synth"
 )
 
@@ -19,11 +20,13 @@ func testServer(t *testing.T) *Server {
 	if err := cat.Register(synth.BoxOffice(1)); err != nil {
 		t.Fatal(err)
 	}
-	e, err := core.New(core.DefaultConfig())
+	cfg := core.DefaultConfig()
+	cfg.Shards = 2 // exercise the sharded path with a pinned count
+	router, err := shard.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return New(cat, e, nil)
+	return New(cat, router, nil)
 }
 
 func TestIndexServesUI(t *testing.T) {
@@ -226,6 +229,22 @@ func TestStatsEndpointAndReportCache(t *testing.T) {
 			if tier.Hits+tier.Misses != tier.Requests {
 				t.Errorf("%s %s tier does not reconcile: %+v", path, name, tier)
 			}
+		}
+		// The sharded breakdown: a pinned two-shard router, the two admitted
+		// requests on the single owning shard, idle shards cold.
+		if stats.ShardCount != 2 || len(stats.Shards) != 2 {
+			t.Fatalf("%s shard breakdown = count %d, %d entries; want 2/2", path, stats.ShardCount, len(stats.Shards))
+		}
+		var requests, entries int64
+		for _, sh := range stats.Shards {
+			requests += sh.Requests
+			entries += int64(sh.Prepared.Entries)
+			if sh.Rejected != 0 || sh.Inflight != 0 || sh.Queued != 0 {
+				t.Errorf("%s shard %d reports phantom load: %+v", path, sh.Shard, sh)
+			}
+		}
+		if requests != 2 || entries != 1 {
+			t.Errorf("%s shards sum to %d requests / %d prepared entries, want 2 / 1", path, requests, entries)
 		}
 	}
 

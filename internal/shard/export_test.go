@@ -1,0 +1,22 @@
+package shard
+
+// fillShard exhausts shard i's admission capacity from a test, simulating a
+// shard pinned down by slow characterizations; the returned release restores
+// the tokens. It lets the saturation path be tested deterministically
+// without staging an actually-slow request.
+func (r *Router) fillShard(i int) (release func()) {
+	st := r.states[i]
+	taken := 0
+	for {
+		select {
+		case st.admit <- struct{}{}:
+			taken++
+		default:
+			return func() {
+				for ; taken > 0; taken-- {
+					<-st.admit
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,311 @@
+// Package shard implements the horizontally partitioned serving layer: N
+// independent core.Engine shards behind one router.
+//
+// Each loaded table is assigned to exactly one shard by its content
+// fingerprint (frame.Frame.Fingerprint) using rendezvous (highest-random-
+// weight) hashing, so
+//
+//   - assignment is a pure function of (fingerprint, shard count): it is
+//     stable across restarts and across routers, and a reloaded identical
+//     table lands on the same shard with its prepared structures already
+//     cached;
+//   - changing the shard count rehashes minimally: growing from N to N+1
+//     shards moves only the keys whose new highest score belongs to the new
+//     shard (≈ 1/(N+1) of them), and every moved key moves to the new shard.
+//
+// Each shard owns a private prepared-structure cache (dependency matrix +
+// dendrogram per table, naturally partitioned because tables are) and an
+// admission queue: at most Params.Concurrency characterizations execute on a
+// shard at once, at most Params.QueueDepth more wait, and beyond that the
+// router sheds load with ErrSaturated instead of letting one giant
+// characterization head-of-line-block every other table's traffic. Requests
+// already answered by the shared report cache bypass admission entirely, so
+// cached traffic is never shed or queued.
+//
+// The report-level memo is NOT per shard: all shards share one
+// core.ReportCache keyed by (frame fp, selection fp, config hash, options
+// hash), so a repeat query hits in ~µs no matter which shard, engine
+// instance, or reloaded copy of the table serves it. The same cache can be
+// shared across routers (ziggy.NewSessionShared), making concurrent
+// identical requests on different sessions compute exactly once.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/memo"
+)
+
+// Defaults for the per-shard admission queue.
+const (
+	// DefaultConcurrency is the number of characterizations one shard
+	// executes at once; admitted requests beyond it wait in the queue.
+	DefaultConcurrency = 2
+	// DefaultQueueDepth is the number of admitted-but-waiting requests one
+	// shard holds before the router starts shedding load with ErrSaturated.
+	DefaultQueueDepth = 32
+)
+
+// ErrSaturated is returned (wrapped, with the shard index) when a shard's
+// admission queue is full: the request is shed immediately instead of
+// queueing without bound behind a slow characterization. Callers can retry
+// with backoff; errors.Is(err, ErrSaturated) identifies the condition.
+var ErrSaturated = errors.New("shard: admission queue saturated")
+
+// Params tunes the per-shard admission queues. The zero value means the
+// package defaults; negative values are invalid.
+type Params struct {
+	// Concurrency is the number of characterizations one shard runs at once
+	// (0 = DefaultConcurrency).
+	Concurrency int
+	// QueueDepth is the number of admitted requests that may wait for a run
+	// slot on one shard (0 = DefaultQueueDepth).
+	QueueDepth int
+}
+
+// Router fans characterization requests out to its shards by table content
+// fingerprint. It is safe for concurrent use.
+type Router struct {
+	cfg     core.Config
+	reports *core.ReportCache
+	engines []*core.Engine
+	states  []*shardState
+}
+
+// shardState is one shard's admission queue and traffic counters.
+type shardState struct {
+	// admit bounds running + waiting requests (capacity concurrency +
+	// queue depth); a failed non-blocking send is a shed request.
+	admit chan struct{}
+	// run bounds concurrently executing requests (capacity concurrency).
+	run chan struct{}
+
+	requests atomic.Int64
+	rejected atomic.Int64
+}
+
+func newShardState(p Params) *shardState {
+	return &shardState{
+		admit: make(chan struct{}, p.Concurrency+p.QueueDepth),
+		run:   make(chan struct{}, p.Concurrency),
+	}
+}
+
+// New builds a router with cfg.Shards engine shards (0 = GOMAXPROCS) and a
+// fresh shared report cache bounded by cfg.CacheEntries / cfg.CacheBytes.
+func New(cfg core.Config) (*Router, error) {
+	return NewWithParams(cfg, nil, Params{})
+}
+
+// NewWithCache is New with an externally owned shared report cache, so
+// several routers (e.g. sessions) can serve each other's repeat queries;
+// nil builds a private cache.
+func NewWithCache(cfg core.Config, reports *core.ReportCache) (*Router, error) {
+	return NewWithParams(cfg, reports, Params{})
+}
+
+// NewWithParams is NewWithCache with explicit admission-queue tuning.
+func NewWithParams(cfg core.Config, reports *core.ReportCache, p Params) (*Router, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Concurrency < 0 || p.QueueDepth < 0 {
+		return nil, fmt.Errorf("shard: negative admission params %+v", p)
+	}
+	if p.Concurrency == 0 {
+		p.Concurrency = DefaultConcurrency
+	}
+	if p.QueueDepth == 0 {
+		p.QueueDepth = DefaultQueueDepth
+	}
+	n := cfg.Shards
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if reports == nil {
+		// The shared report cache is a single instance and gets the full
+		// configured budget.
+		reports = core.NewReportCache(cfg.CacheEntries, cfg.CacheBytes)
+	}
+	// The prepared tiers partition across shards (a table's structures live
+	// only on its owning shard), so the configured cache budget bounds the
+	// router as a whole rather than multiplying by the shard count: each
+	// shard engine gets a 1/n slice.
+	perShard := cfg
+	entries, bytes := cfg.EffectiveCacheBounds()
+	perShard.CacheEntries = max(1, entries/n)
+	perShard.CacheBytes = max(1, bytes/int64(n))
+	r := &Router{
+		cfg:     cfg,
+		reports: reports,
+		engines: make([]*core.Engine, n),
+		states:  make([]*shardState, n),
+	}
+	for i := 0; i < n; i++ {
+		e, err := core.NewShared(perShard, reports)
+		if err != nil {
+			return nil, err
+		}
+		r.engines[i] = e
+		r.states[i] = newShardState(p)
+	}
+	return r, nil
+}
+
+// Assign returns the shard a table fingerprint maps to among shards shards,
+// by rendezvous hashing: the shard whose mixed (fingerprint, shard) score is
+// highest wins. Pure, stable, and minimally disruptive under shard-count
+// changes — see the package comment.
+func Assign(fp uint64, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	best, bestScore := 0, mixFingerprint(fp, 0)
+	for i := 1; i < shards; i++ {
+		if s := mixFingerprint(fp, uint64(i)); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// mixFingerprint combines a table fingerprint and a shard index into one
+// well-distributed 64-bit score (a splitmix64 finalizer over their blend).
+func mixFingerprint(fp, shard uint64) uint64 {
+	x := fp ^ (shard+1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// ShardFor returns the index of the shard serving the given table
+// fingerprint.
+func (r *Router) ShardFor(fp uint64) int { return Assign(fp, len(r.engines)) }
+
+// NumShards returns the number of engine shards behind the router.
+func (r *Router) NumShards() int { return len(r.engines) }
+
+// Config returns the configuration the shard engines were built with.
+func (r *Router) Config() core.Config { return r.cfg }
+
+// Engine returns shard i's engine, for cache control and inspection.
+func (r *Router) Engine(i int) *core.Engine { return r.engines[i] }
+
+// ReportCache returns the shared cross-shard report cache.
+func (r *Router) ReportCache() *core.ReportCache { return r.reports }
+
+// Characterize routes the request to the shard owning f and runs the full
+// pipeline there (or serves it from the shared report cache).
+func (r *Router) Characterize(f *frame.Frame, sel *frame.Bitmap) (*core.Report, error) {
+	return r.CharacterizeOpts(f, sel, core.Options{})
+}
+
+// CharacterizeOpts is Characterize with per-run options. A request whose
+// report is already in the shared cache is answered immediately — a ~µs
+// lookup that never touches the admission queue, so cached traffic cannot
+// be shed or stuck behind slow characterizations. Everything else passes
+// the owning shard's admission queue: it is shed with ErrSaturated when the
+// shard already has Concurrency running plus QueueDepth waiting requests,
+// otherwise it waits for a run slot and executes.
+func (r *Router) CharacterizeOpts(f *frame.Frame, sel *frame.Bitmap, opts core.Options) (*core.Report, error) {
+	if f == nil {
+		// The engine validates too, but routing needs the fingerprint first.
+		return nil, fmt.Errorf("shard: nil frame")
+	}
+	i := r.ShardFor(f.Fingerprint())
+	st := r.states[i]
+	if rep, ok := r.engines[i].CachedReport(f, sel, opts); ok {
+		st.requests.Add(1)
+		return rep, nil
+	}
+	select {
+	case st.admit <- struct{}{}:
+	default:
+		st.rejected.Add(1)
+		return nil, fmt.Errorf("shard %d: %w", i, ErrSaturated)
+	}
+	defer func() { <-st.admit }()
+	st.run <- struct{}{}
+	defer func() { <-st.run }()
+	st.requests.Add(1)
+	return r.engines[i].CharacterizeOpts(f, sel, opts)
+}
+
+// InvalidateCaches drops every shard's prepared structures and the shared
+// report cache; mainly for benchmarks that need a cold router.
+func (r *Router) InvalidateCaches() {
+	for _, e := range r.engines {
+		e.InvalidateCache() // purges the shared report cache too (idempotent)
+	}
+}
+
+// ShardSnapshot is one shard's point-in-time traffic counters and
+// prepared-cache tier.
+type ShardSnapshot struct {
+	// Shard is the shard index the snapshot describes.
+	Shard int `json:"shard"`
+	// Requests counts served characterizations: admitted ones plus repeat
+	// queries answered by the pre-admission shared-cache fast path.
+	Requests int64 `json:"requests"`
+	// Rejected counts requests shed with ErrSaturated.
+	Rejected int64 `json:"rejected"`
+	// Inflight is the number of characterizations executing right now;
+	// Queued the number admitted but waiting for a run slot.
+	Inflight int64 `json:"inflight"`
+	Queued   int64 `json:"queued"`
+	// Prepared is the shard engine's prepared-structure memo tier.
+	Prepared memo.Snapshot `json:"prepared"`
+}
+
+// Stats is the aggregated snapshot of a sharded serving layer: one entry per
+// shard plus the shared cross-shard report cache. It is the ShardStats shape
+// surfaced through /api/stats, ziggy.Session.ShardStats and zigsh \stats.
+type Stats struct {
+	Shards []ShardSnapshot `json:"shards"`
+	// Reports is the shared report cache; its counters cover every shard
+	// (and every router sharing the cache).
+	Reports memo.Snapshot `json:"reports"`
+}
+
+// Stats returns a point-in-time snapshot of every shard and the shared
+// report cache. Inflight/Queued are instantaneous channel occupancies and
+// may be transiently inconsistent with each other under concurrent traffic.
+func (r *Router) Stats() Stats {
+	s := Stats{Shards: make([]ShardSnapshot, len(r.engines)), Reports: r.reports.Snapshot()}
+	for i, e := range r.engines {
+		st := r.states[i]
+		queued := int64(len(st.admit)) - int64(len(st.run))
+		if queued < 0 {
+			queued = 0
+		}
+		s.Shards[i] = ShardSnapshot{
+			Shard:    i,
+			Requests: st.requests.Load(),
+			Rejected: st.rejected.Load(),
+			Inflight: int64(len(st.run)),
+			Queued:   queued,
+			Prepared: e.CacheStats().Prepared,
+		}
+	}
+	return s
+}
+
+// Totals folds the snapshot into the two-tier core.CacheStats shape: the
+// per-shard prepared tiers summed, plus the shared report cache. It keeps
+// Session.CacheStats and the /api/stats prepared/reports fields meaningful
+// under sharding.
+func (s Stats) Totals() core.CacheStats {
+	var prep memo.Snapshot
+	for _, sh := range s.Shards {
+		prep = core.AddSnapshots(prep, sh.Prepared)
+	}
+	return core.CacheStats{Prepared: prep, Reports: s.Reports}
+}

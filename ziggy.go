@@ -34,6 +34,7 @@ import (
 	"repro/internal/frame"
 	"repro/internal/memo"
 	"repro/internal/plot"
+	"repro/internal/shard"
 	"repro/internal/synth"
 )
 
@@ -67,7 +68,33 @@ type (
 	// singleflight-deduplicated requests, and current occupancy. Within a
 	// tier, Hits + Misses equals the number of requests.
 	CacheSnapshot = memo.Snapshot
+
+	// ReportCache is the shared content-addressed report memo. One cache
+	// serves every shard of a session's router, and NewSessionShared
+	// attaches several sessions to the same cache so they serve each
+	// other's repeat queries.
+	ReportCache = core.ReportCache
+	// Router is the sharded serving layer: N engine shards behind a
+	// consistent-hash router with per-shard admission queues.
+	Router = shard.Router
+	// ShardStats is the aggregated snapshot of a sharded serving layer:
+	// per-shard traffic and prepared-cache counters plus the shared report
+	// cache; see Session.ShardStats.
+	ShardStats = shard.Stats
+	// ShardSnapshot is one shard's entry in ShardStats.
+	ShardSnapshot = shard.ShardSnapshot
 )
+
+// ErrSaturated identifies requests shed because the owning shard's admission
+// queue was full; test with errors.Is.
+var ErrSaturated = shard.ErrSaturated
+
+// NewReportCache builds a report cache bounded to entries LRU entries and
+// approximately bytes resident bytes (0 = the engine defaults) for use with
+// NewSessionShared.
+func NewReportCache(entries int, bytes int64) *ReportCache {
+	return core.NewReportCache(entries, bytes)
+}
 
 // Component is one Zig-Component: a verifiable indicator of how the
 // selection differs from the rest of the data on specific columns.
@@ -156,21 +183,32 @@ func PlotView(f *Frame, sel *Bitmap, columns []string, width, height int) (strin
 	return plot.View(f, sel, columns, width, height)
 }
 
-// Session couples the embedded SQL layer with a characterization engine:
-// the "tuple description engine distributed as a library" the paper's
-// conclusion announces.
+// Session couples the embedded SQL layer with a sharded characterization
+// serving layer: the "tuple description engine distributed as a library" the
+// paper's conclusion announces, scaled out to Config.Shards engine shards
+// behind a consistent-hash router with one shared report cache.
 type Session struct {
 	catalog *db.Catalog
-	engine  *core.Engine
+	router  *shard.Router
 }
 
-// NewSession validates cfg and creates an empty session.
+// NewSession validates cfg and creates an empty session running cfg.Shards
+// engine shards (0 = all CPUs) with a private shared report cache.
 func NewSession(cfg Config) (*Session, error) {
-	e, err := core.New(cfg)
+	return NewSessionShared(cfg, nil)
+}
+
+// NewSessionShared is NewSession with an externally owned report cache.
+// Sessions attached to the same cache serve each other's repeat queries —
+// an identical query answered by any of them becomes a ~µs lookup for all,
+// and concurrent identical queries across them compute exactly once. nil
+// behaves like NewSession.
+func NewSessionShared(cfg Config, reports *ReportCache) (*Session, error) {
+	r, err := shard.NewWithCache(cfg, reports)
 	if err != nil {
 		return nil, err
 	}
-	return &Session{catalog: db.NewCatalog(), engine: e}, nil
+	return &Session{catalog: db.NewCatalog(), router: r}, nil
 }
 
 // Register adds a table to the session under the frame's name.
@@ -195,15 +233,36 @@ func (s *Session) Tables() []string { return s.catalog.TableNames() }
 // Table returns a registered frame.
 func (s *Session) Table(name string) (*Frame, bool) { return s.catalog.Table(name) }
 
-// Engine exposes the underlying engine (for cache control and config
-// inspection).
-func (s *Session) Engine() *Engine { return s.engine }
+// Engine exposes the first shard's engine. With multiple shards it is NOT
+// the whole serving layer: its Config reports the per-shard slice of the
+// cache budget (use Router().Config() for the configured values), and its
+// InvalidateCache purges the shared report cache (shared by every shard and
+// every session attached via NewSessionShared) but only shard 0's prepared
+// tier — use InvalidateCaches for whole-session cache control.
+func (s *Session) Engine() *Engine { return s.router.Engine(0) }
 
-// CacheStats returns the engine's cache counters: how often repeated
-// queries were served from the prepared-structure and report memo tiers,
-// how many entries were evicted under the configured bounds, and how many
-// concurrent identical requests were deduplicated onto one computation.
-func (s *Session) CacheStats() CacheStats { return s.engine.CacheStats() }
+// InvalidateCaches drops every shard's prepared structures and the shared
+// report cache. Like Engine.InvalidateCache it is mainly for benchmarks,
+// and equally insufficient for frames mutated in place against the
+// immutability convention (see Engine.InvalidateCache).
+func (s *Session) InvalidateCaches() { s.router.InvalidateCaches() }
+
+// Router exposes the sharded serving layer behind the session.
+func (s *Session) Router() *Router { return s.router }
+
+// Shards returns the number of engine shards serving the session.
+func (s *Session) Shards() int { return s.router.NumShards() }
+
+// CacheStats returns the session's cache counters folded into the two-tier
+// shape: the shards' prepared-structure tiers summed, plus the shared
+// report cache — how often repeated queries were served from memo, how many
+// entries were evicted under the configured bounds, and how many concurrent
+// identical requests were deduplicated onto one computation.
+func (s *Session) CacheStats() CacheStats { return s.router.Stats().Totals() }
+
+// ShardStats returns the full sharded snapshot: per-shard admission/traffic
+// counters and prepared tiers, plus the shared report cache.
+func (s *Session) ShardStats() ShardStats { return s.router.Stats() }
 
 // QueryReport couples a characterization report with the query that
 // produced the selection.
@@ -233,7 +292,7 @@ func (s *Session) CharacterizeOpts(sql string, opts Options) (*QueryReport, erro
 	if err != nil {
 		return nil, err
 	}
-	rep, err := s.engine.CharacterizeOpts(res.Base, res.Mask, opts)
+	rep, err := s.router.CharacterizeOpts(res.Base, res.Mask, opts)
 	if err != nil {
 		return nil, fmt.Errorf("ziggy: characterizing %q: %w", sql, err)
 	}
