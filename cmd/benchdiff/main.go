@@ -8,6 +8,18 @@
 //	benchdiff parse -in bench.txt -out BENCH_ci.json
 //	benchdiff compare -baseline BENCH_baseline.json -current BENCH_ci.json -threshold 2.0
 //
+// The update subcommand folds a benchmark run back into the checked-in
+// baseline — the workflow for refreshing BENCH_baseline.json from a
+// downloaded CI bench.txt artifact (the 4-vCPU runner numbers) without
+// retyping anything:
+//
+//	benchdiff update -in bench.txt -baseline BENCH_baseline.json
+//
+// Benchmarks present in the input replace their baseline entries (or are
+// added); baseline entries the input does not mention are kept unchanged,
+// so a partial run (the CI bench job only runs the four gated benchmarks)
+// never silently drops the rest of the baseline. Each change is reported.
+//
 // Parsing keeps the minimum ns/op across repeated runs of one benchmark
 // (the least-noisy estimate of its true cost) and strips the -N GOMAXPROCS
 // suffix from names, so files recorded on machines with different core
@@ -224,16 +236,90 @@ func runCompare(args []string) {
 	fmt.Printf("benchdiff: %d benchmarks within %.2fx of baseline\n", len(rows), *threshold)
 }
 
+// merge folds the parsed benchmarks of a run into a baseline: run entries
+// replace (or join) baseline entries by name, untouched baseline entries
+// survive. It returns the merged file and a human-readable change log.
+func merge(baseline, run File) (File, []string) {
+	byName := make(map[string]Benchmark, len(baseline.Benchmarks))
+	order := make([]string, 0, len(baseline.Benchmarks)+len(run.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		byName[b.Name] = b
+		order = append(order, b.Name)
+	}
+	var changes []string
+	for _, b := range run.Benchmarks {
+		if old, ok := byName[b.Name]; ok {
+			if old.NsPerOp != b.NsPerOp {
+				changes = append(changes, fmt.Sprintf("%s: %.0f → %.0f ns/op", b.Name, old.NsPerOp, b.NsPerOp))
+			}
+		} else {
+			order = append(order, b.Name)
+			changes = append(changes, fmt.Sprintf("%s: new entry at %.0f ns/op", b.Name, b.NsPerOp))
+		}
+		byName[b.Name] = b
+	}
+	var out File
+	sort.Strings(order)
+	for _, name := range order {
+		out.Benchmarks = append(out.Benchmarks, byName[name])
+	}
+	return out, changes
+}
+
+func runUpdate(args []string) {
+	fs := flag.NewFlagSet("update", flag.ExitOnError)
+	in := fs.String("in", "", "raw `go test -bench` output, e.g. a downloaded CI bench.txt artifact (default stdin)")
+	basePath := fs.String("baseline", "BENCH_baseline.json", "baseline JSON to update in place")
+	fs.Parse(args)
+	var raw []byte
+	var err error
+	if *in == "" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(*in)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	run, err := parseBench(string(raw))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(run.Benchmarks) == 0 {
+		fatalf("no benchmark lines found in input")
+	}
+	baseline, err := readFile(*basePath)
+	if err != nil && !os.IsNotExist(err) {
+		fatalf("%v", err)
+	}
+	merged, changes := merge(baseline, run)
+	data, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*basePath, data, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	for _, c := range changes {
+		fmt.Println(c)
+	}
+	fmt.Printf("benchdiff: %s now holds %d benchmarks (%d updated from this run)\n",
+		*basePath, len(merged.Benchmarks), len(run.Benchmarks))
+}
+
 func main() {
 	if len(os.Args) < 2 {
-		fatalf("usage: benchdiff parse|compare [flags]")
+		fatalf("usage: benchdiff parse|compare|update [flags]")
 	}
 	switch os.Args[1] {
 	case "parse":
 		runParse(os.Args[2:])
 	case "compare":
 		runCompare(os.Args[2:])
+	case "update":
+		runUpdate(os.Args[2:])
 	default:
-		fatalf("unknown subcommand %q (want parse or compare)", os.Args[1])
+		fatalf("unknown subcommand %q (want parse, compare or update)", os.Args[1])
 	}
 }

@@ -147,3 +147,46 @@ BenchmarkX/rows-1000-4      	       3	      2000 ns/op
 		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(f.Benchmarks), f.Benchmarks)
 	}
 }
+
+// TestMergeUpdatesAndPreserves pins the update subcommand's core: run
+// entries replace or join baseline entries, baseline entries the run does
+// not mention survive (the CI bench job only runs a subset), and the
+// change log names exactly what moved.
+func TestMergeUpdatesAndPreserves(t *testing.T) {
+	baseline := File{Benchmarks: []Benchmark{
+		{Name: "BenchmarkKept", NsPerOp: 100, Samples: 3},
+		{Name: "BenchmarkFaster", NsPerOp: 500, Samples: 3},
+	}}
+	run := File{Benchmarks: []Benchmark{
+		{Name: "BenchmarkFaster", NsPerOp: 250, Samples: 3},
+		{Name: "BenchmarkNew", NsPerOp: 42, Samples: 3},
+	}}
+	merged, changes := merge(baseline, run)
+	byName := map[string]float64{}
+	for _, b := range merged.Benchmarks {
+		byName[b.Name] = b.NsPerOp
+	}
+	if len(merged.Benchmarks) != 3 {
+		t.Fatalf("merged %d benchmarks, want 3: %+v", len(merged.Benchmarks), merged.Benchmarks)
+	}
+	if byName["BenchmarkKept"] != 100 || byName["BenchmarkFaster"] != 250 || byName["BenchmarkNew"] != 42 {
+		t.Errorf("merged values = %v", byName)
+	}
+	if len(changes) != 2 {
+		t.Errorf("change log = %v, want the update and the new entry", changes)
+	}
+	// Idempotent: merging the same run again changes nothing.
+	again, changes2 := merge(merged, run)
+	if len(changes2) != 0 {
+		t.Errorf("re-merge reported changes: %v", changes2)
+	}
+	if len(again.Benchmarks) != 3 {
+		t.Errorf("re-merge changed the entry count to %d", len(again.Benchmarks))
+	}
+	// Names stay sorted, matching the parse output convention.
+	for i := 1; i < len(again.Benchmarks); i++ {
+		if again.Benchmarks[i-1].Name > again.Benchmarks[i].Name {
+			t.Errorf("merged output not sorted: %+v", again.Benchmarks)
+		}
+	}
+}

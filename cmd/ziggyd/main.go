@@ -10,8 +10,19 @@
 // matter which shard serves them (bounds: -cache-entries / -cache-bytes) and
 // /api/stats exposes the per-shard and shared-cache counters.
 //
+// The same binary scales past one process: `ziggyd -worker` runs a
+// characterization worker — no datasets, tables are shipped to it by a
+// front, content-addressed so each table crosses the wire once — and
+// `ziggyd -peers host1:8081,host2:8081` runs a front that routes each table
+// to its owning worker by the same rendezvous hash the in-process router
+// uses. Repeat queries hit the owning worker's report cache without the
+// table re-shipping, saturated workers shed with 503 + Retry-After, and
+// unreachable workers fail over along the rendezvous ranking.
+//
 //	ziggyd -addr :8080
 //	ziggyd -addr :8080 -shards 4
+//	ziggyd -addr :8081 -worker
+//	ziggyd -addr :8080 -peers 127.0.0.1:8081,127.0.0.1:8082
 //	ziggyd -addr :8080 -datasets uscrime,boxoffice -csv extra.csv
 //	ziggyd -addr :8080 -cache-entries 64 -cache-bytes 134217728
 package main
@@ -20,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"strings"
@@ -27,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/csvio"
 	"repro/internal/db"
+	"repro/internal/remote"
 	"repro/internal/server"
 	"repro/internal/shard"
 	"repro/internal/synth"
@@ -41,7 +54,7 @@ func (c *csvList) Set(v string) error {
 	return nil
 }
 
-// options collects everything main parses from flags; buildServer turns it
+// options collects everything main parses from flags; buildHandler turns it
 // into a ready handler so tests can drive the exact serving stack without a
 // listener.
 type options struct {
@@ -54,6 +67,48 @@ type options struct {
 	shards       int
 	cacheEntries int
 	cacheBytes   int64
+	worker       bool
+	peers        string
+}
+
+// config assembles the engine configuration the options describe.
+func (opts options) config() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.MinTight = opts.minTight
+	cfg.MaxViews = opts.maxViews
+	cfg.Parallelism = opts.parallelism
+	cfg.Shards = opts.shards
+	cfg.CacheEntries = opts.cacheEntries
+	cfg.CacheBytes = opts.cacheBytes
+	return cfg
+}
+
+// buildHandler assembles the serving stack the options describe: a worker
+// (RPC endpoints over a fresh local router, fed tables by its front), or
+// the demo server — routing to in-process shards by default, to remote
+// workers with -peers.
+func buildHandler(opts options, logger *log.Logger) (http.Handler, error) {
+	if opts.worker && opts.peers != "" {
+		return nil, fmt.Errorf("-worker and -peers are mutually exclusive (a worker does not route to other workers)")
+	}
+	if opts.worker {
+		return buildWorker(opts, logger)
+	}
+	return buildServer(opts, logger)
+}
+
+// buildWorker assembles the worker stack: the worker RPC API over this
+// process's own sharded router. No tables are loaded — fronts ship them,
+// content-addressed, each at most once.
+func buildWorker(opts options, logger *log.Logger) (http.Handler, error) {
+	router, err := shard.New(opts.config())
+	if err != nil {
+		return nil, err
+	}
+	if logger != nil {
+		logger.Printf("worker mode: %d engine shards, awaiting table shipments", router.NumShards())
+	}
+	return remote.NewWorker(router), nil
 }
 
 // buildServer registers the requested tables and wraps them in the demo
@@ -99,19 +154,36 @@ func buildServer(opts options, logger *log.Logger) (*server.Server, error) {
 		return nil, fmt.Errorf("no tables registered; pass -datasets or -csv")
 	}
 
-	cfg := core.DefaultConfig()
-	cfg.MinTight = opts.minTight
-	cfg.MaxViews = opts.maxViews
-	cfg.Parallelism = opts.parallelism
-	cfg.Shards = opts.shards
-	cfg.CacheEntries = opts.cacheEntries
-	cfg.CacheBytes = opts.cacheBytes
-	router, err := shard.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	if logger != nil {
-		logger.Printf("serving with %d engine shards", router.NumShards())
+	cfg := opts.config()
+	var router *shard.Router
+	var err error
+	if opts.peers != "" {
+		var backends []shard.Backend
+		for _, peer := range strings.Split(opts.peers, ",") {
+			peer = strings.TrimSpace(peer)
+			if peer == "" {
+				continue
+			}
+			backends = append(backends, remote.NewClient(peer))
+		}
+		if len(backends) == 0 {
+			return nil, fmt.Errorf("-peers lists no worker addresses")
+		}
+		router, err = shard.NewWithBackends(cfg, nil, backends)
+		if err != nil {
+			return nil, err
+		}
+		if logger != nil {
+			logger.Printf("front mode: routing to %d remote workers", router.NumShards())
+		}
+	} else {
+		router, err = shard.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if logger != nil {
+			logger.Printf("serving with %d engine shards", router.NumShards())
+		}
 	}
 	return server.New(catalog, router, logger), nil
 }
@@ -120,7 +192,7 @@ func main() {
 	var csvs csvList
 	addr := flag.String("addr", ":8080", "listen address")
 	datasets := flag.String("datasets", "uscrime,boxoffice",
-		"comma-separated built-in datasets to preload (uscrime, boxoffice, innovation)")
+		"comma-separated built-in datasets to preload (uscrime, boxoffice, innovation); ignored by -worker")
 	seed := flag.Uint64("seed", 42, "seed for the built-in datasets")
 	minTight := flag.Float64("min-tight", 0.4, "tightness threshold")
 	maxViews := flag.Int("max-views", 8, "maximum views per query")
@@ -130,11 +202,15 @@ func main() {
 		"LRU entry bound per cache tier, covering all shards together (0 = engine default)")
 	cacheBytes := flag.Int64("cache-bytes", 0,
 		"approximate byte bound per cache tier, covering all shards together (0 = engine default)")
+	worker := flag.Bool("worker", false,
+		"run as a characterization worker: serve the /api/worker RPC API; tables are shipped by a -peers front")
+	peers := flag.String("peers", "",
+		"comma-separated worker addresses (host:port or http:// URLs); route characterizations to them instead of in-process shards")
 	flag.Var(&csvs, "csv", "CSV file to register (repeatable)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "ziggyd: ", log.LstdFlags)
-	srv, err := buildServer(options{
+	handler, err := buildHandler(options{
 		datasets:     *datasets,
 		csvs:         csvs,
 		seed:         *seed,
@@ -144,12 +220,20 @@ func main() {
 		shards:       *shards,
 		cacheEntries: *cacheEntries,
 		cacheBytes:   *cacheBytes,
+		worker:       *worker,
+		peers:        *peers,
 	}, logger)
 	if err != nil {
 		logger.Fatal(err)
 	}
-	logger.Printf("serving on %s", *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	// Listen explicitly so ":0" reports the chosen port — the two-process
+	// smoke test (and scripts) parse it from the log line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("serving on %s", ln.Addr())
+	if err := http.Serve(ln, handler); err != nil {
 		logger.Fatal(err)
 	}
 }

@@ -49,14 +49,15 @@ func shardedServer(t *testing.T, shards int) *httptest.Server {
 }
 
 // scrub zeroes the volatile fields of a decoded response in place: stage
-// wall times (they vary run to run) and cache byte estimates (they track
-// the size heuristic, not the semantics under test).
+// wall times (they vary run to run), cache byte estimates (they track the
+// size heuristic, not the semantics under test), and the retry-after hint
+// (it tracks observed service times).
 func scrub(v any) {
 	switch x := v.(type) {
 	case map[string]any:
 		for k, val := range x {
 			switch k {
-			case "prepMillis", "searchMillis", "postMillis", "bytes":
+			case "prepMillis", "searchMillis", "postMillis", "bytes", "retryAfterMillis":
 				x[k] = 0
 			default:
 				scrub(val)
@@ -239,11 +240,18 @@ func TestBuildServerValidation(t *testing.T) {
 		{datasets: "boxoffice", minTight: 0.4, maxViews: 8, shards: -1},
 		{datasets: "boxoffice", minTight: 0.4, maxViews: 8, cacheEntries: -1},
 		{datasets: "boxoffice", minTight: 0.4, maxViews: 8, cacheBytes: -1},
+		{datasets: "boxoffice", minTight: 0.4, maxViews: 8, worker: true, peers: "127.0.0.1:1"},
+		{datasets: "boxoffice", minTight: 0.4, maxViews: 8, peers: " , "},
+		{minTight: 0.4, maxViews: 8, worker: true, shards: -1},
 	}
 	for i, opts := range cases {
-		if _, err := buildServer(opts, nil); err == nil {
-			t.Errorf("case %d: buildServer accepted invalid options %+v", i, opts)
+		if _, err := buildHandler(opts, nil); err == nil {
+			t.Errorf("case %d: buildHandler accepted invalid options %+v", i, opts)
 		}
+	}
+	// Worker mode needs no datasets at all.
+	if _, err := buildHandler(options{minTight: 0.4, maxViews: 8, worker: true, shards: 1}, nil); err != nil {
+		t.Errorf("worker mode without datasets: %v", err)
 	}
 	// Custom cache bounds flow through to the engine.
 	srv, err := buildServer(options{

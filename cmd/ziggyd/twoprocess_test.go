@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTwoProcessSmoke is the end-to-end proof that the distribution layer
+// works between real processes: it builds the ziggyd binary, starts a
+// `ziggyd -worker`, points a front `ziggyd -peers` at it, runs a
+// characterize plus its cached repeat over the HTTP API, and asserts the
+// responses match the checked-in golden bytes — i.e. a two-process
+// deployment is byte-identical to the single-process one the golden suite
+// pins. CI runs it as the dedicated smoke job.
+func TestTwoProcessSmoke(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go toolchain not in PATH: %v", err)
+	}
+	bin := filepath.Join(t.TempDir(), "ziggyd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building ziggyd: %v\n%s", err, out)
+	}
+
+	workerAddr := startDaemon(t, bin, "-worker", "-addr", "127.0.0.1:0", "-shards", "2", "-parallelism", "1")
+	frontAddr := startDaemon(t, bin, "-peers", workerAddr, "-addr", "127.0.0.1:0",
+		"-datasets", "boxoffice", "-seed", "1", "-parallelism", "1")
+
+	// The same query the golden suite pins, cold then cached.
+	const query = `{"sql": "SELECT * FROM boxoffice WHERE gross_musd >= 100", "excludePredicate": true}`
+	cold := postSmoke(t, frontAddr, query)
+	checkGolden(t, "characterize_cold.json", cold)
+
+	cached := postSmoke(t, frontAddr, query)
+	var rep struct {
+		CacheHit       bool `json:"cacheHit"`
+		ReportCacheHit bool `json:"reportCacheHit"`
+	}
+	if err := json.Unmarshal(cached, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.CacheHit || !rep.ReportCacheHit {
+		t.Errorf("repeat across processes not served from the worker's report cache: %s", cached)
+	}
+	checkGolden(t, "characterize_cached.json", cached)
+
+	// The front's stats must show one remote worker, healthy, with exactly
+	// one table shipment — the repeat was answered from the worker's cache
+	// without the table crossing the wire again.
+	resp, err := http.Get("http://" + frontAddr + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		ShardCount int `json:"shardCount"`
+		Shards     []struct {
+			Kind          string `json:"kind"`
+			Healthy       bool   `json:"healthy"`
+			Requests      int64  `json:"requests"`
+			TablesShipped int64  `json:"tablesShipped"`
+			Reports       struct {
+				Hits, Misses int64
+			} `json:"reports"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.ShardCount != 1 || len(stats.Shards) != 1 {
+		t.Fatalf("front shard breakdown = %+v, want exactly the one worker", stats)
+	}
+	sh := stats.Shards[0]
+	if sh.Kind != "remote" || !sh.Healthy {
+		t.Errorf("worker entry = %+v, want healthy remote", sh)
+	}
+	if sh.TablesShipped != 1 {
+		t.Errorf("tables shipped = %d, want 1 (cached repeat must not re-ship)", sh.TablesShipped)
+	}
+	if sh.Reports.Hits != 1 || sh.Reports.Misses != 1 {
+		t.Errorf("worker reports tier = %+v, want 1 hit / 1 miss", sh.Reports)
+	}
+}
+
+// servingLine extracts the bound address from ziggyd's startup log.
+var servingLine = regexp.MustCompile(`serving on ([0-9.:\[\]]+)$`)
+
+// startDaemon launches the binary, waits for its "serving on" log line, and
+// returns the bound host:port. The process is killed at test cleanup.
+func startDaemon(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	addrCh := make(chan string, 1)
+	go func() {
+		scanner := bufio.NewScanner(stderr)
+		for scanner.Scan() {
+			line := scanner.Text()
+			if m := servingLine.FindStringSubmatch(line); m != nil {
+				addrCh <- m[1]
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		addr = strings.Replace(addr, "[::]", "127.0.0.1", 1)
+		// Wait for the listener to actually accept.
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := http.Get("http://" + addr + "/api/worker/health")
+			if err == nil {
+				resp.Body.Close()
+				return addr
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Fatalf("daemon at %s never became reachable", addr)
+		return ""
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon %s %v never logged its serving address", bin, args)
+		return ""
+	}
+}
+
+// postSmoke posts a characterize request to a live daemon and returns the
+// body, failing the test on a non-200.
+func postSmoke(t *testing.T, addr, body string) []byte {
+	t.Helper()
+	resp, err := http.Post("http://"+addr+"/api/characterize", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("characterize status %d: %s", resp.StatusCode, buf.String())
+	}
+	return buf.Bytes()
+}

@@ -204,11 +204,25 @@ func cloneCached(rep *Report) *Report {
 // pre-admission fast path, so repeat queries stay ~µs even when the owning
 // shard's queue is saturated by slow characterizations.
 func (e *Engine) CachedReport(f *frame.Frame, sel *frame.Bitmap, opts Options) (*Report, bool) {
-	if f == nil || sel == nil || opts.SkipReportCache || sel.Len() != f.NumRows() {
+	if f == nil || sel == nil || sel.Len() != f.NumRows() {
+		return nil, false
+	}
+	return e.CachedReportFingerprint(f.Fingerprint(), sel, opts)
+}
+
+// CachedReportFingerprint is CachedReport addressed by the table's content
+// fingerprint instead of the table itself. It exists for the distribution
+// layer: a front router (or a worker answering its cached-probe RPC) can ask
+// "is this report already cached?" knowing only the fingerprint — before the
+// table has been shipped to the process at all — so a repeat query crossing
+// the process boundary is answered from the report cache without moving the
+// table a second time.
+func (e *Engine) CachedReportFingerprint(frameFP uint64, sel *frame.Bitmap, opts Options) (*Report, bool) {
+	if sel == nil || opts.SkipReportCache {
 		return nil, false
 	}
 	key := reportKey{
-		frame: f.Fingerprint(),
+		frame: frameFP,
 		sel:   sel.Fingerprint(),
 		cfg:   e.cfgHash,
 		opts:  hashOptions(opts),

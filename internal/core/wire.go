@@ -1,0 +1,138 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/effect"
+	"repro/internal/hypo"
+	"repro/internal/wire"
+)
+
+// This file is the report wire codec: a versioned binary serialization of
+// core.Report for the multi-process serving layer (internal/remote). It is
+// built on the shared primitives of internal/wire, and the contract is
+// strong: DecodeReport(EncodeReport(r)) reproduces r exactly, including NaN
+// p-values and NaN payload bits that JSON cannot carry, so a report served
+// by a remote worker is byte-identical (re-encoded) to one computed in
+// process. TestRemoteDeterminism and the ziggyd golden suite lean on this.
+//
+// Layout (version 1), after the 4-byte magic "ZGR\x01":
+//
+//	report  := selectedRows totalRows sampledRows timings warnings views flags
+//	timings := prepNanos searchNanos postNanos          (3 × u64)
+//	warnings:= count {string}*
+//	views   := count {view}*
+//	view    := columns score tightness pValue significant explanation comps
+//	comps   := count {comp}*
+//	comp    := kind columns raw norm inside outside stat df df2 p detail
+//
+// Decoding is strict: bad magic, an unknown version, truncation, oversized
+// counts and trailing bytes are all errors, never a partially decoded
+// report.
+
+// reportWireVersion is bumped whenever the layout changes; a decoder only
+// accepts payloads whose version it was built for.
+const reportWireVersion = 1
+
+// reportMagic prefixes every encoded report: three fixed bytes plus the
+// version.
+var reportMagic = [4]byte{'Z', 'G', 'R', reportWireVersion}
+
+const decodingReport = "core: decoding report"
+
+// EncodeReport serializes a report in the versioned wire format. The
+// encoding is canonical: equal reports encode to equal bytes, so encoded
+// reports can be byte-compared (the determinism suites do).
+func EncodeReport(rep *Report) []byte {
+	var w wire.Buf
+	w.B = append(w.B, reportMagic[:]...)
+	w.I64(int64(rep.SelectedRows))
+	w.I64(int64(rep.TotalRows))
+	w.I64(int64(rep.SampledRows))
+	w.I64(int64(rep.Timings.Preparation))
+	w.I64(int64(rep.Timings.Search))
+	w.I64(int64(rep.Timings.Post))
+	w.Strs(rep.Warnings)
+	w.U64(uint64(len(rep.Views)))
+	for i := range rep.Views {
+		v := &rep.Views[i]
+		w.Strs(v.Columns)
+		w.F64(v.Score)
+		w.F64(v.Tightness)
+		w.F64(v.PValue)
+		w.Bool(v.Significant)
+		w.Str(v.Explanation)
+		w.U64(uint64(len(v.Components)))
+		for _, c := range v.Components {
+			w.I64(int64(c.Kind))
+			w.Strs(c.Columns)
+			w.F64(c.Raw)
+			w.F64(c.Norm)
+			w.F64(c.Inside)
+			w.F64(c.Outside)
+			w.F64(c.Test.Stat)
+			w.F64(c.Test.DF)
+			w.F64(c.Test.DF2)
+			w.F64(c.Test.P)
+			w.Str(c.Detail)
+		}
+	}
+	w.Bool(rep.CacheHit)
+	w.Bool(rep.ReportCacheHit)
+	return w.B
+}
+
+// DecodeReport parses a wire-format report. It rejects bad magic, unknown
+// versions, truncated or oversized payloads, and trailing garbage.
+func DecodeReport(data []byte) (*Report, error) {
+	if err := wire.CheckMagic(data, reportMagic, decodingReport); err != nil {
+		return nil, err
+	}
+	r := &wire.Reader{What: decodingReport, B: data, Off: len(reportMagic)}
+	rep := &Report{
+		SelectedRows: int(r.I64()),
+		TotalRows:    int(r.I64()),
+		SampledRows:  int(r.I64()),
+	}
+	rep.Timings = Timings{
+		Preparation: time.Duration(r.I64()),
+		Search:      time.Duration(r.I64()),
+		Post:        time.Duration(r.I64()),
+	}
+	rep.Warnings = r.Strs()
+	// A view is at least 8 fixed u64-sized fields; 8 bytes is a safe floor.
+	nViews := r.Count(8)
+	if nViews > 0 {
+		rep.Views = make([]View, nViews)
+	}
+	for i := 0; i < nViews && r.Err == nil; i++ {
+		v := &rep.Views[i]
+		v.Columns = r.Strs()
+		v.Score = r.F64()
+		v.Tightness = r.F64()
+		v.PValue = r.F64()
+		v.Significant = r.Bool()
+		v.Explanation = r.Str()
+		nComps := r.Count(8)
+		if nComps > 0 {
+			v.Components = make([]effect.Component, nComps)
+		}
+		for j := 0; j < nComps && r.Err == nil; j++ {
+			c := &v.Components[j]
+			c.Kind = effect.Kind(r.I64())
+			c.Columns = r.Strs()
+			c.Raw = r.F64()
+			c.Norm = r.F64()
+			c.Inside = r.F64()
+			c.Outside = r.F64()
+			c.Test = hypo.Result{Stat: r.F64(), DF: r.F64(), DF2: r.F64(), P: r.F64()}
+			c.Detail = r.Str()
+		}
+	}
+	rep.CacheHit = r.Bool()
+	rep.ReportCacheHit = r.Bool()
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/effect"
+	"repro/internal/frame"
+	"repro/internal/hypo"
+	"repro/internal/randx"
+)
+
+// testEngine builds a sequential engine plus a small table (6 numeric
+// columns, 90 rows) with a planted shift so characterizations are fast and
+// produce non-trivial views.
+func testEngine(t *testing.T, cfg Config) (*Engine, *frame.Frame, *frame.Bitmap) {
+	t.Helper()
+	cfg.Parallelism = 1
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 90
+	rng := randx.New(11)
+	sel := frame.NewBitmap(rows)
+	for i := 0; i < rows/3; i++ {
+		sel.Set(i)
+	}
+	cols := make([]*frame.Column, 6)
+	for c := range cols {
+		vals := make([]float64, rows)
+		for i := range vals {
+			vals[i] = rng.NormFloat64()
+			if sel.Get(i) && c < 3 {
+				vals[i] += 2
+			}
+		}
+		cols[c] = frame.NewNumericColumn(fmt.Sprintf("c%d", c), vals)
+	}
+	return e, frame.MustNew("wire", cols), sel
+}
+
+// wireFixture is a report exercising every field the codec carries: NaN and
+// ±Inf floats (which JSON cannot represent), empty and non-ASCII strings,
+// nil and populated slices, and both cache flags.
+func wireFixture() *Report {
+	return &Report{
+		SelectedRows: 42,
+		TotalRows:    1994,
+		SampledRows:  100,
+		Timings:      Timings{Preparation: 3 * time.Millisecond, Search: 5 * time.Millisecond, Post: time.Microsecond},
+		Warnings:     []string{"column \"naïve\" skipped", ""},
+		CacheHit:     true,
+		Views: []View{
+			{
+				Columns:     []string{"a", "b"},
+				Score:       1.25,
+				Tightness:   0.5,
+				PValue:      math.NaN(),
+				Significant: false,
+				Explanation: "inside ≫ outside",
+				Components: []effect.Component{
+					{
+						Kind:    effect.DiffMeans,
+						Columns: []string{"a"},
+						Raw:     math.Inf(1),
+						Norm:    1,
+						Inside:  math.Copysign(0, -1),
+						Outside: math.Inf(-1),
+						Test:    hypo.Result{Stat: 2.5, DF: 17, DF2: math.NaN(), P: 0.01},
+						Detail:  "category «x»",
+					},
+					{Kind: effect.DiffStdDevs, Raw: math.NaN(), Norm: math.NaN(), Test: hypo.Result{P: math.NaN()}},
+				},
+			},
+			{Columns: []string{"c"}, PValue: 0.2},
+		},
+	}
+}
+
+// TestReportCodecRoundTrip pins decode(encode(r)) == r at the byte level:
+// re-encoding the decoded report reproduces the original bytes exactly, and
+// the NaN/Inf fields survive (reflect.DeepEqual cannot check NaN equality,
+// so the canonical-bytes property is the contract).
+func TestReportCodecRoundTrip(t *testing.T) {
+	for name, rep := range map[string]*Report{
+		"full":  wireFixture(),
+		"empty": {},
+	} {
+		enc := EncodeReport(rep)
+		dec, err := DecodeReport(enc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if re := EncodeReport(dec); !bytes.Equal(re, enc) {
+			t.Errorf("%s: re-encoded report differs from original encoding", name)
+		}
+		if name != "full" {
+			continue
+		}
+		if !math.IsNaN(dec.Views[0].PValue) || !math.IsInf(dec.Views[0].Components[0].Raw, 1) {
+			t.Error("NaN/Inf floats did not survive the round trip")
+		}
+		if math.Signbit(dec.Views[0].Components[0].Inside) != true {
+			t.Error("negative zero did not survive the round trip")
+		}
+		if dec.Views[0].Explanation != "inside ≫ outside" || dec.Warnings[0] != "column \"naïve\" skipped" {
+			t.Error("non-ASCII strings did not survive the round trip")
+		}
+		if dec.Timings != wireFixture().Timings || !dec.CacheHit || dec.ReportCacheHit {
+			t.Errorf("scalar fields diverged: %+v", dec)
+		}
+	}
+}
+
+// TestReportCodecEngineOutput round-trips a real characterization, the
+// payload the remote layer actually ships.
+func TestReportCodecEngineOutput(t *testing.T) {
+	eng, f, sel := testEngine(t, DefaultConfig())
+	rep, err := eng.Characterize(f, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := EncodeReport(rep)
+	dec, err := DecodeReport(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(EncodeReport(dec), enc) {
+		t.Error("engine report did not survive the round trip")
+	}
+	if len(dec.Views) != len(rep.Views) || dec.SelectedRows != rep.SelectedRows {
+		t.Errorf("decoded %d views / %d rows, want %d / %d", len(dec.Views), dec.SelectedRows, len(rep.Views), rep.SelectedRows)
+	}
+}
+
+// TestReportCodecRejectsCorruption covers the strict-decode error paths.
+func TestReportCodecRejectsCorruption(t *testing.T) {
+	enc := EncodeReport(wireFixture())
+	cases := map[string][]byte{
+		"empty":           {},
+		"short header":    enc[:3],
+		"bad magic":       append([]byte("XXX\x01"), enc[4:]...),
+		"future version":  append([]byte("ZGR\x63"), enc[4:]...),
+		"truncated":       enc[:len(enc)/2],
+		"trailing bytes":  append(append([]byte(nil), enc...), 0),
+		"oversized count": append(append([]byte(nil), enc[:4]...), bytes.Repeat([]byte{0xff}, 64)...),
+	}
+	for name, data := range cases {
+		if _, err := DecodeReport(data); err == nil {
+			t.Errorf("%s: decode accepted corrupted payload", name)
+		}
+	}
+	// A corrupted bool byte (anything but 0/1) is rejected, not coerced.
+	bad := append([]byte(nil), enc...)
+	bad[len(bad)-1] = 7
+	if _, err := DecodeReport(bad); err == nil {
+		t.Error("invalid bool byte accepted")
+	}
+}
+
+// TestCachedReportFingerprint pins the by-fingerprint probe surface: a probe
+// with the table's fingerprint hits after the table was characterized (no
+// frame in hand), counts as a served request, and misses for foreign
+// fingerprints, mismatched options, and SkipReportCache.
+func TestCachedReportFingerprint(t *testing.T) {
+	eng, f, sel := testEngine(t, DefaultConfig())
+	if _, ok := eng.CachedReportFingerprint(f.Fingerprint(), sel, Options{}); ok {
+		t.Fatal("probe hit before anything was cached")
+	}
+	if _, err := eng.Characterize(f, sel); err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := eng.CachedReportFingerprint(f.Fingerprint(), sel, Options{})
+	if !ok || !rep.ReportCacheHit {
+		t.Fatal("probe missed the cached report")
+	}
+	if _, ok := eng.CachedReportFingerprint(f.Fingerprint()+1, sel, Options{}); ok {
+		t.Error("probe hit a foreign fingerprint")
+	}
+	if _, ok := eng.CachedReportFingerprint(f.Fingerprint(), sel, Options{ExcludeColumns: []string{"x"}}); ok {
+		t.Error("probe ignored the options hash")
+	}
+	if _, ok := eng.CachedReportFingerprint(f.Fingerprint(), sel, Options{SkipReportCache: true}); ok {
+		t.Error("probe ignored SkipReportCache")
+	}
+	if _, ok := eng.CachedReportFingerprint(f.Fingerprint(), nil, Options{}); ok {
+		t.Error("probe accepted a nil selection")
+	}
+	snap := eng.CacheStats().Reports
+	if snap.Hits != 1 || snap.Misses != 1 {
+		t.Errorf("reports tier = %+v, want exactly the probe hit and the cold miss", snap)
+	}
+}

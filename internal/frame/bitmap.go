@@ -179,6 +179,36 @@ func (b *Bitmap) Not() *Bitmap {
 	return b
 }
 
+// Words returns a copy of the backing 64-bit words (row i lives at bit i&63
+// of word i>>6; unused high bits of the last word are zero). Together with
+// BitmapFromWords it is the exact wire representation of a selection: the
+// remote serving layer round-trips bitmaps through it without touching the
+// per-row API, and the reconstructed bitmap fingerprints identically.
+func (b *Bitmap) Words() []uint64 {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return w
+}
+
+// BitmapFromWords rebuilds a bitmap over n rows from its Words
+// representation. The word count must match exactly; set bits beyond n are
+// rejected rather than trimmed, so a corrupted wire payload cannot silently
+// change the selection it decodes to.
+func BitmapFromWords(n int, words []uint64) (*Bitmap, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("frame: negative bitmap length %d", n)
+	}
+	if want := (n + 63) / 64; len(words) != want {
+		return nil, fmt.Errorf("frame: bitmap over %d rows needs %d words, got %d", n, want, len(words))
+	}
+	if rem := uint(n) & 63; rem != 0 && words[len(words)-1]&^((1<<rem)-1) != 0 {
+		return nil, fmt.Errorf("frame: bitmap words have bits set beyond row %d", n)
+	}
+	w := make([]uint64, len(words))
+	copy(w, words)
+	return &Bitmap{words: w, n: n}, nil
+}
+
 // ForEach calls fn for every selected row index in ascending order.
 func (b *Bitmap) ForEach(fn func(i int)) {
 	for wi, w := range b.words {

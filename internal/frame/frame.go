@@ -62,6 +62,29 @@ func NewCategoricalColumn(name string, values []string) *Column {
 	return c
 }
 
+// NewCategoricalColumnFromCodes rebuilds a categorical column from its
+// dictionary-encoded representation: the exact codes (-1 = NULL) and the
+// exact dictionary, in their original order. NewCategoricalColumn interns
+// values in first-occurrence order, so it cannot reproduce an arbitrary
+// dictionary layout — but content fingerprints hash codes and dictionary
+// as-is, so a column shipped across the wire must be reassembled from this
+// constructor to fingerprint identically on both sides.
+func NewCategoricalColumnFromCodes(name string, codes []int32, dict []string) (*Column, error) {
+	for i, code := range codes {
+		if code < -1 || int(code) >= len(dict) {
+			return nil, fmt.Errorf("frame: code %d at row %d outside dictionary of %d values", code, i, len(dict))
+		}
+	}
+	c := &Column{name: name, kind: Categorical, codes: codes, dict: dict, index: make(map[string]int32, len(dict))}
+	for code, v := range dict {
+		if _, dup := c.index[v]; dup {
+			return nil, fmt.Errorf("frame: duplicate dictionary value %q", v)
+		}
+		c.index[v] = int32(code)
+	}
+	return c, nil
+}
+
 func (c *Column) intern(v string) int32 {
 	if code, ok := c.index[v]; ok {
 		return code

@@ -1,0 +1,84 @@
+package frame
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBitmapWordsRoundTrip pins the wire representation of selections: a
+// bitmap rebuilt from its Words is equal to the original and fingerprints
+// identically, for lengths on and off word boundaries.
+func TestBitmapWordsRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 130, 1000} {
+		b := NewBitmap(n)
+		for i := 0; i < n; i += 3 {
+			b.Set(i)
+		}
+		rb, err := BitmapFromWords(n, b.Words())
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !rb.Equal(b) {
+			t.Fatalf("n=%d: rebuilt bitmap differs", n)
+		}
+		if rb.Fingerprint() != b.Fingerprint() {
+			t.Fatalf("n=%d: rebuilt bitmap fingerprints differently", n)
+		}
+	}
+}
+
+// TestBitmapFromWordsRejectsCorruption covers the decode error paths: wrong
+// word counts, stray bits beyond the row count, and negative lengths.
+func TestBitmapFromWordsRejectsCorruption(t *testing.T) {
+	if _, err := BitmapFromWords(-1, nil); err == nil {
+		t.Error("negative length accepted")
+	}
+	if _, err := BitmapFromWords(65, []uint64{0}); err == nil {
+		t.Error("short word slice accepted")
+	}
+	if _, err := BitmapFromWords(10, []uint64{0, 0}); err == nil {
+		t.Error("long word slice accepted")
+	}
+	if _, err := BitmapFromWords(10, []uint64{1 << 12}); err == nil {
+		t.Error("stray bit beyond the row count accepted")
+	}
+	// Words returns a copy: mutating it must not corrupt the bitmap.
+	b := NewBitmap(70)
+	b.Set(3)
+	w := b.Words()
+	w[0] = ^uint64(0)
+	if b.Count() != 1 {
+		t.Error("mutating Words() result corrupted the bitmap")
+	}
+}
+
+// TestCategoricalColumnFromCodes pins the fingerprint-preserving rebuild: a
+// categorical column reassembled from its exact codes and dictionary hashes
+// identically to the original — including NULL codes and a dictionary whose
+// order differs from first-occurrence interning.
+func TestCategoricalColumnFromCodes(t *testing.T) {
+	orig := NewCategoricalColumn("city", []string{"b", "a", "b", "c"})
+	orig.codes[2] = -1 // plant a NULL
+	rebuilt, err := NewCategoricalColumnFromCodes("city", append([]int32(nil), orig.codes...), append([]string(nil), orig.dict...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := MustNew("t", []*Column{orig, NewNumericColumn("x", []float64{1, 2, math.NaN(), 4})})
+	f2 := MustNew("t", []*Column{rebuilt, NewNumericColumn("x", []float64{1, 2, math.NaN(), 4})})
+	if f1.Fingerprint() != f2.Fingerprint() {
+		t.Error("rebuilt categorical column fingerprints differently")
+	}
+	if rebuilt.Str(1) != "a" || !rebuilt.IsNull(2) || rebuilt.CodeOf("c") != orig.CodeOf("c") {
+		t.Error("rebuilt column decodes differently")
+	}
+
+	if _, err := NewCategoricalColumnFromCodes("c", []int32{3}, []string{"a"}); err == nil {
+		t.Error("out-of-range code accepted")
+	}
+	if _, err := NewCategoricalColumnFromCodes("c", []int32{-2}, []string{"a"}); err == nil {
+		t.Error("code below -1 accepted")
+	}
+	if _, err := NewCategoricalColumnFromCodes("c", []int32{0}, []string{"a", "a"}); err == nil {
+		t.Error("duplicate dictionary accepted")
+	}
+}

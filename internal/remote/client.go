@@ -1,0 +1,304 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/shard"
+)
+
+// probeTimeout bounds the cheap control-plane calls (health, stats, cache
+// probe). Characterize itself runs without a deadline — a cold
+// characterization of a big table is legitimately slow.
+const probeTimeout = 3 * time.Second
+
+// Client is the RPC shard.Backend: it fronts one worker process over
+// HTTP. Tables ship at most once per client (content-addressed by
+// fingerprint; a worker restart is detected by its unknown-fingerprint
+// response and healed by re-shipping once), cache probes cross the process
+// boundary by fingerprint alone, and transport failures surface as
+// shard.ErrBackendUnavailable so the router fails over along the
+// rendezvous ranking. Safe for concurrent use.
+type Client struct {
+	addr string
+	hc   *http.Client
+
+	mu      sync.Mutex
+	shipped map[uint64]bool
+
+	tablesShipped atomic.Int64
+	// healthy tracks the last transport outcome for stats; it never gates
+	// requests (every request finds out for itself).
+	healthy atomic.Bool
+}
+
+// NewClient builds a backend for the worker at addr ("host:port" or a full
+// http:// URL).
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	c := &Client{
+		addr:    strings.TrimRight(addr, "/"),
+		hc:      &http.Client{},
+		shipped: make(map[uint64]bool),
+	}
+	c.healthy.Store(true)
+	return c
+}
+
+// Addr returns the worker base URL the client targets.
+func (c *Client) Addr() string { return c.addr }
+
+// unavailable marks the transport down and wraps the cause in
+// shard.ErrBackendUnavailable.
+func (c *Client) unavailable(err error) error {
+	c.healthy.Store(false)
+	return fmt.Errorf("%w: worker %s: %v", shard.ErrBackendUnavailable, c.addr, err)
+}
+
+// post sends one octet-stream request; a nil ctx means no deadline.
+func (c *Client) post(ctx context.Context, path string, body []byte) (*http.Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.addr+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	c.healthy.Store(true)
+	return resp, nil
+}
+
+// errorMessage extracts the worker's {"error": ...} body.
+func errorMessage(resp *http.Response) string {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(data))
+}
+
+// RegisterTable ships f to the worker unless this client already did; the
+// worker side is content-addressed too, so concurrent fronts shipping the
+// same table cost one store, not a conflict.
+func (c *Client) RegisterTable(f *frame.Frame) error {
+	fp := f.Fingerprint()
+	c.mu.Lock()
+	done := c.shipped[fp]
+	c.mu.Unlock()
+	if done {
+		return nil
+	}
+	return c.register(f)
+}
+
+// register unconditionally ships f and marks it shipped.
+func (c *Client) register(f *frame.Frame) error {
+	resp, err := c.post(nil, PathRegister, EncodeFrame(f))
+	if err != nil {
+		return c.unavailable(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("remote: worker %s rejected table registration: %s", c.addr, errorMessage(resp))
+	}
+	c.tablesShipped.Add(1)
+	c.mu.Lock()
+	c.shipped[f.Fingerprint()] = true
+	c.mu.Unlock()
+	return nil
+}
+
+// Characterize runs the request on the worker. An unknown-fingerprint
+// response (the worker restarted since this client shipped the table) is
+// healed by re-shipping and retrying once; saturation comes back as a
+// *shard.SaturatedError carrying the worker's Retry-After hint; transport
+// failures as shard.ErrBackendUnavailable.
+func (c *Client) Characterize(f *frame.Frame, sel *frame.Bitmap, opts core.Options) (*core.Report, error) {
+	if sel == nil {
+		// Mirror the engine's validation instead of panicking in the codec.
+		return nil, fmt.Errorf("remote: nil selection")
+	}
+	body := EncodeRequest(Request{Fingerprint: f.Fingerprint(), Sel: sel, Opts: opts})
+	rep, retry, err := c.characterizeOnce(body)
+	if retry {
+		// The worker lost the table (restart); our shipped-set was stale.
+		c.mu.Lock()
+		delete(c.shipped, f.Fingerprint())
+		c.mu.Unlock()
+		if err := c.register(f); err != nil {
+			return nil, err
+		}
+		rep, _, err = c.characterizeOnce(body)
+		return rep, err
+	}
+	return rep, err
+}
+
+// characterizeOnce performs one characterize RPC; retry reports an
+// unknown-fingerprint response.
+func (c *Client) characterizeOnce(body []byte) (rep *core.Report, retry bool, err error) {
+	resp, err := c.post(nil, PathCharacterize, body)
+	if err != nil {
+		return nil, false, c.unavailable(err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		data, err := io.ReadAll(http.MaxBytesReader(nil, resp.Body, maxBodyBytes))
+		if err != nil {
+			return nil, false, c.unavailable(err)
+		}
+		rep, err := core.DecodeReport(data)
+		if err != nil {
+			return nil, false, fmt.Errorf("remote: worker %s: %w", c.addr, err)
+		}
+		return rep, false, nil
+	case http.StatusNotFound:
+		return nil, true, fmt.Errorf("remote: worker %s: %s", c.addr, errorMessage(resp))
+	case http.StatusServiceUnavailable:
+		return nil, false, &shard.SaturatedError{RetryAfter: retryAfterFrom(resp)}
+	default:
+		return nil, false, fmt.Errorf("remote: worker %s: %s", c.addr, errorMessage(resp))
+	}
+}
+
+// retryAfterFrom recovers the backoff hint, preferring the
+// millisecond-fidelity header over the integer-seconds standard one.
+func retryAfterFrom(resp *http.Response) time.Duration {
+	if ms, err := strconv.ParseInt(resp.Header.Get(RetryAfterMillisHeader), 10, 64); err == nil {
+		return time.Duration(ms) * time.Millisecond
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+		return time.Duration(secs) * time.Second
+	}
+	return 0
+}
+
+// CachedReport probes the worker's report cache by fingerprint. Any
+// transport or protocol failure is a miss — the router's characterize path
+// will surface the real error.
+func (c *Client) CachedReport(fp uint64, sel *frame.Bitmap, opts core.Options) (*core.Report, bool) {
+	if sel == nil || opts.SkipReportCache {
+		return nil, false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+	defer cancel()
+	resp, err := c.post(ctx, PathCached, EncodeRequest(Request{Fingerprint: fp, Sel: sel, Opts: opts}))
+	if err != nil {
+		c.healthy.Store(false)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(nil, resp.Body, maxBodyBytes))
+	if err != nil {
+		return nil, false
+	}
+	rep, err := core.DecodeReport(data)
+	if err != nil {
+		return nil, false
+	}
+	return rep, true
+}
+
+// Snapshot folds the worker's sharded stats into one backend entry:
+// traffic counters and queues summed across the worker's shards, the
+// prepared tiers summed, the worker's shared report tier carried through,
+// and the worst per-shard Retry-After hint. An unreachable worker reports
+// Healthy false with the client-side counters only.
+func (c *Client) Snapshot() shard.ShardSnapshot {
+	snap := shard.ShardSnapshot{
+		Kind:          shard.KindRemote,
+		Addr:          c.addr,
+		TablesShipped: c.tablesShipped.Load(),
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.addr+PathStats, nil)
+	if err != nil {
+		return snap
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		c.healthy.Store(false)
+		return snap
+	}
+	defer resp.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		c.healthy.Store(false)
+		return snap
+	}
+	c.healthy.Store(true)
+	snap.Healthy = true
+	snap.Reports = stats.Stats.Reports
+	for _, sh := range stats.Stats.Shards {
+		snap.Requests += sh.Requests
+		snap.Rejected += sh.Rejected
+		snap.Inflight += sh.Inflight
+		snap.Queued += sh.Queued
+		snap.Prepared = core.AddSnapshots(snap.Prepared, sh.Prepared)
+		snap.Reports = core.AddSnapshots(snap.Reports, sh.Reports)
+		if sh.RetryAfterMillis > snap.RetryAfterMillis {
+			snap.RetryAfterMillis = sh.RetryAfterMillis
+		}
+	}
+	return snap
+}
+
+// Healthy performs a health round-trip to the worker.
+func (c *Client) Healthy() error {
+	ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.addr+PathHealth, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return c.unavailable(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("remote: worker %s health status %d", c.addr, resp.StatusCode)
+	}
+	c.healthy.Store(true)
+	return nil
+}
+
+// InvalidateCaches is a no-op: the worker's caches belong to the worker
+// (and may serve other fronts).
+func (c *Client) InvalidateCaches() {}
+
+// Close drops idle transport connections.
+func (c *Client) Close() error {
+	c.hc.CloseIdleConnections()
+	return nil
+}
+
+// The compile-time seal of the tentpole: the RPC client is a drop-in shard
+// backend.
+var _ shard.Backend = (*Client)(nil)

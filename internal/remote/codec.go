@@ -1,0 +1,210 @@
+// Package remote moves shards behind RPC: it is the HTTP implementation of
+// the shard.Backend boundary, splitting the serving layer across processes
+// without changing a single cache key or routing decision.
+//
+// A worker process (`ziggyd -worker`) wraps its own shard.Router in a
+// Worker handler exposing five endpoints under /api/worker/: health, stats,
+// table registration, a report-cache probe, and characterize. A front
+// process (`ziggyd -peers host1,host2`) builds one Client per worker and
+// hands them to shard.NewWithBackends; the front routes by the same
+// rendezvous hash over frame.Fingerprint the in-process router uses, so a
+// front and its workers agree on table ownership with zero coordination.
+//
+// Everything on the wire is content-addressed and versioned:
+//
+//   - tables ship in the frame codec (this file) exactly once per worker —
+//     the payload carries the sender's fingerprint, the worker verifies the
+//     decoded frame reproduces it bit for bit, and re-registration of a
+//     known fingerprint is a no-op;
+//   - characterize and cache-probe requests carry only the table
+//     fingerprint, the selection bitmap words, and the options, so a repeat
+//     query is answered from the worker's report cache without the table
+//     crossing the wire again (even by a front that never shipped it);
+//   - reports come back in core's report wire format, which round-trips
+//     byte-identically — a remote report re-encodes to the same bytes as an
+//     in-process one (TestRemoteDeterminism).
+package remote
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/wire"
+)
+
+// codecVersion is bumped whenever the frame or request layout changes; a
+// decoder only accepts payloads of its own version.
+const codecVersion = 1
+
+var (
+	frameMagic   = [4]byte{'Z', 'G', 'F', codecVersion}
+	requestMagic = [4]byte{'Z', 'G', 'Q', codecVersion}
+)
+
+const (
+	decodingFrame   = "remote: decoding frame"
+	decodingRequest = "remote: decoding request"
+)
+
+// Column kind bytes on the wire.
+const (
+	wireNumeric     = 0
+	wireCategorical = 1
+)
+
+// EncodeFrame serializes a table for shipment: the sender's fingerprint
+// (verified on decode), the schema, and every column payload in its exact
+// storage representation — numeric cells as IEEE bits, categorical columns
+// as dictionary codes plus the dictionary in original order — so the
+// decoded frame fingerprints identically on the worker.
+func EncodeFrame(f *frame.Frame) []byte {
+	var w wire.Buf
+	w.B = append(w.B, frameMagic[:]...)
+	w.U64(f.Fingerprint())
+	w.Str(f.Name())
+	w.U64(uint64(f.NumRows()))
+	w.U64(uint64(f.NumCols()))
+	for _, c := range f.Columns() {
+		w.Str(c.Name())
+		switch c.Kind() {
+		case frame.Numeric:
+			w.U8(wireNumeric)
+			for _, v := range c.Floats() {
+				w.F64(v)
+			}
+		case frame.Categorical:
+			w.U8(wireCategorical)
+			for _, code := range c.Codes() {
+				w.U32(uint32(code))
+			}
+			w.Strs(c.Dict())
+		}
+	}
+	return w.B
+}
+
+// DecodeFrame parses a shipped table and verifies that the rebuilt frame
+// reproduces the fingerprint the sender computed — a corrupted or
+// version-skewed payload is rejected rather than registered under a key it
+// does not match.
+func DecodeFrame(data []byte) (*frame.Frame, error) {
+	if err := wire.CheckMagic(data, frameMagic, decodingFrame); err != nil {
+		return nil, err
+	}
+	r := &wire.Reader{What: decodingFrame, B: data, Off: 4}
+	wantFP := r.U64()
+	name := r.Str()
+	// Every column stores at least one byte per row, so the row count is
+	// bounded by the remaining payload whenever columns exist; a zero-column
+	// frame legitimately has zero rows.
+	nRows := r.Count(1)
+	nCols := r.Count(1)
+	cols := make([]*frame.Column, 0, nCols)
+	for i := 0; i < nCols && r.Err == nil; i++ {
+		colName := r.Str()
+		switch kind := r.U8(); kind {
+		case wireNumeric:
+			if uint64(nRows) > uint64(len(r.B)-r.Off)/8 {
+				r.Failf("numeric column %q exceeds remaining payload", colName)
+				continue
+			}
+			vals := make([]float64, nRows)
+			for j := range vals {
+				vals[j] = r.F64()
+			}
+			cols = append(cols, frame.NewNumericColumn(colName, vals))
+		case wireCategorical:
+			if uint64(nRows) > uint64(len(r.B)-r.Off)/4 {
+				r.Failf("categorical column %q exceeds remaining payload", colName)
+				continue
+			}
+			codes := make([]int32, nRows)
+			for j := range codes {
+				codes[j] = int32(r.U32())
+			}
+			dict := r.Strs()
+			c, err := frame.NewCategoricalColumnFromCodes(colName, codes, dict)
+			if err != nil {
+				r.Failf("%v", err)
+				continue
+			}
+			cols = append(cols, c)
+		default:
+			r.Failf("unknown column kind %d", kind)
+		}
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	f, err := frame.New(name, cols)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", decodingFrame, err)
+	}
+	if f.NumRows() != nRows {
+		return nil, fmt.Errorf("%s: header says %d rows, columns carry %d", decodingFrame, nRows, f.NumRows())
+	}
+	if got := f.Fingerprint(); got != wantFP {
+		return nil, fmt.Errorf("remote: decoded frame fingerprints %#x, sender computed %#x", got, wantFP)
+	}
+	return f, nil
+}
+
+// Request is the body of a characterize or cache-probe call: the table by
+// fingerprint only, the selection by its bitmap words, and the per-run
+// options.
+type Request struct {
+	Fingerprint uint64
+	Sel         *frame.Bitmap
+	Opts        core.Options
+}
+
+// EncodeRequest serializes a characterize/cache-probe request.
+func EncodeRequest(req Request) []byte {
+	var w wire.Buf
+	w.B = append(w.B, requestMagic[:]...)
+	w.U64(req.Fingerprint)
+	w.Strs(req.Opts.ExcludeColumns)
+	w.Bool(req.Opts.SkipReportCache)
+	words := req.Sel.Words()
+	w.U64(uint64(req.Sel.Len()))
+	w.U64(uint64(len(words)))
+	for _, word := range words {
+		w.U64(word)
+	}
+	return w.B
+}
+
+// DecodeRequest parses a characterize/cache-probe request, validating the
+// bitmap (word count and stray bits) via frame.BitmapFromWords.
+func DecodeRequest(data []byte) (Request, error) {
+	if err := wire.CheckMagic(data, requestMagic, decodingRequest); err != nil {
+		return Request{}, err
+	}
+	r := &wire.Reader{What: decodingRequest, B: data, Off: 4}
+	req := Request{Fingerprint: r.U64()}
+	req.Opts.ExcludeColumns = r.Strs()
+	req.Opts.SkipReportCache = r.Bool()
+	// The row count is not a payload length (rows pack 64 per word); it is
+	// validated against the word count by BitmapFromWords below, and the
+	// word count itself is bounded by the remaining bytes.
+	n64 := r.U64()
+	if n64 > uint64(1)<<60 {
+		r.Failf("absurd bitmap length %d", n64)
+	}
+	n := int(n64)
+	nWords := r.Count(8)
+	words := make([]uint64, nWords)
+	for i := range words {
+		words[i] = r.U64()
+	}
+	if err := r.Finish(); err != nil {
+		return Request{}, err
+	}
+	sel, err := frame.BitmapFromWords(n, words)
+	if err != nil {
+		return Request{}, fmt.Errorf("%s: %w", decodingRequest, err)
+	}
+	req.Sel = sel
+	return req, nil
+}

@@ -1,0 +1,123 @@
+package remote
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/frame"
+)
+
+// codecFrame builds a table exercising every payload shape the frame codec
+// carries: NaN/±Inf/−0 numeric cells, categorical codes with NULLs, and a
+// dictionary whose order differs from first-occurrence interning.
+func codecFrame(t *testing.T) *frame.Frame {
+	t.Helper()
+	cat, err := frame.NewCategoricalColumnFromCodes("city",
+		[]int32{2, -1, 0, 1, 2}, []string{"zzz", "aaa", "mmm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame.MustNew("wire", []*frame.Column{
+		frame.NewNumericColumn("x", []float64{1.5, math.NaN(), math.Inf(1), math.Copysign(0, -1), -3}),
+		cat,
+	})
+}
+
+// TestFrameCodecRoundTrip pins table shipping: the decoded frame is a
+// distinct object with the identical content fingerprint — the property the
+// whole distribution layer keys on — and identical cells.
+func TestFrameCodecRoundTrip(t *testing.T) {
+	f := codecFrame(t)
+	dec, err := DecodeFrame(EncodeFrame(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec == f {
+		t.Fatal("decode returned the original object")
+	}
+	if dec.Fingerprint() != f.Fingerprint() {
+		t.Fatal("shipped frame fingerprints differently")
+	}
+	if dec.Name() != "wire" || dec.NumRows() != 5 || dec.NumCols() != 2 {
+		t.Fatalf("decoded shape %s %d×%d", dec.Name(), dec.NumRows(), dec.NumCols())
+	}
+	if !math.IsNaN(dec.Col(0).Float(1)) || !math.Signbit(dec.Col(0).Float(3)) {
+		t.Error("numeric NaN/−0 cells did not survive")
+	}
+	if dec.Col(1).Str(0) != "mmm" || !dec.Col(1).IsNull(1) || dec.Col(1).CodeOf("aaa") != 1 {
+		t.Error("categorical codes/dictionary did not survive")
+	}
+	// Re-encoding is canonical.
+	if !bytes.Equal(EncodeFrame(dec), EncodeFrame(f)) {
+		t.Error("re-encoded frame differs")
+	}
+}
+
+// TestFrameCodecRejectsCorruption covers decode error paths, including the
+// fingerprint integrity check.
+func TestFrameCodecRejectsCorruption(t *testing.T) {
+	enc := EncodeFrame(codecFrame(t))
+	cases := map[string][]byte{
+		"empty":          {},
+		"bad magic":      append([]byte("XXX\x01"), enc[4:]...),
+		"future version": append([]byte("ZGF\x02"), enc[4:]...),
+		"truncated":      enc[:len(enc)-3],
+		"trailing":       append(append([]byte(nil), enc...), 1),
+	}
+	for name, data := range cases {
+		if _, err := DecodeFrame(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Flip one payload byte: the frame decodes structurally but no longer
+	// reproduces the sender's fingerprint.
+	flipped := append([]byte(nil), enc...)
+	flipped[len(flipped)-20] ^= 0x01
+	if _, err := DecodeFrame(flipped); err == nil {
+		t.Error("corrupted payload accepted despite fingerprint mismatch")
+	}
+}
+
+// TestRequestCodecRoundTrip pins the characterize/probe request format.
+func TestRequestCodecRoundTrip(t *testing.T) {
+	sel := frame.NewBitmap(100)
+	for i := 0; i < 100; i += 7 {
+		sel.Set(i)
+	}
+	req := Request{
+		Fingerprint: 0xdeadbeefcafe,
+		Sel:         sel,
+		Opts:        core.Options{ExcludeColumns: []string{"a", ""}, SkipReportCache: true},
+	}
+	dec, err := DecodeRequest(EncodeRequest(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Fingerprint != req.Fingerprint || !dec.Sel.Equal(sel) || dec.Sel.Fingerprint() != sel.Fingerprint() {
+		t.Error("request fingerprint/selection did not survive")
+	}
+	if len(dec.Opts.ExcludeColumns) != 2 || dec.Opts.ExcludeColumns[0] != "a" || !dec.Opts.SkipReportCache {
+		t.Errorf("options did not survive: %+v", dec.Opts)
+	}
+
+	enc := EncodeRequest(req)
+	for name, data := range map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("ZGF\x01"), enc[4:]...),
+		"truncated": enc[:len(enc)-1],
+		"trailing":  append(append([]byte(nil), enc...), 0),
+	} {
+		if _, err := DecodeRequest(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// A stray bit beyond the bitmap length is a decode error, not a silent
+	// selection change.
+	bad := append([]byte(nil), enc...)
+	bad[len(bad)-1] |= 0x80
+	if _, err := DecodeRequest(bad); err == nil {
+		t.Error("stray selection bit accepted")
+	}
+}

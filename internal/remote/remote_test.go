@@ -1,0 +1,511 @@
+package remote
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/randx"
+	"repro/internal/shard"
+)
+
+// testTable builds a small deterministic table (6 numeric columns plus one
+// categorical with NULLs, 72 rows) and a selection with a planted shift,
+// parameterized by seed so distinct seeds produce distinct fingerprints.
+func testTable(t testing.TB, seed uint64) (*frame.Frame, *frame.Bitmap) {
+	t.Helper()
+	const rows = 72
+	rng := randx.New(seed)
+	sel := frame.NewBitmap(rows)
+	for i := 0; i < rows/3; i++ {
+		sel.Set(i)
+	}
+	cols := make([]*frame.Column, 0, 7)
+	for c := 0; c < 6; c++ {
+		vals := make([]float64, rows)
+		for i := range vals {
+			vals[i] = rng.NormFloat64()
+			if sel.Get(i) && c < 3 {
+				vals[i] += 2.5
+			}
+		}
+		cols = append(cols, frame.NewNumericColumn(fmt.Sprintf("c%d", c), vals))
+	}
+	labels := make([]string, rows)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("g%d", i%3)
+	}
+	cat := frame.NewCategoricalColumn("grp", labels)
+	cols = append(cols, cat)
+	f, err := frame.New(fmt.Sprintf("t%d", seed), cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, sel
+}
+
+func testConfig(shards int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Shards = shards
+	cfg.Parallelism = 1
+	return cfg
+}
+
+// newWorker starts a worker process stand-in: a local router with the given
+// shard count behind the worker HTTP API on an httptest server.
+func newWorker(t testing.TB, shards int) (*Worker, *httptest.Server) {
+	t.Helper()
+	router, err := shard.New(testConfig(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorker(router)
+	ts := httptest.NewServer(w)
+	t.Cleanup(ts.Close)
+	return w, ts
+}
+
+// canonical encodes a report with its volatile fields (timings, cache
+// flags) neutralized, so reports can be byte-compared across topologies and
+// cache states.
+func canonical(rep *core.Report) []byte {
+	c := *rep
+	c.Timings = core.Timings{}
+	c.CacheHit = false
+	c.ReportCacheHit = false
+	return core.EncodeReport(&c)
+}
+
+// TestRemoteDeterminism is the acceptance pin of the distribution layer:
+// for shard counts 1, 2 and 4, the same queries answered by an in-process
+// router, by a front routing to a remote worker over HTTP, and by a mixed
+// local/remote topology produce byte-identical reports (canonical wire
+// encoding, volatile fields neutralized).
+func TestRemoteDeterminism(t *testing.T) {
+	type table struct {
+		f   *frame.Frame
+		sel *frame.Bitmap
+	}
+	var tables []table
+	for seed := uint64(1); seed <= 3; seed++ {
+		f, sel := testTable(t, seed)
+		tables = append(tables, table{f, sel})
+	}
+
+	// The reference: a plain in-process single-shard router.
+	reference := make([][]byte, len(tables))
+	refRouter, err := shard.New(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tb := range tables {
+		rep, err := refRouter.Characterize(tb.f, tb.sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reference[i] = canonical(rep)
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		topologies := map[string]*shard.Router{}
+
+		local, err := shard.New(testConfig(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		topologies["local"] = local
+
+		_, ts := newWorker(t, shards)
+		remoteRouter, err := shard.NewWithBackends(testConfig(shards), nil,
+			[]shard.Backend{NewClient(ts.URL)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		topologies["remote"] = remoteRouter
+
+		eng, err := shard.NewEngineBackend(testConfig(1), nil, shard.Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, ts2 := newWorker(t, shards)
+		mixed, err := shard.NewWithBackends(testConfig(shards), nil,
+			[]shard.Backend{eng, NewClient(ts2.URL)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		topologies["mixed"] = mixed
+
+		for name, router := range topologies {
+			for i, tb := range tables {
+				rep, err := router.Characterize(tb.f, tb.sel)
+				if err != nil {
+					t.Fatalf("shards=%d %s table %d: %v", shards, name, i, err)
+				}
+				if !bytes.Equal(canonical(rep), reference[i]) {
+					t.Errorf("shards=%d %s: table %d report diverged from the in-process reference", shards, name, i)
+				}
+				// The repeat must be served from a report cache wherever it
+				// lives, still byte-identical.
+				again, err := router.Characterize(tb.f, tb.sel)
+				if err != nil {
+					t.Fatalf("shards=%d %s table %d repeat: %v", shards, name, i, err)
+				}
+				if !again.ReportCacheHit {
+					t.Errorf("shards=%d %s: table %d repeat missed every report cache", shards, name, i)
+				}
+				if !bytes.Equal(canonical(again), reference[i]) {
+					t.Errorf("shards=%d %s: cached table %d report diverged", shards, name, i)
+				}
+			}
+			router.Close()
+		}
+	}
+}
+
+// twoWorkerFront builds a front over two worker processes and returns
+// tables owned by worker 0 and worker 1 respectively.
+func twoWorkerFront(t *testing.T) (*shard.Router, []*Client, []*Worker, [2]struct {
+	f   *frame.Frame
+	sel *frame.Bitmap
+}) {
+	t.Helper()
+	w0, ts0 := newWorker(t, 1)
+	w1, ts1 := newWorker(t, 1)
+	clients := []*Client{NewClient(ts0.URL), NewClient(ts1.URL)}
+	front, err := shard.NewWithBackends(testConfig(2), nil, []shard.Backend{clients[0], clients[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var owned [2]struct {
+		f   *frame.Frame
+		sel *frame.Bitmap
+	}
+	found := [2]bool{}
+	for seed := uint64(1); !(found[0] && found[1]); seed++ {
+		f, sel := testTable(t, seed)
+		owner := shard.Assign(f.Fingerprint(), 2)
+		if !found[owner] {
+			owned[owner] = struct {
+				f   *frame.Frame
+				sel *frame.Bitmap
+			}{f, sel}
+			found[owner] = true
+		}
+	}
+	return front, clients, []*Worker{w0, w1}, owned
+}
+
+// TestCrossProcessCacheCoherence pins the second acceptance criterion: a
+// repeat query against a two-worker deployment is served from the owning
+// worker's report cache without the table shipping again — even by a brand
+// new front that never shipped it — and the cache-hit accounting reconciles
+// across both workers (misses − deduped == distinct computations).
+func TestCrossProcessCacheCoherence(t *testing.T) {
+	front, clients, workers, owned := twoWorkerFront(t)
+	for _, tb := range owned {
+		cold, err := front.Characterize(tb.f, tb.sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cold.ReportCacheHit {
+			t.Fatal("first query reported a cache hit")
+		}
+	}
+	for i, c := range clients {
+		if got := c.Snapshot().TablesShipped; got != 1 {
+			t.Errorf("worker %d received %d table shipments, want 1", i, got)
+		}
+	}
+	// Repeats: served from the workers' report caches, no new shipments.
+	for _, tb := range owned {
+		warm, err := front.Characterize(tb.f, tb.sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !warm.ReportCacheHit {
+			t.Error("repeat query missed the worker's report cache")
+		}
+	}
+	for i, c := range clients {
+		if got := c.Snapshot().TablesShipped; got != 1 {
+			t.Errorf("worker %d received %d shipments after repeats, want still 1", i, got)
+		}
+	}
+
+	// A second front (fresh clients — think: a restarted or additional
+	// front process) gets repeat queries served from the workers' caches
+	// without shipping anything at all.
+	fresh := []*Client{NewClient(clients[0].Addr()), NewClient(clients[1].Addr())}
+	front2, err := shard.NewWithBackends(testConfig(2), nil, []shard.Backend{fresh[0], fresh[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range owned {
+		rep, err := front2.Characterize(tb.f, tb.sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.ReportCacheHit {
+			t.Error("second front's repeat missed the worker's report cache")
+		}
+	}
+	for i, c := range fresh {
+		if got := c.Snapshot().TablesShipped; got != 0 {
+			t.Errorf("second front shipped %d tables to worker %d, want 0", got, i)
+		}
+	}
+
+	// Accounting across both workers: 2 distinct computations, 4 hits
+	// (one repeat per front per table), misses − deduped reconciles.
+	var hits, misses, deduped int64
+	for _, w := range workers {
+		snap := w.Router().Stats().Reports
+		hits += snap.Hits
+		misses += snap.Misses
+		deduped += snap.Deduped
+	}
+	if misses-deduped != 2 {
+		t.Errorf("misses−deduped = %d across workers, want 2 distinct computations", misses-deduped)
+	}
+	if hits != 4 {
+		t.Errorf("hits = %d across workers, want 4 cached repeats", hits)
+	}
+	// The front's aggregated stats surface the same tiers.
+	totals := front.Stats().Totals()
+	if totals.Reports.Hits < 2 || totals.Reports.Misses < 2 {
+		t.Errorf("front totals reports tier = %+v", totals.Reports)
+	}
+}
+
+// TestWorkerDownFailover pins the error path and the rendezvous failover:
+// with the owning worker down, the request is served by the runner-up
+// backend (byte-identically); with every worker down the request fails with
+// ErrBackendUnavailable; stats mark the dead worker unhealthy.
+func TestWorkerDownFailover(t *testing.T) {
+	w0, ts0 := newWorker(t, 1)
+	_, ts1 := newWorker(t, 1)
+	_ = w0
+	front, err := shard.NewWithBackends(testConfig(2), nil,
+		[]shard.Backend{NewClient(ts0.URL), NewClient(ts1.URL)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, sel := testTable(t, 5)
+	owner := shard.Assign(f.Fingerprint(), 2)
+	ref, err := front.Characterize(f, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the owner; a fresh query (different options, so no cache) must
+	// fail over to the surviving worker.
+	owned := []*httptest.Server{ts0, ts1}
+	owned[owner].Close()
+	opts := core.Options{ExcludeColumns: []string{"c5"}}
+	rep, err := front.CharacterizeOpts(f, sel, opts)
+	if err != nil {
+		t.Fatalf("failover characterize: %v", err)
+	}
+	if len(rep.Views) == 0 {
+		t.Error("failover report is empty")
+	}
+	// And the original request still answers (recomputed on the survivor),
+	// byte-identical to the pre-failure report.
+	rep2, err := front.Characterize(f, sel)
+	if err != nil {
+		t.Fatalf("failover repeat: %v", err)
+	}
+	if !bytes.Equal(canonical(rep2), canonical(ref)) {
+		t.Error("failover changed the report bytes")
+	}
+
+	stats := front.Stats()
+	if stats.Shards[owner].Healthy {
+		t.Error("dead worker still reported healthy")
+	}
+	if !stats.Shards[1-owner].Healthy {
+		t.Error("surviving worker reported unhealthy")
+	}
+
+	// Both down: the error names the condition.
+	owned[1-owner].Close()
+	f2, sel2 := testTable(t, 6)
+	if _, err := front.Characterize(f2, sel2); !errors.Is(err, shard.ErrBackendUnavailable) {
+		t.Errorf("all-workers-down error = %v, want ErrBackendUnavailable", err)
+	}
+}
+
+// TestWorkerRestartReships pins the self-healing path: a worker that lost
+// its table store (restart) answers with unknown-fingerprint, and the
+// client re-ships the table exactly once and retries transparently.
+func TestWorkerRestartReships(t *testing.T) {
+	router1, err := shard.New(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	current := NewWorker(router1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		h := current
+		mu.Unlock()
+		h.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+
+	client := NewClient(ts.URL)
+	front, err := shard.NewWithBackends(testConfig(1), nil, []shard.Backend{client})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, sel := testTable(t, 7)
+	ref, err := front.Characterize(f, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart" the worker: a fresh router and an empty table store behind
+	// the same address.
+	router2, err := shard.New(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	current = NewWorker(router2)
+	mu.Unlock()
+
+	rep, err := front.Characterize(f, sel)
+	if err != nil {
+		t.Fatalf("characterize after worker restart: %v", err)
+	}
+	if !bytes.Equal(canonical(rep), canonical(ref)) {
+		t.Error("report after re-ship diverged")
+	}
+	if got := client.Snapshot().TablesShipped; got != 2 {
+		t.Errorf("tables shipped = %d, want 2 (initial + one re-ship)", got)
+	}
+}
+
+// TestRemoteSaturationMapsRetryAfter pins the backoff plumbing end to end
+// at the client: a worker 503 with Retry-After headers becomes a
+// *shard.SaturatedError carrying the millisecond hint, and the router does
+// NOT fail over a saturated (reachable) backend.
+func TestRemoteSaturationMapsRetryAfter(t *testing.T) {
+	var secondBackendHit bool
+	sat := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, PathCached) {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		if strings.HasSuffix(r.URL.Path, PathRegister) {
+			writeJSON(w, http.StatusOK, RegisterResponse{Fingerprint: "0x1", Registered: true})
+			return
+		}
+		w.Header().Set("Retry-After", "2")
+		w.Header().Set(RetryAfterMillisHeader, "1500")
+		writeError(w, http.StatusServiceUnavailable, shard.ErrSaturated)
+	}))
+	t.Cleanup(sat.Close)
+	other := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		secondBackendHit = true
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	t.Cleanup(other.Close)
+
+	f, sel := testTable(t, 8)
+	satIdx := shard.Assign(f.Fingerprint(), 2)
+	backends := make([]shard.Backend, 2)
+	backends[satIdx] = NewClient(sat.URL)
+	backends[1-satIdx] = NewClient(other.URL)
+	front, err := shard.NewWithBackends(testConfig(2), nil, backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = front.Characterize(f, sel)
+	var satErr *shard.SaturatedError
+	if !errors.As(err, &satErr) {
+		t.Fatalf("saturated worker error = %v, want *shard.SaturatedError", err)
+	}
+	if satErr.RetryAfter != 1500*time.Millisecond {
+		t.Errorf("RetryAfter = %v, want 1.5s from the millis header", satErr.RetryAfter)
+	}
+	if !errors.Is(err, shard.ErrSaturated) {
+		t.Error("saturated error does not match the sentinel")
+	}
+	if secondBackendHit {
+		t.Error("router failed over a saturated (reachable) backend")
+	}
+}
+
+// TestWorkerEndpointValidation covers the worker's HTTP error paths: wrong
+// methods, undecodable bodies, unknown fingerprints, and the empty-cache
+// probe.
+func TestWorkerEndpointValidation(t *testing.T) {
+	_, ts := newWorker(t, 1)
+	post := func(path string, body []byte) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	if resp, err := http.Get(ts.URL + PathCharacterize); err != nil || resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET characterize status %v %v", resp.StatusCode, err)
+	}
+	if resp := post(PathRegister, []byte("garbage")); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage register status %d", resp.StatusCode)
+	}
+	if resp := post(PathCharacterize, []byte("garbage")); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage characterize status %d", resp.StatusCode)
+	}
+	f, sel := testTable(t, 9)
+	req := EncodeRequest(Request{Fingerprint: f.Fingerprint(), Sel: sel})
+	if resp := post(PathCharacterize, req); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown-table characterize status %d", resp.StatusCode)
+	}
+	if resp := post(PathCached, req); resp.StatusCode != http.StatusNoContent {
+		t.Errorf("cold cache probe status %d", resp.StatusCode)
+	}
+	// Health reports shape.
+	resp, err := http.Get(ts.URL + PathHealth)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("health: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+}
+
+// TestClientAgainstDeadWorker covers the client-side transport error paths:
+// probes degrade to misses, health and registration report
+// ErrBackendUnavailable, and stats mark the backend unhealthy.
+func TestClientAgainstDeadWorker(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	ts.Close() // immediately dead
+	c := NewClient(ts.URL)
+	f, sel := testTable(t, 10)
+	if _, ok := c.CachedReport(f.Fingerprint(), sel, core.Options{}); ok {
+		t.Error("probe against a dead worker reported a hit")
+	}
+	if err := c.RegisterTable(f); !errors.Is(err, shard.ErrBackendUnavailable) {
+		t.Errorf("register error = %v, want ErrBackendUnavailable", err)
+	}
+	if _, err := c.Characterize(f, sel, core.Options{}); !errors.Is(err, shard.ErrBackendUnavailable) {
+		t.Errorf("characterize error = %v, want ErrBackendUnavailable", err)
+	}
+	if err := c.Healthy(); err == nil {
+		t.Error("dead worker reported healthy")
+	}
+	snap := c.Snapshot()
+	if snap.Healthy || snap.Kind != shard.KindRemote || snap.Addr != strings.TrimRight(ts.URL, "/") {
+		t.Errorf("dead worker snapshot = %+v", snap)
+	}
+}

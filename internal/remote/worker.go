@@ -1,0 +1,242 @@
+package remote
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/memo"
+	"repro/internal/shard"
+)
+
+// Worker endpoint paths, mounted by ziggyd -worker (and by tests directly).
+const (
+	PathHealth       = "/api/worker/health"
+	PathStats        = "/api/worker/stats"
+	PathRegister     = "/api/worker/register"
+	PathCharacterize = "/api/worker/characterize"
+	PathCached       = "/api/worker/cached"
+)
+
+// RetryAfterMillisHeader carries the saturation backoff hint at millisecond
+// fidelity next to the standard integer-seconds Retry-After header.
+const RetryAfterMillisHeader = "Retry-After-Millis"
+
+// maxBodyBytes bounds request bodies (a shipped table dominates).
+const maxBodyBytes = 1 << 30
+
+// Worker serves the shard.Backend operations over HTTP for one process: a
+// content-addressed table store feeding the process's own shard.Router.
+// Tables arrive once (register is a no-op on a known fingerprint),
+// characterize and cache-probe requests address them by fingerprint, and
+// admission control is the router's — a saturated worker sheds with 503 and
+// a Retry-After hint exactly like an in-process shard sheds with
+// ErrSaturated.
+//
+// The table store is LRU-bounded by the router's configured cache budget,
+// like every other tier in the system: a long-running worker fed many
+// distinct tables evicts the coldest instead of growing without bound.
+// Evicting a table that a front still uses is safe — the next characterize
+// answers unknown-fingerprint and the client re-ships it once.
+type Worker struct {
+	router *shard.Router
+	mux    *http.ServeMux
+	tables *memo.Cache[uint64, *frame.Frame]
+}
+
+// NewWorker wraps a router (typically a fresh local one: the worker's own
+// shards) in the worker HTTP API.
+func NewWorker(router *shard.Router) *Worker {
+	entries, bytes := router.Config().EffectiveCacheBounds()
+	w := &Worker{router: router, tables: memo.New[uint64, *frame.Frame](entries, bytes)}
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathHealth, w.handleHealth)
+	mux.HandleFunc(PathStats, w.handleStats)
+	mux.HandleFunc(PathRegister, w.handleRegister)
+	mux.HandleFunc(PathCharacterize, w.handleCharacterize)
+	mux.HandleFunc(PathCached, w.handleCached)
+	w.mux = mux
+	return w
+}
+
+// Router exposes the worker's serving layer, mainly for stats and tests.
+func (w *Worker) Router() *shard.Router { return w.router }
+
+// NumTables returns the number of registered tables.
+func (w *Worker) NumTables() int { return w.tables.Len() }
+
+// ServeHTTP implements http.Handler.
+func (w *Worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
+	w.mux.ServeHTTP(rw, r)
+}
+
+func (w *Worker) table(fp uint64) (*frame.Frame, bool) {
+	return w.tables.Get(fp)
+}
+
+// frameSize estimates a registered table's resident bytes for the store's
+// LRU byte bound.
+func frameSize(f *frame.Frame) int64 {
+	size := int64(256)
+	for _, c := range f.Columns() {
+		switch c.Kind() {
+		case frame.Numeric:
+			size += int64(c.Len()) * 8
+		case frame.Categorical:
+			size += int64(c.Len()) * 4
+			for _, s := range c.Dict() {
+				size += int64(len(s)) + 16
+			}
+		}
+	}
+	return size
+}
+
+func writeJSON(rw http.ResponseWriter, status int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	json.NewEncoder(rw).Encode(v)
+}
+
+func writeError(rw http.ResponseWriter, status int, err error) {
+	writeJSON(rw, status, map[string]string{"error": err.Error()})
+}
+
+func readBody(rw http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	if r.Method != http.MethodPost {
+		writeError(rw, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return nil, false
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(rw, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return nil, false
+	}
+	return body, true
+}
+
+// HealthResponse is the health endpoint body.
+type HealthResponse struct {
+	OK     bool `json:"ok"`
+	Shards int  `json:"shards"`
+	Tables int  `json:"tables"`
+}
+
+func (w *Worker) handleHealth(rw http.ResponseWriter, r *http.Request) {
+	writeJSON(rw, http.StatusOK, HealthResponse{OK: true, Shards: w.router.NumShards(), Tables: w.NumTables()})
+}
+
+// StatsResponse is the stats endpoint body: the worker's full sharded
+// snapshot plus its table count. The front's remote backend folds it into
+// one ShardSnapshot.
+type StatsResponse struct {
+	Tables int         `json:"tables"`
+	Stats  shard.Stats `json:"stats"`
+}
+
+func (w *Worker) handleStats(rw http.ResponseWriter, r *http.Request) {
+	writeJSON(rw, http.StatusOK, StatsResponse{Tables: w.NumTables(), Stats: w.router.Stats()})
+}
+
+// RegisterResponse is the register endpoint body.
+type RegisterResponse struct {
+	// Fingerprint is the registered table's content fingerprint, as the
+	// worker computed it (hex).
+	Fingerprint string `json:"fingerprint"`
+	// Registered is false when the fingerprint was already present and the
+	// payload was dropped without replacing anything.
+	Registered bool `json:"registered"`
+}
+
+func (w *Worker) handleRegister(rw http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(rw, r)
+	if !ok {
+		return
+	}
+	f, err := DecodeFrame(body)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	fp := f.Fingerprint()
+	_, outcome, _ := w.tables.Do(fp, frameSize, func() (*frame.Frame, error) { return f, nil })
+	writeJSON(rw, http.StatusOK, RegisterResponse{
+		Fingerprint: fmt.Sprintf("%#x", fp),
+		Registered:  outcome == memo.Miss,
+	})
+}
+
+// SetRetryAfter writes the standard integer-seconds Retry-After header
+// (rounded up, at least 1) plus the millisecond-fidelity twin. The worker
+// and the demo server both stamp shed responses with it.
+func SetRetryAfter(rw http.ResponseWriter, d time.Duration) {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	rw.Header().Set("Retry-After", strconv.Itoa(secs))
+	rw.Header().Set(RetryAfterMillisHeader, strconv.FormatInt(d.Milliseconds(), 10))
+}
+
+func (w *Worker) handleCharacterize(rw http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(rw, r)
+	if !ok {
+		return
+	}
+	req, err := DecodeRequest(body)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	f, ok := w.table(req.Fingerprint)
+	if !ok {
+		writeError(rw, http.StatusNotFound, fmt.Errorf("unknown table fingerprint %#x", req.Fingerprint))
+		return
+	}
+	rep, err := w.router.CharacterizeOpts(f, req.Sel, req.Opts)
+	if err != nil {
+		var sat *shard.SaturatedError
+		switch {
+		case errors.As(err, &sat):
+			SetRetryAfter(rw, sat.RetryAfter)
+			writeError(rw, http.StatusServiceUnavailable, err)
+		case errors.Is(err, shard.ErrSaturated):
+			writeError(rw, http.StatusServiceUnavailable, err)
+		default:
+			writeError(rw, http.StatusUnprocessableEntity, err)
+		}
+		return
+	}
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	rw.Write(core.EncodeReport(rep))
+}
+
+func (w *Worker) handleCached(rw http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(rw, r)
+	if !ok {
+		return
+	}
+	req, err := DecodeRequest(body)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	// Probing needs no table: the report cache is keyed by fingerprints, so
+	// a repeat query hits even when this worker restarted its front (or
+	// never saw the table ship — the cache remembers the content, not the
+	// object).
+	rep, ok := w.router.CachedReportFingerprint(req.Fingerprint, req.Sel, req.Opts)
+	if !ok {
+		rw.WriteHeader(http.StatusNoContent)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	rw.Write(core.EncodeReport(rep))
+}

@@ -39,6 +39,14 @@ const indexHTML = `<!DOCTYPE html>
   th, td { text-align: left; border-bottom: 1px solid #eee; padding: 5px 6px; }
   th { color: #555; font-weight: 600; }
   .warn { color: #b45309; font-size: 12px; }
+  #stats-panel { margin: 0 20px 16px; background: #fff; border: 1px solid #ddd;
+                 border-radius: 6px; padding: 10px 14px; }
+  #stats-panel h2 { font-size: 14px; margin: 0 0 6px; display: flex;
+                    justify-content: space-between; align-items: center; }
+  #stats-panel h2 button { padding: 3px 10px; font-size: 12px; }
+  #stats-summary { font-size: 12px; color: #555; margin-bottom: 6px; }
+  .healthy { color: #15803d; font-weight: 600; }
+  .unhealthy { color: #b91c1c; font-weight: 600; }
 </style>
 </head>
 <body>
@@ -58,6 +66,11 @@ const indexHTML = `<!DOCTYPE html>
   <div id="views"></div>
   <div id="detail"><h2>Views</h2><p>Run a query to see its characteristic views.</p></div>
 </main>
+<div id="stats-panel">
+  <h2>Serving stats <button id="refresh-stats">Refresh</button></h2>
+  <div id="stats-summary">Loading…</div>
+  <div id="stats-shards"></div>
+</div>
 <script>
 let lastViews = [];
 
@@ -105,6 +118,45 @@ function selectView(i) {
   d.innerHTML = html;
 }
 
+function tierCell(t) {
+  return t.hits + "/" + t.misses + " (" + t.entries + " cached)";
+}
+
+function renderStats(s) {
+  document.getElementById("stats-summary").textContent =
+    s.shardCount + " shard" + (s.shardCount === 1 ? "" : "s") +
+    " · prepared " + tierCell(s.prepared) + " hits/misses" +
+    " · reports " + tierCell(s.reports) + " hits/misses";
+  let html = "<table><tr><th>shard</th><th>backend</th><th>health</th>" +
+    "<th>requests</th><th>rejected</th><th>inflight</th><th>queued</th>" +
+    "<th>retry-after</th><th>prepared h/m</th><th>reports h/m</th><th>tables shipped</th></tr>";
+  (s.shards || []).forEach(sh => {
+    const backend = sh.kind + (sh.addr ? " · " + sh.addr : "");
+    const health = sh.healthy
+      ? '<span class="healthy">up</span>'
+      : '<span class="unhealthy">down</span>';
+    html += "<tr><td>" + sh.shard + "</td><td>" + backend + "</td><td>" + health +
+      "</td><td>" + sh.requests + "</td><td>" + sh.rejected +
+      "</td><td>" + sh.inflight + "</td><td>" + sh.queued +
+      "</td><td>" + (sh.retryAfterMillis > 0 ? sh.retryAfterMillis + "ms" : "–") +
+      "</td><td>" + sh.prepared.hits + "/" + sh.prepared.misses +
+      "</td><td>" + sh.reports.hits + "/" + sh.reports.misses +
+      "</td><td>" + (sh.tablesShipped || 0) + "</td></tr>";
+  });
+  html += "</table>";
+  document.getElementById("stats-shards").innerHTML = html;
+}
+
+async function refreshStats() {
+  try {
+    const resp = await fetch("/api/stats");
+    if (resp.ok) renderStats(await resp.json());
+  } catch (e) { /* stats are best-effort */ }
+}
+
+document.getElementById("refresh-stats").onclick = refreshStats;
+refreshStats();
+
 document.getElementById("run").onclick = async () => {
   const status = document.getElementById("status");
   status.textContent = "running…";
@@ -118,8 +170,15 @@ document.getElementById("run").onclick = async () => {
       })
     });
     const data = await resp.json();
-    if (!resp.ok) { status.textContent = "error: " + data.error; return; }
+    if (!resp.ok) {
+      const retry = resp.headers.get("Retry-After");
+      status.textContent = "error: " + data.error +
+        (resp.status === 503 && retry ? " (retry in ~" + retry + "s)" : "");
+      refreshStats();
+      return;
+    }
     renderViews(data);
+    refreshStats();
   } catch (e) {
     status.textContent = "request failed: " + e;
   }

@@ -13,15 +13,20 @@
 //	GET  /api/stats           cache + shard counters (also /stats)
 //
 // Requests are served by a sharded layer (internal/shard): each table is
-// owned by one engine shard, chosen by content fingerprint, and all shards
-// share one report cache. Characterization responses report two cache
-// signals: cacheHit (the owning shard reused the query-independent
-// dependency structure) and reportCacheHit (the entire report was served
-// from the shared content-addressed report memo — the serving hot path for
-// repeated identical queries). /api/stats exposes the aggregated
-// prepared/reports tiers plus a per-shard breakdown (admitted, rejected,
-// in-flight and queued requests, prepared-tier counters); within each tier
-// hits + misses equals the number of requests.
+// owned by one backend shard — an in-process engine, or a remote worker
+// process when ziggyd runs with -peers — chosen by content fingerprint, and
+// in-process shards share one report cache while remote repeats hit the
+// owning worker's cache over the wire. Characterization responses report
+// two cache signals: cacheHit (the owning shard reused the query-
+// independent dependency structure) and reportCacheHit (the entire report
+// was served from a content-addressed report memo — the serving hot path
+// for repeated identical queries). Shed requests (HTTP 503) carry a
+// Retry-After header computed from the owning shard's queue depth and
+// observed service rate. /api/stats exposes the aggregated prepared/reports
+// tiers plus a per-shard breakdown (kind, address and health of the
+// backend, admitted/rejected/in-flight/queued requests, the backoff hint,
+// shipped tables, cache tiers); within each tier hits + misses equals the
+// number of requests.
 package server
 
 import (
@@ -39,6 +44,7 @@ import (
 	"repro/internal/depend"
 	"repro/internal/memo"
 	"repro/internal/plot"
+	"repro/internal/remote"
 	"repro/internal/shard"
 )
 
@@ -212,6 +218,12 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		status := http.StatusUnprocessableEntity
 		if errors.Is(err, shard.ErrSaturated) {
 			status = http.StatusServiceUnavailable
+			// Shed responses carry the shard's backoff hint (queue depth ÷
+			// observed service rate) so clients can retry intelligently.
+			var sat *shard.SaturatedError
+			if errors.As(err, &sat) {
+				remote.SetRetryAfter(w, sat.RetryAfter)
+			}
 		}
 		s.writeError(w, status, err)
 		return
@@ -313,14 +325,26 @@ type statsResponse struct {
 	Shards []shardJSON `json:"shards"`
 }
 
-// shardJSON is one shard's traffic and prepared-tier counters.
+// shardJSON is one backend's traffic and cache-tier counters. Kind is
+// "local" or "remote"; remote entries carry the worker address, its
+// reachability, and how many table payloads were actually shipped to it.
 type shardJSON struct {
-	Shard    int      `json:"shard"`
-	Requests int64    `json:"requests"`
-	Rejected int64    `json:"rejected"`
-	Inflight int64    `json:"inflight"`
-	Queued   int64    `json:"queued"`
-	Prepared tierJSON `json:"prepared"`
+	Shard    int    `json:"shard"`
+	Kind     string `json:"kind"`
+	Addr     string `json:"addr,omitempty"`
+	Healthy  bool   `json:"healthy"`
+	Requests int64  `json:"requests"`
+	Rejected int64  `json:"rejected"`
+	Inflight int64  `json:"inflight"`
+	Queued   int64  `json:"queued"`
+	// RetryAfterMillis is the shard's current backoff hint; shed requests
+	// carry the same figure in their Retry-After header.
+	RetryAfterMillis int64    `json:"retryAfterMillis"`
+	TablesShipped    int64    `json:"tablesShipped,omitempty"`
+	Prepared         tierJSON `json:"prepared"`
+	// Reports is a remote worker's own report tier; local shards share the
+	// router cache reported in the top-level reports field.
+	Reports tierJSON `json:"reports"`
 }
 
 type tierJSON struct {
@@ -361,12 +385,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, sh := range stats.Shards {
 		resp.Shards = append(resp.Shards, shardJSON{
-			Shard:    sh.Shard,
-			Requests: sh.Requests,
-			Rejected: sh.Rejected,
-			Inflight: sh.Inflight,
-			Queued:   sh.Queued,
-			Prepared: tierFrom(sh.Prepared),
+			Shard:            sh.Shard,
+			Kind:             sh.Kind,
+			Addr:             sh.Addr,
+			Healthy:          sh.Healthy,
+			Requests:         sh.Requests,
+			Rejected:         sh.Rejected,
+			Inflight:         sh.Inflight,
+			Queued:           sh.Queued,
+			RetryAfterMillis: sh.RetryAfterMillis,
+			TablesShipped:    sh.TablesShipped,
+			Prepared:         tierFrom(sh.Prepared),
+			Reports:          tierFrom(sh.Reports),
 		})
 	}
 	s.writeJSON(w, http.StatusOK, resp)

@@ -7,9 +7,12 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/db"
+	"repro/internal/frame"
+	"repro/internal/remote"
 	"repro/internal/shard"
 	"repro/internal/synth"
 )
@@ -37,7 +40,7 @@ func TestIndexServesUI(t *testing.T) {
 		t.Fatalf("status %d", rec.Code)
 	}
 	body := rec.Body.String()
-	for _, want := range []string{"Ziggy", "Characterize", "/api/characterize"} {
+	for _, want := range []string{"Ziggy", "Characterize", "/api/characterize", "Serving stats", "/api/stats"} {
 		if !strings.Contains(body, want) {
 			t.Errorf("index missing %q", want)
 		}
@@ -160,6 +163,48 @@ func TestCharacterizeExplicitExclusions(t *testing.T) {
 	}
 }
 
+// saturatedBackend is a shard.Backend stub that always sheds with a fixed
+// Retry-After hint, so the server's 503 wire format is testable
+// deterministically.
+type saturatedBackend struct{ shard.Backend }
+
+func (saturatedBackend) RegisterTable(*frame.Frame) error { return nil }
+func (saturatedBackend) Characterize(*frame.Frame, *frame.Bitmap, core.Options) (*core.Report, error) {
+	return nil, &shard.SaturatedError{RetryAfter: 1500 * time.Millisecond}
+}
+func (saturatedBackend) CachedReport(uint64, *frame.Bitmap, core.Options) (*core.Report, bool) {
+	return nil, false
+}
+func (saturatedBackend) Snapshot() shard.ShardSnapshot { return shard.ShardSnapshot{Kind: "local"} }
+func (saturatedBackend) Healthy() error                { return nil }
+func (saturatedBackend) InvalidateCaches()             {}
+func (saturatedBackend) Close() error                  { return nil }
+
+// TestSaturationSetsRetryAfter pins the backoff satellite at the demo
+// server's wire: a shed characterization returns 503 with both the
+// integer-seconds Retry-After header (rounded up) and the millisecond twin.
+func TestSaturationSetsRetryAfter(t *testing.T) {
+	cat := db.NewCatalog()
+	if err := cat.Register(synth.BoxOffice(1)); err != nil {
+		t.Fatal(err)
+	}
+	router, err := shard.NewWithBackends(core.DefaultConfig(), nil, []shard.Backend{saturatedBackend{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(cat, router, nil)
+	rec, _ := characterize(t, s, `{"sql": "SELECT * FROM boxoffice WHERE gross_musd >= 100"}`)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want \"2\" (1.5s rounded up)", got)
+	}
+	if got := rec.Header().Get(remote.RetryAfterMillisHeader); got != "1500" {
+		t.Errorf("%s = %q, want \"1500\"", remote.RetryAfterMillisHeader, got)
+	}
+}
+
 func TestDendrogramEndpoint(t *testing.T) {
 	s := testServer(t)
 	rec := httptest.NewRecorder()
@@ -239,8 +284,11 @@ func TestStatsEndpointAndReportCache(t *testing.T) {
 		for _, sh := range stats.Shards {
 			requests += sh.Requests
 			entries += int64(sh.Prepared.Entries)
-			if sh.Rejected != 0 || sh.Inflight != 0 || sh.Queued != 0 {
+			if sh.Rejected != 0 || sh.Inflight != 0 || sh.Queued != 0 || sh.RetryAfterMillis != 0 {
 				t.Errorf("%s shard %d reports phantom load: %+v", path, sh.Shard, sh)
+			}
+			if sh.Kind != "local" || !sh.Healthy || sh.Addr != "" || sh.TablesShipped != 0 {
+				t.Errorf("%s shard %d backend metadata = %+v, want healthy local", path, sh.Shard, sh)
 			}
 		}
 		if requests != 2 || entries != 1 {

@@ -1,0 +1,219 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/memo"
+)
+
+// Backend is one shard of the serving layer behind the router — the
+// transport-agnostic boundary that lets shards live in this process
+// (EngineBackend) or behind RPC in another one (internal/remote.Client)
+// without the router, the cache keys, or the rendezvous routing changing.
+//
+// Everything is addressed by content: tables register by their frame
+// fingerprint (re-registration of a known fingerprint is a no-op, so a
+// table crosses the process boundary at most once), cache probes take only
+// the fingerprint (a repeat query can be answered before the table was ever
+// shipped), and reports come back byte-identical no matter which backend
+// computes them.
+type Backend interface {
+	// RegisterTable makes f available to the backend. It is content
+	// addressed and idempotent: a fingerprint the backend already holds is
+	// a no-op, so the router may call it on every request.
+	RegisterTable(f *frame.Frame) error
+	// Characterize runs the full pipeline (or serves the backend's report
+	// cache) for a registered table. Saturated backends shed with a
+	// *SaturatedError; unreachable remote backends report
+	// ErrBackendUnavailable so the router can fail over.
+	Characterize(f *frame.Frame, sel *frame.Bitmap, opts core.Options) (*core.Report, error)
+	// CachedReport probes the backend's report cache by table fingerprint
+	// without executing anything — the pre-admission fast path that keeps
+	// repeat queries at ~µs even when the backend is saturated, and keeps
+	// them from re-shipping tables across processes.
+	CachedReport(fp uint64, sel *frame.Bitmap, opts core.Options) (*core.Report, bool)
+	// Snapshot returns the backend's traffic counters and cache tiers; the
+	// router stamps the shard index.
+	Snapshot() ShardSnapshot
+	// Healthy reports whether the backend can currently serve (always nil
+	// for in-process backends).
+	Healthy() error
+	// InvalidateCaches drops the backend's cache tiers where it can (a
+	// remote backend leaves its worker's caches alone).
+	InvalidateCaches()
+	// Close releases transport resources; in-process backends no-op.
+	Close() error
+}
+
+// ErrBackendUnavailable is wrapped by backends whose transport failed (a
+// worker that is down or unreachable). The router treats it as "try the
+// next backend in rendezvous order" rather than a request failure; every
+// other error propagates as-is.
+var ErrBackendUnavailable = errors.New("shard: backend unavailable")
+
+// SaturatedError is the load-shedding error: the owning backend already has
+// its full complement of running plus queued characterizations.
+// errors.Is(err, ErrSaturated) identifies the condition; errors.As
+// recovers the backoff hint, which ziggyd surfaces as a Retry-After header.
+type SaturatedError struct {
+	// RetryAfter estimates when a retry will find a free slot: current
+	// queue occupancy divided by the backend's observed service rate.
+	RetryAfter time.Duration
+}
+
+func (e *SaturatedError) Error() string {
+	return fmt.Sprintf("%v (retry after %v)", ErrSaturated, e.RetryAfter.Round(time.Millisecond))
+}
+
+// Unwrap ties the typed error to the ErrSaturated sentinel.
+func (e *SaturatedError) Unwrap() error { return ErrSaturated }
+
+// defaultServiceEstimate seeds the service-rate estimate before a backend
+// has completed its first characterization.
+const defaultServiceEstimate = 500 * time.Millisecond
+
+// EngineBackend is the in-process Backend: one core.Engine plus the shard's
+// admission queue and traffic counters. It is what every router ran before
+// the boundary became pluggable, now behind the same interface as a remote
+// worker.
+type EngineBackend struct {
+	engine      *core.Engine
+	concurrency int
+
+	// admit bounds running + waiting requests (capacity concurrency +
+	// queue depth); a failed non-blocking send is a shed request. run
+	// bounds concurrently executing requests (capacity concurrency).
+	admit chan struct{}
+	run   chan struct{}
+
+	requests atomic.Int64
+	rejected atomic.Int64
+	// completed and serviceNanos track executed (non-cached)
+	// characterizations and their cumulative wall time; their ratio is the
+	// observed service time feeding the Retry-After hint.
+	completed    atomic.Int64
+	serviceNanos atomic.Int64
+}
+
+// NewEngineBackend builds an in-process backend with its own engine sharing
+// the given report cache (nil = private) and admission parameters (zero
+// values = package defaults). Mixed local/remote topologies hand these to
+// NewWithBackends next to remote clients.
+func NewEngineBackend(cfg core.Config, reports *core.ReportCache, p Params) (*EngineBackend, error) {
+	if p.Concurrency < 0 || p.QueueDepth < 0 {
+		return nil, fmt.Errorf("shard: negative admission params %+v", p)
+	}
+	if p.Concurrency == 0 {
+		p.Concurrency = DefaultConcurrency
+	}
+	if p.QueueDepth == 0 {
+		p.QueueDepth = DefaultQueueDepth
+	}
+	e, err := core.NewShared(cfg, reports)
+	if err != nil {
+		return nil, err
+	}
+	return &EngineBackend{
+		engine:      e,
+		concurrency: p.Concurrency,
+		admit:       make(chan struct{}, p.Concurrency+p.QueueDepth),
+		run:         make(chan struct{}, p.Concurrency),
+	}, nil
+}
+
+// Engine exposes the backend's engine for cache control and inspection.
+func (b *EngineBackend) Engine() *core.Engine { return b.engine }
+
+// RegisterTable is a no-op: an in-process backend reads the frame directly,
+// so registration is implicit.
+func (b *EngineBackend) RegisterTable(*frame.Frame) error { return nil }
+
+// Characterize admits the request through the shard's queue and runs the
+// engine. It is shed with a *SaturatedError when the backend already has
+// Concurrency running plus QueueDepth waiting requests.
+func (b *EngineBackend) Characterize(f *frame.Frame, sel *frame.Bitmap, opts core.Options) (*core.Report, error) {
+	select {
+	case b.admit <- struct{}{}:
+	default:
+		b.rejected.Add(1)
+		return nil, &SaturatedError{RetryAfter: b.retryAfter()}
+	}
+	defer func() { <-b.admit }()
+	b.run <- struct{}{}
+	defer func() { <-b.run }()
+	b.requests.Add(1)
+	start := time.Now()
+	rep, err := b.engine.CharacterizeOpts(f, sel, opts)
+	if err == nil && !rep.ReportCacheHit {
+		// Only executed pipelines feed the service-rate estimate; a ~µs
+		// cache hit would make the Retry-After hint wildly optimistic.
+		b.completed.Add(1)
+		b.serviceNanos.Add(time.Since(start).Nanoseconds())
+	}
+	return rep, err
+}
+
+// CachedReport probes the shared report cache by fingerprint; a hit counts
+// as a served request, exactly like an admitted one.
+func (b *EngineBackend) CachedReport(fp uint64, sel *frame.Bitmap, opts core.Options) (*core.Report, bool) {
+	rep, ok := b.engine.CachedReportFingerprint(fp, sel, opts)
+	if ok {
+		b.requests.Add(1)
+	}
+	return rep, ok
+}
+
+// retryAfter estimates how long a shed caller should back off: the queue
+// occupancy divided by the observed service rate (concurrency slots each
+// retiring one characterization per observed mean service time). An idle
+// backend hints zero.
+func (b *EngineBackend) retryAfter() time.Duration {
+	occupancy := len(b.admit)
+	if occupancy == 0 {
+		return 0
+	}
+	avg := defaultServiceEstimate
+	if n := b.completed.Load(); n > 0 {
+		avg = time.Duration(b.serviceNanos.Load() / n)
+	}
+	return time.Duration(float64(avg) * float64(occupancy) / float64(b.concurrency))
+}
+
+// Snapshot returns the backend's point-in-time counters. Inflight and
+// Queued are instantaneous channel occupancies and may be transiently
+// inconsistent with each other under concurrent traffic.
+func (b *EngineBackend) Snapshot() ShardSnapshot {
+	queued := int64(len(b.admit)) - int64(len(b.run))
+	if queued < 0 {
+		queued = 0
+	}
+	return ShardSnapshot{
+		Kind:             KindLocal,
+		Healthy:          true,
+		Requests:         b.requests.Load(),
+		Rejected:         b.rejected.Load(),
+		Inflight:         int64(len(b.run)),
+		Queued:           queued,
+		RetryAfterMillis: b.retryAfter().Milliseconds(),
+		Prepared:         b.engine.CacheStats().Prepared,
+		// Reports stays zero: local backends share the router's report
+		// cache, reported once as Stats.Reports.
+		Reports: memo.Snapshot{},
+	}
+}
+
+// Healthy always succeeds: an in-process backend is reachable by
+// construction.
+func (b *EngineBackend) Healthy() error { return nil }
+
+// InvalidateCaches drops the engine's prepared tier (and, because the
+// engine shares it, the report cache — idempotent across backends).
+func (b *EngineBackend) InvalidateCaches() { b.engine.InvalidateCache() }
+
+// Close is a no-op for in-process backends.
+func (b *EngineBackend) Close() error { return nil }

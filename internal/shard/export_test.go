@@ -3,18 +3,19 @@ package shard
 // fillShard exhausts shard i's admission capacity from a test, simulating a
 // shard pinned down by slow characterizations; the returned release restores
 // the tokens. It lets the saturation path be tested deterministically
-// without staging an actually-slow request.
+// without staging an actually-slow request. It only applies to in-process
+// backends.
 func (r *Router) fillShard(i int) (release func()) {
-	st := r.states[i]
+	b := r.backends[i].(*EngineBackend)
 	taken := 0
 	for {
 		select {
-		case st.admit <- struct{}{}:
+		case b.admit <- struct{}{}:
 			taken++
 		default:
 			return func() {
 				for ; taken > 0; taken-- {
-					<-st.admit
+					<-b.admit
 				}
 			}
 		}

@@ -1,40 +1,47 @@
 // Package shard implements the horizontally partitioned serving layer: N
-// independent core.Engine shards behind one router.
+// independent backends — in-process engines, remote workers, or a mix —
+// behind one router.
 //
-// Each loaded table is assigned to exactly one shard by its content
+// Each loaded table is assigned to exactly one backend by its content
 // fingerprint (frame.Frame.Fingerprint) using rendezvous (highest-random-
 // weight) hashing, so
 //
-//   - assignment is a pure function of (fingerprint, shard count): it is
-//     stable across restarts and across routers, and a reloaded identical
-//     table lands on the same shard with its prepared structures already
-//     cached;
-//   - changing the shard count rehashes minimally: growing from N to N+1
-//     shards moves only the keys whose new highest score belongs to the new
-//     shard (≈ 1/(N+1) of them), and every moved key moves to the new shard.
+//   - assignment is a pure function of (fingerprint, backend count): it is
+//     stable across restarts and across routers, a reloaded identical table
+//     lands on the same shard with its prepared structures already cached,
+//     and a front process and its workers agree on ownership without any
+//     coordination;
+//   - changing the backend count rehashes minimally: growing from N to N+1
+//     moves only the keys whose new highest score belongs to the new backend
+//     (≈ 1/(N+1) of them), and every moved key moves to the new one.
 //
-// Each shard owns a private prepared-structure cache (dependency matrix +
-// dendrogram per table, naturally partitioned because tables are) and an
-// admission queue: at most Params.Concurrency characterizations execute on a
-// shard at once, at most Params.QueueDepth more wait, and beyond that the
-// router sheds load with ErrSaturated instead of letting one giant
-// characterization head-of-line-block every other table's traffic. Requests
-// already answered by the shared report cache bypass admission entirely, so
-// cached traffic is never shed or queued.
+// The router talks to its shards only through the Backend interface
+// (backend.go): register a table by content (ships across the process
+// boundary at most once), probe the report cache by fingerprint, then
+// characterize. EngineBackend is the in-process implementation — an engine
+// plus an admission queue that sheds load with ErrSaturated and a
+// Retry-After hint instead of head-of-line blocking. internal/remote.Client
+// is the HTTP implementation backed by a `ziggyd -worker` process; when a
+// remote backend is unreachable the router fails over to the next backend
+// in rendezvous order (reports are byte-identical wherever they compute, so
+// failover never changes the answer).
 //
-// The report-level memo is NOT per shard: all shards share one
+// The report-level memo is NOT per backend: in-process backends share one
 // core.ReportCache keyed by (frame fp, selection fp, config hash, options
 // hash), so a repeat query hits in ~µs no matter which shard, engine
-// instance, or reloaded copy of the table serves it. The same cache can be
-// shared across routers (ziggy.NewSessionShared), making concurrent
-// identical requests on different sessions compute exactly once.
+// instance, or reloaded copy of the table serves it, and the same cache can
+// be shared across routers (ziggy.NewSessionShared). Remote backends extend
+// the same probe across the process boundary: the front asks the owning
+// worker by fingerprint before shipping anything, so repeat queries hit the
+// worker's cache without the table crossing the wire again.
 package shard
 
 import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sync/atomic"
+	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/frame"
@@ -51,10 +58,19 @@ const (
 	DefaultQueueDepth = 32
 )
 
+// Backend kinds reported in ShardSnapshot.Kind.
+const (
+	// KindLocal marks an in-process EngineBackend.
+	KindLocal = "local"
+	// KindRemote marks a backend served by a worker process over RPC.
+	KindRemote = "remote"
+)
+
 // ErrSaturated is returned (wrapped, with the shard index) when a shard's
 // admission queue is full: the request is shed immediately instead of
 // queueing without bound behind a slow characterization. Callers can retry
-// with backoff; errors.Is(err, ErrSaturated) identifies the condition.
+// with backoff — errors.As against *SaturatedError recovers the suggested
+// Retry-After — and errors.Is(err, ErrSaturated) identifies the condition.
 var ErrSaturated = errors.New("shard: admission queue saturated")
 
 // Params tunes the per-shard admission queues. The zero value means the
@@ -68,36 +84,17 @@ type Params struct {
 	QueueDepth int
 }
 
-// Router fans characterization requests out to its shards by table content
-// fingerprint. It is safe for concurrent use.
+// Router fans characterization requests out to its backends by table
+// content fingerprint. It is safe for concurrent use.
 type Router struct {
-	cfg     core.Config
-	reports *core.ReportCache
-	engines []*core.Engine
-	states  []*shardState
+	cfg      core.Config
+	reports  *core.ReportCache
+	backends []Backend
 }
 
-// shardState is one shard's admission queue and traffic counters.
-type shardState struct {
-	// admit bounds running + waiting requests (capacity concurrency +
-	// queue depth); a failed non-blocking send is a shed request.
-	admit chan struct{}
-	// run bounds concurrently executing requests (capacity concurrency).
-	run chan struct{}
-
-	requests atomic.Int64
-	rejected atomic.Int64
-}
-
-func newShardState(p Params) *shardState {
-	return &shardState{
-		admit: make(chan struct{}, p.Concurrency+p.QueueDepth),
-		run:   make(chan struct{}, p.Concurrency),
-	}
-}
-
-// New builds a router with cfg.Shards engine shards (0 = GOMAXPROCS) and a
-// fresh shared report cache bounded by cfg.CacheEntries / cfg.CacheBytes.
+// New builds a router with cfg.Shards in-process engine backends
+// (0 = GOMAXPROCS) and a fresh shared report cache bounded by
+// cfg.CacheEntries / cfg.CacheBytes.
 func New(cfg core.Config) (*Router, error) {
 	return NewWithParams(cfg, nil, Params{})
 }
@@ -113,15 +110,6 @@ func NewWithCache(cfg core.Config, reports *core.ReportCache) (*Router, error) {
 func NewWithParams(cfg core.Config, reports *core.ReportCache, p Params) (*Router, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
-	}
-	if p.Concurrency < 0 || p.QueueDepth < 0 {
-		return nil, fmt.Errorf("shard: negative admission params %+v", p)
-	}
-	if p.Concurrency == 0 {
-		p.Concurrency = DefaultConcurrency
-	}
-	if p.QueueDepth == 0 {
-		p.QueueDepth = DefaultQueueDepth
 	}
 	n := cfg.Shards
 	if n == 0 {
@@ -140,21 +128,40 @@ func NewWithParams(cfg core.Config, reports *core.ReportCache, p Params) (*Route
 	entries, bytes := cfg.EffectiveCacheBounds()
 	perShard.CacheEntries = max(1, entries/n)
 	perShard.CacheBytes = max(1, bytes/int64(n))
-	r := &Router{
-		cfg:     cfg,
-		reports: reports,
-		engines: make([]*core.Engine, n),
-		states:  make([]*shardState, n),
-	}
+	backends := make([]Backend, n)
 	for i := 0; i < n; i++ {
-		e, err := core.NewShared(perShard, reports)
+		b, err := NewEngineBackend(perShard, reports, p)
 		if err != nil {
 			return nil, err
 		}
-		r.engines[i] = e
-		r.states[i] = newShardState(p)
+		backends[i] = b
 	}
-	return r, nil
+	return NewWithBackends(cfg, reports, backends)
+}
+
+// NewWithBackends builds a router over explicit backends — remote clients
+// (internal/remote.Client), in-process engines (NewEngineBackend), or a mix.
+// The backend order is the shard numbering: rendezvous assignment depends
+// only on (fingerprint, position), so a front process and its workers stay
+// in agreement as long as the list order is stable. reports is the router's
+// pre-admission shared cache for its in-process backends (nil = a fresh
+// one); remote backends keep their caches worker-side.
+func NewWithBackends(cfg core.Config, reports *core.ReportCache, backends []Backend) (*Router, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("shard: no backends")
+	}
+	for i, b := range backends {
+		if b == nil {
+			return nil, fmt.Errorf("shard: backend %d is nil", i)
+		}
+	}
+	if reports == nil {
+		reports = core.NewReportCache(cfg.CacheEntries, cfg.CacheBytes)
+	}
+	return &Router{cfg: cfg, reports: reports, backends: backends}, nil
 }
 
 // Assign returns the shard a table fingerprint maps to among shards shards,
@@ -174,6 +181,25 @@ func Assign(fp uint64, shards int) int {
 	return best
 }
 
+// Rank returns all shard indices ordered by decreasing rendezvous score for
+// the fingerprint: Rank(fp, n)[0] == Assign(fp, n), and the rest is the
+// failover order — when the owner is unreachable the router tries the
+// runner-up, which is exactly the shard the table would rendezvous to if
+// the owner left the topology.
+func Rank(fp uint64, shards int) []int {
+	if shards <= 0 {
+		return nil
+	}
+	order := make([]int, shards)
+	scores := make([]uint64, shards)
+	for i := range order {
+		order[i] = i
+		scores[i] = mixFingerprint(fp, uint64(i))
+	}
+	sort.Slice(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	return order
+}
+
 // mixFingerprint combines a table fingerprint and a shard index into one
 // well-distributed 64-bit score (a splitmix64 finalizer over their blend).
 func mixFingerprint(fp, shard uint64) uint64 {
@@ -188,72 +214,138 @@ func mixFingerprint(fp, shard uint64) uint64 {
 
 // ShardFor returns the index of the shard serving the given table
 // fingerprint.
-func (r *Router) ShardFor(fp uint64) int { return Assign(fp, len(r.engines)) }
+func (r *Router) ShardFor(fp uint64) int { return Assign(fp, len(r.backends)) }
 
-// NumShards returns the number of engine shards behind the router.
-func (r *Router) NumShards() int { return len(r.engines) }
+// NumShards returns the number of backends behind the router.
+func (r *Router) NumShards() int { return len(r.backends) }
 
-// Config returns the configuration the shard engines were built with.
+// Config returns the configuration the router was built with.
 func (r *Router) Config() core.Config { return r.cfg }
 
-// Engine returns shard i's engine, for cache control and inspection.
-func (r *Router) Engine(i int) *core.Engine { return r.engines[i] }
+// Backend returns shard i's backend.
+func (r *Router) Backend(i int) Backend { return r.backends[i] }
 
-// ReportCache returns the shared cross-shard report cache.
+// Engine returns shard i's engine when the backend is in-process, nil when
+// it lives behind RPC — remote engines are not reachable as objects.
+func (r *Router) Engine(i int) *core.Engine {
+	if b, ok := r.backends[i].(*EngineBackend); ok {
+		return b.Engine()
+	}
+	return nil
+}
+
+// ReportCache returns the router's shared report cache (the pre-admission
+// probe tier of its in-process backends; remote workers run their own).
 func (r *Router) ReportCache() *core.ReportCache { return r.reports }
 
-// Characterize routes the request to the shard owning f and runs the full
-// pipeline there (or serves it from the shared report cache).
+// Characterize routes the request to the backend owning f and runs the full
+// pipeline there (or serves it from a report cache).
 func (r *Router) Characterize(f *frame.Frame, sel *frame.Bitmap) (*core.Report, error) {
 	return r.CharacterizeOpts(f, sel, core.Options{})
 }
 
-// CharacterizeOpts is Characterize with per-run options. A request whose
-// report is already in the shared cache is answered immediately — a ~µs
-// lookup that never touches the admission queue, so cached traffic cannot
-// be shed or stuck behind slow characterizations. Everything else passes
-// the owning shard's admission queue: it is shed with ErrSaturated when the
-// shard already has Concurrency running plus QueueDepth waiting requests,
-// otherwise it waits for a run slot and executes.
+// CharacterizeOpts is Characterize with per-run options. The owning backend
+// is probed for a cached report first — a ~µs lookup (one cheap RPC when
+// the owner is remote) that never touches the admission queue, so cached
+// traffic cannot be shed, stuck behind slow characterizations, or force a
+// table to re-ship. A miss registers the table (content-addressed: at most
+// one shipment per backend) and characterizes, shedding with ErrSaturated
+// when the owner already has Concurrency running plus QueueDepth waiting
+// requests. If the owner is unreachable (a worker that is down), the
+// request fails over along the rendezvous ranking; reports are
+// byte-identical wherever they compute, so failover changes latency, never
+// bytes.
 func (r *Router) CharacterizeOpts(f *frame.Frame, sel *frame.Bitmap, opts core.Options) (*core.Report, error) {
 	if f == nil {
 		// The engine validates too, but routing needs the fingerprint first.
 		return nil, fmt.Errorf("shard: nil frame")
 	}
-	i := r.ShardFor(f.Fingerprint())
-	st := r.states[i]
-	if rep, ok := r.engines[i].CachedReport(f, sel, opts); ok {
-		st.requests.Add(1)
+	fp := f.Fingerprint()
+	// The owner serves the request on the zero-allocation fast path; the
+	// full rendezvous ranking is only materialized when the owner is
+	// unreachable (never in all-local topologies).
+	rep, err := r.serveOn(Assign(fp, len(r.backends)), f, fp, sel, opts)
+	if err == nil || !errors.Is(err, ErrBackendUnavailable) {
+		return rep, err
+	}
+	firstErr := err
+	for _, i := range Rank(fp, len(r.backends))[1:] {
+		rep, err := r.serveOn(i, f, fp, sel, opts)
+		if err == nil {
+			return rep, nil
+		}
+		if !errors.Is(err, ErrBackendUnavailable) {
+			return nil, err
+		}
+	}
+	return nil, firstErr
+}
+
+// serveOn runs the probe → register → characterize sequence on one backend.
+func (r *Router) serveOn(i int, f *frame.Frame, fp uint64, sel *frame.Bitmap, opts core.Options) (*core.Report, error) {
+	b := r.backends[i]
+	if rep, ok := b.CachedReport(fp, sel, opts); ok {
 		return rep, nil
 	}
-	select {
-	case st.admit <- struct{}{}:
-	default:
-		st.rejected.Add(1)
-		return nil, fmt.Errorf("shard %d: %w", i, ErrSaturated)
+	if err := b.RegisterTable(f); err != nil {
+		return nil, fmt.Errorf("shard %d: %w", i, err)
 	}
-	defer func() { <-st.admit }()
-	st.run <- struct{}{}
-	defer func() { <-st.run }()
-	st.requests.Add(1)
-	return r.engines[i].CharacterizeOpts(f, sel, opts)
+	rep, err := b.Characterize(f, sel, opts)
+	if err != nil {
+		// Transport and admission conditions carry the shard index; the
+		// engine's own validation errors pass through unchanged (they are
+		// part of the serving wire format).
+		if errors.Is(err, ErrSaturated) || errors.Is(err, ErrBackendUnavailable) {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		return nil, err
+	}
+	return rep, nil
 }
 
-// InvalidateCaches drops every shard's prepared structures and the shared
-// report cache; mainly for benchmarks that need a cold router.
+// CachedReportFingerprint probes the owning backend's report cache without
+// running anything; it is the surface a worker exposes over RPC so repeat
+// queries can be answered before their table was ever shipped.
+func (r *Router) CachedReportFingerprint(fp uint64, sel *frame.Bitmap, opts core.Options) (*core.Report, bool) {
+	return r.backends[Assign(fp, len(r.backends))].CachedReport(fp, sel, opts)
+}
+
+// InvalidateCaches drops every backend's local cache tiers and the shared
+// report cache; mainly for benchmarks that need a cold router. Remote
+// workers keep their caches (they serve other fronts too).
 func (r *Router) InvalidateCaches() {
-	for _, e := range r.engines {
-		e.InvalidateCache() // purges the shared report cache too (idempotent)
+	for _, b := range r.backends {
+		b.InvalidateCaches()
 	}
+	r.reports.Purge()
 }
 
-// ShardSnapshot is one shard's point-in-time traffic counters and
-// prepared-cache tier.
+// Close releases the backends' transport resources (idle RPC connections);
+// in-process backends are unaffected.
+func (r *Router) Close() error {
+	var first error
+	for _, b := range r.backends {
+		if err := b.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ShardSnapshot is one backend's point-in-time traffic counters and cache
+// tiers.
 type ShardSnapshot struct {
 	// Shard is the shard index the snapshot describes.
 	Shard int `json:"shard"`
+	// Kind is KindLocal or KindRemote; Addr is the worker address of a
+	// remote backend.
+	Kind string `json:"kind"`
+	Addr string `json:"addr,omitempty"`
+	// Healthy reports reachability: always true for in-process backends,
+	// the last transport outcome for remote ones.
+	Healthy bool `json:"healthy"`
 	// Requests counts served characterizations: admitted ones plus repeat
-	// queries answered by the pre-admission shared-cache fast path.
+	// queries answered by the pre-admission cache probe.
 	Requests int64 `json:"requests"`
 	// Rejected counts requests shed with ErrSaturated.
 	Rejected int64 `json:"rejected"`
@@ -261,51 +353,67 @@ type ShardSnapshot struct {
 	// Queued the number admitted but waiting for a run slot.
 	Inflight int64 `json:"inflight"`
 	Queued   int64 `json:"queued"`
-	// Prepared is the shard engine's prepared-structure memo tier.
+	// RetryAfterMillis is the current backoff hint — queue occupancy over
+	// observed service rate — that saturated requests carry in their
+	// SaturatedError (and ziggyd in its Retry-After header). Zero when
+	// idle.
+	RetryAfterMillis int64 `json:"retryAfterMillis"`
+	// TablesShipped counts table payloads actually sent to a remote worker
+	// (re-registrations that matched by fingerprint are not shipments).
+	// Always zero for local backends.
+	TablesShipped int64 `json:"tablesShipped,omitempty"`
+	// Prepared is the backend's prepared-structure memo tier.
 	Prepared memo.Snapshot `json:"prepared"`
-}
-
-// Stats is the aggregated snapshot of a sharded serving layer: one entry per
-// shard plus the shared cross-shard report cache. It is the ShardStats shape
-// surfaced through /api/stats, ziggy.Session.ShardStats and zigsh \stats.
-type Stats struct {
-	Shards []ShardSnapshot `json:"shards"`
-	// Reports is the shared report cache; its counters cover every shard
-	// (and every router sharing the cache).
+	// Reports is a remote worker's own shared report tier. Local backends
+	// leave it zero — they share the router's cache, reported once as
+	// Stats.Reports.
 	Reports memo.Snapshot `json:"reports"`
 }
 
-// Stats returns a point-in-time snapshot of every shard and the shared
-// report cache. Inflight/Queued are instantaneous channel occupancies and
-// may be transiently inconsistent with each other under concurrent traffic.
+// Stats is the aggregated snapshot of a sharded serving layer: one entry per
+// backend plus the router's shared report cache. It is the ShardStats shape
+// surfaced through /api/stats, ziggy.Session.ShardStats and zigsh \stats.
+type Stats struct {
+	Shards []ShardSnapshot `json:"shards"`
+	// Reports is the router's shared report cache; its counters cover every
+	// in-process backend (and every router sharing the cache). Remote
+	// workers' report tiers appear on their shard entries instead.
+	Reports memo.Snapshot `json:"reports"`
+}
+
+// Stats returns a point-in-time snapshot of every backend and the shared
+// report cache. Inflight/Queued are instantaneous occupancies and may be
+// transiently inconsistent with each other under concurrent traffic; remote
+// entries reflect the worker's last reachable state. Backend snapshots are
+// gathered concurrently, so a topology of unreachable workers costs one
+// probe timeout, not one per worker.
 func (r *Router) Stats() Stats {
-	s := Stats{Shards: make([]ShardSnapshot, len(r.engines)), Reports: r.reports.Snapshot()}
-	for i, e := range r.engines {
-		st := r.states[i]
-		queued := int64(len(st.admit)) - int64(len(st.run))
-		if queued < 0 {
-			queued = 0
-		}
-		s.Shards[i] = ShardSnapshot{
-			Shard:    i,
-			Requests: st.requests.Load(),
-			Rejected: st.rejected.Load(),
-			Inflight: int64(len(st.run)),
-			Queued:   queued,
-			Prepared: e.CacheStats().Prepared,
-		}
+	s := Stats{Shards: make([]ShardSnapshot, len(r.backends)), Reports: r.reports.Snapshot()}
+	var wg sync.WaitGroup
+	for i, b := range r.backends {
+		wg.Add(1)
+		go func(i int, b Backend) {
+			defer wg.Done()
+			snap := b.Snapshot()
+			snap.Shard = i
+			s.Shards[i] = snap
+		}(i, b)
 	}
+	wg.Wait()
 	return s
 }
 
 // Totals folds the snapshot into the two-tier core.CacheStats shape: the
-// per-shard prepared tiers summed, plus the shared report cache. It keeps
+// per-backend prepared tiers summed, plus the report tier — the router's
+// shared cache and any remote workers' own report tiers combined. It keeps
 // Session.CacheStats and the /api/stats prepared/reports fields meaningful
-// under sharding.
+// under sharding, local or distributed.
 func (s Stats) Totals() core.CacheStats {
 	var prep memo.Snapshot
+	reports := s.Reports
 	for _, sh := range s.Shards {
 		prep = core.AddSnapshots(prep, sh.Prepared)
+		reports = core.AddSnapshots(reports, sh.Reports)
 	}
-	return core.CacheStats{Prepared: prep, Reports: s.Reports}
+	return core.CacheStats{Prepared: prep, Reports: reports}
 }

@@ -358,6 +358,113 @@ func TestStatsTotals(t *testing.T) {
 	}
 }
 
+// TestRankOrdersAllShards pins the failover ranking: Rank is a permutation
+// of the shard indices, its head agrees with Assign, and removing the head
+// promotes exactly the runner-up — the shard the table would rendezvous to
+// if the owner left the topology.
+func TestRankOrdersAllShards(t *testing.T) {
+	rng := randx.New(3)
+	for i := 0; i < 200; i++ {
+		fp := rng.Uint64()
+		order := Rank(fp, 5)
+		if len(order) != 5 {
+			t.Fatalf("Rank returned %d entries, want 5", len(order))
+		}
+		seen := make(map[int]bool)
+		for _, s := range order {
+			if s < 0 || s >= 5 || seen[s] {
+				t.Fatalf("Rank(%#x, 5) = %v is not a permutation", fp, order)
+			}
+			seen[s] = true
+		}
+		if order[0] != Assign(fp, 5) {
+			t.Fatalf("Rank head %d disagrees with Assign %d", order[0], Assign(fp, 5))
+		}
+	}
+	if Rank(1, 0) != nil {
+		t.Error("Rank with zero shards should be nil")
+	}
+}
+
+// TestSaturatedRetryAfterHint pins the backoff satellite: a shed request
+// carries a positive Retry-After estimate (queue occupancy over observed
+// service rate), the same figure ShardStats reports while the shard is
+// pinned, and the hint returns to zero once the queue drains.
+func TestSaturatedRetryAfterHint(t *testing.T) {
+	r, err := NewWithParams(testConfig(2), nil, Params{Concurrency: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, sel := testTable(t, 31)
+	owner := r.ShardFor(f.Fingerprint())
+	// One completed characterization seeds the observed service rate.
+	if _, err := r.Characterize(f, sel); err != nil {
+		t.Fatal(err)
+	}
+	release := r.fillShard(owner)
+	uncached := core.Options{ExcludeColumns: []string{"c1"}}
+	_, err = r.CharacterizeOpts(f, sel, uncached)
+	var sat *SaturatedError
+	if !errors.As(err, &sat) {
+		t.Fatalf("saturated shard returned %v, want *SaturatedError", err)
+	}
+	if sat.RetryAfter <= 0 {
+		t.Errorf("RetryAfter = %v, want > 0", sat.RetryAfter)
+	}
+	if got := r.Stats().Shards[owner].RetryAfterMillis; got < 0 {
+		t.Errorf("pinned shard advertises RetryAfterMillis = %d, want >= 0", got)
+	}
+	release()
+	if got := r.Stats().Shards[owner].RetryAfterMillis; got != 0 {
+		t.Errorf("idle shard advertises RetryAfterMillis = %d, want 0", got)
+	}
+}
+
+// TestSnapshotKindAndHealth pins the new backend metadata on local
+// topologies: every shard reports kind "local", healthy, and no shipped
+// tables.
+func TestSnapshotKindAndHealth(t *testing.T) {
+	r := mustRouter(t, testConfig(3))
+	for _, sh := range r.Stats().Shards {
+		if sh.Kind != KindLocal || !sh.Healthy || sh.TablesShipped != 0 || sh.Addr != "" {
+			t.Errorf("local shard snapshot = %+v", sh)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Errorf("closing a local router: %v", err)
+	}
+}
+
+// TestNewWithBackendsValidation covers the explicit-topology constructor.
+func TestNewWithBackendsValidation(t *testing.T) {
+	if _, err := NewWithBackends(testConfig(1), nil, nil); err == nil {
+		t.Error("empty backend list accepted")
+	}
+	if _, err := NewWithBackends(testConfig(1), nil, []Backend{nil}); err == nil {
+		t.Error("nil backend accepted")
+	}
+	b, err := NewEngineBackend(testConfig(1), nil, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := testConfig(1)
+	bad.MaxDim = 0
+	if _, err := NewWithBackends(bad, nil, []Backend{b}); err == nil {
+		t.Error("invalid config accepted")
+	}
+	r, err := NewWithBackends(testConfig(1), nil, []Backend{b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, sel := testTable(t, 40)
+	if _, err := r.Characterize(f, sel); err != nil {
+		t.Fatal(err)
+	}
+	if r.Engine(0) != b.Engine() {
+		t.Error("Engine(0) does not expose the backend engine")
+	}
+}
+
 // TestRouterValidation covers construction errors: invalid engine config,
 // negative shard count, negative admission params, and nil-frame routing.
 func TestRouterValidation(t *testing.T) {

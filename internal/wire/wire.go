@@ -1,0 +1,205 @@
+// Package wire holds the byte-level primitives shared by the versioned
+// codecs of the serving layer: core's report codec and remote's
+// frame/request codec. The conventions are deliberately boring — fixed-width
+// little-endian integers, float64s as IEEE bit patterns (NaN payloads
+// survive), one-byte bools that reject anything but 0/1, length-prefixed
+// strings — because the contract on top of them is strong: every codec is
+// canonical (equal values encode to equal bytes) and strict (truncation,
+// oversized counts, and trailing bytes are errors, never a partial decode).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Buf accumulates an encoding; the zero value is ready to use. B is the
+// encoded payload.
+type Buf struct{ B []byte }
+
+// U8 appends one byte.
+func (w *Buf) U8(v byte) { w.B = append(w.B, v) }
+
+// U32 appends a 32-bit value, little-endian.
+func (w *Buf) U32(v uint32) { w.B = binary.LittleEndian.AppendUint32(w.B, v) }
+
+// U64 appends a 64-bit value, little-endian.
+func (w *Buf) U64(v uint64) { w.B = binary.LittleEndian.AppendUint64(w.B, v) }
+
+// I64 appends a signed 64-bit value as its two's-complement bits.
+func (w *Buf) I64(v int64) { w.U64(uint64(v)) }
+
+// F64 appends a float64 as its IEEE bit pattern.
+func (w *Buf) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bool appends one byte, 0 or 1.
+func (w *Buf) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// Str appends a length-prefixed string.
+func (w *Buf) Str(s string) {
+	w.U64(uint64(len(s)))
+	w.B = append(w.B, s...)
+}
+
+// Strs appends a count-prefixed string list.
+func (w *Buf) Strs(ss []string) {
+	w.U64(uint64(len(ss)))
+	for _, s := range ss {
+		w.Str(s)
+	}
+}
+
+// Reader consumes an encoding; the first failure sticks and every later
+// read returns zero values, so decoders can be written straight-line and
+// check Err once (or via Finish). What prefixes every error message, e.g.
+// "core: decoding report".
+type Reader struct {
+	What string
+	B    []byte
+	Off  int
+	Err  error
+}
+
+// Failf records the first decoding failure.
+func (r *Reader) Failf(format string, args ...any) {
+	if r.Err == nil {
+		r.Err = fmt.Errorf(r.What+": "+format, args...)
+	}
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() byte {
+	if r.Err != nil {
+		return 0
+	}
+	if r.Off >= len(r.B) {
+		r.Failf("truncated at byte %d", r.Off)
+		return 0
+	}
+	v := r.B[r.Off]
+	r.Off++
+	return v
+}
+
+// U32 reads a little-endian 32-bit value.
+func (r *Reader) U32() uint32 {
+	if r.Err != nil {
+		return 0
+	}
+	if r.Off+4 > len(r.B) {
+		r.Failf("truncated at byte %d", r.Off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.B[r.Off:])
+	r.Off += 4
+	return v
+}
+
+// U64 reads a little-endian 64-bit value.
+func (r *Reader) U64() uint64 {
+	if r.Err != nil {
+		return 0
+	}
+	if r.Off+8 > len(r.B) {
+		r.Failf("truncated at byte %d", r.Off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.B[r.Off:])
+	r.Off += 8
+	return v
+}
+
+// I64 reads a signed 64-bit value.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// F64 reads a float64 from its IEEE bit pattern.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bool reads one byte and rejects anything but 0/1 — a corrupted flag is a
+// decode error, not a coerced value.
+func (r *Reader) Bool() bool {
+	v := r.U8()
+	if v > 1 {
+		r.Failf("invalid bool byte %d at %d", v, r.Off-1)
+		return false
+	}
+	return v == 1
+}
+
+// Str reads a length-prefixed string, bounding the length by the remaining
+// payload.
+func (r *Reader) Str() string {
+	n := r.U64()
+	if r.Err != nil {
+		return ""
+	}
+	if n > uint64(len(r.B)-r.Off) {
+		r.Failf("string of %d bytes exceeds remaining %d", n, len(r.B)-r.Off)
+		return ""
+	}
+	s := string(r.B[r.Off : r.Off+int(n)])
+	r.Off += int(n)
+	return s
+}
+
+// Count reads a list length and bounds it against the smallest possible
+// element footprint, so a corrupted or hostile payload cannot force a huge
+// allocation before truncation is detected.
+func (r *Reader) Count(minElemBytes int) int {
+	n := r.U64()
+	if r.Err != nil {
+		return 0
+	}
+	if n > uint64(len(r.B)-r.Off)/uint64(minElemBytes) {
+		r.Failf("count %d exceeds remaining payload", n)
+		return 0
+	}
+	return int(n)
+}
+
+// Strs reads a count-prefixed string list.
+func (r *Reader) Strs() []string {
+	n := r.Count(8)
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = r.Str()
+	}
+	return out
+}
+
+// Finish returns the sticky error, or a trailing-bytes error when the
+// payload was not consumed exactly.
+func (r *Reader) Finish() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	if r.Off != len(r.B) {
+		return fmt.Errorf("%s: %d trailing bytes", r.What, len(r.B)-r.Off)
+	}
+	return nil
+}
+
+// CheckMagic validates a 3-byte magic plus a version byte at the head of a
+// payload.
+func CheckMagic(data []byte, magic [4]byte, what string) error {
+	if len(data) < 4 {
+		return fmt.Errorf("%s: %d bytes is shorter than the header", what, len(data))
+	}
+	if data[0] != magic[0] || data[1] != magic[1] || data[2] != magic[2] {
+		return fmt.Errorf("%s: bad magic %q", what, data[:3])
+	}
+	if data[3] != magic[3] {
+		return fmt.Errorf("%s: unsupported wire version %d (this build speaks %d)", what, data[3], magic[3])
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package wire
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRoundTrip pins every primitive through one encode/decode pass,
+// including the NaN-bit and negative-zero fidelity the report codec
+// depends on.
+func TestRoundTrip(t *testing.T) {
+	var w Buf
+	w.U8(7)
+	w.U32(0xdeadbeef)
+	w.U64(1 << 63)
+	w.I64(-42)
+	w.F64(math.NaN())
+	w.F64(math.Copysign(0, -1))
+	w.Bool(true)
+	w.Bool(false)
+	w.Str("héllo")
+	w.Str("")
+	w.Strs([]string{"a", "b"})
+	w.Strs(nil)
+
+	r := &Reader{What: "wire: test", B: w.B}
+	if r.U8() != 7 || r.U32() != 0xdeadbeef || r.U64() != 1<<63 || r.I64() != -42 {
+		t.Fatal("integer round trip failed")
+	}
+	if !math.IsNaN(r.F64()) {
+		t.Error("NaN did not survive")
+	}
+	if v := r.F64(); v != 0 || !math.Signbit(v) {
+		t.Error("negative zero did not survive")
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("bool round trip failed")
+	}
+	if r.Str() != "héllo" || r.Str() != "" {
+		t.Error("string round trip failed")
+	}
+	if ss := r.Strs(); len(ss) != 2 || ss[0] != "a" || ss[1] != "b" {
+		t.Errorf("string list round trip failed: %v", ss)
+	}
+	if ss := r.Strs(); ss != nil {
+		t.Errorf("empty string list decoded as %v", ss)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStrictness pins the sticky-error behavior: truncation, invalid bool
+// bytes, oversized strings/counts, and trailing bytes all fail, and a
+// failed reader keeps returning zero values.
+func TestStrictness(t *testing.T) {
+	r := &Reader{What: "wire: test", B: []byte{1, 2}}
+	if r.U64(); r.Err == nil {
+		t.Error("truncated u64 accepted")
+	}
+	if r.U8() != 0 || r.U32() != 0 || r.F64() != 0 || r.Str() != "" || r.Strs() != nil || r.Count(1) != 0 {
+		t.Error("failed reader returned non-zero values")
+	}
+	if r.Finish() == nil {
+		t.Error("Finish cleared the sticky error")
+	}
+
+	var w Buf
+	w.Bool(true)
+	bad := append([]byte(nil), w.B...)
+	bad[0] = 9
+	r = &Reader{What: "wire: test", B: bad}
+	if r.Bool(); r.Err == nil {
+		t.Error("invalid bool byte accepted")
+	}
+
+	var huge Buf
+	huge.U64(1 << 40) // a string/count length far past the payload
+	r = &Reader{What: "wire: test", B: huge.B}
+	if r.Str(); r.Err == nil {
+		t.Error("oversized string accepted")
+	}
+	r = &Reader{What: "wire: test", B: huge.B}
+	if r.Count(1); r.Err == nil {
+		t.Error("oversized count accepted")
+	}
+
+	var ok Buf
+	ok.U8(1)
+	r = &Reader{What: "wire: test", B: append(ok.B, 0)}
+	r.U8()
+	if r.Finish() == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+// TestCheckMagic covers the header validation shared by every codec.
+func TestCheckMagic(t *testing.T) {
+	magic := [4]byte{'Z', 'G', 'X', 3}
+	if err := CheckMagic([]byte{'Z', 'G', 'X', 3, 99}, magic, "t"); err != nil {
+		t.Errorf("valid header rejected: %v", err)
+	}
+	for name, data := range map[string][]byte{
+		"short":       {'Z'},
+		"wrong magic": {'A', 'B', 'C', 3},
+		"version":     {'Z', 'G', 'X', 4},
+	} {
+		if err := CheckMagic(data, magic, "t"); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

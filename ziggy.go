@@ -34,6 +34,7 @@ import (
 	"repro/internal/frame"
 	"repro/internal/memo"
 	"repro/internal/plot"
+	"repro/internal/remote"
 	"repro/internal/shard"
 	"repro/internal/synth"
 )
@@ -74,20 +75,32 @@ type (
 	// attaches several sessions to the same cache so they serve each
 	// other's repeat queries.
 	ReportCache = core.ReportCache
-	// Router is the sharded serving layer: N engine shards behind a
+	// Router is the sharded serving layer: N backends behind a
 	// consistent-hash router with per-shard admission queues.
 	Router = shard.Router
+	// Backend is one shard behind the router: an in-process engine or a
+	// remote worker process — the transport-agnostic boundary the router
+	// fans out over. See NewSessionPeers and NewSessionBackends.
+	Backend = shard.Backend
 	// ShardStats is the aggregated snapshot of a sharded serving layer:
 	// per-shard traffic and prepared-cache counters plus the shared report
 	// cache; see Session.ShardStats.
 	ShardStats = shard.Stats
 	// ShardSnapshot is one shard's entry in ShardStats.
 	ShardSnapshot = shard.ShardSnapshot
+	// SaturatedError is the typed load-shedding error; errors.As recovers
+	// it from a characterization error to read the RetryAfter backoff hint.
+	SaturatedError = shard.SaturatedError
 )
 
 // ErrSaturated identifies requests shed because the owning shard's admission
 // queue was full; test with errors.Is.
 var ErrSaturated = shard.ErrSaturated
+
+// ErrBackendUnavailable identifies requests that failed because every
+// candidate worker was unreachable (only possible with remote backends);
+// test with errors.Is.
+var ErrBackendUnavailable = shard.ErrBackendUnavailable
 
 // NewReportCache builds a report cache bounded to entries LRU entries and
 // approximately bytes resident bytes (0 = the engine defaults) for use with
@@ -211,6 +224,47 @@ func NewSessionShared(cfg Config, reports *ReportCache) (*Session, error) {
 	return &Session{catalog: db.NewCatalog(), router: r}, nil
 }
 
+// NewSessionPeers creates a session whose characterizations run on remote
+// worker processes (`ziggyd -worker`) instead of in-process shards: one
+// backend per address, routed by the same rendezvous hash over table
+// content fingerprints. Tables ship to their owning worker once
+// (content-addressed), repeat queries are served from the workers' report
+// caches without re-shipping, and unreachable workers fail over along the
+// rendezvous ranking.
+func NewSessionPeers(cfg Config, peers ...string) (*Session, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("ziggy: no worker peers")
+	}
+	backends := make([]Backend, len(peers))
+	for i, addr := range peers {
+		backends[i] = remote.NewClient(addr)
+	}
+	return NewSessionBackends(cfg, nil, backends)
+}
+
+// NewSessionBackends creates a session over an explicit backend topology —
+// remote workers (NewWorkerBackend), in-process engines, or a mix. reports
+// is the shared pre-admission cache for in-process backends (nil = a fresh
+// one).
+func NewSessionBackends(cfg Config, reports *ReportCache, backends []Backend) (*Session, error) {
+	r, err := shard.NewWithBackends(cfg, reports, backends)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{catalog: db.NewCatalog(), router: r}, nil
+}
+
+// NewWorkerBackend returns a Backend that fronts the worker process at addr
+// ("host:port" or an http:// URL), for NewSessionBackends topologies.
+func NewWorkerBackend(addr string) Backend { return remote.NewClient(addr) }
+
+// NewEngineBackend returns an in-process Backend sharing the given report
+// cache (nil = private), for NewSessionBackends topologies mixing local and
+// remote shards.
+func NewEngineBackend(cfg Config, reports *ReportCache) (Backend, error) {
+	return shard.NewEngineBackend(cfg, reports, shard.Params{})
+}
+
 // Register adds a table to the session under the frame's name.
 func (s *Session) Register(f *Frame) error { return s.catalog.Register(f) }
 
@@ -233,12 +287,14 @@ func (s *Session) Tables() []string { return s.catalog.TableNames() }
 // Table returns a registered frame.
 func (s *Session) Table(name string) (*Frame, bool) { return s.catalog.Table(name) }
 
-// Engine exposes the first shard's engine. With multiple shards it is NOT
-// the whole serving layer: its Config reports the per-shard slice of the
-// cache budget (use Router().Config() for the configured values), and its
-// InvalidateCache purges the shared report cache (shared by every shard and
-// every session attached via NewSessionShared) but only shard 0's prepared
-// tier — use InvalidateCaches for whole-session cache control.
+// Engine exposes the first shard's engine, or nil when shard 0 is a remote
+// worker (NewSessionPeers) — remote engines are not reachable as objects.
+// With multiple shards it is NOT the whole serving layer: its Config
+// reports the per-shard slice of the cache budget (use Router().Config()
+// for the configured values), and its InvalidateCache purges the shared
+// report cache (shared by every shard and every session attached via
+// NewSessionShared) but only shard 0's prepared tier — use
+// InvalidateCaches for whole-session cache control.
 func (s *Session) Engine() *Engine { return s.router.Engine(0) }
 
 // InvalidateCaches drops every shard's prepared structures and the shared

@@ -3,6 +3,7 @@ package ziggy_test
 import (
 	"fmt"
 	"math"
+	"net/http/httptest"
 	"path/filepath"
 	"reflect"
 	"sort"
@@ -14,6 +15,8 @@ import (
 
 	ziggy "repro"
 	"repro/internal/frame"
+	"repro/internal/remote"
+	"repro/internal/shard"
 )
 
 func newSession(t *testing.T) *ziggy.Session {
@@ -427,5 +430,70 @@ func TestShardedDeterminism(t *testing.T) {
 	}
 	if requests := (after.Hits + after.Misses) - (before.Hits + before.Misses); requests != clients {
 		t.Errorf("shared cache saw %d requests, want %d", requests, clients)
+	}
+}
+
+// TestSessionOverRemoteWorkers pins the public multi-process surface:
+// a session built with NewSessionPeers routes characterizations to worker
+// processes, produces reports byte-identical to an in-process session,
+// serves repeats from the workers' report caches, and reports the workers
+// in its shard stats.
+func TestSessionOverRemoteWorkers(t *testing.T) {
+	cfg := ziggy.DefaultConfig()
+	cfg.Shards = 1
+	workerRouter, err := shard.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(remote.NewWorker(workerRouter))
+	t.Cleanup(ts.Close)
+
+	local := newSession(t)
+	rs, err := ziggy.NewSessionPeers(ziggy.DefaultConfig(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*ziggy.Session{local, rs} {
+		if err := s.Register(ziggy.BoxOfficeData(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const q = "SELECT * FROM boxoffice WHERE gross_musd >= 100"
+	want, err := local.Characterize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rs.Characterize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reportFingerprint(got.Report) != reportFingerprint(want.Report) {
+		t.Error("remote session report differs from the in-process one")
+	}
+	if rs.Engine() != nil {
+		t.Error("Engine() over a remote shard 0 should be nil")
+	}
+
+	warm, err := rs.Characterize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.ReportCacheHit {
+		t.Error("repeat query missed the worker's report cache")
+	}
+	stats := rs.ShardStats()
+	if len(stats.Shards) != 1 || stats.Shards[0].Kind != "remote" || !stats.Shards[0].Healthy {
+		t.Errorf("remote session shard stats = %+v", stats.Shards)
+	}
+	if stats.Shards[0].TablesShipped != 1 {
+		t.Errorf("tables shipped = %d, want 1", stats.Shards[0].TablesShipped)
+	}
+	if tot := stats.Totals(); tot.Reports.Hits != 1 || tot.Reports.Misses != 1 {
+		t.Errorf("totals reports tier = %+v, want 1 hit / 1 miss", tot.Reports)
+	}
+
+	// NewSessionPeers validates its inputs.
+	if _, err := ziggy.NewSessionPeers(ziggy.DefaultConfig()); err == nil {
+		t.Error("NewSessionPeers with no peers accepted")
 	}
 }
