@@ -412,6 +412,51 @@ func BenchmarkRobustColumn(b *testing.B) {
 	})
 }
 
+// BenchmarkRankingKernels measures one full ranking pass (kernel sort,
+// rank assignment, tie correction, group medians) per sort strategy on a
+// warmed scratch. The CI bench job runs it with -benchmem and gates the
+// radix and counting kernels to exactly 0 allocs/op via benchdiff
+// -zero-allocs; the fallback kernel is exempt (sort.Slice allocates its
+// closure by design, and at n≤64 it is off the hot path).
+func BenchmarkRankingKernels(b *testing.B) {
+	mk := func(n int, f func(u uint64) float64) []float64 {
+		xs := make([]float64, n)
+		s := uint64(0x9e3779b97f4a7c15)
+		for i := range xs {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			xs[i] = f(s)
+		}
+		return xs
+	}
+	cases := []struct {
+		name, kernel string
+		xs           []float64
+	}{
+		{"kernel=radix", "radix", mk(4096, func(u uint64) float64 { return float64(u%1000003) / 997 })},
+		{"kernel=counting", "counting", mk(4096, func(u uint64) float64 { return float64(u % 64) })},
+		{"kernel=fallback", "fallback", mk(48, func(u uint64) float64 { return float64(u%1000003) / 997 })},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			if got := stats.KernelFor(c.xs); got != c.kernel {
+				b.Fatalf("fixture selects kernel %q, want %q", got, c.kernel)
+			}
+			var scratch stats.RankScratch
+			dst := make([]float64, len(c.xs))
+			idx := make([]int, len(c.xs))
+			na := len(c.xs) / 2
+			stats.RankingIntoWith(&scratch, dst, idx, c.xs, na) // warm the scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = stats.RankingIntoWith(&scratch, dst, idx, c.xs, na)
+			}
+		})
+	}
+}
+
 // BenchmarkScalingColumns measures experiment X1: cold pipeline cost as
 // the column count grows at N=2000.
 func BenchmarkScalingColumns(b *testing.B) {

@@ -4,9 +4,17 @@
 // parses the output into BENCH_ci.json, and fails if any benchmark got more
 // than `threshold` times slower than BENCH_baseline.json:
 //
-//	go test -run '^$' -bench . -benchtime 100ms -count 3 . | tee bench.txt
+//	go test -run '^$' -bench . -benchtime 100ms -count 3 -benchmem . | tee bench.txt
 //	benchdiff parse -in bench.txt -out BENCH_ci.json
-//	benchdiff compare -baseline BENCH_baseline.json -current BENCH_ci.json -threshold 2.0
+//	benchdiff compare -baseline BENCH_baseline.json -current BENCH_ci.json -threshold 2.0 \
+//	    -zero-allocs '^BenchmarkRankingKernels/kernel=(radix|counting)'
+//
+// Alongside the timing gate, compare enforces allocation budgets: a
+// benchmark whose allocs/op exceeds its baseline fails (allocation counts
+// are deterministic, so any increase is a real regression, with no
+// threshold slack), and benchmarks matching -zero-allocs must report
+// exactly 0 allocs/op — the gate that keeps the ranking kernels
+// allocation-free on the hot path.
 //
 // The update subcommand folds a benchmark run back into the checked-in
 // baseline — the workflow for refreshing BENCH_baseline.json from a
@@ -53,6 +61,11 @@ type Benchmark struct {
 	NsPerOp float64 `json:"nsPerOp"`
 	// Samples is the number of runs folded into NsPerOp.
 	Samples int `json:"samples"`
+	// AllocsPerOp is the minimum allocs/op observed across repeated runs,
+	// present only when the run was recorded with -benchmem. A pointer so
+	// "0 allocs/op" (a gated property) stays distinguishable from "not
+	// measured" in the JSON, and old baselines without the field still load.
+	AllocsPerOp *float64 `json:"allocsPerOp,omitempty"`
 }
 
 // File is the JSON document benchdiff reads and writes.
@@ -64,6 +77,10 @@ type File struct {
 // optional -N procs suffix), iteration count, ns/op value. Trailing metrics
 // (B/op, rankops/op, …) are ignored.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// allocsMetric matches the allocs/op column -benchmem appends (always an
+// integer) anywhere after the ns/op column.
+var allocsMetric = regexp.MustCompile(`\s([0-9]+) allocs/op`)
 
 // parseBench folds raw `go test -bench` output into per-name minima. It
 // errors when two distinct printed names collapse onto one stripped name —
@@ -86,14 +103,23 @@ func parseBench(raw string) (File, error) {
 			return File{}, fmt.Errorf("benchmarks %q and %q both parse to %q after GOMAXPROCS-suffix stripping; rename sub-benchmarks to avoid a trailing -<digits>", prev, rawName, m[1])
 		}
 		printed[m[1]] = rawName
+		var allocs *float64
+		if am := allocsMetric.FindStringSubmatch(line); am != nil {
+			if a, err := strconv.ParseFloat(am[1], 64); err == nil {
+				allocs = &a
+			}
+		}
 		b, ok := best[m[1]]
 		if !ok {
-			best[m[1]] = &Benchmark{Name: m[1], NsPerOp: ns, Samples: 1}
+			best[m[1]] = &Benchmark{Name: m[1], NsPerOp: ns, Samples: 1, AllocsPerOp: allocs}
 			continue
 		}
 		b.Samples++
 		if ns < b.NsPerOp {
 			b.NsPerOp = ns
+		}
+		if allocs != nil && (b.AllocsPerOp == nil || *allocs < *b.AllocsPerOp) {
+			b.AllocsPerOp = allocs
 		}
 	}
 	var f File
@@ -114,8 +140,12 @@ type delta struct {
 
 // compare evaluates current against baseline under the threshold. It
 // returns the report rows and the names of failures: regressions past the
-// threshold and baseline benchmarks missing from the current run.
-func compare(baseline, current File, threshold float64) (rows []delta, failures []string, extras []string) {
+// threshold, baseline benchmarks missing from the current run, allocs/op
+// counts above their baseline, and — when zeroAllocs is non-nil — current
+// benchmarks matching it that allocate (or were not measured with
+// -benchmem, which would silently disarm the gate). Timing improvements
+// and alloc reductions always pass.
+func compare(baseline, current File, threshold float64, zeroAllocs *regexp.Regexp) (rows []delta, failures []string, extras []string) {
 	cur := make(map[string]Benchmark, len(current.Benchmarks))
 	for _, b := range current.Benchmarks {
 		cur[b.Name] = b
@@ -136,13 +166,49 @@ func compare(baseline, current File, threshold float64) (rows []delta, failures 
 			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%.2fx > %.2fx threshold)",
 				r.name, r.cur, r.base, r.ratio, threshold))
 		}
+		if base.AllocsPerOp != nil {
+			switch {
+			case c.AllocsPerOp == nil:
+				failures = append(failures, fmt.Sprintf("%s: baseline records %.0f allocs/op but the current run has no allocs/op metric (run with -benchmem)",
+					base.Name, *base.AllocsPerOp))
+			case *c.AllocsPerOp > *base.AllocsPerOp:
+				failures = append(failures, fmt.Sprintf("%s: %.0f allocs/op vs baseline %.0f allocs/op",
+					base.Name, *c.AllocsPerOp, *base.AllocsPerOp))
+			}
+		}
 		rows = append(rows, r)
 	}
 	for name := range cur {
 		extras = append(extras, name)
 	}
 	sort.Strings(extras)
+	if zeroAllocs != nil {
+		matched := 0
+		for _, c := range current.Benchmarks {
+			if !zeroAllocs.MatchString(c.Name) {
+				continue
+			}
+			matched++
+			switch {
+			case c.AllocsPerOp == nil:
+				failures = append(failures, fmt.Sprintf("%s: matches -zero-allocs but has no allocs/op metric (run with -benchmem)", c.Name))
+			case *c.AllocsPerOp != 0:
+				failures = append(failures, fmt.Sprintf("%s: %.0f allocs/op, want 0 (-zero-allocs)", c.Name, *c.AllocsPerOp))
+			}
+		}
+		if matched == 0 {
+			failures = append(failures, fmt.Sprintf("-zero-allocs %q matched no benchmark in the current run (renamed benchmark would silently disarm the gate)", zeroAllocs))
+		}
+	}
 	return rows, failures, extras
+}
+
+// fmtAllocs renders an optional allocs/op value for change logs.
+func fmtAllocs(a *float64) string {
+	if a == nil {
+		return "unmeasured"
+	}
+	return fmt.Sprintf("%.0f", *a)
 }
 
 func readFile(path string) (File, error) {
@@ -204,9 +270,17 @@ func runCompare(args []string) {
 	basePath := fs.String("baseline", "BENCH_baseline.json", "baseline JSON")
 	curPath := fs.String("current", "BENCH_ci.json", "current JSON")
 	threshold := fs.Float64("threshold", 2.0, "fail when current/baseline exceeds this ratio")
+	zeroAllocsPat := fs.String("zero-allocs", "", "regexp of benchmarks that must report exactly 0 allocs/op")
 	fs.Parse(args)
 	if *threshold <= 1 {
 		fatalf("threshold %v must be > 1", *threshold)
+	}
+	var zeroAllocs *regexp.Regexp
+	if *zeroAllocsPat != "" {
+		var err error
+		if zeroAllocs, err = regexp.Compile(*zeroAllocsPat); err != nil {
+			fatalf("bad -zero-allocs pattern: %v", err)
+		}
 	}
 	baseline, err := readFile(*basePath)
 	if err != nil {
@@ -216,7 +290,7 @@ func runCompare(args []string) {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	rows, failures, extras := compare(baseline, current, *threshold)
+	rows, failures, extras := compare(baseline, current, *threshold, zeroAllocs)
 	for _, r := range rows {
 		status := "ok"
 		if r.regression {
@@ -251,6 +325,9 @@ func merge(baseline, run File) (File, []string) {
 		if old, ok := byName[b.Name]; ok {
 			if old.NsPerOp != b.NsPerOp {
 				changes = append(changes, fmt.Sprintf("%s: %.0f → %.0f ns/op", b.Name, old.NsPerOp, b.NsPerOp))
+			}
+			if oa, na := old.AllocsPerOp, b.AllocsPerOp; (oa == nil) != (na == nil) || (oa != nil && *oa != *na) {
+				changes = append(changes, fmt.Sprintf("%s: %s → %s allocs/op", b.Name, fmtAllocs(oa), fmtAllocs(na)))
 			}
 		} else {
 			order = append(order, b.Name)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -68,7 +69,7 @@ func bench(name string, ns float64) Benchmark {
 func TestCompareWithinThresholdPasses(t *testing.T) {
 	baseline := File{Benchmarks: []Benchmark{bench("A", 100), bench("B", 1000)}}
 	current := File{Benchmarks: []Benchmark{bench("A", 199), bench("B", 500)}}
-	rows, failures, extras := compare(baseline, current, 2.0)
+	rows, failures, extras := compare(baseline, current, 2.0, nil)
 	if len(failures) != 0 {
 		t.Fatalf("unexpected failures: %v", failures)
 	}
@@ -80,7 +81,7 @@ func TestCompareWithinThresholdPasses(t *testing.T) {
 func TestCompareFlagsRegression(t *testing.T) {
 	baseline := File{Benchmarks: []Benchmark{bench("A", 100), bench("B", 1000)}}
 	current := File{Benchmarks: []Benchmark{bench("A", 201), bench("B", 900)}}
-	_, failures, _ := compare(baseline, current, 2.0)
+	_, failures, _ := compare(baseline, current, 2.0, nil)
 	if len(failures) != 1 || !strings.Contains(failures[0], "A") {
 		t.Fatalf("failures = %v, want exactly the regression on A", failures)
 	}
@@ -89,7 +90,7 @@ func TestCompareFlagsRegression(t *testing.T) {
 func TestCompareFailsOnMissingBenchmark(t *testing.T) {
 	baseline := File{Benchmarks: []Benchmark{bench("A", 100), bench("Gone", 50)}}
 	current := File{Benchmarks: []Benchmark{bench("A", 100)}}
-	_, failures, _ := compare(baseline, current, 2.0)
+	_, failures, _ := compare(baseline, current, 2.0, nil)
 	if len(failures) != 1 || !strings.Contains(failures[0], "Gone") {
 		t.Fatalf("failures = %v, want the missing benchmark", failures)
 	}
@@ -98,7 +99,7 @@ func TestCompareFailsOnMissingBenchmark(t *testing.T) {
 func TestCompareReportsNewBenchmarks(t *testing.T) {
 	baseline := File{Benchmarks: []Benchmark{bench("A", 100)}}
 	current := File{Benchmarks: []Benchmark{bench("A", 100), bench("New", 10)}}
-	_, failures, extras := compare(baseline, current, 2.0)
+	_, failures, extras := compare(baseline, current, 2.0, nil)
 	if len(failures) != 0 {
 		t.Fatalf("new benchmark must not fail the gate: %v", failures)
 	}
@@ -112,7 +113,7 @@ func TestParseCompareRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, failures, extras := compare(f, f, 2.0)
+	rows, failures, extras := compare(f, f, 2.0, nil)
 	if len(failures) != 0 || len(extras) != 0 {
 		t.Fatalf("self-comparison failed: failures=%v extras=%v", failures, extras)
 	}
@@ -120,6 +121,101 @@ func TestParseCompareRoundTrip(t *testing.T) {
 		if r.ratio != 1 {
 			t.Errorf("%s: self-comparison ratio %v, want 1", r.name, r.ratio)
 		}
+	}
+}
+
+func benchAllocs(name string, ns, allocs float64) Benchmark {
+	return Benchmark{Name: name, NsPerOp: ns, Samples: 3, AllocsPerOp: &allocs}
+}
+
+// TestParseAllocs pins allocs/op extraction: the -benchmem column is folded
+// to its per-name minimum, and lines without it leave the field unset.
+func TestParseAllocs(t *testing.T) {
+	f, err := parseBench(sampleOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Benchmark{}
+	for _, b := range f.Benchmarks {
+		byName[b.Name] = b
+	}
+	cached := byName["BenchmarkCharacterizeCached"]
+	if cached.AllocsPerOp == nil || *cached.AllocsPerOp != 5 {
+		t.Errorf("cached AllocsPerOp = %v, want 5", cached.AllocsPerOp)
+	}
+	if plain := byName["BenchmarkCharacterizeParallel/parallelism=1"]; plain.AllocsPerOp != nil {
+		t.Errorf("benchmark without -benchmem output parsed AllocsPerOp = %v, want unset", *plain.AllocsPerOp)
+	}
+}
+
+// TestCompareAllocsRegression pins the allocation gate: more allocs/op than
+// baseline fails with no threshold slack, fewer passes, and a current run
+// that lost the metric entirely fails rather than silently disarming.
+func TestCompareAllocsRegression(t *testing.T) {
+	baseline := File{Benchmarks: []Benchmark{benchAllocs("A", 100, 3), benchAllocs("B", 100, 3), bench("C", 100)}}
+	current := File{Benchmarks: []Benchmark{benchAllocs("A", 100, 4), benchAllocs("B", 100, 2), bench("C", 100)}}
+	_, failures, _ := compare(baseline, current, 2.0, nil)
+	if len(failures) != 1 || !strings.Contains(failures[0], "A") || !strings.Contains(failures[0], "allocs/op") {
+		t.Fatalf("failures = %v, want exactly the allocs regression on A", failures)
+	}
+	lost := File{Benchmarks: []Benchmark{bench("A", 100), benchAllocs("B", 100, 3), bench("C", 100)}}
+	_, failures, _ = compare(baseline, lost, 2.0, nil)
+	if len(failures) != 1 || !strings.Contains(failures[0], "-benchmem") {
+		t.Fatalf("failures = %v, want the missing-metric failure on A", failures)
+	}
+}
+
+// TestCompareZeroAllocsGate pins the -zero-allocs contract: matching
+// benchmarks must report exactly 0 allocs/op, an unmeasured match fails,
+// and a pattern matching nothing fails (a renamed benchmark must not
+// silently disarm the gate). The gate also covers benchmarks that have no
+// baseline entry yet.
+func TestCompareZeroAllocsGate(t *testing.T) {
+	zero := regexp.MustCompile(`^BenchmarkKernels/kernel=(radix|counting)`)
+	baseline := File{Benchmarks: []Benchmark{benchAllocs("BenchmarkKernels/kernel=radix", 100, 0)}}
+	ok := File{Benchmarks: []Benchmark{
+		benchAllocs("BenchmarkKernels/kernel=radix", 100, 0),
+		benchAllocs("BenchmarkKernels/kernel=counting", 100, 0), // new, no baseline
+		benchAllocs("BenchmarkKernels/kernel=fallback", 100, 7), // not matched: may allocate
+	}}
+	if _, failures, _ := compare(baseline, ok, 2.0, zero); len(failures) != 0 {
+		t.Fatalf("clean zero-alloc run failed: %v", failures)
+	}
+	leaky := File{Benchmarks: []Benchmark{
+		benchAllocs("BenchmarkKernels/kernel=radix", 100, 1),
+		benchAllocs("BenchmarkKernels/kernel=counting", 100, 0),
+	}}
+	_, failures, _ := compare(baseline, leaky, 2.0, zero)
+	if len(failures) != 2 { // 1 vs baseline 0, plus the zero-allocs violation
+		t.Fatalf("failures = %v, want the alloc regression and the zero-allocs violation", failures)
+	}
+	unmeasured := File{Benchmarks: []Benchmark{benchAllocs("BenchmarkKernels/kernel=radix", 100, 0), bench("BenchmarkKernels/kernel=counting", 100)}}
+	_, failures, _ = compare(baseline, unmeasured, 2.0, zero)
+	if len(failures) != 1 || !strings.Contains(failures[0], "-benchmem") {
+		t.Fatalf("failures = %v, want the unmeasured-match failure", failures)
+	}
+	renamed := File{Benchmarks: []Benchmark{benchAllocs("BenchmarkKernels/kernel=radix", 100, 0)}}
+	_, failures, _ = compare(File{}, renamed, 2.0, regexp.MustCompile(`^BenchmarkGone`))
+	if len(failures) != 1 || !strings.Contains(failures[0], "matched no benchmark") {
+		t.Fatalf("failures = %v, want the no-match failure", failures)
+	}
+}
+
+// TestMergeTracksAllocs pins allocs propagation through update: a run entry
+// carrying allocs/op replaces an unmeasured baseline entry and the change
+// is logged.
+func TestMergeTracksAllocs(t *testing.T) {
+	baseline := File{Benchmarks: []Benchmark{bench("A", 100)}}
+	run := File{Benchmarks: []Benchmark{benchAllocs("A", 100, 0)}}
+	merged, changes := merge(baseline, run)
+	if merged.Benchmarks[0].AllocsPerOp == nil || *merged.Benchmarks[0].AllocsPerOp != 0 {
+		t.Fatalf("merged entry = %+v, want allocs 0", merged.Benchmarks[0])
+	}
+	if len(changes) != 1 || !strings.Contains(changes[0], "allocs/op") {
+		t.Fatalf("changes = %v, want the allocs change", changes)
+	}
+	if _, again := merge(merged, run); len(again) != 0 {
+		t.Fatalf("re-merge reported changes: %v", again)
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"time"
 
@@ -312,23 +313,45 @@ func (e *Engine) prepare(f *frame.Frame) (*prepared, bool, error) {
 // the same query are identical.
 const sampleSeed = 0x5a1ad0c5
 
+// splitWords walks the selection one 64-bit word at a time and hands the
+// caller two row masks per word: the considered in-rows (sel ∧ consider)
+// and the considered out-rows (¬sel ∧ consider), with the final word's
+// spare bits masked off. Set bits are then consumed with TrailingZeros64,
+// so both split sides receive their rows in ascending order — exactly the
+// order the old per-row Get loop produced — while skipping empty words and
+// all per-row bitmap calls.
+func splitWords(n int, sel, consider *frame.Bitmap, emit func(base int, inW, outW uint64)) {
+	nw := sel.WordCount()
+	for wi := 0; wi < nw; wi++ {
+		base := wi << 6
+		mask := ^uint64(0)
+		if rem := n - base; rem < 64 {
+			mask = 1<<uint(rem) - 1
+		}
+		if consider != nil {
+			mask &= consider.WordAt(wi)
+		}
+		w := sel.WordAt(wi)
+		emit(base, w&mask, ^w&mask)
+	}
+}
+
 // splitNumericCol extracts the non-NULL values of a numeric column split
 // by sel, restricted to the consider bitmap when non-nil.
 func splitNumericCol(c *frame.Column, sel, consider *frame.Bitmap) (in, out []float64) {
-	n := c.Len()
-	for i := 0; i < n; i++ {
-		if consider != nil && !consider.Get(i) {
-			continue
+	floats := c.Floats()
+	splitWords(len(floats), sel, consider, func(base int, inW, outW uint64) {
+		for ; inW != 0; inW &= inW - 1 {
+			if v := floats[base+bits.TrailingZeros64(inW)]; !math.IsNaN(v) {
+				in = append(in, v)
+			}
 		}
-		if c.IsNull(i) {
-			continue
+		for ; outW != 0; outW &= outW - 1 {
+			if v := floats[base+bits.TrailingZeros64(outW)]; !math.IsNaN(v) {
+				out = append(out, v)
+			}
 		}
-		if sel.Get(i) {
-			in = append(in, c.Float(i))
-		} else {
-			out = append(out, c.Float(i))
-		}
-	}
+	})
 	return in, out
 }
 
@@ -336,19 +359,18 @@ func splitNumericCol(c *frame.Column, sel, consider *frame.Bitmap) (in, out []fl
 // column split by sel, restricted to consider when non-nil.
 func splitCatCol(c *frame.Column, sel, consider *frame.Bitmap) (in, out []int32) {
 	codes := c.Codes()
-	for i, code := range codes {
-		if consider != nil && !consider.Get(i) {
-			continue
+	splitWords(len(codes), sel, consider, func(base int, inW, outW uint64) {
+		for ; inW != 0; inW &= inW - 1 {
+			if code := codes[base+bits.TrailingZeros64(inW)]; code >= 0 {
+				in = append(in, code)
+			}
 		}
-		if code < 0 {
-			continue
+		for ; outW != 0; outW &= outW - 1 {
+			if code := codes[base+bits.TrailingZeros64(outW)]; code >= 0 {
+				out = append(out, code)
+			}
 		}
-		if sel.Get(i) {
-			in = append(in, code)
-		} else {
-			out = append(out, code)
-		}
-	}
+	})
 	return in, out
 }
 

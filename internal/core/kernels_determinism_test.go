@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/randx"
+)
+
+// adversarialFixture builds a table whose columns force every ranking
+// kernel and every edge the kernels distinguish: NaN-bearing (NULL)
+// columns, signed-zero mixtures, heavy ties, low-cardinality integral
+// columns (the counting shape), wide-range floats (the radix shape), and a
+// planted mean shift so the pipeline actually produces views.
+func adversarialFixture(t *testing.T) (*frame.Frame, *frame.Bitmap) {
+	t.Helper()
+	const rows = 900
+	r := randx.New(451)
+	sel := frame.NewBitmap(rows)
+	for i := 0; i < rows/4; i++ {
+		sel.Set(i * 3 % rows)
+	}
+	col := func(name string, f func(i int) float64) *frame.Column {
+		vals := make([]float64, rows)
+		for i := range vals {
+			vals[i] = f(i)
+		}
+		return frame.NewNumericColumn(name, vals)
+	}
+	shift := func(i int, v float64) float64 {
+		if sel.Get(i) {
+			return v + 1.5
+		}
+		return v
+	}
+	cols := []*frame.Column{
+		col("gauss", func(i int) float64 { return shift(i, r.NormFloat64()) }),
+		col("nulls", func(i int) float64 {
+			if r.Intn(5) == 0 {
+				return math.NaN()
+			}
+			return shift(i, r.NormFloat64())
+		}),
+		col("zeros", func(i int) float64 {
+			switch r.Intn(4) {
+			case 0:
+				return math.Copysign(0, -1)
+			case 1:
+				return 0
+			default:
+				return shift(i, float64(r.Intn(3)-1))
+			}
+		}),
+		col("ties", func(i int) float64 { return shift(i, 0.25*float64(r.Intn(4))) }),
+		col("lowcard", func(i int) float64 {
+			v := float64(r.Intn(12))
+			if sel.Get(i) {
+				v += 3
+			}
+			return v
+		}),
+		col("wide", func(i int) float64 { return shift(i, r.Uniform(-1e9, 1e9)) }),
+		col("constant", func(i int) float64 { return 7 }),
+	}
+	f, err := frame.New("adversarial", cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, sel
+}
+
+// TestKernelDeterminismAdversarial asserts the full report is byte-identical
+// across worker counts on the kernel-adversarial table, under the robust
+// extended configuration that drives every ranking and quantile consumer,
+// cold and warm. This is the end-to-end guard for the per-column kernel
+// selector: whatever strategy each column lands on, and however scratches
+// are reused across workers, the observable output must not move.
+func TestKernelDeterminismAdversarial(t *testing.T) {
+	f, sel := adversarialFixture(t)
+	var wantCold, wantWarm string
+	for _, p := range []int{1, 2, runtime.NumCPU()} {
+		cfg := DefaultConfig()
+		cfg.Robust = true
+		cfg.Extended = true
+		cfg.Parallelism = p
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := e.Characterize(f, sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := e.Characterize(f, sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !warm.CacheHit {
+			t.Fatalf("parallelism=%d: warm run missed the cache", p)
+		}
+		fpCold, fpWarm := fingerprint(cold), fingerprint(warm)
+		if p == 1 {
+			wantCold, wantWarm = fpCold, fpWarm
+			if len(cold.Views) == 0 {
+				t.Fatal("reference run found no views on the planted columns")
+			}
+			continue
+		}
+		if fpCold != wantCold {
+			t.Errorf("parallelism=%d: cold report diverges from sequential", p)
+		}
+		if fpWarm != wantWarm {
+			t.Errorf("parallelism=%d: warm report diverges from sequential", p)
+		}
+	}
+}

@@ -14,7 +14,7 @@ import (
 
 // bits renders a float64 exactly, so fingerprint comparisons are
 // bit-for-bit rather than print-precision approximate.
-func bits(x float64) string { return strconv.FormatUint(math.Float64bits(x), 16) }
+func fbits(x float64) string { return strconv.FormatUint(math.Float64bits(x), 16) }
 
 // fingerprint serializes everything observable about a report except the
 // wall-clock timings and the cache-hit flag.
@@ -24,11 +24,11 @@ func fingerprint(rep *Report) string {
 		rep.SelectedRows, rep.TotalRows, rep.SampledRows, rep.Warnings)
 	for _, v := range rep.Views {
 		fmt.Fprintf(&b, "view %v score=%s tight=%s p=%s sig=%t expl=%q\n",
-			v.Columns, bits(v.Score), bits(v.Tightness), bits(v.PValue), v.Significant, v.Explanation)
+			v.Columns, fbits(v.Score), fbits(v.Tightness), fbits(v.PValue), v.Significant, v.Explanation)
 		for _, c := range v.Components {
 			fmt.Fprintf(&b, "  comp %v %v raw=%s norm=%s in=%s out=%s stat=%s df=%s p=%s detail=%q\n",
-				c.Kind, c.Columns, bits(c.Raw), bits(c.Norm), bits(c.Inside), bits(c.Outside),
-				bits(c.Test.Stat), bits(c.Test.DF), bits(c.Test.P), c.Detail)
+				c.Kind, c.Columns, fbits(c.Raw), fbits(c.Norm), fbits(c.Inside), fbits(c.Outside),
+				fbits(c.Test.Stat), fbits(c.Test.DF), fbits(c.Test.P), c.Detail)
 		}
 	}
 	return b.String()

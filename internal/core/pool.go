@@ -1,6 +1,9 @@
 package core
 
 import (
+	"math"
+	"math/bits"
+
 	"repro/internal/effect"
 	"repro/internal/frame"
 	"repro/internal/par"
@@ -42,28 +45,31 @@ type scoreScratch struct {
 }
 
 // alignedSplit extracts row-aligned complete cases of two numeric columns,
-// split by the selection mask and restricted to consider when non-nil. The
-// returned slices alias the scratch and are valid until the next call.
+// split by the selection mask and restricted to consider when non-nil,
+// walking the selection words like splitNumericCol. The returned slices
+// alias the scratch and are valid until the next call.
 func (s *scoreScratch) alignedSplit(a, b *frame.Column, sel, consider *frame.Bitmap) (inA, inB, outA, outB []float64) {
 	inA, inB = s.inA[:0], s.inB[:0]
 	outA, outB = s.outA[:0], s.outB[:0]
-	n := a.Len()
-	for i := 0; i < n; i++ {
-		if consider != nil && !consider.Get(i) {
-			continue
+	af, bf := a.Floats(), b.Floats()
+	splitWords(len(af), sel, consider, func(base int, inW, outW uint64) {
+		for ; inW != 0; inW &= inW - 1 {
+			i := base + bits.TrailingZeros64(inW)
+			va, vb := af[i], bf[i]
+			if !math.IsNaN(va) && !math.IsNaN(vb) {
+				inA = append(inA, va)
+				inB = append(inB, vb)
+			}
 		}
-		if a.IsNull(i) || b.IsNull(i) {
-			continue
+		for ; outW != 0; outW &= outW - 1 {
+			i := base + bits.TrailingZeros64(outW)
+			va, vb := af[i], bf[i]
+			if !math.IsNaN(va) && !math.IsNaN(vb) {
+				outA = append(outA, va)
+				outB = append(outB, vb)
+			}
 		}
-		va, vb := a.Float(i), b.Float(i)
-		if sel.Get(i) {
-			inA = append(inA, va)
-			inB = append(inB, vb)
-		} else {
-			outA = append(outA, va)
-			outB = append(outB, vb)
-		}
-	}
+	})
 	s.inA, s.inB, s.outA, s.outB = inA, inB, outA, outB
 	return inA, inB, outA, outB
 }
@@ -74,22 +80,23 @@ func (s *scoreScratch) alignedSplit(a, b *frame.Column, sel, consider *frame.Bit
 func (s *scoreScratch) mixedSplit(cc, nc *frame.Column, sel, consider *frame.Bitmap) (catIn []int32, numIn []float64, catOut []int32, numOut []float64) {
 	catIn, catOut = s.catIn[:0], s.catOut[:0]
 	numIn, numOut = s.inA[:0], s.outA[:0]
-	n := cc.Len()
-	for i := 0; i < n; i++ {
-		if consider != nil && !consider.Get(i) {
-			continue
+	codes, floats := cc.Codes(), nc.Floats()
+	splitWords(len(codes), sel, consider, func(base int, inW, outW uint64) {
+		for ; inW != 0; inW &= inW - 1 {
+			i := base + bits.TrailingZeros64(inW)
+			if codes[i] >= 0 && !math.IsNaN(floats[i]) {
+				catIn = append(catIn, codes[i])
+				numIn = append(numIn, floats[i])
+			}
 		}
-		if cc.IsNull(i) || nc.IsNull(i) {
-			continue
+		for ; outW != 0; outW &= outW - 1 {
+			i := base + bits.TrailingZeros64(outW)
+			if codes[i] >= 0 && !math.IsNaN(floats[i]) {
+				catOut = append(catOut, codes[i])
+				numOut = append(numOut, floats[i])
+			}
 		}
-		if sel.Get(i) {
-			catIn = append(catIn, cc.Code(i))
-			numIn = append(numIn, nc.Float(i))
-		} else {
-			catOut = append(catOut, cc.Code(i))
-			numOut = append(numOut, nc.Float(i))
-		}
-	}
+	})
 	s.catIn, s.catOut = catIn, catOut
 	s.inA, s.outA = numIn, numOut
 	return catIn, numIn, catOut, numOut

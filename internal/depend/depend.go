@@ -3,6 +3,7 @@ package depend
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/frame"
 	"repro/internal/par"
@@ -219,10 +220,18 @@ func NewMatrix(f *frame.Frame, m Measure) *Matrix {
 // every worker count. workers < 1 means all CPUs; an effective count of 1
 // computes inline with no goroutines and no pair-list allocation.
 //
-// Under the Spearman measure a rank-once phase runs first: every eligible
-// numeric column is ranked exactly once (sharded per column, not per
-// pair), and the O(cols²) pair loop correlates the precomputed rank
-// vectors. That turns 2·cols·(cols−1) ranking sorts into cols.
+// A per-column precomputation phase runs first (one task per column, not
+// per pair): validity bitmaps for NULL-bearing numeric columns, centering
+// moments (mean and Σdx²) for NULL-free ones, and — under the Spearman
+// measure — the rank-once vectors with their own moments. The O(cols²)
+// pair loop then reduces to a single fused Σdxdy pass per NULL-free
+// numeric pair with zero per-pair allocations; pairs with NULLs gather
+// their complete cases into per-worker scratch by walking the AND of the
+// validity bitmap words. Both shapes reproduce Pairwise bit-for-bit:
+// Pearson accumulates sxy/sxx/syy as independent sums in row order, so
+// hoisting mean and sxx out of the pair loop changes no float operation,
+// and the word-walk gathers exactly the rows the per-row scan gathered, in
+// the same order.
 func NewMatrixParallel(f *frame.Frame, m Measure, workers int) *Matrix {
 	workers = par.Workers(workers)
 	n := f.NumCols()
@@ -230,17 +239,15 @@ func NewMatrixParallel(f *frame.Frame, m Measure, workers int) *Matrix {
 	for i := 0; i < n; i++ {
 		mat.vals[i*n+i] = 1
 	}
-	colRanks := rankColumns(f, m, workers)
-	cell := func(i, j int) float64 {
-		if colRanks != nil && colRanks[i] != nil && colRanks[j] != nil {
-			return rankedDependency(colRanks[i], colRanks[j])
-		}
-		return Pairwise(f.Col(i), f.Col(j), m)
+	info := precomputeColumns(f, m, workers)
+	scratches := make([]pairScratch, workers)
+	cell := func(w, i, j int) float64 {
+		return pairCell(f, m, info, &scratches[w], i, j)
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
-				v := cell(i, j)
+				v := cell(0, i, j)
 				mat.vals[i*n+j] = v
 				mat.vals[j*n+i] = v
 			}
@@ -254,43 +261,192 @@ func NewMatrixParallel(f *frame.Frame, m Measure, workers int) *Matrix {
 			pairs = append(pairs, pair{i, j})
 		}
 	}
-	par.For(workers, len(pairs), func(_, k int) {
+	par.For(workers, len(pairs), func(w, k int) {
 		p := pairs[k]
-		v := cell(p.i, p.j)
+		v := cell(w, p.i, p.j)
 		mat.vals[p.i*n+p.j] = v
 		mat.vals[p.j*n+p.i] = v
 	})
 	return mat
 }
 
-// rankColumns is the rank-once phase of the Spearman dependency matrix: it
-// returns per-column fractional rank vectors, computed one task per column
-// across the worker pool, or nil when the measure does not consume ranks.
-// Only NULL-free numeric columns with at least three rows are ranked —
-// exactly the columns whose pairwise complete cases equal the full column,
-// so correlating precomputed ranks is bit-identical to ranking the aligned
-// pair. Columns with NULLs keep the per-pair fallback, because their
-// complete-case set (and hence their ranks) differs per partner column.
-func rankColumns(f *frame.Frame, m Measure, workers int) [][]float64 {
-	if m != AbsSpearman {
-		return nil
-	}
-	n := f.NumCols()
-	ranks := make([][]float64, n)
-	par.For(workers, n, func(_, i int) {
-		c := f.Col(i)
-		if c.Kind() == frame.Numeric && c.NullCount() == 0 && c.Len() >= 3 {
-			ranks[i] = stats.Ranks(c.Floats())
-		}
-	})
-	return ranks
+// colStats is the per-column precomputation shared by every pair task.
+type colStats struct {
+	numeric bool
+	floats  []float64
+	// valid holds the non-NULL bitmap words of a NULL-bearing numeric
+	// column (bit i&63 of word i>>6 set when row i is non-NULL); nil when
+	// the column has no NULLs and the fused moment path applies.
+	valid []uint64
+	// mean and sxx are Pearson's centering moments over the full column,
+	// valid only for NULL-free numeric columns with ≥ 2 rows (hasMoments).
+	mean, sxx  float64
+	hasMoments bool
+	// ranks is the rank-once vector under AbsSpearman (NULL-free numeric
+	// columns with ≥ 3 rows only — exactly the columns whose pairwise
+	// complete cases equal the full column, so correlating precomputed
+	// ranks is bit-identical to ranking the aligned pair; NULL-bearing
+	// columns keep the per-pair fallback because their complete-case ranks
+	// differ per partner). rankMean/rankSxx are its centering moments.
+	ranks             []float64
+	rankMean, rankSxx float64
 }
 
-// rankedDependency mirrors numericDependency's Spearman branch on
-// precomputed rank vectors: |ρ| clamped into [0, 1], degenerate (constant)
-// columns scoring 0.
-func rankedDependency(rx, ry []float64) float64 {
-	v := math.Abs(stats.SpearmanRanked(rx, ry))
+// centeringMoments returns Mean(xs) and the sum of squared deviations
+// accumulated exactly as Pearson's fused loop accumulates its sxx term, so
+// a pair loop reusing them reproduces Pearson bit-for-bit.
+func centeringMoments(xs []float64) (mean, sxx float64) {
+	mean = stats.Mean(xs)
+	for _, x := range xs {
+		d := x - mean
+		sxx += d * d
+	}
+	return mean, sxx
+}
+
+// precomputeColumns builds the per-column state, one task per column.
+func precomputeColumns(f *frame.Frame, m Measure, workers int) []colStats {
+	n := f.NumCols()
+	info := make([]colStats, n)
+	rankScratch := make([]stats.RankScratch, workers)
+	idxScratch := make([][]int, workers)
+	par.For(workers, n, func(w, i int) {
+		c := f.Col(i)
+		if c.Kind() != frame.Numeric {
+			return
+		}
+		cs := &info[i]
+		cs.numeric = true
+		cs.floats = c.Floats()
+		if c.NullCount() > 0 {
+			cs.valid = validWords(cs.floats)
+			return
+		}
+		if len(cs.floats) >= 2 {
+			cs.mean, cs.sxx = centeringMoments(cs.floats)
+			cs.hasMoments = true
+		}
+		if m == AbsSpearman && len(cs.floats) >= 3 {
+			nRows := len(cs.floats)
+			if cap(idxScratch[w]) < nRows {
+				idxScratch[w] = make([]int, nRows)
+			}
+			cs.ranks = stats.RanksIdxWith(&rankScratch[w], make([]float64, nRows), idxScratch[w][:nRows], cs.floats)
+			cs.rankMean, cs.rankSxx = centeringMoments(cs.ranks)
+		}
+	})
+	return info
+}
+
+// validWords builds the non-NULL bitmap of a numeric column (NULL is NaN).
+func validWords(floats []float64) []uint64 {
+	words := make([]uint64, (len(floats)+63)/64)
+	for i, v := range floats {
+		if !math.IsNaN(v) {
+			words[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	return words
+}
+
+// pairScratch holds one worker's complete-case gather buffers.
+type pairScratch struct {
+	xs, ys []float64
+}
+
+// pairCell computes one dependency cell using whichever precomputed shape
+// applies: fused moments, rank-once vectors, bitmap-gathered complete
+// cases, or the general Pairwise fallback for categorical/mixed pairs.
+func pairCell(f *frame.Frame, m Measure, info []colStats, s *pairScratch, i, j int) float64 {
+	a, b := &info[i], &info[j]
+	if a.ranks != nil && b.ranks != nil {
+		return absClamp(pearsonFused(a.ranks, b.ranks, a.rankMean, b.rankMean, a.rankSxx, b.rankSxx))
+	}
+	if a.numeric && b.numeric {
+		if a.valid == nil && b.valid == nil {
+			if m == AbsPearson {
+				if len(a.floats) < 3 {
+					return 0
+				}
+				return absClamp(pearsonFused(a.floats, b.floats, a.mean, b.mean, a.sxx, b.sxx))
+			}
+			return numericDependency(a.floats, b.floats, m)
+		}
+		xs, ys := s.gatherAligned(a, b)
+		return numericDependency(xs, ys, m)
+	}
+	return Pairwise(f.Col(i), f.Col(j), m)
+}
+
+// gatherAligned collects the pairwise complete cases of two numeric
+// columns into the worker's scratch, walking the AND of the validity words
+// one word at a time (bits.TrailingZeros64 over the joint mask) instead of
+// testing every row. Rows come out in ascending order — the same order the
+// per-row scan produced — so every downstream statistic is bit-identical.
+func (s *pairScratch) gatherAligned(a, b *colStats) (xs, ys []float64) {
+	n := len(a.floats)
+	if len(b.floats) < n {
+		n = len(b.floats)
+	}
+	if cap(s.xs) < n {
+		s.xs = make([]float64, 0, n)
+		s.ys = make([]float64, 0, n)
+	}
+	xs, ys = s.xs[:0], s.ys[:0]
+	nw := (n + 63) / 64
+	for k := 0; k < nw; k++ {
+		w := jointWord(a.valid, k) & jointWord(b.valid, k)
+		if rem := n - k<<6; rem < 64 {
+			w &= (1 << uint(rem)) - 1
+		}
+		base := k << 6
+		for ; w != 0; w &= w - 1 {
+			i := base + bits.TrailingZeros64(w)
+			xs = append(xs, a.floats[i])
+			ys = append(ys, b.floats[i])
+		}
+	}
+	s.xs, s.ys = xs, ys
+	return xs, ys
+}
+
+// jointWord reads word k of a validity bitmap, treating a nil bitmap (a
+// NULL-free column) as all-valid.
+func jointWord(valid []uint64, k int) uint64 {
+	if valid == nil {
+		return ^uint64(0)
+	}
+	return valid[k]
+}
+
+// pearsonFused is Pearson with the per-series centering moments hoisted
+// out: only the cross term Σdxdy is accumulated here. Because Pearson's
+// loop carries sxy, sxx and syy as independent accumulators, the split
+// changes no float operation and the result is bit-identical.
+func pearsonFused(xs, ys []float64, mx, my, sxx, syy float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	var sxy float64
+	for i := range xs {
+		sxy += (xs[i] - mx) * (ys[i] - my)
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	r := sxy / math.Sqrt(sxx*syy)
+	if r > 1 {
+		r = 1
+	} else if r < -1 {
+		r = -1
+	}
+	return r
+}
+
+// absClamp maps a correlation to a dependency score the way
+// numericDependency does: |v|, NaN → 0, clamped into [0, 1].
+func absClamp(v float64) float64 {
+	v = math.Abs(v)
 	if math.IsNaN(v) {
 		return 0
 	}

@@ -20,6 +20,10 @@ type Scratch struct {
 	combined, ranks     []float64
 	idx                 []int
 	countsIn, countsOut []float64
+	// rank holds the sort-kernel buffers (radix keys, permutation
+	// ping-pong, counting buckets) so the per-column ranking pass is
+	// allocation-free once the scratch has warmed to the table's width.
+	rank stats.RankScratch
 }
 
 // grownFloats returns a zero-length slice with capacity ≥ n backed by
@@ -77,7 +81,7 @@ func RankWith(s *Scratch, in, out []float64) stats.Ranking {
 	combined := grownFloats(&s.combined, n+m)
 	combined = append(combined, in...)
 	combined = append(combined, out...)
-	return stats.RankingInto(sizedFloats(&s.ranks, n+m), sizedInts(&s.idx, n+m), combined, n)
+	return stats.RankingIntoWith(&s.rank, sizedFloats(&s.ranks, n+m), sizedInts(&s.idx, n+m), combined, n)
 }
 
 // CliffDeltaWith is CliffDelta reusing s's buffers; s may be nil. It ranks

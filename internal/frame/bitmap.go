@@ -190,6 +190,17 @@ func (b *Bitmap) Words() []uint64 {
 	return w
 }
 
+// WordCount returns the number of backing words.
+func (b *Bitmap) WordCount() int { return len(b.words) }
+
+// WordAt returns backing word i without copying (row r lives at bit r&63
+// of word r>>6; unused high bits of the last word are zero). Hot loops —
+// the engine's column splits, the dependency matrix's complete-case
+// gathers — iterate selection words directly with bits.TrailingZeros64
+// instead of calling Get per row. The caller must not mutate the bitmap
+// while iterating.
+func (b *Bitmap) WordAt(i int) uint64 { return b.words[i] }
+
 // BitmapFromWords rebuilds a bitmap over n rows from its Words
 // representation. The word count must match exactly; set bits beyond n are
 // rejected rather than trimmed, so a corrupted wire payload cannot silently

@@ -15,6 +15,28 @@ import (
 // chosen for determinism and zero allocation; 64 bits is ample for the
 // cache-key population of one process.
 
+// hashSum finalizes a content hasher. It is a package-level hook so tests
+// can force the raw hash to collide with the cache sentinel; production
+// code never replaces it.
+var hashSum = func(h *memo.Hasher) uint64 { return h.Sum() }
+
+// zeroHashFingerprint is the reserved fingerprint for content whose raw
+// hash is 0.
+const zeroHashFingerprint = 1
+
+// sealFingerprint maps a raw content hash into the cacheable fingerprint
+// domain: 0 — a legitimate 1-in-2⁶⁴ hash output — is remapped to a
+// reserved non-zero value so it stays distinguishable from the "not yet
+// computed" sentinel. Without the remap such content would rehash on every
+// call and a published-then-invalidated 0 would be indistinguishable from
+// never having hashed at all.
+func sealFingerprint(raw uint64) uint64 {
+	if raw == 0 {
+		return zeroHashFingerprint
+	}
+	return raw
+}
+
 // Fingerprint returns the content fingerprint of the frame: a hash of the
 // schema (column names, kinds, row count) and every cell, computed once and
 // cached on the frame. Frames are immutable by convention; the fingerprint
@@ -33,10 +55,7 @@ func (f *Frame) Fingerprint() uint64 {
 	for _, c := range f.cols {
 		c.hashInto(&h)
 	}
-	v := h.Sum()
-	if v == 0 {
-		v = 1 // keep 0 as the "not yet computed" sentinel
-	}
+	v := sealFingerprint(hashSum(&h))
 	f.fp.Store(v)
 	return v
 }
@@ -98,10 +117,7 @@ func (b *Bitmap) Fingerprint() uint64 {
 	for _, w := range b.words {
 		h.Uint64(w)
 	}
-	v := h.Sum()
-	if v == 0 {
-		v = 1 // keep 0 as the "not yet computed" sentinel
-	}
+	v := sealFingerprint(hashSum(&h))
 	if b.gen.Load() == gen {
 		b.fp.Store(v)
 		if b.gen.Load() != gen {

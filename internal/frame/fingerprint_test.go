@@ -3,6 +3,8 @@ package frame
 import (
 	"sync"
 	"testing"
+
+	"repro/internal/memo"
 )
 
 func twoColFrame(t *testing.T, name string, xs []float64, cats []string) *Frame {
@@ -187,5 +189,43 @@ func TestBitmapFingerprintCachedAndInvalidated(t *testing.T) {
 	c.Set(0)
 	if b.Fingerprint() != c.Fingerprint() {
 		t.Fatal("identical content after clone round-trip fingerprints differently")
+	}
+}
+
+// TestFingerprintZeroHashRemapped pins the cache-sentinel bugfix: content
+// whose raw hash is 0 (forced here through the injectable hashSum hook)
+// must be remapped to the reserved non-zero fingerprint and cached like
+// any other value — one hash per content generation, not one per call —
+// while InvalidateFingerprint (and bitmap mutation) still forces a rehash.
+func TestFingerprintZeroHashRemapped(t *testing.T) {
+	calls := 0
+	orig := hashSum
+	hashSum = func(h *memo.Hasher) uint64 { calls++; return 0 }
+	defer func() { hashSum = orig }()
+
+	f := twoColFrame(t, "t", []float64{1, 2, 3}, []string{"a", "b", "a"})
+	if got := f.Fingerprint(); got != zeroHashFingerprint {
+		t.Fatalf("zero-hash frame fingerprint = %d, want reserved %d", got, zeroHashFingerprint)
+	}
+	if f.Fingerprint() != zeroHashFingerprint || calls != 1 {
+		t.Fatalf("zero-hash frame rehashed on a repeat call (%d hashes)", calls)
+	}
+	f.InvalidateFingerprint()
+	if f.Fingerprint() != zeroHashFingerprint || calls != 2 {
+		t.Fatalf("invalidation did not force exactly one rehash (%d hashes)", calls)
+	}
+
+	calls = 0
+	b := NewBitmap(130)
+	b.Set(5)
+	if got := b.Fingerprint(); got != zeroHashFingerprint {
+		t.Fatalf("zero-hash bitmap fingerprint = %d, want reserved %d", got, zeroHashFingerprint)
+	}
+	if b.Fingerprint() != zeroHashFingerprint || calls != 1 {
+		t.Fatalf("zero-hash bitmap rehashed on a repeat call (%d hashes)", calls)
+	}
+	b.Set(6) // mutation invalidates
+	if b.Fingerprint() != zeroHashFingerprint || calls != 2 {
+		t.Fatalf("bitmap mutation did not force exactly one rehash (%d hashes)", calls)
 	}
 }

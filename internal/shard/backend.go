@@ -74,8 +74,19 @@ func (e *SaturatedError) Error() string {
 func (e *SaturatedError) Unwrap() error { return ErrSaturated }
 
 // defaultServiceEstimate seeds the service-rate estimate before a backend
-// has completed its first characterization.
+// has completed its first characterization — and re-seeds it whenever the
+// observed estimate degenerates (see retryAfter).
 const defaultServiceEstimate = 500 * time.Millisecond
+
+// retryAfterMin and retryAfterMax clamp the Retry-After hint handed to a
+// shed caller. The floor keeps a queue of sub-millisecond cache-adjacent
+// characterizations from telling clients to hammer the shard in a busy
+// loop; the ceiling keeps a backlog of pathologically slow runs (or a
+// corrupted service estimate) from parking clients for minutes.
+const (
+	retryAfterMin = 25 * time.Millisecond
+	retryAfterMax = 30 * time.Second
+)
 
 // EngineBackend is the in-process Backend: one core.Engine plus the shard's
 // admission queue and traffic counters. It is what every router ran before
@@ -171,17 +182,32 @@ func (b *EngineBackend) CachedReport(fp uint64, sel *frame.Bitmap, opts core.Opt
 // retryAfter estimates how long a shed caller should back off: the queue
 // occupancy divided by the observed service rate (concurrency slots each
 // retiring one characterization per observed mean service time). An idle
-// backend hints zero.
+// backend hints zero; a busy one hints within [retryAfterMin,
+// retryAfterMax]. The observed mean is only trusted when positive — after
+// a long idle stretch of timer-resolution-fast runs (or a clock anomaly)
+// the cumulative service time can be zero or negative, which would
+// otherwise collapse the hint to "retry immediately" exactly when the
+// queue is full — and the final clamp bounds the degenerate extremes a
+// decayed or corrupted estimate can still produce.
 func (b *EngineBackend) retryAfter() time.Duration {
 	occupancy := len(b.admit)
 	if occupancy == 0 {
 		return 0
 	}
-	avg := defaultServiceEstimate
+	avg := float64(defaultServiceEstimate)
 	if n := b.completed.Load(); n > 0 {
-		avg = time.Duration(b.serviceNanos.Load() / n)
+		if observed := float64(b.serviceNanos.Load()) / float64(n); observed > 0 {
+			avg = observed
+		}
 	}
-	return time.Duration(float64(avg) * float64(occupancy) / float64(b.concurrency))
+	d := time.Duration(avg * float64(occupancy) / float64(b.concurrency))
+	if d < retryAfterMin {
+		return retryAfterMin
+	}
+	if d > retryAfterMax {
+		return retryAfterMax
+	}
+	return d
 }
 
 // Snapshot returns the backend's point-in-time counters. Inflight and

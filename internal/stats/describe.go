@@ -213,6 +213,15 @@ func RanksIdx(dst []float64, idx []int, xs []float64) []float64 {
 	return dst
 }
 
+// RanksIdxWith is RanksIdx with an explicit kernel scratch (see
+// RankingIntoWith), for callers ranking many columns in a loop — the
+// Spearman dependency matrix's rank-once phase reuses one scratch per
+// worker instead of allocating radix buffers per column.
+func RanksIdxWith(s *RankScratch, dst []float64, idx []int, xs []float64) []float64 {
+	ranksCoreWith(s, dst, idx, xs)
+	return dst
+}
+
 // ZScores returns (x - mean)/std for each value; all zeros if std is zero
 // or not finite.
 func ZScores(xs []float64) []float64 {

@@ -6,12 +6,13 @@ import (
 	"sync/atomic"
 )
 
-// rankOps counts ranking passes (each one O(n log n) comparison sort)
-// executed since process start. The robust hot path is specified to rank
-// each column's in+out concatenation exactly once per characterization;
-// tests and benchmarks read this counter to assert that budget instead of
-// guessing from allocation counts. One atomic add per ranking pass is
-// noise next to the sort it meters.
+// rankOps counts ranking passes (one kernel sort of the column's index
+// permutation, whatever strategy the selector picked) executed since
+// process start. The robust hot path is specified to rank each column's
+// in+out concatenation exactly once per characterization; tests and
+// benchmarks read this counter to assert that budget instead of guessing
+// from allocation counts. One atomic add per ranking pass is noise next to
+// the sort it meters.
 var rankOps atomic.Int64
 
 // RankOps returns the number of ranking passes performed so far. Intended
@@ -46,12 +47,23 @@ func SortedCopy(xs []float64) []float64 {
 // variance needs, computed for free while the tie groups are being walked
 // for rank averaging. dst and idx must have length len(xs).
 func ranksCore(dst []float64, idx []int, xs []float64) float64 {
+	return ranksCoreWith(nil, dst, idx, xs)
+}
+
+// ranksCoreWith is ranksCore with a kernel scratch: the sort strategy is
+// chosen per column (sortkernels.go) and its buffers come from s, so a
+// warmed scratch ranks without allocating. Tie groups are detected by value
+// equality after the sort, which makes the rank vector, tie correction and
+// rank sums identical for every kernel — including across the kernels'
+// differing (and unobservable) orderings within a tie group.
+func ranksCoreWith(s *RankScratch, dst []float64, idx []int, xs []float64) float64 {
 	rankOps.Add(1)
 	n := len(xs)
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	k, lo, span := chooseKernel(xs)
+	sortPermKernel(s, idx, xs, k, lo, span)
 	tieSum := 0.0
 	for i := 0; i < n; {
 		j := i
@@ -125,6 +137,14 @@ func NewRanking(a, b []float64) Ranking {
 // set and no ranking pass performed (NaNs break comparison sorting, so any
 // rank-derived statistic would be garbage).
 func RankingInto(dst []float64, idx []int, combined []float64, na int) Ranking {
+	return RankingIntoWith(nil, dst, idx, combined, na)
+}
+
+// RankingIntoWith is RankingInto with an explicit kernel scratch so the
+// radix/counting sort buffers are reused across columns; s may be nil.
+// effect.Scratch threads its per-worker RankScratch through here, making a
+// warmed worker's ranking passes allocation-free.
+func RankingIntoWith(s *RankScratch, dst []float64, idx []int, combined []float64, na int) Ranking {
 	r := Ranking{NA: na, NB: len(combined) - na, MedianA: math.NaN(), MedianB: math.NaN()}
 	for _, v := range combined {
 		if math.IsNaN(v) {
@@ -132,7 +152,7 @@ func RankingInto(dst []float64, idx []int, combined []float64, na int) Ranking {
 			return r
 		}
 	}
-	r.TieSum = ranksCore(dst, idx, combined)
+	r.TieSum = ranksCoreWith(s, dst, idx, combined)
 	r.Ranks = dst
 	r.Values = combined
 	r.Perm = idx

@@ -151,6 +151,40 @@ func TestGroupQuantilesMatchSortedCopy(t *testing.T) {
 	}
 }
 
+// TestGroupQuantilesSpill pins the heap-spill path of groupQuantiles: more
+// than 8 requested quantiles overflows the stack-buffered bookkeeping onto
+// heap slices, and every spill-path position must be written before it is
+// read. The quantile vector is deliberately unsorted, contains duplicate
+// entries, and includes the q=0 / q=1 extremes, across singleton,
+// tie-heavy, and ordinary groups.
+func TestGroupQuantilesSpill(t *testing.T) {
+	qs := []float64{1, 0.5, 0, 0.85, 0.25, 0.5, 0.99, 0.01, 0.75, 0.6, 0.4, 1, 0.1}
+	if len(qs) <= 8 {
+		t.Fatal("spill test needs more than 8 quantiles")
+	}
+	cases := []struct{ a, b []float64 }{
+		{[]float64{5}, []float64{1, 2, 3}},                         // singleton group A
+		{[]float64{2, 2, 2, 1, 1, 3, 3, 3, 3}, []float64{3, 3, 1}}, // heavy ties
+		{[]float64{3.5, -1, 4.25, 1, 5, -9.5, 2, 6, 0.125}, []float64{2, 7.75, 1, 8, -2, 8}},
+	}
+	for ci, c := range cases {
+		r := NewRanking(c.a, c.b)
+		gotA := make([]float64, len(qs))
+		gotB := make([]float64, len(qs))
+		r.QuantilesA(qs, gotA)
+		r.QuantilesB(qs, gotB)
+		sa, sb := SortedCopy(c.a), SortedCopy(c.b)
+		for i, q := range qs {
+			if want := Quantile(sa, q); math.Float64bits(gotA[i]) != math.Float64bits(want) {
+				t.Errorf("case %d group A qs[%d]=%v: got %v, want %v", ci, i, q, gotA[i], want)
+			}
+			if want := Quantile(sb, q); math.Float64bits(gotB[i]) != math.Float64bits(want) {
+				t.Errorf("case %d group B qs[%d]=%v: got %v, want %v", ci, i, q, gotB[i], want)
+			}
+		}
+	}
+}
+
 // TestGroupQuantilesDegenerate asserts NaN-bearing rankings (no Perm) and
 // empty groups yield NaN quantiles rather than garbage.
 func TestGroupQuantilesDegenerate(t *testing.T) {
