@@ -1,0 +1,184 @@
+package main
+
+// The serving subcommand gates the load-harness outcome the same way
+// compare gates microbenchmarks: the CI serving-bench job replays the
+// pinned workload spec with zigload against a real front/worker deployment,
+// writes BENCH_serving.json, and fails the build when the run regressed
+// against the checked-in BENCH_serving_baseline.json:
+//
+//	zigload -spec cmd/zigload/testdata/ci.zigload -seed 1 \
+//	    -target 127.0.0.1:18080 -out BENCH_serving.json
+//	benchdiff serving -baseline BENCH_serving_baseline.json -current BENCH_serving.json
+//
+// The gate only trusts a comparison of identical traffic, so the identity
+// fields (spec name, seed, schedule hash, session and request counts,
+// target kind) must match the baseline exactly — a spec edit or seed bump
+// requires refreshing the baseline in the same change, which is one
+// command:
+//
+//	benchdiff serving -current BENCH_serving.json -update
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/load"
+)
+
+// Serving-gate tuning. Latencies on shared CI runners are noisy, so the
+// percentile gate is a ratio with an absolute floor: a percentile fails
+// only when it exceeds baseline × threshold AND grew by more than the
+// floor, which keeps sub-millisecond cache-hit percentiles (where a
+// scheduler hiccup is a large ratio but a meaningless regression) from
+// flaking the build. Rates are compared with absolute slack.
+const (
+	servingLatencyFloorMs = 1.0
+	// servingRetryAfterMinMs / MaxMs are the router's documented clamp on
+	// Retry-After hints; a shed run whose observed hints leave the range
+	// means the backoff contract broke somewhere between backend and client.
+	servingRetryAfterMinMs = 25.0
+	servingRetryAfterMaxMs = 30_000.0
+)
+
+// compareServing evaluates a current serving record against its baseline
+// and returns human-readable failures (empty = gate passes).
+func compareServing(baseline, current *load.ServingRecord, latencyThreshold, shedSlack, cacheSlack float64) []string {
+	var failures []string
+	failf := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+
+	// Identity: a latency comparison across different traffic is
+	// meaningless, so mismatches fail rather than warn.
+	if baseline.Spec != current.Spec {
+		failf("spec %q does not match baseline spec %q", current.Spec, baseline.Spec)
+	}
+	if baseline.Seed != current.Seed {
+		failf("seed %d does not match baseline seed %d", current.Seed, baseline.Seed)
+	}
+	if baseline.ScheduleHash != current.ScheduleHash {
+		failf("schedule hash %s does not match baseline %s (different spec text or generator change; refresh the baseline)",
+			current.ScheduleHash, baseline.ScheduleHash)
+	}
+	if baseline.Target != current.Target {
+		failf("target %q does not match baseline target %q", current.Target, baseline.Target)
+	}
+	if baseline.Sessions != current.Sessions || baseline.Requests != current.Requests {
+		failf("traffic shape %d sessions/%d requests does not match baseline %d/%d",
+			current.Sessions, current.Requests, baseline.Sessions, baseline.Requests)
+	}
+	if len(failures) > 0 {
+		return failures // comparisons below would be noise
+	}
+
+	// Correctness is absolute: any failed request or byte-identity
+	// violation fails the gate no matter what the baseline says.
+	if current.Failed > 0 {
+		failf("%d requests failed (first error: %s)", current.Failed, current.FirstError)
+	}
+	if current.ByteMismatches > 0 {
+		failf("%d repeated requests returned different bytes", current.ByteMismatches)
+	}
+
+	type pct struct {
+		name      string
+		base, cur float64
+	}
+	for _, p := range []pct{
+		{"p50", baseline.LatencyMs.P50, current.LatencyMs.P50},
+		{"p95", baseline.LatencyMs.P95, current.LatencyMs.P95},
+		{"p99", baseline.LatencyMs.P99, current.LatencyMs.P99},
+	} {
+		if p.cur > p.base*latencyThreshold && p.cur-p.base > servingLatencyFloorMs {
+			failf("latency %s %.2fms vs baseline %.2fms (> %.2fx threshold)", p.name, p.cur, p.base, latencyThreshold)
+		}
+	}
+	if current.ShedRate > baseline.ShedRate+shedSlack {
+		failf("shed rate %.3f vs baseline %.3f (slack %.3f)", current.ShedRate, baseline.ShedRate, shedSlack)
+	}
+	if current.CacheHitRate < baseline.CacheHitRate-cacheSlack {
+		failf("cache hit rate %.3f vs baseline %.3f (slack %.3f)", current.CacheHitRate, baseline.CacheHitRate, cacheSlack)
+	}
+	// A run that shed load must have carried sane backoff hints.
+	if current.Sheds > 0 {
+		if current.RetryAfterMs.Min < servingRetryAfterMinMs {
+			failf("Retry-After minimum %.1fms below the %.0fms clamp", current.RetryAfterMs.Min, servingRetryAfterMinMs)
+		}
+		if current.RetryAfterMs.Max > servingRetryAfterMaxMs {
+			failf("Retry-After maximum %.1fms above the %.0fms clamp", current.RetryAfterMs.Max, servingRetryAfterMaxMs)
+		}
+	}
+	return failures
+}
+
+// readServingRecord loads and validates one serving record file.
+func readServingRecord(path string) (*load.ServingRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := load.DecodeServingRecord(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rec, nil
+}
+
+func runServing(args []string) {
+	fs := flag.NewFlagSet("serving", flag.ExitOnError)
+	basePath := fs.String("baseline", "BENCH_serving_baseline.json", "baseline serving record")
+	curPath := fs.String("current", "BENCH_serving.json", "current serving record from zigload")
+	latencyThreshold := fs.Float64("latency-threshold", 3.0, "fail when a gated percentile exceeds baseline times this ratio")
+	shedSlack := fs.Float64("shed-slack", 0.10, "allowed absolute shed-rate increase over baseline")
+	cacheSlack := fs.Float64("cache-slack", 0.10, "allowed absolute cache-hit-rate decrease under baseline")
+	update := fs.Bool("update", false, "install the current record as the new baseline instead of comparing")
+	fs.Parse(args)
+	if *latencyThreshold <= 1 {
+		fatalf("latency-threshold %v must be > 1", *latencyThreshold)
+	}
+	current, err := readServingRecord(*curPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *update {
+		// Refreshing the baseline still refuses a broken run: a baseline
+		// with failures or mismatches would pin the breakage as expected.
+		if current.Failed > 0 || current.ByteMismatches > 0 {
+			fatalf("refusing to install a baseline with %d failed requests and %d byte mismatches",
+				current.Failed, current.ByteMismatches)
+		}
+		data, err := load.EncodeServingRecord(current)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(*basePath, data, 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("benchdiff: %s now holds workload %s seed=%d (%d requests, p95 %.2fms)\n",
+			*basePath, current.Spec, current.Seed, current.Requests, current.LatencyMs.P95)
+		return
+	}
+	baseline, err := readServingRecord(*basePath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("%-24s %14s %14s\n", "workload "+current.Spec, "baseline", "current")
+	for _, row := range [][3]any{
+		{"p50 ms", baseline.LatencyMs.P50, current.LatencyMs.P50},
+		{"p95 ms", baseline.LatencyMs.P95, current.LatencyMs.P95},
+		{"p99 ms", baseline.LatencyMs.P99, current.LatencyMs.P99},
+		{"shed rate", baseline.ShedRate, current.ShedRate},
+		{"cache hit rate", baseline.CacheHitRate, current.CacheHitRate},
+	} {
+		fmt.Printf("%-24s %14.3f %14.3f\n", row[0], row[1], row[2])
+	}
+	if failures := compareServing(baseline, current, *latencyThreshold, *shedSlack, *cacheSlack); len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "benchdiff: FAIL %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: serving run within gates (latency %.2fx, shed +%.2f, cache -%.2f)\n",
+		*latencyThreshold, *shedSlack, *cacheSlack)
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/load"
+)
+
+// servingRecord builds a healthy record; tests mutate copies to provoke
+// individual gate failures.
+func servingRecord() *load.ServingRecord {
+	return &load.ServingRecord{
+		Spec:         "ci_serving",
+		Seed:         1,
+		Target:       "http",
+		ScheduleHash: "deadbeefdeadbeef",
+		Sessions:     6,
+		Requests:     144,
+		Attempts:     150,
+		Sheds:        6,
+		Retried:      5,
+		CacheHitRate: 0.40,
+		ShedRate:     0.04,
+		LatencyMs:    load.LatencyMs{P50: 2.0, P90: 5.0, P95: 6.0, P99: 9.0, Max: 30.0},
+		RetryAfterMs: load.RetryAfterMs{Min: 25, Max: 120},
+		WallMs:       900,
+	}
+}
+
+// failuresContain asserts exactly one failure mentioning want.
+func failuresContain(t *testing.T, failures []string, want string) {
+	t.Helper()
+	if len(failures) != 1 || !strings.Contains(failures[0], want) {
+		t.Fatalf("failures = %v, want exactly one mentioning %q", failures, want)
+	}
+}
+
+func TestServingSelfComparisonPasses(t *testing.T) {
+	base := servingRecord()
+	if failures := compareServing(base, servingRecord(), 3.0, 0.10, 0.10); len(failures) != 0 {
+		t.Fatalf("self-comparison failed: %v", failures)
+	}
+}
+
+// TestServingIdentityGate pins that the gate refuses to compare different
+// traffic: any identity mismatch fails before (and instead of) the metric
+// comparisons.
+func TestServingIdentityGate(t *testing.T) {
+	base := servingRecord()
+	for _, tc := range []struct {
+		name   string
+		mutate func(*load.ServingRecord)
+		want   string
+	}{
+		{"spec", func(r *load.ServingRecord) { r.Spec = "other" }, "spec"},
+		{"seed", func(r *load.ServingRecord) { r.Seed = 2 }, "seed"},
+		{"hash", func(r *load.ServingRecord) { r.ScheduleHash = "ffff" }, "schedule hash"},
+		{"target", func(r *load.ServingRecord) { r.Target = "router" }, "target"},
+		{"shape", func(r *load.ServingRecord) { r.Requests = 7 }, "traffic shape"},
+	} {
+		cur := servingRecord()
+		tc.mutate(cur)
+		// Also break a metric: identity failures must suppress metric noise.
+		cur.LatencyMs.P99 = 1e9
+		failures := compareServing(base, cur, 3.0, 0.10, 0.10)
+		failuresContain(t, failures, tc.want)
+	}
+}
+
+// TestServingCorrectnessIsAbsolute pins that failed requests and byte
+// mismatches fail the gate regardless of thresholds or baseline content.
+func TestServingCorrectnessIsAbsolute(t *testing.T) {
+	base := servingRecord()
+	cur := servingRecord()
+	cur.Failed = 2
+	cur.FirstError = "boom"
+	failuresContain(t, compareServing(base, cur, 1e9, 1, 1), "failed")
+
+	cur = servingRecord()
+	cur.ByteMismatches = 1
+	failuresContain(t, compareServing(base, cur, 1e9, 1, 1), "different bytes")
+}
+
+// TestServingLatencyGate pins the ratio-with-floor rule: a percentile past
+// threshold×baseline fails only when it also grew by more than the
+// absolute floor, so sub-millisecond jitter cannot flake the build.
+func TestServingLatencyGate(t *testing.T) {
+	base := servingRecord()
+	cur := servingRecord()
+	cur.LatencyMs.P95 = base.LatencyMs.P95*3 + 2 // past ratio and floor
+	failuresContain(t, compareServing(base, cur, 3.0, 0.10, 0.10), "p95")
+
+	// Large ratio but tiny absolute growth: passes.
+	base = servingRecord()
+	base.LatencyMs.P50 = 0.05
+	cur = servingRecord()
+	cur.LatencyMs.P50 = 0.90 // 18x ratio, +0.85ms < 1ms floor
+	if failures := compareServing(base, cur, 3.0, 0.10, 0.10); len(failures) != 0 {
+		t.Fatalf("sub-floor growth failed the gate: %v", failures)
+	}
+}
+
+func TestServingRateGates(t *testing.T) {
+	base := servingRecord()
+	cur := servingRecord()
+	cur.ShedRate = base.ShedRate + 0.2
+	failuresContain(t, compareServing(base, cur, 3.0, 0.10, 0.10), "shed rate")
+
+	cur = servingRecord()
+	cur.CacheHitRate = base.CacheHitRate - 0.2
+	failuresContain(t, compareServing(base, cur, 3.0, 0.10, 0.10), "cache hit rate")
+
+	// Within slack: passes.
+	cur = servingRecord()
+	cur.ShedRate = base.ShedRate + 0.05
+	cur.CacheHitRate = base.CacheHitRate - 0.05
+	if failures := compareServing(base, cur, 3.0, 0.10, 0.10); len(failures) != 0 {
+		t.Fatalf("within-slack drift failed the gate: %v", failures)
+	}
+}
+
+// TestServingRetryAfterGate pins the backoff-contract check: hints outside
+// the router's [25ms, 30s] clamp fail, and a shed-free run skips the check
+// entirely (min/max are zero then).
+func TestServingRetryAfterGate(t *testing.T) {
+	base := servingRecord()
+	cur := servingRecord()
+	cur.RetryAfterMs.Min = 1
+	failuresContain(t, compareServing(base, cur, 3.0, 0.10, 0.10), "Retry-After minimum")
+
+	cur = servingRecord()
+	cur.RetryAfterMs.Max = 60_000
+	failuresContain(t, compareServing(base, cur, 3.0, 0.10, 0.10), "Retry-After maximum")
+
+	cur = servingRecord()
+	cur.Sheds = 0
+	cur.RetryAfterMs = load.RetryAfterMs{}
+	if failures := compareServing(base, cur, 3.0, 0.10, 0.10); len(failures) != 0 {
+		t.Fatalf("shed-free run failed the Retry-After check: %v", failures)
+	}
+}

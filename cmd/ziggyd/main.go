@@ -69,6 +69,14 @@ type options struct {
 	cacheBytes   int64
 	worker       bool
 	peers        string
+	concurrency  int
+	queueDepth   int
+}
+
+// params assembles the admission tuning the options describe (zero values
+// keep the shard package defaults).
+func (opts options) params() shard.Params {
+	return shard.Params{Concurrency: opts.concurrency, QueueDepth: opts.queueDepth}
 }
 
 // config assembles the engine configuration the options describe.
@@ -101,7 +109,7 @@ func buildHandler(opts options, logger *log.Logger) (http.Handler, error) {
 // process's own sharded router. No tables are loaded — fronts ship them,
 // content-addressed, each at most once.
 func buildWorker(opts options, logger *log.Logger) (http.Handler, error) {
-	router, err := shard.New(opts.config())
+	router, err := shard.NewWithParams(opts.config(), nil, opts.params())
 	if err != nil {
 		return nil, err
 	}
@@ -177,7 +185,7 @@ func buildServer(opts options, logger *log.Logger) (*server.Server, error) {
 			logger.Printf("front mode: routing to %d remote workers", router.NumShards())
 		}
 	} else {
-		router, err = shard.New(cfg)
+		router, err = shard.NewWithParams(cfg, nil, opts.params())
 		if err != nil {
 			return nil, err
 		}
@@ -202,6 +210,10 @@ func main() {
 		"LRU entry bound per cache tier, covering all shards together (0 = engine default)")
 	cacheBytes := flag.Int64("cache-bytes", 0,
 		"approximate byte bound per cache tier, covering all shards together (0 = engine default)")
+	concurrency := flag.Int("concurrency", 0,
+		"concurrent characterizations per shard before requests queue (0 = default); load tests shrink it to provoke shedding")
+	queueDepth := flag.Int("queue-depth", 0,
+		"admitted-but-waiting requests per shard before load is shed with 503 (0 = default)")
 	worker := flag.Bool("worker", false,
 		"run as a characterization worker: serve the /api/worker RPC API; tables are shipped by a -peers front")
 	peers := flag.String("peers", "",
@@ -222,6 +234,8 @@ func main() {
 		cacheBytes:   *cacheBytes,
 		worker:       *worker,
 		peers:        *peers,
+		concurrency:  *concurrency,
+		queueDepth:   *queueDepth,
 	}, logger)
 	if err != nil {
 		logger.Fatal(err)

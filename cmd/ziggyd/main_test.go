@@ -57,7 +57,7 @@ func scrub(v any) {
 	case map[string]any:
 		for k, val := range x {
 			switch k {
-			case "prepMillis", "searchMillis", "postMillis", "bytes", "retryAfterMillis":
+			case "prepMillis", "searchMillis", "postMillis", "bytes", "retryAfterMillis", "meanServiceMillis":
 				x[k] = 0
 			default:
 				scrub(val)

@@ -1,0 +1,129 @@
+// Command zigload replays deterministic multi-session exploration workloads
+// against a serving target and records the outcome as BENCH_serving.json —
+// the session-replay load harness the CI serving-bench job drives against a
+// real front/worker deployment and gates with `benchdiff serving`.
+//
+// A workload is a text spec (internal/load format): synthetic tables, phases
+// mixing cache-friendly repeats with cache-hostile churn and think-time
+// distributions, replayed by N concurrent session goroutines from one seed.
+// The same (spec, seed) always produces the same schedule — print it with
+// -schedule-only and hash-pin it in CI:
+//
+//	zigload -spec cmd/zigload/testdata/ci.zigload -seed 1 -schedule-only
+//
+// The target is either the in-process sharded router ("router", the default,
+// no deployment needed) or a running ziggyd front over its public JSON API:
+//
+//	zigload -spec ci.zigload -seed 1 -target 127.0.0.1:8080 -out BENCH_serving.json
+//
+// The replay honors Retry-After on shed (503) responses, verifies repeated
+// requests return byte-identical normalized reports, and aggregates latency
+// in a mergeable log2 histogram (p50/p95/p99 differential-tested against
+// sort-based quantiles). A non-zero exit means the replay itself failed:
+// hard request errors or byte-identity violations. Saturation (sheds) is
+// not an error — it is measured, and judged by the benchdiff gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/load"
+	"repro/internal/shard"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "zigload: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	specPath := flag.String("spec", "", "workload spec file (required)")
+	seed := flag.Uint64("seed", 1, "schedule seed; same (spec, seed) replays identical traffic")
+	target := flag.String("target", "router", `target: "router" (in-process) or a ziggyd front address`)
+	out := flag.String("out", "", "write the serving record JSON here (default stdout)")
+	thinkScale := flag.Float64("think-scale", 1.0, "multiply scheduled think times (CI compresses wall time with <1)")
+	retries := flag.Int("retries", 0, "shed retry budget per request (0 = driver default)")
+	scheduleOnly := flag.Bool("schedule-only", false, "print the canonical schedule and its hash, run nothing")
+	shards := flag.Int("shards", 2, "router target: shard count")
+	parallelism := flag.Int("parallelism", 1, "router target: per-engine worker parallelism")
+	concurrency := flag.Int("concurrency", 0, "router target: per-shard concurrent characterizations (0 = default)")
+	queueDepth := flag.Int("queue-depth", 0, "router target: per-shard admission queue depth (0 = default)")
+	flag.Parse()
+
+	if *specPath == "" {
+		fatalf("-spec is required")
+	}
+	text, err := os.ReadFile(*specPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	spec, err := load.Parse(string(text))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	sched, err := load.BuildSchedule(spec, *seed)
+	if err != nil {
+		fatalf("building schedule: %v", err)
+	}
+
+	if *scheduleOnly {
+		fmt.Print(sched.Render())
+		fmt.Printf("# schedule hash: %s\n", sched.Hash())
+		return
+	}
+
+	var t load.Target
+	var routerTarget *load.RouterTarget
+	var httpTarget *load.HTTPTarget
+	if *target == "router" {
+		cfg := core.DefaultConfig()
+		cfg.Shards = *shards
+		cfg.Parallelism = *parallelism
+		routerTarget, err = load.NewRouterTarget(cfg, sched, shard.Params{Concurrency: *concurrency, QueueDepth: *queueDepth})
+		if err != nil {
+			fatalf("building router target: %v", err)
+		}
+		t = routerTarget
+	} else {
+		httpTarget = load.NewHTTPTarget(*target)
+		t = httpTarget
+	}
+	defer t.Close()
+
+	res, err := load.Run(sched, t, load.DriverConfig{ThinkScale: *thinkScale, MaxRetries: *retries})
+	if err != nil {
+		fatalf("replay: %v", err)
+	}
+
+	var modesCollapsed int64
+	if httpTarget != nil {
+		modesCollapsed = httpTarget.ModesCollapsed.Load()
+	}
+	rec := load.NewServingRecord(sched, res, modesCollapsed)
+	data, err := load.EncodeServingRecord(rec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatalf("%v", err)
+	} else {
+		fmt.Printf("zigload: wrote %s (%d requests, %d attempts, shed rate %.3f, cache hit rate %.3f)\n",
+			*out, rec.Requests, rec.Attempts, rec.ShedRate, rec.CacheHitRate)
+	}
+
+	// The replay itself must be clean; saturation is measured, not fatal.
+	if res.Failed > 0 {
+		fatalf("%d requests failed (first: %s)", res.Failed, res.FirstError)
+	}
+	if res.ByteMismatches > 0 {
+		for _, m := range res.Mismatches {
+			fmt.Fprintf(os.Stderr, "zigload: byte mismatch: session %d: %s\n", m.Session, m.Key)
+		}
+		fatalf("%d repeated requests returned different bytes", res.ByteMismatches)
+	}
+}

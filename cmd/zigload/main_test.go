@@ -1,0 +1,250 @@
+package main
+
+import (
+	"bufio"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/load"
+)
+
+// buildBinary compiles one of this module's commands into dir and returns
+// the binary path. The go build cache makes repeated builds cheap.
+func buildBinary(t *testing.T, dir, pkg string) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go toolchain not in PATH: %v", err)
+	}
+	bin := filepath.Join(dir, filepath.Base(pkg))
+	build := exec.Command("go", "build", "-o", bin, pkg)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+// runCmd runs a built binary and returns its combined output, failing the
+// test if the exit status does not match wantOK.
+func runCmd(t *testing.T, wantOK bool, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if ok := err == nil; ok != wantOK {
+		t.Fatalf("%s %v: err=%v, want success=%t\n%s", filepath.Base(bin), args, err, wantOK, out)
+	}
+	return string(out)
+}
+
+// readRecord decodes the serving record a zigload run wrote.
+func readRecord(t *testing.T, path string) *load.ServingRecord {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := load.DecodeServingRecord(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// TestScheduleOnlyDeterministic pins the CLI contract CI relies on: the
+// same (spec, seed) prints the same canonical schedule and hash on every
+// invocation, and a different seed prints a different one.
+func TestScheduleOnlyDeterministic(t *testing.T) {
+	bin := buildBinary(t, t.TempDir(), "repro/cmd/zigload")
+	first := runCmd(t, true, bin, "-spec", "testdata/ci.zigload", "-seed", "1", "-schedule-only")
+	second := runCmd(t, true, bin, "-spec", "testdata/ci.zigload", "-seed", "1", "-schedule-only")
+	if first != second {
+		t.Fatal("same (spec, seed) printed different schedules across invocations")
+	}
+	if !strings.Contains(first, "# schedule hash: ") {
+		t.Fatalf("schedule output missing its hash line:\n%s", first)
+	}
+	other := runCmd(t, true, bin, "-spec", "testdata/ci.zigload", "-seed", "2", "-schedule-only")
+	if other == first {
+		t.Fatal("different seeds printed identical schedules")
+	}
+}
+
+// TestRouterReplayAndGate is the in-process end-to-end of the CI flow:
+// zigload replays the pinned spec against the router target, benchdiff
+// installs the record as a baseline and gates a second identical run, and
+// a seed change is refused by the identity gate.
+func TestRouterReplayAndGate(t *testing.T) {
+	dir := t.TempDir()
+	zigload := buildBinary(t, dir, "repro/cmd/zigload")
+	benchdiff := buildBinary(t, dir, "repro/cmd/benchdiff")
+
+	recPath := filepath.Join(dir, "BENCH_serving.json")
+	runCmd(t, true, zigload, "-spec", "testdata/ci.zigload", "-seed", "1",
+		"-think-scale", "0.2", "-out", recPath)
+	rec := readRecord(t, recPath)
+	if rec.Spec != "ci_serving" || rec.Target != "router" || rec.Sessions != 6 {
+		t.Fatalf("record identity = %s/%s/%d sessions, want ci_serving/router/6", rec.Spec, rec.Target, rec.Sessions)
+	}
+	if rec.Requests != 144 {
+		t.Fatalf("requests = %d, want 6 sessions x 24 = 144", rec.Requests)
+	}
+	if rec.Failed != 0 || rec.ByteMismatches != 0 {
+		t.Fatalf("replay not clean: %d failed, %d byte mismatches (first error: %s)",
+			rec.Failed, rec.ByteMismatches, rec.FirstError)
+	}
+	if rec.CacheHitRate <= 0 {
+		t.Fatalf("cache hit rate = %v, want > 0 (repeat phases must hit the report cache)", rec.CacheHitRate)
+	}
+
+	basePath := filepath.Join(dir, "BENCH_serving_baseline.json")
+	runCmd(t, true, benchdiff, "serving", "-current", recPath, "-baseline", basePath, "-update")
+
+	// A fresh identical replay passes the gate.
+	rec2Path := filepath.Join(dir, "BENCH_serving2.json")
+	runCmd(t, true, zigload, "-spec", "testdata/ci.zigload", "-seed", "1",
+		"-think-scale", "0.2", "-out", rec2Path)
+	if readRecord(t, rec2Path).ScheduleHash != rec.ScheduleHash {
+		t.Fatal("same (spec, seed) replayed a different schedule")
+	}
+	runCmd(t, true, benchdiff, "serving", "-current", rec2Path, "-baseline", basePath)
+
+	// A different seed is different traffic: the identity gate must refuse.
+	otherPath := filepath.Join(dir, "BENCH_serving_other.json")
+	runCmd(t, true, zigload, "-spec", "testdata/ci.zigload", "-seed", "2",
+		"-think-scale", "0.2", "-out", otherPath)
+	out := runCmd(t, false, benchdiff, "serving", "-current", otherPath, "-baseline", basePath)
+	if !strings.Contains(out, "seed") {
+		t.Fatalf("seed-mismatch gate output missing the cause:\n%s", out)
+	}
+}
+
+// servingLine extracts the bound address from ziggyd's startup log.
+var servingLine = regexp.MustCompile(`serving on ([0-9.:\[\]]+)$`)
+
+// startDaemon launches a ziggyd binary, waits for its "serving on" log
+// line and first accepted connection, and returns the bound host:port.
+func startDaemon(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		scanner := bufio.NewScanner(stderr)
+		for scanner.Scan() {
+			if m := servingLine.FindStringSubmatch(scanner.Text()); m != nil {
+				addrCh <- m[1]
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		addr = strings.Replace(addr, "[::]", "127.0.0.1", 1)
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := http.Get("http://" + addr + "/api/health")
+			if err == nil {
+				resp.Body.Close()
+				return addr
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Fatalf("daemon at %s never became reachable", addr)
+		return ""
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon %s %v never logged its serving address", bin, args)
+		return ""
+	}
+}
+
+// TestHTTPDeploymentReplay replays the pinned CI spec against a real
+// front + 2-worker ziggyd deployment over HTTP — the exact topology the CI
+// serving-bench job drives — and requires a clean record: no failures, no
+// byte mismatches, repeats served from the workers' report caches.
+func TestHTTPDeploymentReplay(t *testing.T) {
+	dir := t.TempDir()
+	zigload := buildBinary(t, dir, "repro/cmd/zigload")
+	ziggyd := buildBinary(t, dir, "repro/cmd/ziggyd")
+
+	w1 := startDaemon(t, ziggyd, "-worker", "-addr", "127.0.0.1:0", "-shards", "1", "-parallelism", "1")
+	w2 := startDaemon(t, ziggyd, "-worker", "-addr", "127.0.0.1:0", "-shards", "1", "-parallelism", "1")
+	front := startDaemon(t, ziggyd, "-peers", w1+","+w2, "-addr", "127.0.0.1:0",
+		"-datasets", "boxoffice", "-seed", "1", "-parallelism", "1")
+
+	recPath := filepath.Join(dir, "BENCH_serving.json")
+	runCmd(t, true, zigload, "-spec", "testdata/ci.zigload", "-seed", "1",
+		"-target", front, "-think-scale", "0.2", "-out", recPath)
+	rec := readRecord(t, recPath)
+	if rec.Target != "http" || rec.Requests != 144 {
+		t.Fatalf("record = %s/%d requests, want http/144", rec.Target, rec.Requests)
+	}
+	if rec.Failed != 0 || rec.ByteMismatches != 0 {
+		t.Fatalf("deployment replay not clean: %d failed, %d byte mismatches (first error: %s)",
+			rec.Failed, rec.ByteMismatches, rec.FirstError)
+	}
+	if rec.CacheHitRate <= 0 {
+		t.Fatalf("cache hit rate = %v, want > 0 over the deployment", rec.CacheHitRate)
+	}
+}
+
+// TestHTTPSaturationBackoff pins the load-shedding contract end to end
+// over real processes: an 8-session cache-bypassing burst against a single
+// worker with a one-slot queue must shed at least once with Retry-After
+// hints inside the router's [25ms, 30s] clamp, and every shed request must
+// eventually succeed after honoring the hint — zero failures, and repeats
+// still byte-identical under saturation.
+func TestHTTPSaturationBackoff(t *testing.T) {
+	dir := t.TempDir()
+	zigload := buildBinary(t, dir, "repro/cmd/zigload")
+	ziggyd := buildBinary(t, dir, "repro/cmd/ziggyd")
+
+	worker := startDaemon(t, ziggyd, "-worker", "-addr", "127.0.0.1:0",
+		"-shards", "1", "-parallelism", "1", "-concurrency", "1", "-queue-depth", "1")
+	// uscrime characterizations are slow enough (several ms of CPU) that
+	// the single-core worker gets preempted mid-pipeline and reads further
+	// requests into its one-slot admission queue; a faster table's requests
+	// retire before the next one is even read, and nothing ever sheds.
+	front := startDaemon(t, ziggyd, "-peers", worker, "-addr", "127.0.0.1:0",
+		"-datasets", "uscrime", "-seed", "3", "-parallelism", "1")
+
+	specPath := filepath.Join(dir, "sat.zigload")
+	spec := `zigload v1
+name sat_burst
+sessions 8
+table uscrime seed=3
+phase rush kind=burst requests=6 think=none pool=4 skipcache=1
+`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recPath := filepath.Join(dir, "BENCH_sat.json")
+	runCmd(t, true, zigload, "-spec", specPath, "-seed", "1",
+		"-target", front, "-retries", "200", "-out", recPath)
+	rec := readRecord(t, recPath)
+	if rec.Sheds < 1 {
+		t.Fatalf("sheds = %d, want >= 1 (burst against a one-slot worker must shed)", rec.Sheds)
+	}
+	if rec.Failed != 0 {
+		t.Fatalf("failed = %d, want 0 — every shed request must succeed after backoff (first error: %s)",
+			rec.Failed, rec.FirstError)
+	}
+	if rec.ByteMismatches != 0 {
+		t.Fatalf("byte mismatches = %d under saturation, want 0", rec.ByteMismatches)
+	}
+	if rec.RetryAfterMs.Min < 25 || rec.RetryAfterMs.Max > 30_000 {
+		t.Fatalf("Retry-After hints [%v, %v]ms outside the [25, 30000] clamp", rec.RetryAfterMs.Min, rec.RetryAfterMs.Max)
+	}
+}

@@ -1,0 +1,39 @@
+// Package load is the IDEBench-style session-replay harness: a
+// deterministic workload generator and replay driver that simulates N
+// concurrent explorer sessions against any serving target — an in-process
+// sharded router, or a real ziggyd front/worker deployment over HTTP.
+//
+// The design follows IDEBench's argument (PAPERS.md) that interactive data
+// exploration systems must be judged on think-time-driven multi-query
+// sessions rather than isolated queries: a zenvisage- or Ziggy-style
+// explorer fires a query, stares at the views for a moment, then refines —
+// and whole populations of such users hit the serving layer at once, some
+// re-running queries their colleagues just ran (cache-friendly), some
+// sweeping fresh thresholds (cache-hostile).
+//
+// The pieces:
+//
+//   - Spec (spec.go) is the parsed workload description: session count,
+//     tables from internal/synth, and a sequence of phases, each with a
+//     think-time distribution, a query-drawing policy (repeat pools vs
+//     churn), and mixes of per-request options and engine modes
+//     (default/robust/extended).
+//   - Schedule (schedule.go) expands (Spec, seed) into the exact per-session
+//     request sequences. Generation is a pure function of the pair: the same
+//     spec and seed produce the identical schedule — rendered canonically
+//     and hashed, so two runs (or a run and its checked-in baseline) can
+//     assert they replayed the same traffic.
+//   - Target (target.go) abstracts what is being driven: RouterTarget runs
+//     requests on in-process shard routers (one per engine mode, sharing one
+//     report cache), HTTPTarget posts them to a ziggyd front — the same
+//     /api/characterize endpoint interactive users hit.
+//   - Run (driver.go) replays a schedule: one goroutine per session, think
+//     times between requests, Retry-After-honoring backoff on shed (503)
+//     responses, per-request latency recorded into a mergeable Histogram
+//     (hist.go), and byte-identity checks on every repeated request.
+//
+// The result serializes as BENCH_serving.json (result.go), which
+// `benchdiff serving` gates against a checked-in baseline: latency
+// percentiles, shed rate, cache hit rate, schedule identity, and zero
+// byte-identity violations.
+package load

@@ -1,0 +1,233 @@
+package load
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DriverConfig tunes the replay.
+type DriverConfig struct {
+	// ThinkScale multiplies every scheduled think time; 0 means 1.0, so
+	// the zero value replays the spec as written. CI uses small fractions
+	// to compress wall time without changing the schedule.
+	ThinkScale float64
+	// MaxRetries bounds re-attempts of a shed request (0 = 10). A request
+	// still shed after the budget counts as Failed.
+	MaxRetries int
+	// RetryCap bounds one backoff sleep (0 = 2s): the driver honors the
+	// server's Retry-After hint but will not stall a session for the full
+	// 30s clamp maximum.
+	RetryCap time.Duration
+}
+
+func (c DriverConfig) thinkScale() float64 {
+	if c.ThinkScale == 0 {
+		return 1
+	}
+	return c.ThinkScale
+}
+
+func (c DriverConfig) maxRetries() int {
+	if c.MaxRetries == 0 {
+		return 10
+	}
+	return c.MaxRetries
+}
+
+func (c DriverConfig) retryCap() time.Duration {
+	if c.RetryCap == 0 {
+		return 2 * time.Second
+	}
+	return c.RetryCap
+}
+
+// Mismatch records one byte-identity violation: a repeat of a request that
+// produced different normalized bytes than its first serving.
+type Mismatch struct {
+	Key     string
+	Session int
+}
+
+// Result aggregates one replay.
+type Result struct {
+	// Target is the target's Name().
+	Target string
+	// Requests is the scheduled request count; Attempts includes shed
+	// re-attempts.
+	Requests int64
+	Attempts int64
+	// Sheds counts shed responses (each adds an attempt); Retried counts
+	// requests that were shed at least once but eventually served; Failed
+	// counts requests never served (shed budget exhausted or hard error).
+	Sheds   int64
+	Retried int64
+	Failed  int64
+	// FirstError preserves the first hard (non-shed) error for reporting.
+	FirstError string
+	// CacheHits counts served requests answered by the report memo.
+	CacheHits int64
+	// ByteMismatches counts repeat servings whose normalized bytes
+	// differed from the first serving — must be zero.
+	ByteMismatches int64
+	Mismatches     []Mismatch
+	// Latency aggregates per-request service latency (the successful
+	// attempt only; backoff sleeps are excluded — they are measured by
+	// RetryAfter* instead).
+	Latency Histogram
+	// RetryAfterMin/Max bound the Retry-After hints observed on shed
+	// responses; zero when nothing was shed.
+	RetryAfterMin, RetryAfterMax time.Duration
+	// Wall is the whole replay's wall-clock time.
+	Wall time.Duration
+}
+
+// sessionState is one replay goroutine's private accumulator, merged into
+// Result after the goroutine exits.
+type sessionState struct {
+	attempts, sheds, retried, failed, cacheHits int64
+	firstErr                                    error
+	latency                                     Histogram
+	raMin, raMax                                time.Duration
+}
+
+// Run replays the schedule against the target: one goroutine per session,
+// scheduled think times between requests, Retry-After-honoring backoff on
+// shed responses, and a byte-identity check of every repeated request.
+func Run(sched *Schedule, target Target, cfg DriverConfig) (*Result, error) {
+	res := &Result{Target: target.Name(), Requests: int64(sched.TotalRequests())}
+
+	// firstBytes maps request identity → first served normalized bytes.
+	// Shared across sessions: a repeat is a repeat no matter who issued it.
+	var mu sync.Mutex
+	firstBytes := map[string][]byte{}
+
+	states := make([]sessionState, len(sched.Sessions))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for si := range sched.Sessions {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			st := &states[si]
+			for i := range sched.Sessions[si] {
+				req := &sched.Sessions[si][i]
+				if req.Think > 0 {
+					time.Sleep(time.Duration(float64(req.Think) * cfg.thinkScale()))
+				}
+				out, shed := runOne(target, req, cfg, st)
+				if out == nil {
+					continue // failed; already counted
+				}
+				if shed {
+					st.retried++
+				}
+				if out.ReportCacheHit {
+					st.cacheHits++
+				}
+				key := requestKey(req)
+				mu.Lock()
+				prev, ok := firstBytes[key]
+				if !ok {
+					firstBytes[key] = out.Bytes
+				} else if !bytes.Equal(prev, out.Bytes) {
+					res.ByteMismatches++
+					if len(res.Mismatches) < 8 {
+						res.Mismatches = append(res.Mismatches, Mismatch{Key: key, Session: si})
+					}
+				}
+				mu.Unlock()
+			}
+		}(si)
+	}
+	wg.Wait()
+	res.Wall = time.Since(start)
+
+	for i := range states {
+		st := &states[i]
+		res.Attempts += st.attempts
+		res.Sheds += st.sheds
+		res.Retried += st.retried
+		res.Failed += st.failed
+		res.CacheHits += st.cacheHits
+		res.Latency.Merge(&st.latency)
+		if st.raMax > 0 && (res.RetryAfterMax == 0 || st.raMax > res.RetryAfterMax) {
+			res.RetryAfterMax = st.raMax
+		}
+		if st.raMin > 0 && (res.RetryAfterMin == 0 || st.raMin < res.RetryAfterMin) {
+			res.RetryAfterMin = st.raMin
+		}
+		if st.firstErr != nil && res.FirstError == "" {
+			res.FirstError = st.firstErr.Error()
+		}
+	}
+	return res, nil
+}
+
+// runOne executes one request with shed backoff. It returns the outcome
+// (nil if the request ultimately failed) and whether it was shed at least
+// once before succeeding.
+func runOne(target Target, req *Request, cfg DriverConfig, st *sessionState) (*Outcome, bool) {
+	shedOnce := false
+	for attempt := 0; ; attempt++ {
+		st.attempts++
+		begin := time.Now()
+		out, err := target.Do(req)
+		if err == nil {
+			st.latency.Observe(time.Since(begin))
+			return out, shedOnce
+		}
+		var shed *ShedError
+		if !errors.As(err, &shed) {
+			st.failed++
+			if st.firstErr == nil {
+				st.firstErr = fmt.Errorf("%s: %w", req.SQL, err)
+			}
+			return nil, shedOnce
+		}
+		shedOnce = true
+		st.sheds++
+		if st.raMin == 0 || shed.RetryAfter < st.raMin {
+			st.raMin = shed.RetryAfter
+		}
+		if shed.RetryAfter > st.raMax {
+			st.raMax = shed.RetryAfter
+		}
+		if attempt >= cfg.maxRetries() {
+			st.failed++
+			if st.firstErr == nil {
+				st.firstErr = fmt.Errorf("%s: shed %d times, retry budget exhausted", req.SQL, attempt+1)
+			}
+			return nil, shedOnce
+		}
+		// Honor the server's hint, bounded so one session never stalls for
+		// the router's full 30s clamp.
+		time.Sleep(min(shed.RetryAfter, cfg.retryCap()))
+	}
+}
+
+// requestKey is the byte-identity grouping: requests that must produce
+// identical normalized bytes. SkipCache is excluded on purpose — bypassing
+// the cache must not change the answer.
+func requestKey(req *Request) string {
+	return fmt.Sprintf("%s|ex=%t|mode=%s", req.SQL, req.Exclude, req.Mode)
+}
+
+// ShedRate returns Sheds/Attempts.
+func (r *Result) ShedRate() float64 {
+	if r.Attempts == 0 {
+		return 0
+	}
+	return float64(r.Sheds) / float64(r.Attempts)
+}
+
+// CacheHitRate returns CacheHits over served requests.
+func (r *Result) CacheHitRate() float64 {
+	served := r.Requests - r.Failed
+	if served <= 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(served)
+}

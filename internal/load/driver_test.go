@@ -1,0 +1,203 @@
+package load
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+)
+
+// replaySpec mixes cache-friendly and cache-hostile traffic over two
+// tables with option and mode variety — the determinism rail must hold
+// across all of it.
+const replaySpec = `zigload v1
+name replay
+sessions 4
+table boxoffice seed=1
+table micro name=m1 seed=5 rows=200 cols=8
+phase warm kind=repeat requests=4 think=none pool=3 exclude=0.5
+phase sweep kind=churn requests=2 think=none skipcache=0.5
+phase again kind=repeat requests=3 think=none pool=3 modes=default:1,robust:1
+`
+
+// serveAll runs every scheduled request sequentially against a fresh
+// router target with the given shard count and returns the normalized
+// bytes per request identity.
+func serveAll(t *testing.T, sched *Schedule, shards int) map[string][]byte {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Shards = shards
+	target, err := NewRouterTarget(cfg, sched, shard.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+	out := map[string][]byte{}
+	for _, reqs := range sched.Sessions {
+		for i := range reqs {
+			req := &reqs[i]
+			o, err := target.Do(req)
+			if err != nil {
+				t.Fatalf("request %q failed: %v", req.SQL, err)
+			}
+			key := requestKey(req)
+			if prev, ok := out[key]; ok {
+				if !bytes.Equal(prev, o.Bytes) {
+					t.Fatalf("repeat of %q differed within one run (shards=%d)", key, shards)
+				}
+				continue
+			}
+			out[key] = o.Bytes
+		}
+	}
+	return out
+}
+
+// TestReplayDeterminismAcrossShards extends the remote-determinism rail to
+// driven traffic: the same (spec, seed) produces the identical request
+// schedule, and every request's normalized report bytes are identical
+// whether 1, 2 or 4 shards serve it.
+func TestReplayDeterminismAcrossShards(t *testing.T) {
+	spec, err := Parse(replaySpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseline map[string][]byte
+	var baseHash string
+	for _, shards := range []int{1, 2, 4} {
+		sched, err := BuildSchedule(spec, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if baseHash == "" {
+			baseHash = sched.Hash()
+		} else if sched.Hash() != baseHash {
+			t.Fatalf("schedule hash changed across builds: %s vs %s", sched.Hash(), baseHash)
+		}
+		served := serveAll(t, sched, shards)
+		if baseline == nil {
+			baseline = served
+			continue
+		}
+		if len(served) != len(baseline) {
+			t.Fatalf("shards=%d served %d distinct requests, baseline %d", shards, len(served), len(baseline))
+		}
+		for key, want := range baseline {
+			got, ok := served[key]
+			if !ok {
+				t.Fatalf("shards=%d missing request %q", shards, key)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("shards=%d: report bytes for %q differ from 1-shard baseline", shards, key)
+			}
+		}
+	}
+}
+
+// TestDriverRun replays concurrently through the full driver and checks
+// the aggregate result invariants.
+func TestDriverRun(t *testing.T) {
+	sched := mustSchedule(t, replaySpec, 1)
+	cfg := core.DefaultConfig()
+	cfg.Shards = 2
+	target, err := NewRouterTarget(cfg, sched, shard.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+	res, err := Run(sched, target, DriverConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("failed = %d (%s)", res.Failed, res.FirstError)
+	}
+	if res.ByteMismatches != 0 {
+		t.Fatalf("byte mismatches: %d (%v)", res.ByteMismatches, res.Mismatches)
+	}
+	if res.Requests != int64(sched.TotalRequests()) {
+		t.Errorf("requests = %d, want %d", res.Requests, sched.TotalRequests())
+	}
+	if res.Latency.Count() != res.Requests {
+		t.Errorf("latency samples = %d, want %d", res.Latency.Count(), res.Requests)
+	}
+	// Repeat phases with a shared pool must produce report-cache hits:
+	// 4 sessions × pool of 3 queries per table.
+	if res.CacheHits == 0 {
+		t.Error("no report-cache hits despite repeat phases")
+	}
+	rec := NewServingRecord(sched, res, 0)
+	if rec.ScheduleHash != sched.Hash() || rec.Spec != "replay" {
+		t.Errorf("record identity: %+v", rec)
+	}
+	enc, err := EncodeServingRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeServingRecord(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *dec != *rec {
+		t.Errorf("serving record did not round-trip:\n%+v\n%+v", rec, dec)
+	}
+}
+
+// TestDriverSaturation drives a burst at a deliberately tiny admission
+// queue (concurrency 1, depth 1): the driver must observe sheds, the
+// Retry-After hints must respect the router's [25ms, 30s] clamp, and
+// every shed request must eventually succeed after honoring the backoff —
+// the client-side pin of the PR-6 retryAfter clamp.
+func TestDriverSaturation(t *testing.T) {
+	// Churn on the widest fixed dataset keeps every request on the real
+	// pipeline (~5ms on this class of machine) — long enough for sessions
+	// to overlap and the 1-deep queue to shed.
+	spec, err := Parse(`zigload v1
+name burst
+sessions 8
+table uscrime seed=3
+phase rush kind=burst requests=5 think=none skipcache=1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := BuildSchedule(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Shards = 1
+	target, err := NewRouterTarget(cfg, sched, shard.Params{Concurrency: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+	res, err := Run(sched, target, DriverConfig{MaxRetries: 100, RetryCap: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sheds == 0 {
+		t.Fatal("burst against a 1-deep queue observed no sheds")
+	}
+	if res.Failed != 0 {
+		t.Fatalf("failed = %d after backoff (%s)", res.Failed, res.FirstError)
+	}
+	if res.ByteMismatches != 0 {
+		t.Fatalf("byte mismatches under saturation: %d", res.ByteMismatches)
+	}
+	if res.RetryAfterMin < 25*time.Millisecond || res.RetryAfterMax > 30*time.Second {
+		t.Errorf("Retry-After outside clamp: [%v, %v]", res.RetryAfterMin, res.RetryAfterMax)
+	}
+	// The server-side counters agree something was shed.
+	rejected := int64(0)
+	for _, stats := range target.Stats() {
+		for _, sh := range stats.Shards {
+			rejected += sh.Rejected
+		}
+	}
+	if rejected == 0 {
+		t.Error("router counters show no rejections despite client-side sheds")
+	}
+}

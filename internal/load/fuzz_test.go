@@ -1,0 +1,30 @@
+package load
+
+import "testing"
+
+// FuzzWorkloadSpec throws arbitrary bytes at the spec parser. The
+// invariants: Parse never panics; any spec it accepts must survive the
+// canonical round trip (print → reparse → print is the identity), and the
+// reparsed spec must validate — i.e. the printer never emits something the
+// parser or validator would reject.
+func FuzzWorkloadSpec(f *testing.F) {
+	f.Add(sampleSpec)
+	f.Add("zigload v1\nname x\nsessions 1\ntable uscrime\nphase p kind=repeat requests=1 think=none\n")
+	f.Add("zigload v1\nname x\nsessions 2\ntable micro rows=100 cols=4 seed=9\nphase a kind=churn requests=3 think=exp:1ms\n")
+	f.Add("zigload v9000\n")
+	f.Add("phase p kind=burst think=uniform:1ms,2ms modes=robust:1")
+	f.Fuzz(func(t *testing.T, text string) {
+		s1, err := Parse(text)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		text1 := s1.String()
+		s2, err := Parse(text1)
+		if err != nil {
+			t.Fatalf("canonical print rejected by parser: %v\ninput:\n%s\nprint:\n%s", err, text, text1)
+		}
+		if text2 := s2.String(); text2 != text1 {
+			t.Fatalf("round trip unstable:\n--- first ---\n%s--- second ---\n%s", text1, text2)
+		}
+	})
+}

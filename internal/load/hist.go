@@ -1,0 +1,166 @@
+package load
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// The latency histogram is a fixed-layout log2 histogram over nanosecond
+// durations, in the spirit of HDR histograms: values below 2^histSubBits
+// get exact unit buckets, and every octave above is split into
+// 2^histSubBits linear sub-buckets, bounding the relative quantization
+// error at 1/2^histSubBits (~3.1%). Because the layout is a pure function
+// of the value — no dynamic rescaling — histograms recorded by different
+// sessions (or different processes) merge by adding counts, and
+// Merge(h1, h2) is exactly the histogram of the union of the samples.
+const (
+	// histSubBits is the number of linear sub-bucket bits per octave.
+	histSubBits = 5
+	histSubSize = 1 << histSubBits // sub-buckets per octave
+	// histBuckets spans the full non-negative int64 nanosecond domain:
+	// values < histSubSize take the first histSubSize unit buckets, and
+	// exponents histSubBits..62 each contribute histSubSize sub-buckets.
+	histBuckets = histSubSize * (63 - histSubBits + 1)
+)
+
+// Histogram is a fixed-bucket log2 latency histogram. The zero value is
+// ready to use. It is not safe for concurrent use; the driver records into
+// per-session histograms and merges them afterwards.
+type Histogram struct {
+	counts [histBuckets]int64
+	total  int64
+	// min and max are tracked exactly so the extremes survive bucketing.
+	min, max time.Duration
+}
+
+// bucketIndex maps a non-negative nanosecond value to its bucket. Negative
+// values (a clock anomaly) clamp to bucket 0.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < histSubSize {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // >= histSubBits
+	shift := exp - histSubBits
+	sub := int(uint64(v)>>shift) & (histSubSize - 1)
+	return (shift+1)*histSubSize + sub
+}
+
+// bucketBounds returns the inclusive [lo, hi] nanosecond range of a bucket.
+func bucketBounds(idx int) (lo, hi int64) {
+	if idx < histSubSize {
+		return int64(idx), int64(idx)
+	}
+	shift := idx/histSubSize - 1
+	sub := idx % histSubSize
+	lo = int64(histSubSize+sub) << shift
+	hi = lo + (int64(1) << shift) - 1
+	return lo, hi
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.counts[bucketIndex(int64(d))]++
+	if h.total == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.total++
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Min and Max return the exact extremes of the recorded samples (0 when
+// empty).
+func (h *Histogram) Min() time.Duration { return h.min }
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Merge adds other's samples into h. The fixed layout makes this exact:
+// merging two histograms yields the same counts as recording both sample
+// sets into one.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.total == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.total += other.total
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) as the upper bound of the
+// bucket holding the rank-⌊q·(n−1)⌋ sample — the same rank a sort-based
+// estimator reads at sorted[⌊q·(n−1)⌋], so the exact value always lies
+// within the returned bucket (≤ the returned figure, ≥ it minus the bucket
+// width; relative error ≤ 1/2^histSubBits). Returns 0 on an empty
+// histogram; q=1 reports the exact maximum.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	// rank is 1-based: the (rank)-th smallest sample.
+	rank := int64(q*float64(h.total-1)) + 1
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			_, hi := bucketBounds(i)
+			if d := time.Duration(hi); d <= h.max {
+				return d
+			}
+			// The bucket's upper bound can overshoot the true maximum; the
+			// exact extreme is a tighter answer.
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// QuantileBounds returns the inclusive nanosecond bounds of the bucket the
+// q-th quantile falls in — the bracketing guarantee the differential tests
+// assert against sort-based exact percentiles.
+func (h *Histogram) QuantileBounds(q float64) (lo, hi time.Duration) {
+	if h.total == 0 {
+		return 0, 0
+	}
+	if q <= 0 {
+		return h.min, h.min
+	}
+	if q >= 1 {
+		return h.max, h.max
+	}
+	rank := int64(q*float64(h.total-1)) + 1
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			l, u := bucketBounds(i)
+			return time.Duration(l), time.Duration(u)
+		}
+	}
+	return h.max, h.max
+}
+
+// String renders the key percentiles for logs.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d p50=%v p95=%v p99=%v max=%v",
+		h.total, h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.max)
+}

@@ -1,0 +1,173 @@
+package load
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/randx"
+)
+
+// sortQuantile is the exact sort-based percentile the histogram is
+// differential-tested against: sorted[⌊q·(n−1)⌋].
+func sortQuantile(samples []time.Duration, q float64) time.Duration {
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	return s[int(q*float64(len(s)-1))]
+}
+
+// adversarialDistributions builds the latency shapes that break naive
+// estimators: heavy ties, bimodal gaps, single samples, zeros, monotone
+// ramps, and heavy tails spanning many octaves.
+func adversarialDistributions() map[string][]time.Duration {
+	r := randx.New(7)
+	dists := map[string][]time.Duration{
+		"single-sample":  {1234567},
+		"two-samples":    {5 * time.Millisecond, 5 * time.Second},
+		"all-zero":       make([]time.Duration, 100),
+		"heavy-ties":     nil,
+		"bimodal":        nil,
+		"monotone-ramp":  nil,
+		"heavy-tail":     nil,
+		"uniform-random": nil,
+		"tiny-values":    {0, 1, 2, 3, 4, 5, 30, 31, 32, 33, 63, 64, 65},
+	}
+	for i := 0; i < 500; i++ {
+		// 90% of samples are the identical 2ms, the rest scattered.
+		if r.Bernoulli(0.9) {
+			dists["heavy-ties"] = append(dists["heavy-ties"], 2*time.Millisecond)
+		} else {
+			dists["heavy-ties"] = append(dists["heavy-ties"], time.Duration(r.Intn(int(50*time.Millisecond))))
+		}
+		// Two narrow modes five orders of magnitude apart.
+		if r.Bernoulli(0.5) {
+			dists["bimodal"] = append(dists["bimodal"], time.Duration(100+r.Intn(20))*time.Microsecond)
+		} else {
+			dists["bimodal"] = append(dists["bimodal"], time.Duration(10+r.Intn(2))*time.Second)
+		}
+		dists["monotone-ramp"] = append(dists["monotone-ramp"], time.Duration(i)*time.Millisecond)
+		dists["heavy-tail"] = append(dists["heavy-tail"], time.Duration(float64(time.Microsecond)*math.Exp(r.Float64()*18)))
+		dists["uniform-random"] = append(dists["uniform-random"], time.Duration(r.Intn(int(3*time.Second))))
+	}
+	return dists
+}
+
+// TestHistogramDifferential pins the histogram's p50/p95/p99 (and edges)
+// against sort-based exact percentiles: the exact value must fall inside
+// the bucket the histogram reads the quantile from, and the reported figure
+// must be within the layout's guaranteed relative error of the exact one.
+func TestHistogramDifferential(t *testing.T) {
+	quantiles := []float64{0, 0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 0.999, 1}
+	for name, samples := range adversarialDistributions() {
+		t.Run(name, func(t *testing.T) {
+			var h Histogram
+			for _, s := range samples {
+				h.Observe(s)
+			}
+			if h.Count() != int64(len(samples)) {
+				t.Fatalf("count = %d, want %d", h.Count(), len(samples))
+			}
+			for _, q := range quantiles {
+				exact := sortQuantile(samples, q)
+				lo, hi := h.QuantileBounds(q)
+				if exact < lo || exact > hi {
+					t.Errorf("q=%v: exact %v outside histogram bucket [%v, %v]", q, exact, lo, hi)
+				}
+				got := h.Quantile(q)
+				// Relative error bound: the bucket width is at most
+				// 1/histSubSize of its lower bound (exact below histSubSize).
+				maxErr := float64(exact) / histSubSize
+				if diff := math.Abs(float64(got - exact)); diff > maxErr+1 {
+					t.Errorf("q=%v: histogram %v vs exact %v (err %v > bound %v)", q, got, exact, diff, maxErr)
+				}
+			}
+			if h.Quantile(1) != sortQuantile(samples, 1) {
+				t.Errorf("max: histogram %v vs exact %v", h.Quantile(1), sortQuantile(samples, 1))
+			}
+			if h.Quantile(0) != sortQuantile(samples, 0) {
+				t.Errorf("min: histogram %v vs exact %v", h.Quantile(0), sortQuantile(samples, 0))
+			}
+		})
+	}
+}
+
+// TestHistogramMerge asserts merge(h1, h2) is exactly the histogram of the
+// union of the sample sets — counts, totals, extremes and every quantile.
+func TestHistogramMerge(t *testing.T) {
+	dists := adversarialDistributions()
+	names := make([]string, 0, len(dists))
+	for name := range dists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Merge every adjacent pair of distributions.
+	for i := 0; i+1 < len(names); i++ {
+		s1, s2 := dists[names[i]], dists[names[i+1]]
+		var h1, h2, merged, combined Histogram
+		for _, s := range s1 {
+			h1.Observe(s)
+			combined.Observe(s)
+		}
+		for _, s := range s2 {
+			h2.Observe(s)
+			combined.Observe(s)
+		}
+		merged.Merge(&h1)
+		merged.Merge(&h2)
+		if merged != combined {
+			t.Errorf("merge(%s, %s) differs from histogram of union", names[i], names[i+1])
+		}
+	}
+	// Merging an empty histogram is a no-op.
+	var h, empty Histogram
+	h.Observe(time.Millisecond)
+	before := h
+	h.Merge(&empty)
+	h.Merge(nil)
+	if h != before {
+		t.Error("merging an empty histogram changed the receiver")
+	}
+}
+
+// TestHistogramEmpty pins the zero-value behavior.
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("empty histogram not all-zero: %v", h.String())
+	}
+}
+
+// TestBucketLayout sweeps the bucket mapping: indices are monotone in the
+// value, bounds are contiguous and consistent with bucketIndex.
+func TestBucketLayout(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 31, 32, 33, 63, 64, 65, 127, 128, 1000, 1 << 20, (1 << 20) + 7, 1 << 40, math.MaxInt64} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Errorf("bucketIndex(%d) = %d not monotone (prev %d)", v, idx, prev)
+		}
+		prev = idx
+		lo, hi := bucketBounds(idx)
+		if v < lo || (v > hi && hi > 0) {
+			t.Errorf("value %d outside its bucket %d bounds [%d, %d]", v, idx, lo, hi)
+		}
+		if idx >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d exceeds layout size %d", v, idx, histBuckets)
+		}
+	}
+	// Contiguity: every bucket's hi + 1 is the next bucket's lo.
+	for i := 0; i < histBuckets-1; i++ {
+		_, hi := bucketBounds(i)
+		lo, _ := bucketBounds(i + 1)
+		if hi+1 != lo && hi > 0 { // the final octave can overflow int64; hi>0 guards it
+			t.Fatalf("buckets %d and %d not contiguous: hi=%d lo=%d", i, i+1, hi, lo)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// LatencyMs is the percentile summary BENCH_serving.json records, in
+// milliseconds.
+type LatencyMs struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// RetryAfterMs bounds the Retry-After hints observed on shed responses.
+type RetryAfterMs struct {
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+// ServingRecord is the machine-readable outcome of one replay — the
+// BENCH_serving.json shape `benchdiff serving` gates against a checked-in
+// baseline.
+type ServingRecord struct {
+	// Spec and Seed identify the workload; ScheduleHash proves the run
+	// replayed exactly the traffic the baseline did.
+	Spec         string `json:"spec"`
+	Seed         uint64 `json:"seed"`
+	Target       string `json:"target"`
+	ScheduleHash string `json:"scheduleHash"`
+	Sessions     int    `json:"sessions"`
+
+	Requests       int64 `json:"requests"`
+	Attempts       int64 `json:"attempts"`
+	Sheds          int64 `json:"sheds"`
+	Retried        int64 `json:"retried"`
+	Failed         int64 `json:"failed"`
+	ByteMismatches int64 `json:"byteMismatches"`
+	ModesCollapsed int64 `json:"modesCollapsed,omitempty"`
+
+	CacheHitRate float64 `json:"cacheHitRate"`
+	ShedRate     float64 `json:"shedRate"`
+
+	LatencyMs    LatencyMs    `json:"latencyMs"`
+	RetryAfterMs RetryAfterMs `json:"retryAfterMs"`
+
+	WallMs float64 `json:"wallMs"`
+	// FirstError carries the first hard error for diagnosis; empty on a
+	// clean run.
+	FirstError string `json:"firstError,omitempty"`
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// NewServingRecord folds a schedule and its replay result into the
+// serializable record. modesCollapsed is HTTPTarget.ModesCollapsed (zero
+// for in-process targets).
+func NewServingRecord(sched *Schedule, res *Result, modesCollapsed int64) *ServingRecord {
+	return &ServingRecord{
+		Spec:           sched.Spec.Name,
+		Seed:           sched.Seed,
+		Target:         res.Target,
+		ScheduleHash:   sched.Hash(),
+		Sessions:       len(sched.Sessions),
+		Requests:       res.Requests,
+		Attempts:       res.Attempts,
+		Sheds:          res.Sheds,
+		Retried:        res.Retried,
+		Failed:         res.Failed,
+		ByteMismatches: res.ByteMismatches,
+		ModesCollapsed: modesCollapsed,
+		CacheHitRate:   res.CacheHitRate(),
+		ShedRate:       res.ShedRate(),
+		LatencyMs: LatencyMs{
+			P50: ms(res.Latency.Quantile(0.50)),
+			P90: ms(res.Latency.Quantile(0.90)),
+			P95: ms(res.Latency.Quantile(0.95)),
+			P99: ms(res.Latency.Quantile(0.99)),
+			Max: ms(res.Latency.Max()),
+		},
+		RetryAfterMs: RetryAfterMs{Min: ms(res.RetryAfterMin), Max: ms(res.RetryAfterMax)},
+		WallMs:       ms(res.Wall),
+		FirstError:   res.FirstError,
+	}
+}
+
+// EncodeServingRecord renders the record as indented JSON with a trailing
+// newline, the on-disk BENCH_serving.json format.
+func EncodeServingRecord(rec *ServingRecord) ([]byte, error) {
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeServingRecord parses a BENCH_serving.json payload.
+func DecodeServingRecord(data []byte) (*ServingRecord, error) {
+	var rec ServingRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("load: parsing serving record: %w", err)
+	}
+	if rec.Spec == "" || rec.ScheduleHash == "" {
+		return nil, fmt.Errorf("load: serving record missing spec/scheduleHash")
+	}
+	return &rec, nil
+}

@@ -1,0 +1,634 @@
+package load
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The workload spec is a small line-based text format, designed to be
+// pinned in version control next to the serving baseline it produced:
+//
+//	zigload v1
+//	name ci-short
+//	sessions 8
+//	table boxoffice seed=1
+//	table micro name=m1 rows=400 cols=10 seed=7
+//	phase warm kind=repeat requests=6 think=exp:2ms pool=4 exclude=0.5
+//	phase sweep kind=churn requests=4 think=uniform:0s,4ms skipcache=1
+//	phase rush kind=burst requests=10 think=none modes=default:3,robust:1
+//
+// Parsing is strict — unknown directives, unknown keys, duplicate
+// directives and out-of-range values are all errors, never silently
+// ignored — and printing is canonical: String emits every field in a fixed
+// order and format, so Parse(String(spec)) reproduces String(spec) exactly
+// (the round-trip property FuzzWorkloadSpec pins).
+
+// specHeader is the required first directive; the version is part of it so
+// the format can evolve without old drivers misreading new specs.
+const specHeader = "zigload v1"
+
+// Mode selects the engine configuration a request runs under. The serving
+// layer runs one router per mode (sharing one report cache), modeling a
+// population of explorers where some work in robust or extended mode.
+type Mode struct {
+	Robust   bool
+	Extended bool
+}
+
+// modeOrder is the canonical printing order.
+var modeOrder = []Mode{{false, false}, {true, false}, {false, true}, {true, true}}
+
+// String names the mode: default, robust, extended, robust-extended.
+func (m Mode) String() string {
+	switch m {
+	case Mode{}:
+		return "default"
+	case Mode{Robust: true}:
+		return "robust"
+	case Mode{Extended: true}:
+		return "extended"
+	default:
+		return "robust-extended"
+	}
+}
+
+// parseMode inverts Mode.String.
+func parseMode(s string) (Mode, error) {
+	for _, m := range modeOrder {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return Mode{}, fmt.Errorf("unknown mode %q (want default, robust, extended or robust-extended)", s)
+}
+
+// ModeWeight is one entry of a phase's engine-mode mix.
+type ModeWeight struct {
+	Mode   Mode
+	Weight float64
+}
+
+// ThinkKind selects a think-time distribution family.
+type ThinkKind int
+
+const (
+	// ThinkNone issues requests back to back — the burst shape.
+	ThinkNone ThinkKind = iota
+	// ThinkFixed pauses exactly A between requests.
+	ThinkFixed
+	// ThinkUniform pauses uniformly in [A, B].
+	ThinkUniform
+	// ThinkExp pauses exponentially with mean A — IDEBench's think-time
+	// model for exploratory sessions.
+	ThinkExp
+)
+
+// ThinkDist is a think-time distribution: the pause a simulated explorer
+// takes between receiving a result and issuing the next query.
+type ThinkDist struct {
+	Kind ThinkKind
+	A, B time.Duration
+}
+
+// String renders the canonical form: none, fixed:2ms, uniform:1ms,10ms,
+// exp:5ms.
+func (d ThinkDist) String() string {
+	switch d.Kind {
+	case ThinkNone:
+		return "none"
+	case ThinkFixed:
+		return "fixed:" + d.A.String()
+	case ThinkUniform:
+		return "uniform:" + d.A.String() + "," + d.B.String()
+	case ThinkExp:
+		return "exp:" + d.A.String()
+	default:
+		return fmt.Sprintf("ThinkKind(%d)", int(d.Kind))
+	}
+}
+
+// parseThink inverts ThinkDist.String.
+func parseThink(s string) (ThinkDist, error) {
+	if s == "none" {
+		return ThinkDist{Kind: ThinkNone}, nil
+	}
+	kind, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return ThinkDist{}, fmt.Errorf("think %q: want none, fixed:<dur>, uniform:<dur>,<dur> or exp:<dur>", s)
+	}
+	parseDur := func(s string) (time.Duration, error) {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return 0, fmt.Errorf("think duration %q: %v", s, err)
+		}
+		if d < 0 {
+			return 0, fmt.Errorf("think duration %q is negative", s)
+		}
+		return d, nil
+	}
+	switch kind {
+	case "fixed", "exp":
+		a, err := parseDur(rest)
+		if err != nil {
+			return ThinkDist{}, err
+		}
+		k := ThinkFixed
+		if kind == "exp" {
+			k = ThinkExp
+		}
+		return ThinkDist{Kind: k, A: a}, nil
+	case "uniform":
+		lo, hi, ok := strings.Cut(rest, ",")
+		if !ok {
+			return ThinkDist{}, fmt.Errorf("think %q: uniform wants two durations", s)
+		}
+		a, err := parseDur(lo)
+		if err != nil {
+			return ThinkDist{}, err
+		}
+		b, err := parseDur(hi)
+		if err != nil {
+			return ThinkDist{}, err
+		}
+		if a > b {
+			return ThinkDist{}, fmt.Errorf("think %q: uniform bounds out of order", s)
+		}
+		return ThinkDist{Kind: ThinkUniform, A: a, B: b}, nil
+	default:
+		return ThinkDist{}, fmt.Errorf("unknown think distribution %q", kind)
+	}
+}
+
+// Table datasets a spec can reference. The named ones are the synthetic
+// twins of the paper's demo datasets; micro is the size-parameterized
+// generator for fast load tests.
+const (
+	DatasetUSCrime    = "uscrime"
+	DatasetBoxOffice  = "boxoffice"
+	DatasetInnovation = "innovation"
+	DatasetMicro      = "micro"
+)
+
+// TableSpec names one synthetic table of the workload's mixed-table set.
+type TableSpec struct {
+	// Dataset is uscrime, boxoffice, innovation or micro.
+	Dataset string
+	// Name is the registered table name (defaults to the dataset name).
+	// An HTTP target must serve a table of this name with identical
+	// content, i.e. the deployment must register the same dataset/seed.
+	Name string
+	// Seed drives the deterministic generator.
+	Seed uint64
+	// Rows and Cols size a micro table; fixed-size datasets reject them.
+	Rows, Cols int
+}
+
+// Phase kinds: the query-drawing policy.
+const (
+	// KindRepeat draws queries from a small per-table pool shared by every
+	// session — the cache-friendly shape (colleagues re-running each
+	// other's queries).
+	KindRepeat = "repeat"
+	// KindChurn draws a fresh, previously unseen query for every request —
+	// the cache-hostile threshold sweep.
+	KindChurn = "churn"
+	// KindBurst is KindRepeat fired back to back (think time ignored): the
+	// arrival spike that drives admission queues into shedding.
+	KindBurst = "burst"
+)
+
+// Phase is one stage of every session: a number of requests drawn under
+// one policy, think-time distribution and option mix.
+type Phase struct {
+	Name string
+	// Kind is repeat, churn or burst.
+	Kind string
+	// Requests is the number of requests per session in this phase.
+	Requests int
+	// Think is the inter-request pause distribution (ignored by burst).
+	Think ThinkDist
+	// Pool is the number of distinct queries per table the repeat/burst
+	// pool holds (default 4; churn ignores it).
+	Pool int
+	// Exclude is the probability a request sets excludePredicate — the
+	// option interactive users toggle to keep the WHERE columns out of the
+	// views.
+	Exclude float64
+	// SkipCache is the probability a request bypasses the report cache
+	// (Options.SkipReportCache), forcing the full pipeline even on a
+	// repeated query.
+	SkipCache float64
+	// Modes is the engine-mode mix, canonically ordered; empty means all
+	// requests run in default mode.
+	Modes []ModeWeight
+}
+
+// Spec is a parsed workload description.
+type Spec struct {
+	// Name labels the workload; the serving gate requires the baseline and
+	// the current run to agree on it.
+	Name string
+	// Sessions is the number of concurrent simulated explorer sessions.
+	Sessions int
+	Tables   []TableSpec
+	Phases   []Phase
+}
+
+// validIdent reports whether s is a safe identifier (letters, digits,
+// underscore, starting with a letter or underscore) — table and phase
+// names end up inside generated SQL and file names.
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// fmtFloat prints probabilities and weights canonically.
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// String renders the canonical spec text: every field explicit, fixed
+// order, defaults included. Parse(String(s)) yields a spec that prints the
+// same bytes.
+func (s *Spec) String() string {
+	var b strings.Builder
+	b.WriteString(specHeader + "\n")
+	fmt.Fprintf(&b, "name %s\n", s.Name)
+	fmt.Fprintf(&b, "sessions %d\n", s.Sessions)
+	for _, t := range s.Tables {
+		fmt.Fprintf(&b, "table %s name=%s seed=%d", t.Dataset, t.Name, t.Seed)
+		if t.Dataset == DatasetMicro {
+			fmt.Fprintf(&b, " rows=%d cols=%d", t.Rows, t.Cols)
+		}
+		b.WriteByte('\n')
+	}
+	for _, p := range s.Phases {
+		fmt.Fprintf(&b, "phase %s kind=%s requests=%d think=%s pool=%d exclude=%s skipcache=%s",
+			p.Name, p.Kind, p.Requests, p.Think, p.Pool, fmtFloat(p.Exclude), fmtFloat(p.SkipCache))
+		if len(p.Modes) > 0 {
+			parts := make([]string, len(p.Modes))
+			for i, mw := range p.Modes {
+				parts[i] = mw.Mode.String() + ":" + fmtFloat(mw.Weight)
+			}
+			fmt.Fprintf(&b, " modes=%s", strings.Join(parts, ","))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// kv splits one key=value parameter.
+func kv(field string) (key, val string, err error) {
+	key, val, ok := strings.Cut(field, "=")
+	if !ok || key == "" || val == "" {
+		return "", "", fmt.Errorf("malformed parameter %q (want key=value)", field)
+	}
+	return key, val, nil
+}
+
+// parseProb parses a probability in [0, 1].
+func parseProb(key, val string) (float64, error) {
+	p, err := strconv.ParseFloat(val, 64)
+	if err != nil || p < 0 || p > 1 {
+		return 0, fmt.Errorf("%s=%q: want a probability in [0, 1]", key, val)
+	}
+	return p, nil
+}
+
+// Parse reads a workload spec, rejecting anything it does not fully
+// understand. The returned spec is validated and canonicalized (mode mixes
+// sorted into canonical order).
+func Parse(text string) (*Spec, error) {
+	spec := &Spec{}
+	seen := map[string]bool{}
+	headerSeen := false
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("load: spec line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+		if !headerSeen {
+			if line != specHeader {
+				return nil, fail("first directive must be %q, got %q", specHeader, line)
+			}
+			headerSeen = true
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "name":
+			if seen["name"] {
+				return nil, fail("duplicate name directive")
+			}
+			seen["name"] = true
+			if len(fields) != 2 {
+				return nil, fail("name wants exactly one value")
+			}
+			spec.Name = fields[1]
+		case "sessions":
+			if seen["sessions"] {
+				return nil, fail("duplicate sessions directive")
+			}
+			seen["sessions"] = true
+			if len(fields) != 2 {
+				return nil, fail("sessions wants exactly one value")
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fail("sessions %q: %v", fields[1], err)
+			}
+			spec.Sessions = n
+		case "table":
+			t, err := parseTable(fields[1:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			spec.Tables = append(spec.Tables, t)
+		case "phase":
+			p, err := parsePhase(fields[1:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			spec.Phases = append(spec.Phases, p)
+		default:
+			return nil, fail("unknown directive %q", fields[0])
+		}
+	}
+	if !headerSeen {
+		return nil, fmt.Errorf("load: empty spec (missing %q header)", specHeader)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// parseTable parses the parameters of one table directive.
+func parseTable(fields []string) (TableSpec, error) {
+	if len(fields) == 0 {
+		return TableSpec{}, fmt.Errorf("table wants a dataset")
+	}
+	t := TableSpec{Dataset: fields[0]}
+	for _, f := range fields[1:] {
+		key, val, err := kv(f)
+		if err != nil {
+			return TableSpec{}, err
+		}
+		switch key {
+		case "name":
+			t.Name = val
+		case "seed":
+			s, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return TableSpec{}, fmt.Errorf("table seed %q: %v", val, err)
+			}
+			t.Seed = s
+		case "rows":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return TableSpec{}, fmt.Errorf("table rows %q: %v", val, err)
+			}
+			t.Rows = n
+		case "cols":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return TableSpec{}, fmt.Errorf("table cols %q: %v", val, err)
+			}
+			t.Cols = n
+		default:
+			return TableSpec{}, fmt.Errorf("unknown table parameter %q", key)
+		}
+	}
+	if t.Name == "" {
+		t.Name = t.Dataset
+	}
+	return t, nil
+}
+
+// parsePhase parses the parameters of one phase directive.
+func parsePhase(fields []string) (Phase, error) {
+	if len(fields) == 0 {
+		return Phase{}, fmt.Errorf("phase wants a name")
+	}
+	p := Phase{Name: fields[0], Kind: KindRepeat, Pool: DefaultPool}
+	seenThink := false
+	for _, f := range fields[1:] {
+		key, val, err := kv(f)
+		if err != nil {
+			return Phase{}, err
+		}
+		switch key {
+		case "kind":
+			p.Kind = val
+		case "requests":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return Phase{}, fmt.Errorf("phase requests %q: %v", val, err)
+			}
+			p.Requests = n
+		case "think":
+			d, err := parseThink(val)
+			if err != nil {
+				return Phase{}, err
+			}
+			p.Think = d
+			seenThink = true
+		case "pool":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return Phase{}, fmt.Errorf("phase pool %q: %v", val, err)
+			}
+			p.Pool = n
+		case "exclude":
+			if p.Exclude, err = parseProb(key, val); err != nil {
+				return Phase{}, err
+			}
+		case "skipcache":
+			if p.SkipCache, err = parseProb(key, val); err != nil {
+				return Phase{}, err
+			}
+		case "modes":
+			mws, err := parseModes(val)
+			if err != nil {
+				return Phase{}, err
+			}
+			p.Modes = mws
+		default:
+			return Phase{}, fmt.Errorf("unknown phase parameter %q", key)
+		}
+	}
+	if !seenThink {
+		return Phase{}, fmt.Errorf("phase %s: missing think=<dist>", p.Name)
+	}
+	return p, nil
+}
+
+// parseModes parses a mode mix "default:3,robust:1" and canonicalizes the
+// order.
+func parseModes(val string) ([]ModeWeight, error) {
+	byMode := map[Mode]float64{}
+	for _, part := range strings.Split(val, ",") {
+		name, w, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("modes entry %q: want mode:weight", part)
+		}
+		m, err := parseMode(name)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := byMode[m]; dup {
+			return nil, fmt.Errorf("modes: duplicate mode %q", name)
+		}
+		weight, err := strconv.ParseFloat(w, 64)
+		if err != nil || weight < 0 {
+			return nil, fmt.Errorf("modes weight %q: want a non-negative number", w)
+		}
+		byMode[m] = weight
+	}
+	var out []ModeWeight
+	for _, m := range modeOrder {
+		if w, ok := byMode[m]; ok {
+			out = append(out, ModeWeight{Mode: m, Weight: w})
+		}
+	}
+	return out, nil
+}
+
+// DefaultPool is the repeat-pool size when a phase leaves it unset.
+const DefaultPool = 4
+
+// Limits keeping generated workloads and micro tables sane.
+const (
+	maxSessions      = 4096
+	maxPhaseRequests = 1 << 20
+	maxMicroRows     = 1 << 20
+	maxMicroCols     = 256
+	minMicroRows     = 64
+	minMicroCols     = 2
+)
+
+// Validate rejects structurally invalid specs with a loud error.
+func (s *Spec) Validate() error {
+	if !validIdent(s.Name) {
+		return fmt.Errorf("load: spec name %q is not a valid identifier", s.Name)
+	}
+	if s.Sessions < 1 || s.Sessions > maxSessions {
+		return fmt.Errorf("load: sessions %d outside [1, %d]", s.Sessions, maxSessions)
+	}
+	if len(s.Tables) == 0 {
+		return fmt.Errorf("load: spec declares no tables")
+	}
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("load: spec declares no phases")
+	}
+	names := map[string]bool{}
+	for i, t := range s.Tables {
+		if !validIdent(t.Name) {
+			return fmt.Errorf("load: table %d name %q is not a valid identifier", i, t.Name)
+		}
+		if names[t.Name] {
+			return fmt.Errorf("load: duplicate table name %q", t.Name)
+		}
+		names[t.Name] = true
+		switch t.Dataset {
+		case DatasetUSCrime, DatasetBoxOffice, DatasetInnovation:
+			if t.Rows != 0 || t.Cols != 0 {
+				return fmt.Errorf("load: table %q: rows/cols are only valid for micro tables", t.Name)
+			}
+		case DatasetMicro:
+			if t.Rows < minMicroRows || t.Rows > maxMicroRows {
+				return fmt.Errorf("load: micro table %q rows %d outside [%d, %d]", t.Name, t.Rows, minMicroRows, maxMicroRows)
+			}
+			if t.Cols < minMicroCols || t.Cols > maxMicroCols {
+				return fmt.Errorf("load: micro table %q cols %d outside [%d, %d]", t.Name, t.Cols, minMicroCols, maxMicroCols)
+			}
+		default:
+			return fmt.Errorf("load: table %q: unknown dataset %q", t.Name, t.Dataset)
+		}
+	}
+	phaseNames := map[string]bool{}
+	for i, p := range s.Phases {
+		if !validIdent(p.Name) {
+			return fmt.Errorf("load: phase %d name %q is not a valid identifier", i, p.Name)
+		}
+		if phaseNames[p.Name] {
+			return fmt.Errorf("load: duplicate phase name %q", p.Name)
+		}
+		phaseNames[p.Name] = true
+		switch p.Kind {
+		case KindRepeat, KindChurn, KindBurst:
+		default:
+			return fmt.Errorf("load: phase %q: unknown kind %q", p.Name, p.Kind)
+		}
+		if p.Requests < 1 || p.Requests > maxPhaseRequests {
+			return fmt.Errorf("load: phase %q requests %d outside [1, %d]", p.Name, p.Requests, maxPhaseRequests)
+		}
+		if p.Pool < 1 || p.Pool > 1024 {
+			return fmt.Errorf("load: phase %q pool %d outside [1, 1024]", p.Name, p.Pool)
+		}
+		if p.Exclude < 0 || p.Exclude > 1 || p.SkipCache < 0 || p.SkipCache > 1 {
+			return fmt.Errorf("load: phase %q probabilities outside [0, 1]", p.Name)
+		}
+		total := 0.0
+		for _, mw := range p.Modes {
+			if mw.Weight < 0 {
+				return fmt.Errorf("load: phase %q mode %s weight %v is negative", p.Name, mw.Mode, mw.Weight)
+			}
+			total += mw.Weight
+		}
+		if len(p.Modes) > 0 && total <= 0 {
+			return fmt.Errorf("load: phase %q mode mix has no positive weight", p.Name)
+		}
+	}
+	return nil
+}
+
+// Modes returns the distinct engine modes the spec can draw, in canonical
+// order — the set of routers an in-process target must build.
+func (s *Spec) Modes() []Mode {
+	set := map[Mode]bool{}
+	for _, p := range s.Phases {
+		if len(p.Modes) == 0 {
+			set[Mode{}] = true
+			continue
+		}
+		for _, mw := range p.Modes {
+			if mw.Weight > 0 {
+				set[mw.Mode] = true
+			}
+		}
+	}
+	var out []Mode
+	for _, m := range modeOrder {
+		if set[m] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// TotalRequests returns the scheduled request count (sessions × Σ phase
+// requests), before shed retries.
+func (s *Spec) TotalRequests() int {
+	per := 0
+	for _, p := range s.Phases {
+		per += p.Requests
+	}
+	return per * s.Sessions
+}

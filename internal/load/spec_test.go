@@ -1,0 +1,143 @@
+package load
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// sampleSpec exercises every directive, dataset, phase kind, think
+// distribution and mode-mix feature the format supports.
+const sampleSpec = `# exploration workload: two colleagues plus a robot sweeping thresholds
+zigload v1
+name kitchen_sink
+sessions 6
+
+table uscrime seed=11
+table boxoffice name=movies seed=2
+table micro name=m1 seed=7 rows=400 cols=10
+
+phase warm kind=repeat requests=5 think=exp:2ms pool=3 exclude=0.5
+phase sweep kind=churn requests=4 think=uniform:0s,4ms skipcache=1
+phase rush kind=burst requests=8 think=none modes=robust:1,default:3
+phase cool kind=repeat requests=2 think=fixed:1ms modes=robust-extended:0.5,extended:2
+`
+
+func TestSpecParse(t *testing.T) {
+	s, err := Parse(sampleSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "kitchen_sink" || s.Sessions != 6 {
+		t.Errorf("header fields: name=%q sessions=%d", s.Name, s.Sessions)
+	}
+	if len(s.Tables) != 3 || len(s.Phases) != 4 {
+		t.Fatalf("got %d tables, %d phases", len(s.Tables), len(s.Phases))
+	}
+	if s.Tables[1].Name != "movies" || s.Tables[1].Dataset != DatasetBoxOffice {
+		t.Errorf("table rename: %+v", s.Tables[1])
+	}
+	if s.Tables[0].Name != "uscrime" {
+		t.Errorf("default table name: %+v", s.Tables[0])
+	}
+	if m := s.Tables[2]; m.Rows != 400 || m.Cols != 10 || m.Seed != 7 {
+		t.Errorf("micro table: %+v", m)
+	}
+	warm := s.Phases[0]
+	if warm.Kind != KindRepeat || warm.Requests != 5 || warm.Pool != 3 || warm.Exclude != 0.5 {
+		t.Errorf("warm phase: %+v", warm)
+	}
+	if warm.Think != (ThinkDist{Kind: ThinkExp, A: 2 * time.Millisecond}) {
+		t.Errorf("warm think: %+v", warm.Think)
+	}
+	if sweep := s.Phases[1]; sweep.SkipCache != 1 || sweep.Think.Kind != ThinkUniform || sweep.Think.B != 4*time.Millisecond {
+		t.Errorf("sweep phase: %+v", sweep)
+	}
+	// Mode mixes come back in canonical order regardless of input order.
+	rush := s.Phases[2]
+	want := []ModeWeight{{Mode{}, 3}, {Mode{Robust: true}, 1}}
+	if len(rush.Modes) != 2 || rush.Modes[0] != want[0] || rush.Modes[1] != want[1] {
+		t.Errorf("rush modes: %+v", rush.Modes)
+	}
+	// TotalRequests = sessions × Σ phase requests.
+	if got := s.TotalRequests(); got != 6*(5+4+8+2) {
+		t.Errorf("TotalRequests = %d", got)
+	}
+	// Modes() unions the mixes, in canonical order, including the implicit
+	// default of mode-less phases.
+	modes := s.Modes()
+	wantModes := []Mode{{}, {Robust: true}, {Extended: true}, {Robust: true, Extended: true}}
+	if len(modes) != len(wantModes) {
+		t.Fatalf("Modes() = %v", modes)
+	}
+	for i := range modes {
+		if modes[i] != wantModes[i] {
+			t.Errorf("Modes()[%d] = %v, want %v", i, modes[i], wantModes[i])
+		}
+	}
+}
+
+// TestSpecRoundTrip pins the canonical-print property: parse → print →
+// parse → print is a fixed point after the first print.
+func TestSpecRoundTrip(t *testing.T) {
+	s1, err := Parse(sampleSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text1 := s1.String()
+	s2, err := Parse(text1)
+	if err != nil {
+		t.Fatalf("reparse of canonical print failed: %v\n%s", err, text1)
+	}
+	if text2 := s2.String(); text2 != text1 {
+		t.Errorf("canonical print not stable:\n--- first ---\n%s--- second ---\n%s", text1, text2)
+	}
+}
+
+// TestSpecInvalid asserts malformed specs are rejected loudly, with the
+// offending construct named in the error.
+func TestSpecInvalid(t *testing.T) {
+	valid := "zigload v1\nname ok\nsessions 2\ntable uscrime seed=1\nphase p kind=repeat requests=3 think=none\n"
+	if _, err := Parse(valid); err != nil {
+		t.Fatalf("baseline spec invalid: %v", err)
+	}
+	cases := []struct {
+		name, spec, wantErr string
+	}{
+		{"empty", "", "missing"},
+		{"no-header", "name x\n", "first directive"},
+		{"bad-version", "zigload v9\nname x\n", "first directive"},
+		{"unknown-directive", "zigload v1\nfrobnicate 3\n", "unknown directive"},
+		{"duplicate-name", "zigload v1\nname a\nname b\n", "duplicate name"},
+		{"bad-name", "zigload v1\nname 9lives\nsessions 1\ntable uscrime\nphase p kind=repeat requests=1 think=none\n", "not a valid identifier"},
+		{"no-tables", "zigload v1\nname x\nsessions 1\nphase p kind=repeat requests=1 think=none\n", "no tables"},
+		{"no-phases", "zigload v1\nname x\nsessions 1\ntable uscrime\n", "no phases"},
+		{"zero-sessions", "zigload v1\nname x\nsessions 0\ntable uscrime\nphase p kind=repeat requests=1 think=none\n", "sessions"},
+		{"unknown-dataset", "zigload v1\nname x\nsessions 1\ntable parquet\nphase p kind=repeat requests=1 think=none\n", "unknown dataset"},
+		{"dup-table", "zigload v1\nname x\nsessions 1\ntable uscrime\ntable uscrime\nphase p kind=repeat requests=1 think=none\n", "duplicate table"},
+		{"rows-on-fixed", "zigload v1\nname x\nsessions 1\ntable uscrime rows=100\nphase p kind=repeat requests=1 think=none\n", "only valid for micro"},
+		{"micro-tiny", "zigload v1\nname x\nsessions 1\ntable micro rows=4 cols=4\nphase p kind=repeat requests=1 think=none\n", "rows"},
+		{"unknown-kind", "zigload v1\nname x\nsessions 1\ntable uscrime\nphase p kind=shuffle requests=1 think=none\n", "unknown kind"},
+		{"no-think", "zigload v1\nname x\nsessions 1\ntable uscrime\nphase p kind=repeat requests=1\n", "missing think"},
+		{"bad-think", "zigload v1\nname x\nsessions 1\ntable uscrime\nphase p kind=repeat requests=1 think=sometimes\n", "think"},
+		{"uniform-order", "zigload v1\nname x\nsessions 1\ntable uscrime\nphase p kind=repeat requests=1 think=uniform:5ms,1ms\n", "out of order"},
+		{"prob-range", "zigload v1\nname x\nsessions 1\ntable uscrime\nphase p kind=repeat requests=1 think=none exclude=1.5\n", "probability"},
+		{"dup-phase", "zigload v1\nname x\nsessions 1\ntable uscrime\nphase p kind=repeat requests=1 think=none\nphase p kind=churn requests=1 think=none\n", "duplicate phase"},
+		{"bad-mode", "zigload v1\nname x\nsessions 1\ntable uscrime\nphase p kind=repeat requests=1 think=none modes=turbo:1\n", "unknown mode"},
+		{"dup-mode", "zigload v1\nname x\nsessions 1\ntable uscrime\nphase p kind=repeat requests=1 think=none modes=robust:1,robust:2\n", "duplicate mode"},
+		{"zero-weight-mix", "zigload v1\nname x\nsessions 1\ntable uscrime\nphase p kind=repeat requests=1 think=none modes=robust:0\n", "no positive weight"},
+		{"unknown-phase-key", "zigload v1\nname x\nsessions 1\ntable uscrime\nphase p kind=repeat requests=1 think=none color=red\n", "unknown phase parameter"},
+		{"unknown-table-key", "zigload v1\nname x\nsessions 1\ntable uscrime shape=round\nphase p kind=repeat requests=1 think=none\n", "unknown table parameter"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.spec)
+			if err == nil {
+				t.Fatalf("spec accepted, want error mentioning %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

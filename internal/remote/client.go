@@ -255,16 +255,23 @@ func (c *Client) Snapshot() shard.ShardSnapshot {
 	c.healthy.Store(true)
 	snap.Healthy = true
 	snap.Reports = stats.Stats.Reports
+	var serviceMillis float64
 	for _, sh := range stats.Stats.Shards {
 		snap.Requests += sh.Requests
 		snap.Rejected += sh.Rejected
 		snap.Inflight += sh.Inflight
 		snap.Queued += sh.Queued
+		snap.Completed += sh.Completed
+		serviceMillis += sh.MeanServiceMillis * float64(sh.Completed)
 		snap.Prepared = core.AddSnapshots(snap.Prepared, sh.Prepared)
 		snap.Reports = core.AddSnapshots(snap.Reports, sh.Reports)
 		if sh.RetryAfterMillis > snap.RetryAfterMillis {
 			snap.RetryAfterMillis = sh.RetryAfterMillis
 		}
+	}
+	if snap.Completed > 0 {
+		// Completed-weighted mean across the worker's shards.
+		snap.MeanServiceMillis = serviceMillis / float64(snap.Completed)
 	}
 	return snap
 }

@@ -140,6 +140,10 @@ type characterizeRequest struct {
 	ExcludeColumns []string `json:"excludeColumns"`
 	// IncludePlots attaches an ASCII chart to every view.
 	IncludePlots bool `json:"includePlots"`
+	// SkipReportCache bypasses the report-level memo for this request,
+	// forcing the full pipeline — the cache-hostile switch load harnesses
+	// (cmd/zigload) use to measure uncached serving latency.
+	SkipReportCache bool `json:"skipReportCache"`
 }
 
 // viewJSON is the wire form of a characteristic view.
@@ -209,7 +213,7 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	opts := core.Options{ExcludeColumns: req.ExcludeColumns}
+	opts := core.Options{ExcludeColumns: req.ExcludeColumns, SkipReportCache: req.SkipReportCache}
 	if req.ExcludePredicate {
 		opts.ExcludeColumns = append(opts.ExcludeColumns, predicateColumns(res.Stmt)...)
 	}
@@ -339,9 +343,14 @@ type shardJSON struct {
 	Queued   int64  `json:"queued"`
 	// RetryAfterMillis is the shard's current backoff hint; shed requests
 	// carry the same figure in their Retry-After header.
-	RetryAfterMillis int64    `json:"retryAfterMillis"`
-	TablesShipped    int64    `json:"tablesShipped,omitempty"`
-	Prepared         tierJSON `json:"prepared"`
+	RetryAfterMillis int64 `json:"retryAfterMillis"`
+	// Completed counts executed (non-cached) characterizations;
+	// MeanServiceMillis is their observed mean wall time — the service-rate
+	// estimate behind the backoff hint.
+	Completed         int64    `json:"completed"`
+	MeanServiceMillis float64  `json:"meanServiceMillis,omitempty"`
+	TablesShipped     int64    `json:"tablesShipped,omitempty"`
+	Prepared          tierJSON `json:"prepared"`
 	// Reports is a remote worker's own report tier; local shards share the
 	// router cache reported in the top-level reports field.
 	Reports tierJSON `json:"reports"`
@@ -385,18 +394,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, sh := range stats.Shards {
 		resp.Shards = append(resp.Shards, shardJSON{
-			Shard:            sh.Shard,
-			Kind:             sh.Kind,
-			Addr:             sh.Addr,
-			Healthy:          sh.Healthy,
-			Requests:         sh.Requests,
-			Rejected:         sh.Rejected,
-			Inflight:         sh.Inflight,
-			Queued:           sh.Queued,
-			RetryAfterMillis: sh.RetryAfterMillis,
-			TablesShipped:    sh.TablesShipped,
-			Prepared:         tierFrom(sh.Prepared),
-			Reports:          tierFrom(sh.Reports),
+			Shard:             sh.Shard,
+			Kind:              sh.Kind,
+			Addr:              sh.Addr,
+			Healthy:           sh.Healthy,
+			Requests:          sh.Requests,
+			Rejected:          sh.Rejected,
+			Inflight:          sh.Inflight,
+			Queued:            sh.Queued,
+			RetryAfterMillis:  sh.RetryAfterMillis,
+			Completed:         sh.Completed,
+			MeanServiceMillis: sh.MeanServiceMillis,
+			TablesShipped:     sh.TablesShipped,
+			Prepared:          tierFrom(sh.Prepared),
+			Reports:           tierFrom(sh.Reports),
 		})
 	}
 	s.writeJSON(w, http.StatusOK, resp)

@@ -218,15 +218,22 @@ func (b *EngineBackend) Snapshot() ShardSnapshot {
 	if queued < 0 {
 		queued = 0
 	}
+	completed := b.completed.Load()
+	meanService := 0.0
+	if completed > 0 {
+		meanService = float64(b.serviceNanos.Load()) / float64(completed) / 1e6
+	}
 	return ShardSnapshot{
-		Kind:             KindLocal,
-		Healthy:          true,
-		Requests:         b.requests.Load(),
-		Rejected:         b.rejected.Load(),
-		Inflight:         int64(len(b.run)),
-		Queued:           queued,
-		RetryAfterMillis: b.retryAfter().Milliseconds(),
-		Prepared:         b.engine.CacheStats().Prepared,
+		Kind:              KindLocal,
+		Healthy:           true,
+		Requests:          b.requests.Load(),
+		Rejected:          b.rejected.Load(),
+		Inflight:          int64(len(b.run)),
+		Queued:            queued,
+		RetryAfterMillis:  b.retryAfter().Milliseconds(),
+		Completed:         completed,
+		MeanServiceMillis: meanService,
+		Prepared:          b.engine.CacheStats().Prepared,
 		// Reports stays zero: local backends share the router's report
 		// cache, reported once as Stats.Reports.
 		Reports: memo.Snapshot{},

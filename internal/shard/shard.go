@@ -358,6 +358,12 @@ type ShardSnapshot struct {
 	// SaturatedError (and ziggyd in its Retry-After header). Zero when
 	// idle.
 	RetryAfterMillis int64 `json:"retryAfterMillis"`
+	// Completed counts executed (non-cached) characterizations, and
+	// MeanServiceMillis their observed mean wall time — the service-rate
+	// estimate behind RetryAfterMillis, surfaced so load harnesses can
+	// assert on what the shard actually executed versus served from memo.
+	Completed         int64   `json:"completed"`
+	MeanServiceMillis float64 `json:"meanServiceMillis,omitempty"`
 	// TablesShipped counts table payloads actually sent to a remote worker
 	// (re-registrations that matched by fingerprint are not shipments).
 	// Always zero for local backends.

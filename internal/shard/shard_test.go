@@ -489,3 +489,28 @@ func TestRouterValidation(t *testing.T) {
 		t.Error("nil frame accepted")
 	}
 }
+
+// TestServiceCountersExposed pins the counters the load harness asserts
+// on: executed (non-cached) characterizations and their observed mean
+// service time surface through Stats, and cache hits do not inflate them.
+func TestServiceCountersExposed(t *testing.T) {
+	r := mustRouter(t, testConfig(1))
+	f, sel := testTable(t, 41)
+	// Two identical requests: one executes, one is a report-cache hit.
+	for i := 0; i < 2; i++ {
+		if _, err := r.Characterize(f, sel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A cache-bypassing request executes again.
+	if _, err := r.CharacterizeOpts(f, sel, core.Options{SkipReportCache: true}); err != nil {
+		t.Fatal(err)
+	}
+	sh := r.Stats().Shards[0]
+	if sh.Completed != 2 {
+		t.Errorf("completed = %d, want 2 (cache hits must not count)", sh.Completed)
+	}
+	if sh.MeanServiceMillis <= 0 {
+		t.Errorf("meanServiceMillis = %v, want > 0", sh.MeanServiceMillis)
+	}
+}

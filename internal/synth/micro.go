@@ -1,0 +1,76 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/frame"
+	"repro/internal/randx"
+)
+
+// microBlock is the number of columns each latent factor drives in a Micro
+// table. Blocks give the view search something to find: columns within a
+// block are strongly correlated, columns across blocks nearly independent.
+const microBlock = 4
+
+// Micro generates a compact synthetic table for load and integration
+// tests: rows × cols, organized as correlated blocks of microBlock numeric
+// columns each driven by an independent latent factor, plus one trailing
+// categorical tier column when cols ≥ microBlock (derived from the first
+// factor, so categorical views exist too). Like the dataset twins it is a
+// deterministic function of (seed, rows, cols); name only labels the
+// frame, letting one spec register several differently-sized micro tables
+// from the same generator.
+func Micro(name string, seed uint64, rows, cols int) *frame.Frame {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("synth: Micro(%q) with non-positive shape %d×%d", name, rows, cols))
+	}
+	r := randx.New(seed)
+	b := frame.NewBuilder(name)
+
+	numeric := cols
+	catTier := cols >= microBlock
+	if catTier {
+		numeric--
+	}
+
+	blocks := (numeric + microBlock - 1) / microBlock
+	factors := make([]factor, blocks)
+	for i := range factors {
+		factors[i] = newFactor(r.Fork(), rows)
+	}
+
+	cr := r.Fork()
+	for c := 0; c < numeric; c++ {
+		f := factors[c/microBlock]
+		// Vary loading and scale within a block so columns are correlated
+		// but not identical.
+		loading := 0.9 - 0.1*float64(c%microBlock)
+		noise := 0.35 + 0.15*float64(c%microBlock)
+		vals := column(cr, f, loading, noise, float64(10*(c+1)), 1+float64(c%3))
+		idx := b.AddNumeric(fmt.Sprintf("m%02d", c))
+		for _, v := range vals {
+			b.AppendFloat(idx, v)
+		}
+	}
+
+	if catTier {
+		idx := b.AddCategorical("tier")
+		for i := 0; i < rows; i++ {
+			switch f := factors[0][i]; {
+			case f > 0.6:
+				b.AppendStr(idx, "high")
+			case f > -0.6:
+				b.AppendStr(idx, "mid")
+			default:
+				b.AppendStr(idx, "low")
+			}
+		}
+	}
+
+	f := b.MustBuild()
+	if f.NumCols() != cols || f.NumRows() != rows {
+		panic(fmt.Sprintf("synth: Micro(%q) generated %d×%d, want %d×%d",
+			name, f.NumRows(), f.NumCols(), rows, cols))
+	}
+	return f
+}

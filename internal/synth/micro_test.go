@@ -1,0 +1,55 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/frame"
+)
+
+func TestMicroShape(t *testing.T) {
+	f := Micro("m1", 7, 200, 10)
+	if f.Name() != "m1" || f.NumRows() != 200 || f.NumCols() != 10 {
+		t.Fatalf("got %s %d×%d", f.Name(), f.NumRows(), f.NumCols())
+	}
+	if got := len(f.NumericColumns()); got != 9 {
+		t.Errorf("numeric columns = %d, want 9 (one tier column)", got)
+	}
+	if _, ok := f.Lookup("tier"); !ok {
+		t.Error("missing tier column")
+	}
+	// Tiny tables stay all-numeric.
+	small := Micro("m2", 7, 100, 2)
+	if got := len(small.NumericColumns()); got != 2 {
+		t.Errorf("2-col table: numeric = %d, want 2", got)
+	}
+}
+
+func TestMicroDeterminism(t *testing.T) {
+	a := Micro("m", 11, 150, 8)
+	b := Micro("m", 11, 150, 8)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("same seed produced different content")
+	}
+	c := Micro("m", 12, 150, 8)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("different seeds produced identical content")
+	}
+}
+
+func TestMicroBlockCorrelation(t *testing.T) {
+	f := Micro("m", 3, 1000, 9)
+	// Columns in the same block correlate strongly; across blocks weakly.
+	within := pearson(t, f, "m00", "m01")
+	across := pearson(t, f, "m00", "m04")
+	if within < 0.5 {
+		t.Errorf("within-block correlation %v, want ≥ 0.5", within)
+	}
+	if across > 0.2 || across < -0.2 {
+		t.Errorf("across-block correlation %v, want ≈ 0", across)
+	}
+}
+
+func pearson(t *testing.T, f *frame.Frame, a, b string) float64 {
+	t.Helper()
+	return pearsonOf(t, f, a, b)
+}
