@@ -43,7 +43,7 @@ const (
 
 // compareServing evaluates a current serving record against its baseline
 // and returns human-readable failures (empty = gate passes).
-func compareServing(baseline, current *load.ServingRecord, latencyThreshold, shedSlack, cacheSlack float64) []string {
+func compareServing(baseline, current *load.ServingRecord, latencyThreshold, shedSlack, cacheSlack, approxSlack float64) []string {
 	var failures []string
 	failf := func(format string, args ...any) {
 		failures = append(failures, fmt.Sprintf(format, args...))
@@ -80,6 +80,11 @@ func compareServing(baseline, current *load.ServingRecord, latencyThreshold, she
 	if current.ByteMismatches > 0 {
 		failf("%d repeated requests returned different bytes", current.ByteMismatches)
 	}
+	// Approximate determinism is equally absolute: a repeat under the same
+	// (request, approximate configuration) must reproduce the first bytes.
+	if current.ApproxByteMismatches > 0 {
+		failf("%d repeated approximate requests returned different bytes", current.ApproxByteMismatches)
+	}
 
 	type pct struct {
 		name      string
@@ -99,6 +104,13 @@ func compareServing(baseline, current *load.ServingRecord, latencyThreshold, she
 	}
 	if current.CacheHitRate < baseline.CacheHitRate-cacheSlack {
 		failf("cache hit rate %.3f vs baseline %.3f (slack %.3f)", current.CacheHitRate, baseline.CacheHitRate, cacheSlack)
+	}
+	// The approximate-served rate is timing-dependent when degrade-under-
+	// pressure is on (it tracks how often the queue was full), so it is
+	// gated with its own slack in both directions: a collapse to zero means
+	// degradation stopped working, a surge means the exact path regressed.
+	if diff := current.ApproxRate - baseline.ApproxRate; diff > approxSlack || diff < -approxSlack {
+		failf("approx rate %.3f vs baseline %.3f (slack %.3f)", current.ApproxRate, baseline.ApproxRate, approxSlack)
 	}
 	// A run that shed load must have carried sane backoff hints.
 	if current.Sheds > 0 {
@@ -132,6 +144,7 @@ func runServing(args []string) {
 	latencyThreshold := fs.Float64("latency-threshold", 3.0, "fail when a gated percentile exceeds baseline times this ratio")
 	shedSlack := fs.Float64("shed-slack", 0.10, "allowed absolute shed-rate increase over baseline")
 	cacheSlack := fs.Float64("cache-slack", 0.10, "allowed absolute cache-hit-rate decrease under baseline")
+	approxSlack := fs.Float64("approx-slack", 0.15, "allowed absolute approx-rate drift from baseline (either direction)")
 	update := fs.Bool("update", false, "install the current record as the new baseline instead of comparing")
 	fs.Parse(args)
 	if *latencyThreshold <= 1 {
@@ -144,9 +157,9 @@ func runServing(args []string) {
 	if *update {
 		// Refreshing the baseline still refuses a broken run: a baseline
 		// with failures or mismatches would pin the breakage as expected.
-		if current.Failed > 0 || current.ByteMismatches > 0 {
-			fatalf("refusing to install a baseline with %d failed requests and %d byte mismatches",
-				current.Failed, current.ByteMismatches)
+		if current.Failed > 0 || current.ByteMismatches > 0 || current.ApproxByteMismatches > 0 {
+			fatalf("refusing to install a baseline with %d failed requests and %d byte mismatches (%d approximate)",
+				current.Failed, current.ByteMismatches, current.ApproxByteMismatches)
 		}
 		data, err := load.EncodeServingRecord(current)
 		if err != nil {
@@ -170,10 +183,11 @@ func runServing(args []string) {
 		{"p99 ms", baseline.LatencyMs.P99, current.LatencyMs.P99},
 		{"shed rate", baseline.ShedRate, current.ShedRate},
 		{"cache hit rate", baseline.CacheHitRate, current.CacheHitRate},
+		{"approx rate", baseline.ApproxRate, current.ApproxRate},
 	} {
 		fmt.Printf("%-24s %14.3f %14.3f\n", row[0], row[1], row[2])
 	}
-	if failures := compareServing(baseline, current, *latencyThreshold, *shedSlack, *cacheSlack); len(failures) > 0 {
+	if failures := compareServing(baseline, current, *latencyThreshold, *shedSlack, *cacheSlack, *approxSlack); len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintf(os.Stderr, "benchdiff: FAIL %s\n", f)
 		}

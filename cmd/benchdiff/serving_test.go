@@ -38,7 +38,7 @@ func failuresContain(t *testing.T, failures []string, want string) {
 
 func TestServingSelfComparisonPasses(t *testing.T) {
 	base := servingRecord()
-	if failures := compareServing(base, servingRecord(), 3.0, 0.10, 0.10); len(failures) != 0 {
+	if failures := compareServing(base, servingRecord(), 3.0, 0.10, 0.10, 0.15); len(failures) != 0 {
 		t.Fatalf("self-comparison failed: %v", failures)
 	}
 }
@@ -63,7 +63,7 @@ func TestServingIdentityGate(t *testing.T) {
 		tc.mutate(cur)
 		// Also break a metric: identity failures must suppress metric noise.
 		cur.LatencyMs.P99 = 1e9
-		failures := compareServing(base, cur, 3.0, 0.10, 0.10)
+		failures := compareServing(base, cur, 3.0, 0.10, 0.10, 0.15)
 		failuresContain(t, failures, tc.want)
 	}
 }
@@ -75,11 +75,17 @@ func TestServingCorrectnessIsAbsolute(t *testing.T) {
 	cur := servingRecord()
 	cur.Failed = 2
 	cur.FirstError = "boom"
-	failuresContain(t, compareServing(base, cur, 1e9, 1, 1), "failed")
+	failuresContain(t, compareServing(base, cur, 1e9, 1, 1, 1), "failed")
 
 	cur = servingRecord()
 	cur.ByteMismatches = 1
-	failuresContain(t, compareServing(base, cur, 1e9, 1, 1), "different bytes")
+	failuresContain(t, compareServing(base, cur, 1e9, 1, 1, 1), "different bytes")
+
+	// Approximate repeats are held to the same absolute standard: a repeat
+	// under one (request, approximate configuration) must be byte-identical.
+	cur = servingRecord()
+	cur.ApproxByteMismatches = 1
+	failuresContain(t, compareServing(base, cur, 1e9, 1, 1, 1), "approximate")
 }
 
 // TestServingLatencyGate pins the ratio-with-floor rule: a percentile past
@@ -89,14 +95,14 @@ func TestServingLatencyGate(t *testing.T) {
 	base := servingRecord()
 	cur := servingRecord()
 	cur.LatencyMs.P95 = base.LatencyMs.P95*3 + 2 // past ratio and floor
-	failuresContain(t, compareServing(base, cur, 3.0, 0.10, 0.10), "p95")
+	failuresContain(t, compareServing(base, cur, 3.0, 0.10, 0.10, 0.15), "p95")
 
 	// Large ratio but tiny absolute growth: passes.
 	base = servingRecord()
 	base.LatencyMs.P50 = 0.05
 	cur = servingRecord()
 	cur.LatencyMs.P50 = 0.90 // 18x ratio, +0.85ms < 1ms floor
-	if failures := compareServing(base, cur, 3.0, 0.10, 0.10); len(failures) != 0 {
+	if failures := compareServing(base, cur, 3.0, 0.10, 0.10, 0.15); len(failures) != 0 {
 		t.Fatalf("sub-floor growth failed the gate: %v", failures)
 	}
 }
@@ -105,18 +111,39 @@ func TestServingRateGates(t *testing.T) {
 	base := servingRecord()
 	cur := servingRecord()
 	cur.ShedRate = base.ShedRate + 0.2
-	failuresContain(t, compareServing(base, cur, 3.0, 0.10, 0.10), "shed rate")
+	failuresContain(t, compareServing(base, cur, 3.0, 0.10, 0.10, 0.15), "shed rate")
 
 	cur = servingRecord()
 	cur.CacheHitRate = base.CacheHitRate - 0.2
-	failuresContain(t, compareServing(base, cur, 3.0, 0.10, 0.10), "cache hit rate")
+	failuresContain(t, compareServing(base, cur, 3.0, 0.10, 0.10, 0.15), "cache hit rate")
 
 	// Within slack: passes.
 	cur = servingRecord()
 	cur.ShedRate = base.ShedRate + 0.05
 	cur.CacheHitRate = base.CacheHitRate - 0.05
-	if failures := compareServing(base, cur, 3.0, 0.10, 0.10); len(failures) != 0 {
+	if failures := compareServing(base, cur, 3.0, 0.10, 0.10, 0.15); len(failures) != 0 {
 		t.Fatalf("within-slack drift failed the gate: %v", failures)
+	}
+}
+
+// TestServingApproxRateGate pins the two-sided approx-rate slack: a surge
+// and a collapse both fail, drift within slack passes.
+func TestServingApproxRateGate(t *testing.T) {
+	base := servingRecord()
+	base.ApproxRate = 0.30
+
+	cur := servingRecord()
+	cur.ApproxRate = base.ApproxRate + 0.2
+	failuresContain(t, compareServing(base, cur, 3.0, 0.10, 0.10, 0.15), "approx rate")
+
+	cur = servingRecord()
+	cur.ApproxRate = base.ApproxRate - 0.2
+	failuresContain(t, compareServing(base, cur, 3.0, 0.10, 0.10, 0.15), "approx rate")
+
+	cur = servingRecord()
+	cur.ApproxRate = base.ApproxRate + 0.1
+	if failures := compareServing(base, cur, 3.0, 0.10, 0.10, 0.15); len(failures) != 0 {
+		t.Fatalf("within-slack approx drift failed the gate: %v", failures)
 	}
 }
 
@@ -127,16 +154,16 @@ func TestServingRetryAfterGate(t *testing.T) {
 	base := servingRecord()
 	cur := servingRecord()
 	cur.RetryAfterMs.Min = 1
-	failuresContain(t, compareServing(base, cur, 3.0, 0.10, 0.10), "Retry-After minimum")
+	failuresContain(t, compareServing(base, cur, 3.0, 0.10, 0.10, 0.15), "Retry-After minimum")
 
 	cur = servingRecord()
 	cur.RetryAfterMs.Max = 60_000
-	failuresContain(t, compareServing(base, cur, 3.0, 0.10, 0.10), "Retry-After maximum")
+	failuresContain(t, compareServing(base, cur, 3.0, 0.10, 0.10, 0.15), "Retry-After maximum")
 
 	cur = servingRecord()
 	cur.Sheds = 0
 	cur.RetryAfterMs = load.RetryAfterMs{}
-	if failures := compareServing(base, cur, 3.0, 0.10, 0.10); len(failures) != 0 {
+	if failures := compareServing(base, cur, 3.0, 0.10, 0.10, 0.15); len(failures) != 0 {
 		t.Fatalf("shed-free run failed the Retry-After check: %v", failures)
 	}
 }

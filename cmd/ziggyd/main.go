@@ -58,19 +58,21 @@ func (c *csvList) Set(v string) error {
 // into a ready handler so tests can drive the exact serving stack without a
 // listener.
 type options struct {
-	datasets     string
-	csvs         []string
-	seed         uint64
-	minTight     float64
-	maxViews     int
-	parallelism  int
-	shards       int
-	cacheEntries int
-	cacheBytes   int64
-	worker       bool
-	peers        string
-	concurrency  int
-	queueDepth   int
+	datasets      string
+	csvs          []string
+	seed          uint64
+	minTight      float64
+	maxViews      int
+	parallelism   int
+	shards        int
+	cacheEntries  int
+	cacheBytes    int64
+	worker        bool
+	peers         string
+	concurrency   int
+	queueDepth    int
+	approxCap     int
+	approxDegrade bool
 }
 
 // params assembles the admission tuning the options describe (zero values
@@ -88,6 +90,8 @@ func (opts options) config() core.Config {
 	cfg.Shards = opts.shards
 	cfg.CacheEntries = opts.cacheEntries
 	cfg.CacheBytes = opts.cacheBytes
+	cfg.ApproxRows = opts.approxCap
+	cfg.ApproxUnderPressure = opts.approxDegrade
 	return cfg
 }
 
@@ -214,6 +218,10 @@ func main() {
 		"concurrent characterizations per shard before requests queue (0 = default); load tests shrink it to provoke shedding")
 	queueDepth := flag.Int("queue-depth", 0,
 		"admitted-but-waiting requests per shard before load is shed with 503 (0 = default)")
+	approxCap := flag.Int("approx-cap", 0,
+		"sample cap for approximate characterizations (0 = engine default)")
+	approxDegrade := flag.Bool("approx-under-pressure", false,
+		"serve a flagged approximate answer instead of shedding when a shard saturates")
 	worker := flag.Bool("worker", false,
 		"run as a characterization worker: serve the /api/worker RPC API; tables are shipped by a -peers front")
 	peers := flag.String("peers", "",
@@ -223,19 +231,21 @@ func main() {
 
 	logger := log.New(os.Stderr, "ziggyd: ", log.LstdFlags)
 	handler, err := buildHandler(options{
-		datasets:     *datasets,
-		csvs:         csvs,
-		seed:         *seed,
-		minTight:     *minTight,
-		maxViews:     *maxViews,
-		parallelism:  *parallel,
-		shards:       *shards,
-		cacheEntries: *cacheEntries,
-		cacheBytes:   *cacheBytes,
-		worker:       *worker,
-		peers:        *peers,
-		concurrency:  *concurrency,
-		queueDepth:   *queueDepth,
+		datasets:      *datasets,
+		csvs:          csvs,
+		seed:          *seed,
+		minTight:      *minTight,
+		maxViews:      *maxViews,
+		parallelism:   *parallel,
+		shards:        *shards,
+		cacheEntries:  *cacheEntries,
+		cacheBytes:    *cacheBytes,
+		worker:        *worker,
+		peers:         *peers,
+		concurrency:   *concurrency,
+		queueDepth:    *queueDepth,
+		approxCap:     *approxCap,
+		approxDegrade: *approxDegrade,
 	}, logger)
 	if err != nil {
 		logger.Fatal(err)

@@ -362,3 +362,228 @@ func TestGoldenShardCountsAgree(t *testing.T) {
 		}
 	}
 }
+
+// TestGoldenApproximateCharacterize pins the approximate request surface:
+// an "approximate": true query resolves the default sample cap, returns a
+// flagged report whose provenance block is part of the pinned golden body,
+// is byte-identical across shard counts 1, 2 and 4, and memoizes under its
+// own cache key — the repeat is a report-cache hit with the same bytes, and
+// an exact query for the same selection is NOT served from the approximate
+// entry.
+func TestGoldenApproximateCharacterize(t *testing.T) {
+	const query = `{"sql": "SELECT * FROM boxoffice WHERE gross_musd >= 100", "excludePredicate": true, "approximate": true, "approxSeed": 7}`
+	const exactQuery = `{"sql": "SELECT * FROM boxoffice WHERE gross_musd >= 100", "excludePredicate": true}`
+
+	var bodies [][]byte
+	for _, n := range []int{1, 2, 4} {
+		ts := shardedServer(t, n)
+		code, cold := post(t, ts, "/api/characterize", query)
+		if code != http.StatusOK {
+			t.Fatalf("shards=%d: approximate status %d: %s", n, code, cold)
+		}
+		var rep struct {
+			Approximate *struct {
+				SampleRows  int     `json:"sampleRows"`
+				CapRows     int     `json:"capRows"`
+				Seed        uint64  `json:"seed"`
+				SEInflation float64 `json:"seInflation"`
+			} `json:"approximate"`
+		}
+		if err := json.Unmarshal(cold, &rep); err != nil {
+			t.Fatal(err)
+		}
+		if rep.Approximate == nil {
+			t.Fatalf("shards=%d: approximate response carries no provenance block: %s", n, cold)
+		}
+		if rep.Approximate.CapRows != 512 || rep.Approximate.Seed != 7 {
+			t.Fatalf("shards=%d: provenance %+v, want the default cap 512 at seed 7", n, rep.Approximate)
+		}
+		if rep.Approximate.SampleRows > rep.Approximate.CapRows || rep.Approximate.SEInflation < 1 {
+			t.Fatalf("shards=%d: provenance does not reconcile: %+v", n, rep.Approximate)
+		}
+
+		// The repeat under the identical approximate configuration is a
+		// report-cache hit, byte-identical beyond the cache flags.
+		code, cached := post(t, ts, "/api/characterize", query)
+		if code != http.StatusOK {
+			t.Fatalf("shards=%d: approximate repeat status %d: %s", n, code, cached)
+		}
+		var flags struct {
+			ReportCacheHit bool `json:"reportCacheHit"`
+		}
+		if err := json.Unmarshal(cached, &flags); err != nil {
+			t.Fatal(err)
+		}
+		if !flags.ReportCacheHit {
+			t.Errorf("shards=%d: approximate repeat missed the report cache", n)
+		}
+		var c1, c2 any
+		json.Unmarshal(canonicalize(t, "cold", cold), &c1)
+		json.Unmarshal(canonicalize(t, "cached", cached), &c2)
+		scrubCacheFlags(c1)
+		scrubCacheFlags(c2)
+		b1, _ := json.MarshalIndent(c1, "", "  ")
+		b2, _ := json.MarshalIndent(c2, "", "  ")
+		if !bytes.Equal(b1, b2) {
+			t.Errorf("shards=%d: cached approximate response differs from cold beyond the cache flags", n)
+		}
+
+		// The exact query must not be conflated with the approximate entry:
+		// it computes cold (no report-cache hit) and carries no provenance.
+		code, exact := post(t, ts, "/api/characterize", exactQuery)
+		if code != http.StatusOK {
+			t.Fatalf("shards=%d: exact status %d: %s", n, code, exact)
+		}
+		var exactRep struct {
+			ReportCacheHit bool            `json:"reportCacheHit"`
+			Approximate    json.RawMessage `json:"approximate"`
+		}
+		if err := json.Unmarshal(exact, &exactRep); err != nil {
+			t.Fatal(err)
+		}
+		if exactRep.ReportCacheHit {
+			t.Errorf("shards=%d: exact query was served from the approximate cache entry", n)
+		}
+		if len(exactRep.Approximate) != 0 {
+			t.Errorf("shards=%d: exact response carries an approximate block: %s", n, exactRep.Approximate)
+		}
+
+		bodies = append(bodies, canonicalize(t, fmt.Sprintf("shards=%d approx", n), cold))
+	}
+	for i := 1; i < len(bodies); i++ {
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Errorf("approximate response differs between shards=1 and shards=%d\n--- shards=1\n%s\n--- other\n%s",
+				[]int{1, 2, 4}[i], bodies[0], bodies[i])
+		}
+	}
+	checkGolden(t, "characterize_approx.json", bodies[0])
+}
+
+// TestPressureDegradeOverHTTP arms the degrade path on a one-slot server
+// and fires a concurrent cache-bypassing burst: nothing may shed (no 503s),
+// at least one response must come back flagged approximate, every degraded
+// body must be byte-identical to an explicitly requested approximate answer
+// under the same configuration (default cap, seed 0), and /api/stats must
+// account for the approximate servings per shard.
+func TestPressureDegradeOverHTTP(t *testing.T) {
+	// uscrime characterizations are slow enough (several ms of CPU) that
+	// concurrent requests overlap in the one-slot queue; boxoffice answers
+	// retire too fast to ever build pressure (TestHTTPSaturationBackoff in
+	// cmd/zigload makes the same choice for the same reason).
+	srv, err := buildServer(options{
+		datasets:      "uscrime",
+		seed:          3,
+		minTight:      0.4,
+		maxViews:      8,
+		parallelism:   1,
+		shards:        1,
+		concurrency:   1,
+		queueDepth:    1,
+		approxDegrade: true,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// The burst hits a cold prepared tier on purpose: the first request
+	// pays the dependency-graph prep while holding the only slot, so the
+	// rest pile up behind the 1-deep queue and must degrade. (Warming the
+	// cache first would let each request finish faster than the burst
+	// goroutines can even start, defusing the pressure.)
+	const query = `{"sql": "SELECT * FROM uscrime WHERE crime_violent_rate >= 1200", "excludePredicate": true, "skipReportCache": true}`
+	const approxQuery = `{"sql": "SELECT * FROM uscrime WHERE crime_violent_rate >= 1200", "excludePredicate": true, "approximate": true, "skipReportCache": true}`
+
+	const burst = 16
+	type reply struct {
+		code int
+		body []byte
+	}
+	replies := make(chan reply, burst)
+	for i := 0; i < burst; i++ {
+		go func() {
+			code, body := post(t, ts, "/api/characterize", query)
+			replies <- reply{code, body}
+		}()
+	}
+	var degradedBodies [][]byte
+	for i := 0; i < burst; i++ {
+		r := <-replies
+		if r.code == http.StatusServiceUnavailable {
+			t.Fatalf("degrade mode shed a request: %s", r.body)
+		}
+		if r.code != http.StatusOK {
+			t.Fatalf("burst request status %d: %s", r.code, r.body)
+		}
+		var rep struct {
+			Approximate json.RawMessage `json:"approximate"`
+		}
+		if err := json.Unmarshal(r.body, &rep); err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Approximate) == 0 {
+			continue // admitted and served exactly
+		}
+		degradedBodies = append(degradedBodies, r.body)
+	}
+	degraded := len(degradedBodies)
+	if degraded == 0 {
+		t.Fatal("16-way burst against a one-slot queue degraded nothing")
+	}
+
+	// The reference: the same answer requested approximately on purpose.
+	// The degrade path resolves the same default cap at seed 0, so every
+	// degraded body must match this one beyond the cache flags.
+	code, reference := post(t, ts, "/api/characterize", approxQuery)
+	if code != http.StatusOK {
+		t.Fatalf("reference approximate status %d: %s", code, reference)
+	}
+	refCanon := degradeCanon(t, reference)
+	for _, body := range degradedBodies {
+		if got := degradeCanon(t, body); !bytes.Equal(got, refCanon) {
+			t.Errorf("degraded response differs from the explicit approximate answer\n--- explicit\n%s\n--- degraded\n%s",
+				refCanon, got)
+		}
+	}
+
+	// The per-shard stats account for every approximate serving (the burst's
+	// degrades plus the explicit reference request).
+	code, stats := get(t, ts, "/api/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats status %d: %s", code, stats)
+	}
+	var sr struct {
+		Shards []struct {
+			ApproxServed int64 `json:"approxServed"`
+			Rejected     int64 `json:"rejected"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal(stats, &sr); err != nil {
+		t.Fatal(err)
+	}
+	var approxServed, rejected int64
+	for _, sh := range sr.Shards {
+		approxServed += sh.ApproxServed
+		rejected += sh.Rejected
+	}
+	if want := int64(degraded + 1); approxServed != want {
+		t.Errorf("stats count %d approximate servings, want %d", approxServed, want)
+	}
+	if rejected != 0 {
+		t.Errorf("stats count %d rejections despite degrade mode", rejected)
+	}
+}
+
+// degradeCanon canonicalizes a characterize body and neutralizes the cache
+// flags, for comparing degraded responses against explicit approximate ones.
+func degradeCanon(t *testing.T, body []byte) []byte {
+	t.Helper()
+	var decoded any
+	if err := json.Unmarshal(canonicalize(t, "degrade", body), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	scrubCacheFlags(decoded)
+	canon, _ := json.MarshalIndent(decoded, "", "  ")
+	return canon
+}

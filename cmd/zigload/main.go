@@ -51,6 +51,9 @@ func main() {
 	parallelism := flag.Int("parallelism", 1, "router target: per-engine worker parallelism")
 	concurrency := flag.Int("concurrency", 0, "router target: per-shard concurrent characterizations (0 = default)")
 	queueDepth := flag.Int("queue-depth", 0, "router target: per-shard admission queue depth (0 = default)")
+	approxCap := flag.Int("approx-cap", 0, "router target: sample cap for approximate characterizations (0 = engine default)")
+	approxDegrade := flag.Bool("approx-under-pressure", false,
+		"router target: serve flagged approximate answers instead of shedding when a shard saturates")
 	flag.Parse()
 
 	if *specPath == "" {
@@ -82,6 +85,8 @@ func main() {
 		cfg := core.DefaultConfig()
 		cfg.Shards = *shards
 		cfg.Parallelism = *parallelism
+		cfg.ApproxRows = *approxCap
+		cfg.ApproxUnderPressure = *approxDegrade
 		routerTarget, err = load.NewRouterTarget(cfg, sched, shard.Params{Concurrency: *concurrency, QueueDepth: *queueDepth})
 		if err != nil {
 			fatalf("building router target: %v", err)
@@ -112,18 +117,19 @@ func main() {
 	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatalf("%v", err)
 	} else {
-		fmt.Printf("zigload: wrote %s (%d requests, %d attempts, shed rate %.3f, cache hit rate %.3f)\n",
-			*out, rec.Requests, rec.Attempts, rec.ShedRate, rec.CacheHitRate)
+		fmt.Printf("zigload: wrote %s (%d requests, %d attempts, shed rate %.3f, cache hit rate %.3f, approx rate %.3f)\n",
+			*out, rec.Requests, rec.Attempts, rec.ShedRate, rec.CacheHitRate, rec.ApproxRate)
 	}
 
 	// The replay itself must be clean; saturation is measured, not fatal.
 	if res.Failed > 0 {
 		fatalf("%d requests failed (first: %s)", res.Failed, res.FirstError)
 	}
-	if res.ByteMismatches > 0 {
+	if res.ByteMismatches > 0 || res.ApproxByteMismatches > 0 {
 		for _, m := range res.Mismatches {
 			fmt.Fprintf(os.Stderr, "zigload: byte mismatch: session %d: %s\n", m.Session, m.Key)
 		}
-		fatalf("%d repeated requests returned different bytes", res.ByteMismatches)
+		fatalf("%d repeated requests returned different bytes (%d exact, %d approximate)",
+			res.ByteMismatches+res.ApproxByteMismatches, res.ByteMismatches, res.ApproxByteMismatches)
 	}
 }

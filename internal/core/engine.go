@@ -137,6 +137,20 @@ type Options struct {
 	// result is not stored. Benchmarks and tests use it to measure the
 	// per-query pipeline rather than a cache lookup.
 	SkipReportCache bool
+	// ApproxRows, when positive, runs the per-query statistics on a
+	// deterministic stratified sample of at most this many rows and flags
+	// the result with a Report.Approximate provenance block. The sample is
+	// a pure function of (frame fingerprint, selection fingerprint,
+	// ApproxSeed, ApproxRows), so approximate reports are byte-identical
+	// per configuration across worker counts, shard counts, and serving
+	// topologies — and they memoize under their own report-cache key,
+	// separate from the exact report. Callers wanting "a cap, any cap"
+	// resolve Config.EffectiveApproxRows before setting this; the engine
+	// only ever sees concrete values.
+	ApproxRows int
+	// ApproxSeed selects the sampling stream for approximate runs (0 is a
+	// valid seed). Ignored unless ApproxRows > 0.
+	ApproxSeed uint64
 }
 
 // Characterize runs the full pipeline on table f with selection sel (the
@@ -165,6 +179,9 @@ func (e *Engine) CharacterizeOpts(f *frame.Frame, sel *frame.Bitmap, opts Option
 	if nIn < e.cfg.MinRows || nOut < e.cfg.MinRows {
 		return nil, fmt.Errorf("core: selection has %d rows inside and %d outside; need at least %d on each side",
 			nIn, nOut, e.cfg.MinRows)
+	}
+	if opts.ApproxRows < 0 {
+		return nil, fmt.Errorf("core: ApproxRows %d < 0", opts.ApproxRows)
 	}
 	if opts.SkipReportCache {
 		return e.characterize(f, sel, opts, nIn)
@@ -253,7 +270,33 @@ func (e *Engine) characterize(f *frame.Frame, sel *frame.Bitmap, opts Options, n
 	// statistics. The dependency structure stays exact (it is computed
 	// once per table and cached).
 	var consider *frame.Bitmap
-	if e.cfg.SampleRows > 0 && f.NumRows() > e.cfg.SampleRows {
+	switch {
+	case opts.ApproxRows > 0:
+		// Approximate serving. The sampling stream mixes both content
+		// fingerprints with the caller's seed, so distinct (table,
+		// selection) pairs never share a sample, yet the same request is
+		// byte-identical wherever it is computed. The provenance block is
+		// set even when the cap covers every row (the sample is then the
+		// whole table): approximate requested ⇒ Approximate non-nil, which
+		// keeps the flag trustworthy for clients.
+		seed := approxSampleSeed(f.Fingerprint(), sel.Fingerprint(), opts.ApproxSeed, opts.ApproxRows)
+		consider = sample.Stratified(sel, opts.ApproxRows, e.cfg.MinRows, seed)
+		sampled := consider.Count()
+		rep.SampledRows = sampled
+		inside := countInside(sel, consider)
+		inflation := 1.0
+		if sampled > 0 && sampled < f.NumRows() {
+			inflation = math.Sqrt(float64(f.NumRows()) / float64(sampled))
+		}
+		rep.Approximate = &Approximate{
+			SampleRows:  sampled,
+			CapRows:     opts.ApproxRows,
+			Seed:        opts.ApproxSeed,
+			InsideRows:  inside,
+			OutsideRows: sampled - inside,
+			SEInflation: inflation,
+		}
+	case e.cfg.SampleRows > 0 && f.NumRows() > e.cfg.SampleRows:
 		consider = sample.Stratified(sel, e.cfg.SampleRows, e.cfg.MinRows, sampleSeed)
 		rep.SampledRows = consider.Count()
 	}
@@ -312,6 +355,34 @@ func (e *Engine) prepare(f *frame.Frame) (*prepared, bool, error) {
 // sampleSeed fixes the subsampling stream so repeated characterizations of
 // the same query are identical.
 const sampleSeed = 0x5a1ad0c5
+
+// approxSampleSeed derives the stratified-sampling seed of an approximate
+// run from the request's full identity. Each input passes through the
+// splitmix64 finalizer so nearby fingerprints or seeds land on unrelated
+// streams; the result is a pure function of its arguments — the root of
+// the approximate-path determinism guarantee.
+func approxSampleSeed(frameFP, selFP, userSeed uint64, cap int) uint64 {
+	h := uint64(0xa99d0c5a5a1ad0c5)
+	for _, v := range [4]uint64{frameFP, selFP, userSeed, uint64(cap)} {
+		h ^= v
+		h ^= h >> 30
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}
+
+// countInside counts the sampled rows that lie inside the selection
+// (sel ∧ consider), word at a time.
+func countInside(sel, consider *frame.Bitmap) int {
+	n := 0
+	for wi, nw := 0, sel.WordCount(); wi < nw; wi++ {
+		n += bits.OnesCount64(sel.WordAt(wi) & consider.WordAt(wi))
+	}
+	return n
+}
 
 // splitWords walks the selection one 64-bit word at a time and hands the
 // caller two row masks per word: the considered in-rows (sel ∧ consider)

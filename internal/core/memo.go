@@ -74,13 +74,19 @@ func hashConfig(c Config) uint64 {
 // hashOptions folds the per-run options into a key component. The exclusion
 // list is hashed in order because warnings about unknown excluded columns
 // are emitted in list order, and cached reports must be byte-identical to
-// uncached ones.
+// uncached ones. ApproxRows and ApproxSeed are part of the key — an
+// approximate report memoizes separately from the exact one, and from
+// approximate reports under any other (cap, seed) — so a degraded answer
+// can never masquerade as the full-precision one on a repeat, and the
+// follow-up exact request refines through its own (cold) key.
 func hashOptions(o Options) uint64 {
 	h := memo.NewHasher()
 	h.Int(len(o.ExcludeColumns))
 	for _, c := range o.ExcludeColumns {
 		h.String(c)
 	}
+	h.Int(o.ApproxRows)
+	h.Uint64(o.ApproxSeed)
 	return h.Sum()
 }
 

@@ -48,6 +48,36 @@ type Timings struct {
 // Total sums the stages.
 func (t Timings) Total() time.Duration { return t.Preparation + t.Search + t.Post }
 
+// Approximate is the provenance block of a sample-based approximate
+// report (Options.ApproxRows > 0): exactly which deterministic subset the
+// pipeline ran on, and how much statistical resolution that cost. It is a
+// pure function of (frame fingerprint, selection fingerprint, seed, cap),
+// so two approximate reports with the same provenance are byte-identical
+// no matter which shard, worker count, or topology served them.
+type Approximate struct {
+	// SampleRows is the number of rows the pipeline actually consumed
+	// (InsideRows + OutsideRows). It equals min(CapRows, selection size)
+	// up to the per-side MinRows floors.
+	SampleRows int
+	// CapRows is the requested sample cap (Options.ApproxRows).
+	CapRows int
+	// Seed is the caller-chosen sampling seed (Options.ApproxSeed); the
+	// effective stratified-sampling seed also mixes in both content
+	// fingerprints, so distinct (frame, selection) pairs never share a
+	// sample stream.
+	Seed uint64
+	// InsideRows and OutsideRows are the per-stratum sample sizes: how
+	// many selected and non-selected rows survived the proportional cut.
+	InsideRows, OutsideRows int
+	// SEInflation estimates how much wider the standard errors behind the
+	// per-component hypothesis tests are versus the exact report:
+	// sqrt(TotalRows / SampleRows), ≥ 1, 1 when nothing was cut. The
+	// tests themselves already run on the sample (their p-values reflect
+	// the reduced power); this annotation quantifies the resolution loss
+	// for display.
+	SEInflation float64
+}
+
 // Report is the full outcome of Engine.Characterize.
 type Report struct {
 	// Views lists the characteristic views, best first, mutually disjoint
@@ -58,6 +88,11 @@ type Report struct {
 	// SampledRows is the number of rows the per-query statistics actually
 	// consumed when Config.SampleRows capped them; 0 means no sampling.
 	SampledRows int
+	// Approximate is non-nil exactly when the report was computed on a
+	// deterministic sample (Options.ApproxRows > 0) — the flag an
+	// explorer checks before trusting effect magnitudes, and the block
+	// the serving layer sets when it degrades instead of shedding.
+	Approximate *Approximate
 	// Timings carries the stage breakdown.
 	Timings Timings
 	// Warnings lists non-fatal issues (skipped columns, tiny selections).

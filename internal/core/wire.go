@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/effect"
@@ -26,26 +27,55 @@ import (
 //	comps   := count {comp}*
 //	comp    := kind columns raw norm inside outside stat df df2 p detail
 //
+// Version 2 is the partial-report frame for sample-based approximate
+// answers: after the magic "ZGR\x02" comes an approx provenance block, then
+// the version-1 body unchanged:
+//
+//	approx  := sampleRows capRows seed insideRows outsideRows seInflation
+//
+// Exact reports still encode as version 1 — their bytes are identical to
+// every previously recorded golden and baseline — and only reports carrying
+// an Approximate block use version 2, so the frame version doubles as the
+// on-the-wire approximate flag. Decoders built at version 2 read both; a
+// version-1 decoder rejects a version-2 frame loudly (unsupported version),
+// never as a silently misparsed exact report.
+//
 // Decoding is strict: bad magic, an unknown version, truncation, oversized
 // counts and trailing bytes are all errors, never a partially decoded
 // report.
 
-// reportWireVersion is bumped whenever the layout changes; a decoder only
-// accepts payloads whose version it was built for.
-const reportWireVersion = 1
+// reportWireVersion is the newest layout this build writes and reads; it is
+// bumped whenever the layout changes. Version 1 payloads remain readable.
+const reportWireVersion = 2
 
-// reportMagic prefixes every encoded report: three fixed bytes plus the
-// version.
-var reportMagic = [4]byte{'Z', 'G', 'R', reportWireVersion}
+// reportMagic prefixes every exact encoded report: three fixed bytes plus
+// version 1.
+var reportMagic = [4]byte{'Z', 'G', 'R', 1}
+
+// reportMagicApprox prefixes every approximate (partial) report frame.
+var reportMagicApprox = [4]byte{'Z', 'G', 'R', reportWireVersion}
 
 const decodingReport = "core: decoding report"
 
 // EncodeReport serializes a report in the versioned wire format. The
 // encoding is canonical: equal reports encode to equal bytes, so encoded
-// reports can be byte-compared (the determinism suites do).
+// reports can be byte-compared (the determinism suites do). Exact reports
+// encode as version 1; reports with an Approximate block encode as the
+// version-2 partial-report frame.
 func EncodeReport(rep *Report) []byte {
 	var w wire.Buf
-	w.B = append(w.B, reportMagic[:]...)
+	if rep.Approximate == nil {
+		w.B = append(w.B, reportMagic[:]...)
+	} else {
+		w.B = append(w.B, reportMagicApprox[:]...)
+		a := rep.Approximate
+		w.I64(int64(a.SampleRows))
+		w.I64(int64(a.CapRows))
+		w.U64(a.Seed)
+		w.I64(int64(a.InsideRows))
+		w.I64(int64(a.OutsideRows))
+		w.F64(a.SEInflation)
+	}
 	w.I64(int64(rep.SelectedRows))
 	w.I64(int64(rep.TotalRows))
 	w.I64(int64(rep.SampledRows))
@@ -82,18 +112,37 @@ func EncodeReport(rep *Report) []byte {
 	return w.B
 }
 
-// DecodeReport parses a wire-format report. It rejects bad magic, unknown
-// versions, truncated or oversized payloads, and trailing garbage.
+// DecodeReport parses a wire-format report, accepting both the version-1
+// exact layout and the version-2 partial-report frame. It rejects bad
+// magic, unknown versions, truncated or oversized payloads, and trailing
+// garbage.
 func DecodeReport(data []byte) (*Report, error) {
-	if err := wire.CheckMagic(data, reportMagic, decodingReport); err != nil {
-		return nil, err
+	if len(data) < 4 {
+		return nil, fmt.Errorf("%s: %d bytes is shorter than the header", decodingReport, len(data))
+	}
+	if data[0] != 'Z' || data[1] != 'G' || data[2] != 'R' {
+		return nil, fmt.Errorf("%s: bad magic %q", decodingReport, data[:3])
+	}
+	version := data[3]
+	if version != 1 && version != reportWireVersion {
+		return nil, fmt.Errorf("%s: unsupported wire version %d (this build speaks 1 and %d)",
+			decodingReport, version, reportWireVersion)
 	}
 	r := &wire.Reader{What: decodingReport, B: data, Off: len(reportMagic)}
-	rep := &Report{
-		SelectedRows: int(r.I64()),
-		TotalRows:    int(r.I64()),
-		SampledRows:  int(r.I64()),
+	rep := &Report{}
+	if version == reportWireVersion {
+		rep.Approximate = &Approximate{
+			SampleRows:  int(r.I64()),
+			CapRows:     int(r.I64()),
+			Seed:        r.U64(),
+			InsideRows:  int(r.I64()),
+			OutsideRows: int(r.I64()),
+			SEInflation: r.F64(),
+		}
 	}
+	rep.SelectedRows = int(r.I64())
+	rep.TotalRows = int(r.I64())
+	rep.SampledRows = int(r.I64())
 	rep.Timings = Timings{
 		Preparation: time.Duration(r.I64()),
 		Search:      time.Duration(r.I64()),

@@ -16,12 +16,20 @@ func FuzzReportCodec(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(EncodeReport(&Report{}))
 	f.Add(EncodeReport(wireFixture()))
+	f.Add(EncodeReport(approxWireFixture()))
+	f.Add(EncodeReport(&Report{Approximate: &Approximate{SampleRows: 1, SEInflation: 1}}))
 	// Mild corruptions of a valid payload steer the fuzzer toward deep
 	// field boundaries instead of dying on the magic check.
 	full := EncodeReport(wireFixture())
 	f.Add(full[:len(full)-1])
 	truncated := append([]byte(nil), full[:40]...)
 	f.Add(truncated)
+	// Version-2 seeds: a truncation inside the approx block and a header
+	// swapped onto the version-1 body steer the fuzzer at the frame switch.
+	approx := EncodeReport(approxWireFixture())
+	f.Add(approx[:len(approx)-1])
+	f.Add(append([]byte(nil), approx[:20]...))
+	f.Add(append([]byte("ZGR\x02"), full[4:]...))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rep, err := DecodeReport(data)
 		if err != nil {

@@ -81,14 +81,30 @@ func wireFixture() *Report {
 	}
 }
 
+// approxWireFixture is wireFixture with approximate provenance attached —
+// the payload that must travel as a version-2 partial-report frame.
+func approxWireFixture() *Report {
+	rep := wireFixture()
+	rep.Approximate = &Approximate{
+		SampleRows:  100,
+		CapRows:     512,
+		Seed:        0xa5a5_5a5a_0123_4567,
+		InsideRows:  33,
+		OutsideRows: 67,
+		SEInflation: 4.46654,
+	}
+	return rep
+}
+
 // TestReportCodecRoundTrip pins decode(encode(r)) == r at the byte level:
 // re-encoding the decoded report reproduces the original bytes exactly, and
 // the NaN/Inf fields survive (reflect.DeepEqual cannot check NaN equality,
 // so the canonical-bytes property is the contract).
 func TestReportCodecRoundTrip(t *testing.T) {
 	for name, rep := range map[string]*Report{
-		"full":  wireFixture(),
-		"empty": {},
+		"full":   wireFixture(),
+		"empty":  {},
+		"approx": approxWireFixture(),
 	} {
 		enc := EncodeReport(rep)
 		dec, err := DecodeReport(enc)
@@ -137,17 +153,67 @@ func TestReportCodecEngineOutput(t *testing.T) {
 	}
 }
 
-// TestReportCodecRejectsCorruption covers the strict-decode error paths.
+// TestPartialReportFrame pins the version-2 framing contract: exact reports
+// keep their version-1 bytes untouched (goldens and baselines depend on
+// byte identity), approximate reports are framed as version 2 with the
+// provenance block intact, and the version byte is the on-wire flag.
+func TestPartialReportFrame(t *testing.T) {
+	exact := EncodeReport(wireFixture())
+	if !bytes.Equal(exact[:4], []byte("ZGR\x01")) {
+		t.Fatalf("exact report framed as %q, want version 1", exact[:4])
+	}
+
+	approx := EncodeReport(approxWireFixture())
+	if !bytes.Equal(approx[:4], []byte("ZGR\x02")) {
+		t.Fatalf("approximate report framed as %q, want version 2", approx[:4])
+	}
+	// Past the approx block, the body is the version-1 body unchanged.
+	if !bytes.Equal(approx[4+6*8:], exact[4:]) {
+		t.Error("version-2 body diverged from the version-1 layout")
+	}
+
+	dec, err := DecodeReport(approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := approxWireFixture().Approximate
+	if dec.Approximate == nil || *dec.Approximate != *want {
+		t.Errorf("approximate block = %+v, want %+v", dec.Approximate, want)
+	}
+	// A version-1 payload decodes with no approximate block.
+	decExact, err := DecodeReport(exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decExact.Approximate != nil {
+		t.Error("version-1 payload decoded with an approximate block")
+	}
+}
+
+// TestReportCodecRejectsCorruption covers the strict-decode error paths for
+// both frame versions.
 func TestReportCodecRejectsCorruption(t *testing.T) {
 	enc := EncodeReport(wireFixture())
+	encApprox := EncodeReport(approxWireFixture())
 	cases := map[string][]byte{
 		"empty":           {},
 		"short header":    enc[:3],
 		"bad magic":       append([]byte("XXX\x01"), enc[4:]...),
 		"future version":  append([]byte("ZGR\x63"), enc[4:]...),
+		"version 3":       append([]byte("ZGR\x03"), encApprox[4:]...),
 		"truncated":       enc[:len(enc)/2],
 		"trailing bytes":  append(append([]byte(nil), enc...), 0),
 		"oversized count": append(append([]byte(nil), enc[:4]...), bytes.Repeat([]byte{0xff}, 64)...),
+		// Version-2 frames get the same strictness: a truncation inside the
+		// approx block, mid-body truncation, and trailing garbage all fail.
+		"v2 short approx block": encApprox[:4+3*8],
+		"v2 truncated":          encApprox[:len(encApprox)/2],
+		"v2 trailing bytes":     append(append([]byte(nil), encApprox...), 0),
+		// Cross-version confusion is a decode error, not a misparse: a
+		// version-1 body under a version-2 header reads 48 bytes of approx
+		// block that are not there, and vice versa leaves 48 bytes trailing.
+		"v1 body under v2 header": append([]byte("ZGR\x02"), enc[4:]...),
+		"v2 body under v1 header": append([]byte("ZGR\x01"), encApprox[4:]...),
 	}
 	for name, data := range cases {
 		if _, err := DecodeReport(data); err == nil {
@@ -155,10 +221,12 @@ func TestReportCodecRejectsCorruption(t *testing.T) {
 		}
 	}
 	// A corrupted bool byte (anything but 0/1) is rejected, not coerced.
-	bad := append([]byte(nil), enc...)
-	bad[len(bad)-1] = 7
-	if _, err := DecodeReport(bad); err == nil {
-		t.Error("invalid bool byte accepted")
+	for name, enc := range map[string][]byte{"v1": enc, "v2": encApprox} {
+		bad := append([]byte(nil), enc...)
+		bad[len(bad)-1] = 7
+		if _, err := DecodeReport(bad); err == nil {
+			t.Errorf("%s: invalid bool byte accepted", name)
+		}
 	}
 }
 

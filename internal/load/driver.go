@@ -69,14 +69,22 @@ type Result struct {
 	FirstError string
 	// CacheHits counts served requests answered by the report memo.
 	CacheHits int64
+	// ApproxServed counts requests answered with a sample-based approximate
+	// report — explicitly requested or pressure-degraded by the server.
+	ApproxServed int64
 	// ByteMismatches counts repeat servings whose normalized bytes
-	// differed from the first serving — must be zero.
-	ByteMismatches int64
-	Mismatches     []Mismatch
+	// differed from the first serving — must be zero. Approximate servings
+	// are bucketed separately per configuration (see Outcome.ApproxKey) and
+	// violations land in ApproxByteMismatches, equally required zero.
+	ByteMismatches       int64
+	ApproxByteMismatches int64
+	Mismatches           []Mismatch
 	// Latency aggregates per-request service latency (the successful
 	// attempt only; backoff sleeps are excluded — they are measured by
-	// RetryAfter* instead).
-	Latency Histogram
+	// RetryAfter* instead). ApproxLatency covers the approximate-served
+	// subset, so the degraded path's latency is gated on its own.
+	Latency       Histogram
+	ApproxLatency Histogram
 	// RetryAfterMin/Max bound the Retry-After hints observed on shed
 	// responses; zero when nothing was shed.
 	RetryAfterMin, RetryAfterMax time.Duration
@@ -88,8 +96,10 @@ type Result struct {
 // Result after the goroutine exits.
 type sessionState struct {
 	attempts, sheds, retried, failed, cacheHits int64
+	approxServed                                int64
 	firstErr                                    error
 	latency                                     Histogram
+	approxLatency                               Histogram
 	raMin, raMax                                time.Duration
 }
 
@@ -127,13 +137,24 @@ func Run(sched *Schedule, target Target, cfg DriverConfig) (*Result, error) {
 				if out.ReportCacheHit {
 					st.cacheHits++
 				}
-				key := requestKey(req)
+				if out.ApproxKey != "" {
+					st.approxServed++
+				}
+				// Byte identity is bucketed per (request, approximate
+				// configuration): an exact serving and a sampled one may
+				// differ, but every repeat under the same serving
+				// configuration must reproduce the first bytes.
+				key := requestKey(req) + "|served=" + out.ApproxKey
 				mu.Lock()
 				prev, ok := firstBytes[key]
 				if !ok {
 					firstBytes[key] = out.Bytes
 				} else if !bytes.Equal(prev, out.Bytes) {
-					res.ByteMismatches++
+					if out.ApproxKey != "" {
+						res.ApproxByteMismatches++
+					} else {
+						res.ByteMismatches++
+					}
 					if len(res.Mismatches) < 8 {
 						res.Mismatches = append(res.Mismatches, Mismatch{Key: key, Session: si})
 					}
@@ -152,7 +173,9 @@ func Run(sched *Schedule, target Target, cfg DriverConfig) (*Result, error) {
 		res.Retried += st.retried
 		res.Failed += st.failed
 		res.CacheHits += st.cacheHits
+		res.ApproxServed += st.approxServed
 		res.Latency.Merge(&st.latency)
+		res.ApproxLatency.Merge(&st.approxLatency)
 		if st.raMax > 0 && (res.RetryAfterMax == 0 || st.raMax > res.RetryAfterMax) {
 			res.RetryAfterMax = st.raMax
 		}
@@ -176,7 +199,11 @@ func runOne(target Target, req *Request, cfg DriverConfig, st *sessionState) (*O
 		begin := time.Now()
 		out, err := target.Do(req)
 		if err == nil {
-			st.latency.Observe(time.Since(begin))
+			elapsed := time.Since(begin)
+			st.latency.Observe(elapsed)
+			if out.ApproxKey != "" {
+				st.approxLatency.Observe(elapsed)
+			}
 			return out, shedOnce
 		}
 		var shed *ShedError
@@ -230,4 +257,13 @@ func (r *Result) CacheHitRate() float64 {
 		return 0
 	}
 	return float64(r.CacheHits) / float64(served)
+}
+
+// ApproxRate returns ApproxServed over served requests.
+func (r *Result) ApproxRate() float64 {
+	served := r.Requests - r.Failed
+	if served <= 0 {
+		return 0
+	}
+	return float64(r.ApproxServed) / float64(served)
 }

@@ -201,3 +201,64 @@ phase rush kind=burst requests=5 think=none skipcache=1
 		t.Error("router counters show no rejections despite client-side sheds")
 	}
 }
+
+// TestDriverSaturationDegradesNotSheds replays the identical burst with
+// ApproxUnderPressure on: the same traffic that shed above must now shed
+// nothing — every request that would have been rejected is served a
+// flagged approximate answer instead — with byte identity intact in both
+// buckets and the server's rejection counters at zero.
+func TestDriverSaturationDegradesNotSheds(t *testing.T) {
+	spec, err := Parse(`zigload v1
+name burst
+sessions 8
+table uscrime seed=3
+phase rush kind=burst requests=5 think=none skipcache=1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := BuildSchedule(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Shards = 1
+	cfg.ApproxUnderPressure = true
+	target, err := NewRouterTarget(cfg, sched, shard.Params{Concurrency: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+	res, err := Run(sched, target, DriverConfig{MaxRetries: 100, RetryCap: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sheds != 0 || res.Retried != 0 {
+		t.Fatalf("degrade mode still shed: sheds=%d retried=%d", res.Sheds, res.Retried)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("failed = %d (%s)", res.Failed, res.FirstError)
+	}
+	// The burst overwhelms a 1-deep queue, so some requests must have been
+	// degraded to flagged approximate answers.
+	if res.ApproxServed == 0 {
+		t.Fatal("burst against a 1-deep queue degraded nothing")
+	}
+	if res.ByteMismatches != 0 || res.ApproxByteMismatches != 0 {
+		t.Fatalf("byte mismatches under degrade: %d exact, %d approximate",
+			res.ByteMismatches, res.ApproxByteMismatches)
+	}
+	var rejected, approxServed int64
+	for _, stats := range target.Stats() {
+		for _, sh := range stats.Shards {
+			rejected += sh.Rejected
+			approxServed += sh.ApproxServed
+		}
+	}
+	if rejected != 0 {
+		t.Errorf("server rejected %d requests despite degrade mode", rejected)
+	}
+	if approxServed < res.ApproxServed {
+		t.Errorf("server counted %d approximate servings, client saw %d", approxServed, res.ApproxServed)
+	}
+}

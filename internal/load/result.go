@@ -40,13 +40,23 @@ type ServingRecord struct {
 	Retried        int64 `json:"retried"`
 	Failed         int64 `json:"failed"`
 	ByteMismatches int64 `json:"byteMismatches"`
-	ModesCollapsed int64 `json:"modesCollapsed,omitempty"`
+	// ApproxServed counts requests answered with a flagged sample-based
+	// approximate report; ApproxByteMismatches counts repeat approximate
+	// servings (same request, same approximate configuration) whose bytes
+	// differed — a determinism violation the gate hard-fails on.
+	ApproxServed         int64 `json:"approxServed"`
+	ApproxByteMismatches int64 `json:"approxByteMismatches"`
+	ModesCollapsed       int64 `json:"modesCollapsed,omitempty"`
 
 	CacheHitRate float64 `json:"cacheHitRate"`
 	ShedRate     float64 `json:"shedRate"`
+	ApproxRate   float64 `json:"approxRate"`
 
-	LatencyMs    LatencyMs    `json:"latencyMs"`
-	RetryAfterMs RetryAfterMs `json:"retryAfterMs"`
+	LatencyMs LatencyMs `json:"latencyMs"`
+	// ApproxLatencyMs covers the approximate-served subset; zero when no
+	// request was served approximately.
+	ApproxLatencyMs LatencyMs    `json:"approxLatencyMs"`
+	RetryAfterMs    RetryAfterMs `json:"retryAfterMs"`
 
 	WallMs float64 `json:"wallMs"`
 	// FirstError carries the first hard error for diagnosis; empty on a
@@ -61,26 +71,36 @@ func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 // for in-process targets).
 func NewServingRecord(sched *Schedule, res *Result, modesCollapsed int64) *ServingRecord {
 	return &ServingRecord{
-		Spec:           sched.Spec.Name,
-		Seed:           sched.Seed,
-		Target:         res.Target,
-		ScheduleHash:   sched.Hash(),
-		Sessions:       len(sched.Sessions),
-		Requests:       res.Requests,
-		Attempts:       res.Attempts,
-		Sheds:          res.Sheds,
-		Retried:        res.Retried,
-		Failed:         res.Failed,
-		ByteMismatches: res.ByteMismatches,
-		ModesCollapsed: modesCollapsed,
-		CacheHitRate:   res.CacheHitRate(),
-		ShedRate:       res.ShedRate(),
+		Spec:                 sched.Spec.Name,
+		Seed:                 sched.Seed,
+		Target:               res.Target,
+		ScheduleHash:         sched.Hash(),
+		Sessions:             len(sched.Sessions),
+		Requests:             res.Requests,
+		Attempts:             res.Attempts,
+		Sheds:                res.Sheds,
+		Retried:              res.Retried,
+		Failed:               res.Failed,
+		ByteMismatches:       res.ByteMismatches,
+		ApproxServed:         res.ApproxServed,
+		ApproxByteMismatches: res.ApproxByteMismatches,
+		ModesCollapsed:       modesCollapsed,
+		CacheHitRate:         res.CacheHitRate(),
+		ShedRate:             res.ShedRate(),
+		ApproxRate:           res.ApproxRate(),
 		LatencyMs: LatencyMs{
 			P50: ms(res.Latency.Quantile(0.50)),
 			P90: ms(res.Latency.Quantile(0.90)),
 			P95: ms(res.Latency.Quantile(0.95)),
 			P99: ms(res.Latency.Quantile(0.99)),
 			Max: ms(res.Latency.Max()),
+		},
+		ApproxLatencyMs: LatencyMs{
+			P50: ms(res.ApproxLatency.Quantile(0.50)),
+			P90: ms(res.ApproxLatency.Quantile(0.90)),
+			P95: ms(res.ApproxLatency.Quantile(0.95)),
+			P99: ms(res.ApproxLatency.Quantile(0.99)),
+			Max: ms(res.ApproxLatency.Max()),
 		},
 		RetryAfterMs: RetryAfterMs{Min: ms(res.RetryAfterMin), Max: ms(res.RetryAfterMax)},
 		WallMs:       ms(res.Wall),

@@ -42,6 +42,8 @@ type Request struct {
 	Exclude bool
 	// SkipCache bypasses the report-level memo, forcing the pipeline.
 	SkipCache bool
+	// Approx asks for a sample-based approximate answer.
+	Approx bool
 	// Think is the pause before issuing this request.
 	Think time.Duration
 }
@@ -87,6 +89,7 @@ func mixSeed(parts ...uint64) uint64 {
 const (
 	streamPool    = 0x706f6f6c // "pool"
 	streamSession = 0x73657373 // "sess"
+	streamApprox  = 0x61707278 // "aprx"
 )
 
 // BuildSchedule materializes the spec's tables and expands every session's
@@ -127,6 +130,10 @@ func BuildSchedule(spec *Spec, seed uint64) (*Schedule, error) {
 	s.Sessions = make([][]Request, spec.Sessions)
 	for si := range s.Sessions {
 		r := randx.New(mixSeed(seed, streamSession, uint64(si)))
+		// Approx draws come from a forked stream so turning approximation on
+		// (or off) in a phase never perturbs which queries, modes and think
+		// times the rest of the schedule draws.
+		ra := randx.New(mixSeed(seed, streamApprox, uint64(si)))
 		var reqs []Request
 		for pi, p := range spec.Phases {
 			for k := 0; k < p.Requests; k++ {
@@ -149,6 +156,7 @@ func BuildSchedule(spec *Spec, seed uint64) (*Schedule, error) {
 					PredCols:  []string{sqlColumn(sql)},
 					Exclude:   r.Bernoulli(p.Exclude),
 					SkipCache: r.Bernoulli(p.SkipCache),
+					Approx:    ra.Bernoulli(p.Approx),
 					Mode:      drawMode(r, p.Modes),
 					Think:     drawThink(r, p),
 				}
@@ -277,8 +285,8 @@ func (s *Schedule) Render() string {
 		s.Spec.Name, s.Seed, len(s.Sessions), s.TotalRequests())
 	for si, reqs := range s.Sessions {
 		for i, r := range reqs {
-			fmt.Fprintf(&b, "s%d/%d %s %s mode=%s ex=%t skip=%t think=%s %s\n",
-				si, i, r.Phase, r.Table, r.Mode, r.Exclude, r.SkipCache, r.Think, r.SQL)
+			fmt.Fprintf(&b, "s%d/%d %s %s mode=%s ex=%t skip=%t approx=%t think=%s %s\n",
+				si, i, r.Phase, r.Table, r.Mode, r.Exclude, r.SkipCache, r.Approx, r.Think, r.SQL)
 		}
 	}
 	return b.String()

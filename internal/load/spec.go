@@ -220,6 +220,11 @@ type Phase struct {
 	// (Options.SkipReportCache), forcing the full pipeline even on a
 	// repeated query.
 	SkipCache float64
+	// Approx is the probability a request asks for a sample-based
+	// approximate answer (the characterize "approximate" field) — the
+	// explorer population that prefers a fast flagged sketch over the
+	// full-precision report.
+	Approx float64
 	// Modes is the engine-mode mix, canonically ordered; empty means all
 	// requests run in default mode.
 	Modes []ModeWeight
@@ -276,8 +281,8 @@ func (s *Spec) String() string {
 		b.WriteByte('\n')
 	}
 	for _, p := range s.Phases {
-		fmt.Fprintf(&b, "phase %s kind=%s requests=%d think=%s pool=%d exclude=%s skipcache=%s",
-			p.Name, p.Kind, p.Requests, p.Think, p.Pool, fmtFloat(p.Exclude), fmtFloat(p.SkipCache))
+		fmt.Fprintf(&b, "phase %s kind=%s requests=%d think=%s pool=%d exclude=%s skipcache=%s approx=%s",
+			p.Name, p.Kind, p.Requests, p.Think, p.Pool, fmtFloat(p.Exclude), fmtFloat(p.SkipCache), fmtFloat(p.Approx))
 		if len(p.Modes) > 0 {
 			parts := make([]string, len(p.Modes))
 			for i, mw := range p.Modes {
@@ -463,6 +468,10 @@ func parsePhase(fields []string) (Phase, error) {
 			if p.SkipCache, err = parseProb(key, val); err != nil {
 				return Phase{}, err
 			}
+		case "approx":
+			if p.Approx, err = parseProb(key, val); err != nil {
+				return Phase{}, err
+			}
 		case "modes":
 			mws, err := parseModes(val)
 			if err != nil {
@@ -582,7 +591,8 @@ func (s *Spec) Validate() error {
 		if p.Pool < 1 || p.Pool > 1024 {
 			return fmt.Errorf("load: phase %q pool %d outside [1, 1024]", p.Name, p.Pool)
 		}
-		if p.Exclude < 0 || p.Exclude > 1 || p.SkipCache < 0 || p.SkipCache > 1 {
+		if p.Exclude < 0 || p.Exclude > 1 || p.SkipCache < 0 || p.SkipCache > 1 ||
+			p.Approx < 0 || p.Approx > 1 {
 			return fmt.Errorf("load: phase %q probabilities outside [0, 1]", p.Name)
 		}
 		total := 0.0

@@ -37,6 +37,21 @@ type Outcome struct {
 	Bytes []byte
 	// ReportCacheHit reports the request was served from the report memo.
 	ReportCacheHit bool
+	// ApproxKey identifies the approximate configuration that served the
+	// request — "cap=<rows>,seed=<seed>" from the report's provenance
+	// block, empty for a full-precision answer. The driver buckets byte
+	// identity per (request, ApproxKey): an exact answer and a sampled one
+	// legitimately differ, but two servings under the same approximate
+	// configuration must still be byte-identical.
+	ApproxKey string
+}
+
+// approxKey renders the identity of an approximate report's configuration.
+func approxKey(a *core.Approximate) string {
+	if a == nil {
+		return ""
+	}
+	return fmt.Sprintf("cap=%d,seed=%d", a.CapRows, a.Seed)
 }
 
 // Target abstracts what the driver replays against.
@@ -55,13 +70,20 @@ type Target interface {
 type RouterTarget struct {
 	catalog *db.Catalog
 	routers map[Mode]*shard.Router
+	// approxCap is the sample cap approximate requests resolve to — the
+	// same edge resolution ziggyd applies server-side.
+	approxCap int
 }
 
 // NewRouterTarget registers the schedule's tables and builds the routers.
 // cfg.Shards picks the shard count; params tunes the admission queues
 // (zero = package defaults).
 func NewRouterTarget(cfg core.Config, sched *Schedule, params shard.Params) (*RouterTarget, error) {
-	t := &RouterTarget{catalog: db.NewCatalog(), routers: map[Mode]*shard.Router{}}
+	t := &RouterTarget{
+		catalog:   db.NewCatalog(),
+		routers:   map[Mode]*shard.Router{},
+		approxCap: cfg.EffectiveApproxRows(),
+	}
 	for _, tbl := range sched.Tables {
 		if err := t.catalog.Register(tbl.Frame); err != nil {
 			return nil, err
@@ -102,6 +124,9 @@ func (t *RouterTarget) Do(req *Request) (*Outcome, error) {
 	if req.Exclude {
 		opts.ExcludeColumns = req.PredCols
 	}
+	if req.Approx {
+		opts.ApproxRows = t.approxCap
+	}
 	rep, err := router.CharacterizeOpts(res.Base, res.Mask, opts)
 	if err != nil {
 		var sat *shard.SaturatedError
@@ -110,7 +135,11 @@ func (t *RouterTarget) Do(req *Request) (*Outcome, error) {
 		}
 		return nil, err
 	}
-	return &Outcome{Bytes: normalizeReport(rep), ReportCacheHit: rep.ReportCacheHit}, nil
+	return &Outcome{
+		Bytes:          normalizeReport(rep),
+		ReportCacheHit: rep.ReportCacheHit,
+		ApproxKey:      approxKey(rep.Approximate),
+	}, nil
 }
 
 // Stats folds every mode router's shard snapshots — the server-side
@@ -182,6 +211,7 @@ type characterizeBody struct {
 	SQL              string `json:"sql"`
 	ExcludePredicate bool   `json:"excludePredicate"`
 	SkipReportCache  bool   `json:"skipReportCache"`
+	Approximate      bool   `json:"approximate"`
 }
 
 // volatileResponseFields differ between servings of one request and are
@@ -200,6 +230,7 @@ func (t *HTTPTarget) Do(req *Request) (*Outcome, error) {
 		SQL:              req.SQL,
 		ExcludePredicate: req.Exclude,
 		SkipReportCache:  req.SkipCache,
+		Approximate:      req.Approx,
 	})
 	if err != nil {
 		return nil, err
@@ -228,12 +259,21 @@ func (t *HTTPTarget) Do(req *Request) (*Outcome, error) {
 	for _, f := range volatileResponseFields {
 		delete(decoded, f)
 	}
+	// The approximate provenance block is NOT volatile: it identifies the
+	// sampled configuration that answered, and byte identity is asserted
+	// per (request, approximate configuration).
+	key := ""
+	if a, ok := decoded["approximate"].(map[string]any); ok {
+		cap, _ := a["capRows"].(float64)
+		seed, _ := a["seed"].(float64)
+		key = fmt.Sprintf("cap=%d,seed=%d", int64(cap), uint64(seed))
+	}
 	// json.Marshal sorts map keys, so the re-encoding is canonical.
 	canon, err := json.Marshal(decoded)
 	if err != nil {
 		return nil, err
 	}
-	return &Outcome{Bytes: canon, ReportCacheHit: hit}, nil
+	return &Outcome{Bytes: canon, ReportCacheHit: hit, ApproxKey: key}, nil
 }
 
 // retryAfterFrom reads the backoff hint ziggyd attaches to 503 responses:

@@ -259,6 +259,7 @@ func (c *Client) Snapshot() shard.ShardSnapshot {
 	for _, sh := range stats.Stats.Shards {
 		snap.Requests += sh.Requests
 		snap.Rejected += sh.Rejected
+		snap.ApproxServed += sh.ApproxServed
 		snap.Inflight += sh.Inflight
 		snap.Queued += sh.Queued
 		snap.Completed += sh.Completed

@@ -34,8 +34,10 @@ import (
 )
 
 // codecVersion is bumped whenever the frame or request layout changes; a
-// decoder only accepts payloads of its own version.
-const codecVersion = 1
+// decoder only accepts payloads of its own version. Version 2 added the
+// approximate-characterization options (ApproxRows, ApproxSeed) to the
+// request layout; a version-1 peer rejects it loudly rather than misparsing.
+const codecVersion = 2
 
 var (
 	frameMagic   = [4]byte{'Z', 'G', 'F', codecVersion}
@@ -166,6 +168,8 @@ func EncodeRequest(req Request) []byte {
 	w.U64(req.Fingerprint)
 	w.Strs(req.Opts.ExcludeColumns)
 	w.Bool(req.Opts.SkipReportCache)
+	w.I64(int64(req.Opts.ApproxRows))
+	w.U64(req.Opts.ApproxSeed)
 	words := req.Sel.Words()
 	w.U64(uint64(req.Sel.Len()))
 	w.U64(uint64(len(words)))
@@ -185,6 +189,8 @@ func DecodeRequest(data []byte) (Request, error) {
 	req := Request{Fingerprint: r.U64()}
 	req.Opts.ExcludeColumns = r.Strs()
 	req.Opts.SkipReportCache = r.Bool()
+	req.Opts.ApproxRows = int(r.I64())
+	req.Opts.ApproxSeed = r.U64()
 	// The row count is not a payload length (rows pack 64 per word); it is
 	// validated against the word count by BitmapFromWords below, and the
 	// word count itself is bounded by the remaining bytes.

@@ -61,8 +61,9 @@ func TestFrameCodecRejectsCorruption(t *testing.T) {
 	enc := EncodeFrame(codecFrame(t))
 	cases := map[string][]byte{
 		"empty":          {},
-		"bad magic":      append([]byte("XXX\x01"), enc[4:]...),
-		"future version": append([]byte("ZGF\x02"), enc[4:]...),
+		"bad magic":      append([]byte("XXX\x02"), enc[4:]...),
+		"past version":   append([]byte("ZGF\x01"), enc[4:]...),
+		"future version": append([]byte("ZGF\x03"), enc[4:]...),
 		"truncated":      enc[:len(enc)-3],
 		"trailing":       append(append([]byte(nil), enc...), 1),
 	}
@@ -89,7 +90,12 @@ func TestRequestCodecRoundTrip(t *testing.T) {
 	req := Request{
 		Fingerprint: 0xdeadbeefcafe,
 		Sel:         sel,
-		Opts:        core.Options{ExcludeColumns: []string{"a", ""}, SkipReportCache: true},
+		Opts: core.Options{
+			ExcludeColumns:  []string{"a", ""},
+			SkipReportCache: true,
+			ApproxRows:      512,
+			ApproxSeed:      0xfeedface,
+		},
 	}
 	dec, err := DecodeRequest(EncodeRequest(req))
 	if err != nil {
@@ -101,13 +107,17 @@ func TestRequestCodecRoundTrip(t *testing.T) {
 	if len(dec.Opts.ExcludeColumns) != 2 || dec.Opts.ExcludeColumns[0] != "a" || !dec.Opts.SkipReportCache {
 		t.Errorf("options did not survive: %+v", dec.Opts)
 	}
+	if dec.Opts.ApproxRows != 512 || dec.Opts.ApproxSeed != 0xfeedface {
+		t.Errorf("approximate options did not survive: %+v", dec.Opts)
+	}
 
 	enc := EncodeRequest(req)
 	for name, data := range map[string][]byte{
-		"empty":     {},
-		"bad magic": append([]byte("ZGF\x01"), enc[4:]...),
-		"truncated": enc[:len(enc)-1],
-		"trailing":  append(append([]byte(nil), enc...), 0),
+		"empty":        {},
+		"bad magic":    append([]byte("ZGF\x02"), enc[4:]...),
+		"past version": append([]byte("ZGQ\x01"), enc[4:]...),
+		"truncated":    enc[:len(enc)-1],
+		"trailing":     append(append([]byte(nil), enc...), 0),
 	} {
 		if _, err := DecodeRequest(data); err == nil {
 			t.Errorf("%s: accepted", name)

@@ -170,6 +170,105 @@ func TestRemoteDeterminism(t *testing.T) {
 	}
 }
 
+// TestRemoteApproximateDeterminism extends the determinism pin to the
+// approximate path: for a matrix of (sample cap, seed) configurations, the
+// version-2 partial-report frame produced in process, over HTTP to a remote
+// worker, and over a mixed local/remote topology is byte-identical per
+// configuration across shard counts 1, 2 and 4 — and distinct
+// configurations produce distinct reports, so a cache can never conflate
+// them.
+func TestRemoteApproximateDeterminism(t *testing.T) {
+	f, sel := testTable(t, 1)
+	configs := []core.Options{
+		{ApproxRows: 36, ApproxSeed: 1},
+		{ApproxRows: 36, ApproxSeed: 7},
+		{ApproxRows: 48, ApproxSeed: 1},
+	}
+
+	// References: in-process single-shard, one per configuration.
+	refRouter, err := shard.New(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference := make([][]byte, len(configs))
+	for ci, opts := range configs {
+		rep, err := refRouter.CharacterizeOpts(f, sel, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Approximate == nil {
+			t.Fatalf("config %d: report carries no approximate block", ci)
+		}
+		if got := rep.Approximate; got.CapRows != opts.ApproxRows || got.Seed != opts.ApproxSeed {
+			t.Fatalf("config %d: provenance %+v does not echo the request", ci, got)
+		}
+		reference[ci] = canonical(rep)
+	}
+	for ci := range configs {
+		for cj := ci + 1; cj < len(configs); cj++ {
+			if bytes.Equal(reference[ci], reference[cj]) {
+				t.Errorf("configs %d and %d produced identical reports", ci, cj)
+			}
+		}
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		topologies := map[string]*shard.Router{}
+
+		local, err := shard.New(testConfig(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		topologies["local"] = local
+
+		_, ts := newWorker(t, shards)
+		remoteRouter, err := shard.NewWithBackends(testConfig(shards), nil,
+			[]shard.Backend{NewClient(ts.URL)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		topologies["remote"] = remoteRouter
+
+		eng, err := shard.NewEngineBackend(testConfig(1), nil, shard.Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, ts2 := newWorker(t, shards)
+		mixed, err := shard.NewWithBackends(testConfig(shards), nil,
+			[]shard.Backend{eng, NewClient(ts2.URL)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		topologies["mixed"] = mixed
+
+		for name, router := range topologies {
+			for ci, opts := range configs {
+				rep, err := router.CharacterizeOpts(f, sel, opts)
+				if err != nil {
+					t.Fatalf("shards=%d %s config %d: %v", shards, name, ci, err)
+				}
+				if !bytes.Equal(canonical(rep), reference[ci]) {
+					t.Errorf("shards=%d %s: config %d approximate report diverged from the in-process reference",
+						shards, name, ci)
+				}
+				// Approximate reports memoize per configuration: the repeat
+				// is a report-cache hit with the same bytes.
+				again, err := router.CharacterizeOpts(f, sel, opts)
+				if err != nil {
+					t.Fatalf("shards=%d %s config %d repeat: %v", shards, name, ci, err)
+				}
+				if !again.ReportCacheHit {
+					t.Errorf("shards=%d %s: config %d repeat missed every report cache", shards, name, ci)
+				}
+				if !bytes.Equal(canonical(again), reference[ci]) {
+					t.Errorf("shards=%d %s: cached config %d report diverged", shards, name, ci)
+				}
+			}
+			router.Close()
+		}
+	}
+}
+
 // twoWorkerFront builds a front over two worker processes and returns
 // tables owned by worker 0 and worker 1 respectively.
 func twoWorkerFront(t *testing.T) (*shard.Router, []*Client, []*Worker, [2]struct {

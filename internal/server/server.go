@@ -144,6 +144,17 @@ type characterizeRequest struct {
 	// forcing the full pipeline — the cache-hostile switch load harnesses
 	// (cmd/zigload) use to measure uncached serving latency.
 	SkipReportCache bool `json:"skipReportCache"`
+	// Approximate requests a sample-based answer: the pipeline runs on a
+	// deterministic stratified sample capped at the server's configured
+	// approximate row budget, and the response carries an "approximate"
+	// provenance block.
+	Approximate bool `json:"approximate"`
+	// ApproxRows overrides the sample cap for this request (implies
+	// Approximate); zero defers to the server configuration.
+	ApproxRows int `json:"approxRows"`
+	// ApproxSeed selects the sampling stream; zero is a valid seed. Ignored
+	// unless the request is approximate.
+	ApproxSeed uint64 `json:"approxSeed"`
 }
 
 // viewJSON is the wire form of a characteristic view.
@@ -185,6 +196,21 @@ type characterizeResponse struct {
 	ReportCacheHit bool       `json:"reportCacheHit"`
 	Warnings       []string   `json:"warnings,omitempty"`
 	Views          []viewJSON `json:"views"`
+	// Approximate is the provenance block of a sample-based answer — present
+	// exactly when the report ran on a deterministic sample, whether the
+	// client asked for it or a saturated shard degraded to it instead of
+	// shedding. Absent on full-precision responses.
+	Approximate *approximateJSON `json:"approximate,omitempty"`
+}
+
+// approximateJSON is the wire form of core.Approximate.
+type approximateJSON struct {
+	SampleRows  int     `json:"sampleRows"`
+	CapRows     int     `json:"capRows"`
+	Seed        uint64  `json:"seed"`
+	InsideRows  int     `json:"insideRows"`
+	OutsideRows int     `json:"outsideRows"`
+	SEInflation float64 `json:"seInflation"`
 }
 
 func optFloat(v float64) *float64 {
@@ -217,6 +243,13 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	if req.ExcludePredicate {
 		opts.ExcludeColumns = append(opts.ExcludeColumns, predicateColumns(res.Stmt)...)
 	}
+	if req.Approximate || req.ApproxRows > 0 {
+		opts.ApproxRows = req.ApproxRows
+		if opts.ApproxRows == 0 {
+			opts.ApproxRows = s.router.Config().EffectiveApproxRows()
+		}
+		opts.ApproxSeed = req.ApproxSeed
+	}
 	rep, err := s.router.CharacterizeOpts(res.Base, res.Mask, opts)
 	if err != nil {
 		status := http.StatusUnprocessableEntity
@@ -243,6 +276,16 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		CacheHit:       rep.CacheHit,
 		ReportCacheHit: rep.ReportCacheHit,
 		Warnings:       rep.Warnings,
+	}
+	if a := rep.Approximate; a != nil {
+		resp.Approximate = &approximateJSON{
+			SampleRows:  a.SampleRows,
+			CapRows:     a.CapRows,
+			Seed:        a.Seed,
+			InsideRows:  a.InsideRows,
+			OutsideRows: a.OutsideRows,
+			SEInflation: a.SEInflation,
+		}
 	}
 	for _, v := range rep.Views {
 		vj := viewJSON{
@@ -339,8 +382,11 @@ type shardJSON struct {
 	Healthy  bool   `json:"healthy"`
 	Requests int64  `json:"requests"`
 	Rejected int64  `json:"rejected"`
-	Inflight int64  `json:"inflight"`
-	Queued   int64  `json:"queued"`
+	// ApproxServed counts served approximate reports — pressure-degraded
+	// and explicitly requested alike.
+	ApproxServed int64 `json:"approxServed"`
+	Inflight     int64 `json:"inflight"`
+	Queued       int64 `json:"queued"`
 	// RetryAfterMillis is the shard's current backoff hint; shed requests
 	// carry the same figure in their Retry-After header.
 	RetryAfterMillis int64 `json:"retryAfterMillis"`
@@ -400,6 +446,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Healthy:           sh.Healthy,
 			Requests:          sh.Requests,
 			Rejected:          sh.Rejected,
+			ApproxServed:      sh.ApproxServed,
 			Inflight:          sh.Inflight,
 			Queued:            sh.Queued,
 			RetryAfterMillis:  sh.RetryAfterMillis,

@@ -102,8 +102,22 @@ type EngineBackend struct {
 	admit chan struct{}
 	run   chan struct{}
 
+	// Degrade-not-shed (Config.ApproxUnderPressure): a request the
+	// admission queue would shed is instead answered approximately on a
+	// deterministic sample of ≤ approxCap rows. approxRun is a separate
+	// blocking lane (capacity concurrency) — approximate runs are
+	// capped-cheap, so briefly waiting in line beats handing the explorer
+	// a 503, and the exact queue's occupancy still drives Retry-After for
+	// clients that opt out of degradation.
+	approxUnderPressure bool
+	approxCap           int
+	approxRun           chan struct{}
+
 	requests atomic.Int64
 	rejected atomic.Int64
+	// approxServed counts successfully served approximate reports —
+	// pressure-degraded and explicitly requested alike.
+	approxServed atomic.Int64
 	// completed and serviceNanos track executed (non-cached)
 	// characterizations and their cumulative wall time; their ratio is the
 	// observed service time feeding the Retry-After hint.
@@ -130,10 +144,13 @@ func NewEngineBackend(cfg core.Config, reports *core.ReportCache, p Params) (*En
 		return nil, err
 	}
 	return &EngineBackend{
-		engine:      e,
-		concurrency: p.Concurrency,
-		admit:       make(chan struct{}, p.Concurrency+p.QueueDepth),
-		run:         make(chan struct{}, p.Concurrency),
+		engine:              e,
+		concurrency:         p.Concurrency,
+		admit:               make(chan struct{}, p.Concurrency+p.QueueDepth),
+		run:                 make(chan struct{}, p.Concurrency),
+		approxUnderPressure: cfg.ApproxUnderPressure,
+		approxCap:           cfg.EffectiveApproxRows(),
+		approxRun:           make(chan struct{}, p.Concurrency),
 	}, nil
 }
 
@@ -145,12 +162,17 @@ func (b *EngineBackend) Engine() *core.Engine { return b.engine }
 func (b *EngineBackend) RegisterTable(*frame.Frame) error { return nil }
 
 // Characterize admits the request through the shard's queue and runs the
-// engine. It is shed with a *SaturatedError when the backend already has
-// Concurrency running plus QueueDepth waiting requests.
+// engine. When the backend already has Concurrency running plus QueueDepth
+// waiting requests it sheds with a *SaturatedError — unless approximation
+// under pressure is enabled, in which case the request degrades to a
+// flagged deterministic sample-based answer instead.
 func (b *EngineBackend) Characterize(f *frame.Frame, sel *frame.Bitmap, opts core.Options) (*core.Report, error) {
 	select {
 	case b.admit <- struct{}{}:
 	default:
+		if b.approxUnderPressure {
+			return b.characterizeDegraded(f, sel, opts)
+		}
 		b.rejected.Add(1)
 		return nil, &SaturatedError{RetryAfter: b.retryAfter()}
 	}
@@ -166,6 +188,35 @@ func (b *EngineBackend) Characterize(f *frame.Frame, sel *frame.Bitmap, opts cor
 		b.completed.Add(1)
 		b.serviceNanos.Add(time.Since(start).Nanoseconds())
 	}
+	if err == nil && rep.Approximate != nil {
+		b.approxServed.Add(1)
+	}
+	return rep, err
+}
+
+// characterizeDegraded serves a request the admission queue rejected: the
+// existing pipeline on a deterministic stratified sample capped at the
+// configured approximate row budget. The send on approxRun blocks rather
+// than sheds — a sampled characterization is bounded-cheap and its repeats
+// are report-memo hits, so a short wait in the degrade lane always beats a
+// 503 — which is what makes sheds structurally zero under pressure. A
+// follow-up request at normal admission refines through the exact report's
+// own (cold) cache key.
+func (b *EngineBackend) characterizeDegraded(f *frame.Frame, sel *frame.Bitmap, opts core.Options) (*core.Report, error) {
+	if opts.ApproxRows == 0 {
+		opts.ApproxRows = b.approxCap
+	}
+	b.approxRun <- struct{}{}
+	defer func() { <-b.approxRun }()
+	b.requests.Add(1)
+	// Degraded completions deliberately do not feed the service-rate
+	// estimate: sampled runs are much faster than exact ones, and mixing
+	// them in would make Retry-After hints wildly optimistic for clients
+	// that need the exact answer.
+	rep, err := b.engine.CharacterizeOpts(f, sel, opts)
+	if err == nil {
+		b.approxServed.Add(1)
+	}
 	return rep, err
 }
 
@@ -175,6 +226,9 @@ func (b *EngineBackend) CachedReport(fp uint64, sel *frame.Bitmap, opts core.Opt
 	rep, ok := b.engine.CachedReportFingerprint(fp, sel, opts)
 	if ok {
 		b.requests.Add(1)
+		if rep.Approximate != nil {
+			b.approxServed.Add(1)
+		}
 	}
 	return rep, ok
 }
@@ -228,6 +282,7 @@ func (b *EngineBackend) Snapshot() ShardSnapshot {
 		Healthy:           true,
 		Requests:          b.requests.Load(),
 		Rejected:          b.rejected.Load(),
+		ApproxServed:      b.approxServed.Load(),
 		Inflight:          int64(len(b.run)),
 		Queued:            queued,
 		RetryAfterMillis:  b.retryAfter().Milliseconds(),

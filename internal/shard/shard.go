@@ -349,6 +349,10 @@ type ShardSnapshot struct {
 	Requests int64 `json:"requests"`
 	// Rejected counts requests shed with ErrSaturated.
 	Rejected int64 `json:"rejected"`
+	// ApproxServed counts successfully served approximate reports —
+	// requests degraded under pressure (Config.ApproxUnderPressure) and
+	// explicitly requested sample-based answers alike.
+	ApproxServed int64 `json:"approxServed,omitempty"`
 	// Inflight is the number of characterizations executing right now;
 	// Queued the number admitted but waiting for a run slot.
 	Inflight int64 `json:"inflight"`

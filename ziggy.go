@@ -54,6 +54,12 @@ type (
 	View = core.View
 	// Timings is the per-stage wall-time breakdown.
 	Timings = core.Timings
+	// Approximate is the provenance block of a sample-based approximate
+	// report (Options.ApproxRows > 0, or a shard that degraded under
+	// pressure instead of shedding): which deterministic sample the pipeline
+	// ran on and the resulting standard-error inflation. Report.Approximate
+	// is non-nil exactly on approximate reports.
+	Approximate = core.Approximate
 
 	// Frame is an immutable column-oriented table.
 	Frame = frame.Frame
@@ -92,6 +98,10 @@ type (
 	// it from a characterization error to read the RetryAfter backoff hint.
 	SaturatedError = shard.SaturatedError
 )
+
+// DefaultApproxRows is the sample cap an approximate characterization uses
+// when Config.ApproxRows is zero.
+const DefaultApproxRows = core.DefaultApproxRows
 
 // ErrSaturated identifies requests shed because the owning shard's admission
 // queue was full; test with errors.Is.

@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -273,6 +274,10 @@ func reportFingerprint(rep *ziggy.Report) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "sel=%d total=%d sampled=%d warnings=%q\n",
 		rep.SelectedRows, rep.TotalRows, rep.SampledRows, rep.Warnings)
+	if a := rep.Approximate; a != nil {
+		fmt.Fprintf(&b, "approx sample=%d cap=%d seed=%x in=%d out=%d se=%s\n",
+			a.SampleRows, a.CapRows, a.Seed, a.InsideRows, a.OutsideRows, bits(a.SEInflation))
+	}
 	for _, v := range rep.Views {
 		fmt.Fprintf(&b, "view %v score=%s tight=%s p=%s sig=%t expl=%q\n",
 			v.Columns, bits(v.Score), bits(v.Tightness), bits(v.PValue), v.Significant, v.Explanation)
@@ -431,6 +436,146 @@ func TestShardedDeterminism(t *testing.T) {
 	if requests := (after.Hits + after.Misses) - (before.Hits + before.Misses); requests != clients {
 		t.Errorf("shared cache saw %d requests, want %d", requests, clients)
 	}
+}
+
+// TestApproximateDeterminism sweeps the sample-based approximate path
+// across the full serving matrix: for every (seed, cap) configuration the
+// report — including its provenance block — is byte-identical across
+// Parallelism ∈ {1, 2, NumCPU} × Shards ∈ {1, 2, 4}, and distinct
+// configurations produce distinct reports. Approximation must be a pure
+// function of (frame, selection, seed, cap), never of the serving topology.
+func TestApproximateDeterminism(t *testing.T) {
+	queries := []string{
+		"SELECT * FROM boxoffice WHERE gross_musd >= 100",
+		"SELECT * FROM boxoffice2 WHERE budget_musd >= 60",
+	}
+	configs := []ziggy.Options{
+		{ApproxRows: 200, ApproxSeed: 1},
+		{ApproxRows: 200, ApproxSeed: 42},
+		{ApproxRows: 450, ApproxSeed: 1},
+	}
+
+	type key struct {
+		query  string
+		config int
+	}
+	fingerprints := map[key][]string{}
+	for _, parallelism := range []int{1, 2, runtime.NumCPU()} {
+		for _, shards := range []int{1, 2, 4} {
+			cfg := ziggy.DefaultConfig()
+			cfg.Parallelism = parallelism
+			cfg.Shards = shards
+			session, err := ziggy.NewSession(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range shardedFixtureTables(t) {
+				if err := session.Register(f); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, q := range queries {
+				for ci, opts := range configs {
+					rep, err := session.CharacterizeOpts(q, opts)
+					if err != nil {
+						t.Fatalf("p=%d shards=%d %q config %d: %v", parallelism, shards, q, ci, err)
+					}
+					a := rep.Approximate
+					if a == nil {
+						t.Fatalf("p=%d shards=%d %q: approximate request served without provenance", parallelism, shards, q)
+					}
+					if a.CapRows != opts.ApproxRows || a.Seed != opts.ApproxSeed {
+						t.Fatalf("provenance %+v does not echo config %+v", a, opts)
+					}
+					if a.SampleRows > a.CapRows || a.InsideRows+a.OutsideRows != a.SampleRows {
+						t.Fatalf("provenance does not reconcile: %+v", a)
+					}
+					if a.SEInflation < 1 {
+						t.Fatalf("SE inflation %v < 1", a.SEInflation)
+					}
+					fingerprints[key{q, ci}] = append(fingerprints[key{q, ci}], reportFingerprint(rep.Report))
+				}
+			}
+		}
+	}
+	for k, fps := range fingerprints {
+		for i := 1; i < len(fps); i++ {
+			if fps[i] != fps[0] {
+				t.Errorf("%q config %d: approximate report differs across topologies\n--- first\n%s\n--- divergent\n%s",
+					k.query, k.config, fps[0], fps[i])
+			}
+		}
+	}
+	// Distinct (seed, cap) configurations must not collide: the provenance
+	// block alone separates them even if the sampled rows coincided.
+	for _, q := range queries {
+		for ci := range configs {
+			for cj := ci + 1; cj < len(configs); cj++ {
+				if fingerprints[key{q, ci}][0] == fingerprints[key{q, cj}][0] {
+					t.Errorf("%q: configs %d and %d produced identical reports", q, ci, cj)
+				}
+			}
+		}
+	}
+}
+
+// TestApproximateTracksExact is the differential pin of approximation
+// quality: at a generous sample cap (≥ 50% of the table) the approximate
+// report must agree with the exact report on the direction of every effect
+// they both surface — a sampled answer may lose precision but must not
+// invert a conclusion.
+func TestApproximateTracksExact(t *testing.T) {
+	session := newSession(t)
+	if err := session.Register(ziggy.BoxOfficeData(1)); err != nil {
+		t.Fatal(err)
+	}
+	const q = "SELECT * FROM boxoffice WHERE gross_musd >= 100"
+
+	exact, err := session.Characterize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := session.CharacterizeOpts(q, ziggy.Options{ApproxRows: 600, ApproxSeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Approximate != nil || approx.Approximate == nil {
+		t.Fatal("approximate provenance on the wrong report")
+	}
+
+	// Index effect directions by (view columns, component kind, component
+	// columns); compare the sign of Raw wherever both reports surface the
+	// same effect.
+	type effectKey string
+	directions := func(rep *ziggy.Report) map[effectKey]bool {
+		dirs := map[effectKey]bool{}
+		for _, v := range rep.Views {
+			for _, c := range v.Components {
+				if c.Raw == 0 || math.IsNaN(c.Raw) {
+					continue
+				}
+				k := effectKey(fmt.Sprintf("%v|%d|%v", v.Columns, c.Kind, c.Columns))
+				dirs[k] = c.Raw > 0
+			}
+		}
+		return dirs
+	}
+	exactDirs, approxDirs := directions(exact.Report), directions(approx.Report)
+	shared := 0
+	for k, want := range exactDirs {
+		got, ok := approxDirs[k]
+		if !ok {
+			continue
+		}
+		shared++
+		if got != want {
+			t.Errorf("effect %s: approximate direction %t, exact %t", k, got, want)
+		}
+	}
+	if shared == 0 {
+		t.Fatal("exact and approximate reports share no effects to compare")
+	}
+	t.Logf("compared %d shared effects (%d exact, %d approximate)", shared, len(exactDirs), len(approxDirs))
 }
 
 // TestSessionOverRemoteWorkers pins the public multi-process surface:
