@@ -653,3 +653,97 @@ func thresholdMask(b *testing.B, f *frame.Frame, col string, threshold float64) 
 	}
 	return mask
 }
+
+// BenchmarkAppendCharacterize measures the incremental-characterization win
+// of the chunked representation on the append lifecycle: a 20,000-row table
+// grows by 5% and the grown table is characterized with cold memo tiers
+// (SkipReportCache plus a prepared-tier purge every iteration, so the
+// pipeline itself is paid both times). "incremental" appends onto a sealed
+// base whose full chunks carry over — only the rows past the last chunk
+// boundary rescan for fingerprints and sketches; "cold" characterizes the
+// same grown content built from scratch, paying the whole-table seal. Both
+// arms copy the column storage once per iteration, so the gap is the seal
+// work alone.
+func BenchmarkAppendCharacterize(b *testing.B) {
+	const rows, cols, chunkRows, tailRows = 20000, 6, 1024, 1000
+	whole := synth.Micro("micro", 7, rows+tailRows, cols)
+	slice := func(lo, hi int) *frame.Frame {
+		idx := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			idx = append(idx, i)
+		}
+		f, err := whole.Filter(frame.BitmapFromIndices(whole.NumRows(), idx))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return f
+	}
+	base, err := frame.NewChunked("micro", slice(0, rows).Columns(), chunkRows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tail := slice(rows, rows+tailRows)
+	base.Fingerprint() // seal once: the steady state of a live table
+
+	grown, err := base.Append(tail)
+	if err != nil {
+		b.Fatal(err)
+	}
+	med, err := synth.QuantileOf(grown, "m00", 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sel := frame.NewBitmap(grown.NumRows())
+	for i, v := range grown.Col(0).Floats() {
+		if v >= med {
+			sel.Set(i)
+		}
+	}
+
+	// freshCopy rebuilds the grown content on brand-new columns, dropping
+	// every cached seal — the cost of loading the whole table again.
+	freshCopy := func() *frame.Frame {
+		out := make([]*frame.Column, grown.NumCols())
+		for i, c := range grown.Columns() {
+			switch c.Kind() {
+			case frame.Numeric:
+				out[i] = frame.NewNumericColumn(c.Name(), append([]float64(nil), c.Floats()...))
+			default:
+				nc, err := frame.NewCategoricalColumnFromCodes(c.Name(),
+					append([]int32(nil), c.Codes()...), append([]string(nil), c.Dict()...))
+				if err != nil {
+					b.Fatal(err)
+				}
+				out[i] = nc
+			}
+		}
+		f, err := frame.NewChunked("micro", out, chunkRows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return f
+	}
+
+	engine := mustEngine(b, core.DefaultConfig())
+	opts := core.Options{SkipReportCache: true}
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			engine.InvalidateCache()
+			g, err := base.Append(tail)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := engine.CharacterizeOpts(g, sel, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			engine.InvalidateCache()
+			if _, err := engine.CharacterizeOpts(freshCopy(), sel, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -30,12 +30,21 @@ type Options struct {
 	// Comma is the field delimiter; ',' when zero.
 	Comma rune
 	// MaxInferRows bounds how many data rows the type-inference pass
-	// examines; 0 means all rows.
+	// examines. For Read, 0 means all rows; for ReadStream — which buffers
+	// only the inference window — 0 means DefaultInferRows.
 	MaxInferRows int
 	// ForceCategorical lists column names that must be categorical even if
 	// all their values parse as numbers (e.g. zip codes).
 	ForceCategorical []string
+	// ChunkRows sets the built frame's chunk capacity (rounded up to a
+	// multiple of 64). For Read, 0 keeps the flat default; ReadStream always
+	// builds a chunked frame and treats 0 as frame.DefaultChunkRows.
+	ChunkRows int
 }
+
+// DefaultInferRows is the inference window ReadStream buffers when
+// Options.MaxInferRows is zero.
+const DefaultInferRows = 4096
 
 // Read parses CSV data with a header row into a Frame named name.
 func Read(r io.Reader, name string, opts Options) (*frame.Frame, error) {
@@ -76,6 +85,98 @@ func Read(r io.Reader, name string, opts Options) (*frame.Frame, error) {
 
 	kinds := inferKinds(header, rows, opts.MaxInferRows, forced)
 
+	b, colIdx := newFrameBuilder(name, header, kinds)
+	if opts.ChunkRows > 0 {
+		b.SetChunkRows(opts.ChunkRows)
+	}
+	for ri, rec := range rows {
+		if err := appendRecord(b, colIdx, kinds, header, rec, ri+2); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// ReadStream parses CSV data into a chunked Frame without materializing the
+// whole file: it buffers only the type-inference window (MaxInferRows rows,
+// DefaultInferRows when zero), decides every column's kind from it, then
+// appends the remaining records one at a time while the builder seals chunks
+// as they fill — so the peak footprint is the window plus the frame being
+// built, and the finished frame already carries its chunk fingerprints and
+// sketches. A cell past the window that does not parse under the inferred
+// kind is an error; widen MaxInferRows or force the column categorical.
+func ReadStream(r io.Reader, name string, opts Options) (*frame.Frame, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.ReuseRecord = true
+	cr.TrimLeadingSpace = true
+
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("csvio: empty input")
+	}
+	if err != nil {
+		return nil, fmt.Errorf("csvio: reading header: %w", err)
+	}
+	if len(header) == 0 {
+		return nil, fmt.Errorf("csvio: header has no columns")
+	}
+	// The csv reader reuses the record slice; keep stable copies of the rows
+	// that outlive the next Read (the header and the inference window).
+	header = append([]string(nil), header...)
+
+	window := opts.MaxInferRows
+	if window <= 0 {
+		window = DefaultInferRows
+	}
+	var buf [][]string
+	for len(buf) < window {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("csvio: reading row %d: %w", len(buf)+2, err)
+		}
+		buf = append(buf, append([]string(nil), rec...))
+	}
+
+	forced := make(map[string]bool, len(opts.ForceCategorical))
+	for _, n := range opts.ForceCategorical {
+		forced[n] = true
+	}
+	kinds := inferKinds(header, buf, 0, forced)
+
+	b, colIdx := newFrameBuilder(name, header, kinds)
+	b.SetChunkRows(opts.ChunkRows)
+	n := 0
+	for _, rec := range buf {
+		if err := appendRecord(b, colIdx, kinds, header, rec, n+2); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	buf = nil
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("csvio: reading row %d: %w", n+2, err)
+		}
+		if err := appendRecord(b, colIdx, kinds, header, rec, n+2); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return b.Build()
+}
+
+// newFrameBuilder declares one builder column per header field.
+func newFrameBuilder(name string, header []string, kinds []frame.Kind) (*frame.Builder, []int) {
 	b := frame.NewBuilder(name)
 	colIdx := make([]int, len(header))
 	for i, h := range header {
@@ -85,27 +186,31 @@ func Read(r io.Reader, name string, opts Options) (*frame.Frame, error) {
 			colIdx[i] = b.AddCategorical(h)
 		}
 	}
-	for ri, rec := range rows {
-		if len(rec) != len(header) {
-			return nil, fmt.Errorf("csvio: row %d has %d fields, want %d", ri+2, len(rec), len(header))
+	return b, colIdx
+}
+
+// appendRecord validates one CSV record against the inferred schema and
+// appends it; line is the 1-based file line for error messages.
+func appendRecord(b *frame.Builder, colIdx []int, kinds []frame.Kind, header []string, rec []string, line int) error {
+	if len(rec) != len(header) {
+		return fmt.Errorf("csvio: row %d has %d fields, want %d", line, len(rec), len(header))
+	}
+	for ci, cell := range rec {
+		if nullTokens[cell] {
+			b.AppendNull(colIdx[ci])
+			continue
 		}
-		for ci, cell := range rec {
-			if nullTokens[cell] {
-				b.AppendNull(colIdx[ci])
-				continue
+		if kinds[ci] == frame.Numeric {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return fmt.Errorf("csvio: row %d column %q: %q is not numeric", line, header[ci], cell)
 			}
-			if kinds[ci] == frame.Numeric {
-				v, err := strconv.ParseFloat(cell, 64)
-				if err != nil {
-					return nil, fmt.Errorf("csvio: row %d column %q: %q is not numeric", ri+2, header[ci], cell)
-				}
-				b.AppendFloat(colIdx[ci], v)
-			} else {
-				b.AppendStr(colIdx[ci], cell)
-			}
+			b.AppendFloat(colIdx[ci], v)
+		} else {
+			b.AppendStr(colIdx[ci], cell)
 		}
 	}
-	return b.Build()
+	return nil
 }
 
 // inferKinds decides each column's kind by scanning up to maxRows rows.
@@ -154,6 +259,23 @@ func ReadFile(path string, opts Options) (*frame.Frame, error) {
 		return nil, fmt.Errorf("csvio: %w", err)
 	}
 	defer f.Close()
+	return Read(f, tableName(path), opts)
+}
+
+// ReadFileStream is ReadFile via the streaming reader: the file is parsed
+// record by record into a chunked frame instead of being buffered whole.
+func ReadFileStream(path string, opts Options) (*frame.Frame, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("csvio: %w", err)
+	}
+	defer f.Close()
+	return ReadStream(f, tableName(path), opts)
+}
+
+// tableName derives a frame name from a path: the base name without its
+// extension.
+func tableName(path string) string {
 	name := path
 	for i := len(path) - 1; i >= 0; i-- {
 		if path[i] == '/' {
@@ -167,7 +289,7 @@ func ReadFile(path string, opts Options) (*frame.Frame, error) {
 			break
 		}
 	}
-	return Read(f, name, opts)
+	return name
 }
 
 // Write serializes a frame as CSV with a header row. NULLs are written as

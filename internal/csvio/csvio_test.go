@@ -2,6 +2,7 @@ package csvio
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -191,5 +192,146 @@ func TestFormatFloatSpecials(t *testing.T) {
 	s := buf.String()
 	if !strings.Contains(s, "Inf") || !strings.Contains(s, "-Inf") {
 		t.Fatalf("infinities not serialized: %q", s)
+	}
+}
+
+// streamFixture renders a CSV with numeric, categorical, and NULL-bearing
+// cells, rows rows long.
+func streamFixture(rows int) string {
+	var b strings.Builder
+	b.WriteString("x,label,y\n")
+	for i := 0; i < rows; i++ {
+		switch {
+		case i%7 == 3:
+			fmt.Fprintf(&b, ",lbl%d,%d\n", i%5, i)
+		case i%11 == 5:
+			fmt.Fprintf(&b, "%d.5,NULL,%d\n", i, i)
+		default:
+			fmt.Fprintf(&b, "%d.5,lbl%d,%d\n", i, i%5, i)
+		}
+	}
+	return b.String()
+}
+
+// TestReadStreamMatchesRead pins the streaming reader against the buffering
+// one: identical cells, identical content fingerprint, chunked layout.
+func TestReadStreamMatchesRead(t *testing.T) {
+	in := streamFixture(200)
+	whole, err := Read(strings.NewReader(in), "t", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := ReadStream(strings.NewReader(in), "t", Options{ChunkRows: 64, MaxInferRows: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Fingerprint() != whole.Fingerprint() {
+		t.Fatal("streamed frame fingerprints differently")
+	}
+	if streamed.ChunkRows() != 64 || streamed.NumChunks() != 4 {
+		t.Errorf("layout %d×%d chunks, want 64×4", streamed.ChunkRows(), streamed.NumChunks())
+	}
+	if streamed.NumRows() != 200 || streamed.NumCols() != 3 {
+		t.Fatalf("shape %d×%d, want 200×3", streamed.NumRows(), streamed.NumCols())
+	}
+	x, _ := streamed.Lookup("x")
+	if !x.IsNull(3) || x.Float(0) != 0.5 {
+		t.Error("streamed cells differ from buffered ones")
+	}
+}
+
+// TestReadStreamSealsEagerly pins the streaming property itself: chunks
+// seal while records arrive, and the first fingerprint afterwards only
+// finalizes the trailing partial chunk.
+func TestReadStreamSealsEagerly(t *testing.T) {
+	in := streamFixture(200)
+	before := frame.ChunkScans()
+	f, err := ReadStream(strings.NewReader(in), "t", Options{ChunkRows: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 full chunks × 3 columns seal during the read.
+	if got := frame.ChunkScans() - before; got != 9 {
+		t.Errorf("streaming load sealed %d chunks, want 9", got)
+	}
+	before = frame.ChunkScans()
+	f.Fingerprint()
+	// Only the trailing 8-row partial chunk per column remains.
+	if got := frame.ChunkScans() - before; got != 3 {
+		t.Errorf("first fingerprint sealed %d chunks, want 3", got)
+	}
+}
+
+// TestReadStreamBoundedInference pins the documented trade-off of the
+// bounded window: a kind decided from the window is enforced loudly past
+// it, with ForceCategorical as the escape hatch.
+func TestReadStreamBoundedInference(t *testing.T) {
+	in := "v\n1\n2\noops\n"
+	if _, err := ReadStream(strings.NewReader(in), "t", Options{MaxInferRows: 2}); err == nil ||
+		!strings.Contains(err.Error(), "not numeric") {
+		t.Errorf("string past a numeric window: %v", err)
+	}
+	f, err := ReadStream(strings.NewReader(in), "t",
+		Options{MaxInferRows: 2, ForceCategorical: []string{"v"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := f.Lookup("v"); v.Kind() != frame.Categorical || v.Str(2) != "oops" {
+		t.Error("ForceCategorical did not rescue the narrow window")
+	}
+	// A window wide enough to see the string infers categorical on its own.
+	f, err = ReadStream(strings.NewReader(in), "t", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := f.Lookup("v"); v.Kind() != frame.Categorical {
+		t.Error("default window missed the non-numeric cell")
+	}
+}
+
+// TestReadStreamErrors covers the streaming reader's failure and edge
+// paths.
+func TestReadStreamErrors(t *testing.T) {
+	if _, err := ReadStream(strings.NewReader(""), "t", Options{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadStream(strings.NewReader("a,b\n1\n"), "t", Options{}); err == nil {
+		t.Error("ragged row accepted")
+	}
+	if _, err := ReadStream(strings.NewReader("a,b\n1,2\n1\n"), "t", Options{MaxInferRows: 1}); err == nil {
+		t.Error("ragged row past the window accepted")
+	}
+	f, err := ReadStream(strings.NewReader("a,b\n"), "t", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumRows() != 0 || f.NumCols() != 2 {
+		t.Errorf("header-only input: %d×%d, want 0×2", f.NumRows(), f.NumCols())
+	}
+}
+
+// TestReadFileStream pins the file wrapper: name derivation and equality
+// with the buffering loader.
+func TestReadFileStream(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cities.csv")
+	if err := os.WriteFile(path, []byte(streamFixture(100)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := ReadFileStream(path, Options{ChunkRows: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Name() != "cities" {
+		t.Errorf("name %q, want cities", streamed.Name())
+	}
+	whole, err := ReadFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Fingerprint() != whole.Fingerprint() {
+		t.Error("file streamed load differs from whole load")
+	}
+	if _, err := ReadFileStream(filepath.Join(t.TempDir(), "missing.csv"), Options{}); err == nil {
+		t.Error("missing file accepted")
 	}
 }

@@ -29,6 +29,15 @@ func (c *Catalog) Register(f *frame.Frame) error {
 	return nil
 }
 
+// Unregister removes the named table, reporting whether it was registered.
+func (c *Catalog) Unregister(name string) bool {
+	if _, ok := c.tables[name]; !ok {
+		return false
+	}
+	delete(c.tables, name)
+	return true
+}
+
 // Table returns the named table.
 func (c *Catalog) Table(name string) (*frame.Frame, bool) {
 	f, ok := c.tables[name]

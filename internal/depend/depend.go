@@ -304,7 +304,15 @@ func centeringMoments(xs []float64) (mean, sxx float64) {
 	return mean, sxx
 }
 
-// precomputeColumns builds the per-column state, one task per column.
+// precomputeColumns builds the per-column state, one task per column. The
+// per-column facts that chunk seals already hold — NULL counts, validity
+// bitmaps, and the running mean — are read off the frame's merged sketches
+// (frame.ColumnSketch) instead of rescanning cells: the sketch moments are
+// prefix accumulators chained across chunks, bit-identical to the flat
+// sequential scan this function used to do, so the matrix is unchanged to
+// the last bit while an appended frame only pays for its new chunks. The
+// centered second moment stays a full scan: it needs the final mean, which
+// an append shifts.
 func precomputeColumns(f *frame.Frame, m Measure, workers int) []colStats {
 	n := f.NumCols()
 	info := make([]colStats, n)
@@ -318,12 +326,17 @@ func precomputeColumns(f *frame.Frame, m Measure, workers int) []colStats {
 		cs := &info[i]
 		cs.numeric = true
 		cs.floats = c.Floats()
-		if c.NullCount() > 0 {
-			cs.valid = validWords(cs.floats)
+		sk := f.ColumnSketch(i)
+		if sk.Nulls > 0 {
+			cs.valid = f.ColumnValidWords(i)
 			return
 		}
 		if len(cs.floats) >= 2 {
-			cs.mean, cs.sxx = centeringMoments(cs.floats)
+			cs.mean = sk.Mean()
+			for _, x := range cs.floats {
+				d := x - cs.mean
+				cs.sxx += d * d
+			}
 			cs.hasMoments = true
 		}
 		if m == AbsSpearman && len(cs.floats) >= 3 {
@@ -336,17 +349,6 @@ func precomputeColumns(f *frame.Frame, m Measure, workers int) []colStats {
 		}
 	})
 	return info
-}
-
-// validWords builds the non-NULL bitmap of a numeric column (NULL is NaN).
-func validWords(floats []float64) []uint64 {
-	words := make([]uint64, (len(floats)+63)/64)
-	for i, v := range floats {
-		if !math.IsNaN(v) {
-			words[i>>6] |= 1 << (uint(i) & 63)
-		}
-	}
-	return words
 }
 
 // pairScratch holds one worker's complete-case gather buffers.

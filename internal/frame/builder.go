@@ -3,27 +3,61 @@ package frame
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/memo"
+	"repro/internal/stats"
 )
 
 // Builder assembles a Frame row by row or column by column. It is the
 // write-side companion of the read-only Frame and is used by the CSV reader
 // and the synthetic data generators.
+//
+// With SetChunkRows, the builder seals chunks as their rows arrive: every
+// time a column fills a chunk, its fingerprint chain, stats sketch, and
+// validity words are computed immediately and carried into the built frame,
+// so a streaming loader emits sealed chunks as it goes and Build hands the
+// frame its chunk metadata instead of deferring a whole-table scan to the
+// first fingerprint.
 type Builder struct {
-	name string
-	cols []*colBuilder
+	name      string
+	cols      []*colBuilder
+	chunkRows int
 }
 
 type colBuilder struct {
 	name   string
 	kind   Kind
 	floats []float64
-	strs   []string
-	nulls  []bool
+
+	// Categorical cells are dictionary-encoded on arrival (code -1 = NULL),
+	// so a builder holds one dictionary instead of every raw string.
+	codes []int32
+	dict  []string
+	index map[string]int32
+
+	// sealed holds the chunks sealed so far in streaming mode; chunkRows
+	// rows each, metadata identical to what a lazy whole-column seal would
+	// compute (chains and sketches are prefix-resumable, so order of
+	// sealing cannot change them).
+	sealed []chunkMeta
 }
 
 // NewBuilder creates a Builder for a table with the given name.
 func NewBuilder(name string) *Builder {
 	return &Builder{name: name}
+}
+
+// SetChunkRows sets the chunk capacity of the built frame (rounded up to a
+// multiple of 64; non-positive selects DefaultChunkRows) and switches the
+// builder to streaming mode: chunks seal as their last row arrives. It must
+// be called before the first row is appended.
+func (b *Builder) SetChunkRows(n int) {
+	for _, cb := range b.cols {
+		if cb.len() > 0 {
+			panic("frame: SetChunkRows after rows were appended")
+		}
+	}
+	b.chunkRows = normalizeChunkRows(n)
 }
 
 // AddNumeric declares a numeric column and returns its index.
@@ -34,12 +68,29 @@ func (b *Builder) AddNumeric(name string) int {
 
 // AddCategorical declares a categorical column and returns its index.
 func (b *Builder) AddCategorical(name string) int {
-	b.cols = append(b.cols, &colBuilder{name: name, kind: Categorical})
+	b.cols = append(b.cols, &colBuilder{name: name, kind: Categorical, index: make(map[string]int32)})
 	return len(b.cols) - 1
 }
 
 // NumCols returns the number of declared columns.
 func (b *Builder) NumCols() int { return len(b.cols) }
+
+// NumRows returns the number of rows appended to the first column (the
+// builder's row count once columns advance in lockstep, as AppendRows
+// guarantees).
+func (b *Builder) NumRows() int {
+	if len(b.cols) == 0 {
+		return 0
+	}
+	return b.cols[0].len()
+}
+
+func (cb *colBuilder) len() int {
+	if cb.kind == Numeric {
+		return len(cb.floats)
+	}
+	return len(cb.codes)
+}
 
 // AppendFloat appends a value to the numeric column at index col.
 func (b *Builder) AppendFloat(col int, v float64) {
@@ -48,7 +99,7 @@ func (b *Builder) AppendFloat(col int, v float64) {
 		panic(fmt.Sprintf("frame: AppendFloat on %s column %q", cb.kind, cb.name))
 	}
 	cb.floats = append(cb.floats, v)
-	cb.nulls = append(cb.nulls, math.IsNaN(v))
+	b.maybeSeal(cb)
 }
 
 // AppendStr appends a value to the categorical column at index col.
@@ -57,8 +108,8 @@ func (b *Builder) AppendStr(col int, v string) {
 	if cb.kind != Categorical {
 		panic(fmt.Sprintf("frame: AppendStr on %s column %q", cb.kind, cb.name))
 	}
-	cb.strs = append(cb.strs, v)
-	cb.nulls = append(cb.nulls, false)
+	cb.codes = append(cb.codes, cb.intern(v))
+	b.maybeSeal(cb)
 }
 
 // AppendNull appends a NULL to the column at index col.
@@ -68,32 +119,136 @@ func (b *Builder) AppendNull(col int) {
 	case Numeric:
 		cb.floats = append(cb.floats, math.NaN())
 	case Categorical:
-		cb.strs = append(cb.strs, "")
+		cb.codes = append(cb.codes, -1)
 	}
-	cb.nulls = append(cb.nulls, true)
+	b.maybeSeal(cb)
 }
 
-// Build validates column lengths and returns the finished Frame.
+func (cb *colBuilder) intern(v string) int32 {
+	if code, ok := cb.index[v]; ok {
+		return code
+	}
+	code := int32(len(cb.dict))
+	cb.dict = append(cb.dict, v)
+	cb.index[v] = code
+	return code
+}
+
+// AppendRows appends whole rows: each row must have one value per declared
+// column — float64 (or any integer type), string, or nil for NULL, matching
+// the column kind. The row is validated before anything is appended, so a
+// rejected row leaves the builder unchanged.
+func (b *Builder) AppendRows(rows [][]any) error {
+	for r, row := range rows {
+		if len(row) != len(b.cols) {
+			return fmt.Errorf("frame: row %d has %d values, want %d columns", r, len(row), len(b.cols))
+		}
+		for i, v := range row {
+			if v == nil {
+				continue
+			}
+			cb := b.cols[i]
+			switch v.(type) {
+			case float64, float32, int, int8, int16, int32, int64, uint, uint8, uint16, uint32, uint64:
+				if cb.kind != Numeric {
+					return fmt.Errorf("frame: row %d: numeric value %v for %s column %q", r, v, cb.kind, cb.name)
+				}
+			case string:
+				if cb.kind != Categorical {
+					return fmt.Errorf("frame: row %d: string value %q for %s column %q", r, v, cb.kind, cb.name)
+				}
+			default:
+				return fmt.Errorf("frame: row %d: unsupported value %T for column %q", r, v, cb.name)
+			}
+		}
+		for i, v := range row {
+			if v == nil {
+				b.AppendNull(i)
+				continue
+			}
+			switch x := v.(type) {
+			case float64:
+				b.AppendFloat(i, x)
+			case float32:
+				b.AppendFloat(i, float64(x))
+			case int:
+				b.AppendFloat(i, float64(x))
+			case int8:
+				b.AppendFloat(i, float64(x))
+			case int16:
+				b.AppendFloat(i, float64(x))
+			case int32:
+				b.AppendFloat(i, float64(x))
+			case int64:
+				b.AppendFloat(i, float64(x))
+			case uint:
+				b.AppendFloat(i, float64(x))
+			case uint8:
+				b.AppendFloat(i, float64(x))
+			case uint16:
+				b.AppendFloat(i, float64(x))
+			case uint32:
+				b.AppendFloat(i, float64(x))
+			case uint64:
+				b.AppendFloat(i, float64(x))
+			case string:
+				b.AppendStr(i, x)
+			}
+		}
+	}
+	return nil
+}
+
+// maybeSeal seals cb's just-filled chunk in streaming mode.
+func (b *Builder) maybeSeal(cb *colBuilder) {
+	if b.chunkRows == 0 {
+		return
+	}
+	n := cb.len()
+	if n == 0 || n%b.chunkRows != 0 {
+		return
+	}
+	chain := uint64(memo.NewHasher())
+	var prev stats.ChunkSketch
+	if len(cb.sealed) > 0 {
+		last := cb.sealed[len(cb.sealed)-1]
+		chain, prev = last.chain, last.sketch
+	}
+	// A transient Column view over the builder's storage; the metadata is
+	// value-based, so it survives Build's copy into exact-capacity arrays.
+	view := &Column{name: cb.name, kind: cb.kind, floats: cb.floats, codes: cb.codes, dict: cb.dict}
+	cb.sealed = append(cb.sealed, view.sealOneChunk(n-b.chunkRows, n, chain, prev))
+	chunkScans.Add(1)
+}
+
+// Build validates column lengths and returns the finished Frame. In
+// streaming mode the frame carries the builder's chunk capacity and every
+// chunk sealed so far; only the trailing partial chunk remains to scan.
 func (b *Builder) Build() (*Frame, error) {
 	cols := make([]*Column, 0, len(b.cols))
 	for _, cb := range b.cols {
+		var c *Column
 		switch cb.kind {
 		case Numeric:
 			vals := make([]float64, len(cb.floats))
 			copy(vals, cb.floats)
-			cols = append(cols, NewNumericColumn(cb.name, vals))
+			c = NewNumericColumn(cb.name, vals)
 		case Categorical:
-			c := &Column{name: cb.name, kind: Categorical, index: make(map[string]int32)}
-			c.codes = make([]int32, len(cb.strs))
-			for i, s := range cb.strs {
-				if cb.nulls[i] {
-					c.codes[i] = -1
-				} else {
-					c.codes[i] = c.intern(s)
-				}
+			c = &Column{name: cb.name, kind: Categorical, index: make(map[string]int32, len(cb.dict))}
+			c.codes = make([]int32, len(cb.codes))
+			copy(c.codes, cb.codes)
+			c.dict = append([]string(nil), cb.dict...)
+			for code, v := range c.dict {
+				c.index[v] = int32(code)
 			}
-			cols = append(cols, c)
 		}
+		if len(cb.sealed) > 0 {
+			c.seal.Store(&colSeal{chunkRows: b.chunkRows, chunks: cb.sealed[:len(cb.sealed):len(cb.sealed)]})
+		}
+		cols = append(cols, c)
+	}
+	if b.chunkRows > 0 {
+		return NewChunked(b.name, cols, b.chunkRows)
 	}
 	return New(b.name, cols)
 }

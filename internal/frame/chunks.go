@@ -1,0 +1,322 @@
+package frame
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/memo"
+	"repro/internal/stats"
+)
+
+// Chunked columns. A column's rows are carved into fixed-capacity chunks;
+// each sealed chunk carries a fingerprint (the column's FNV-1a payload hash
+// chain snapshotted at the chunk's end), a mergeable stats sketch
+// (stats.ChunkSketch, with prefix-chained moments), and the chunk's slice of
+// the validity bitmap. Because every per-chunk quantity is either a prefix
+// of a flat left-to-right scan (hash chain, moments) or chunk-local with an
+// exact merge (counts, extrema, validity words aligned to 64-row
+// boundaries), the seal of a column is a pure function of its cells — the
+// same for every chunk layout — and Append can transplant the full-chunk
+// prefix of a base column and scan only the rows past the last full chunk
+// boundary. Storage stays contiguous: chunks are metadata over the one
+// backing array, so kernels, splits, and codecs read columns exactly as
+// before.
+//
+// Seals are cached on the Column (not the Frame) so frames that share
+// columns — Select views, appended descendants — share the work.
+
+// DefaultChunkRows is the chunk capacity used when a frame does not choose
+// one. It is a multiple of 64 so full-chunk validity bitmaps concatenate
+// word-exactly.
+const DefaultChunkRows = 4096
+
+// normalizeChunkRows maps a requested chunk capacity into the valid domain:
+// non-positive means DefaultChunkRows, anything else is rounded up to the
+// next multiple of 64 (validity words must not straddle chunk boundaries).
+func normalizeChunkRows(n int) int {
+	if n <= 0 {
+		return DefaultChunkRows
+	}
+	if r := n % 64; r != 0 {
+		n += 64 - r
+	}
+	return n
+}
+
+// chunkScans counts chunk seal scans process-wide, in the style of
+// stats.RankOps: it only ever grows, and tests assert deltas around an
+// operation to pin how much column data an append or a cold load actually
+// re-read.
+var chunkScans atomic.Int64
+
+// ChunkScans returns the process-wide number of chunk scans performed so
+// far. Each sealed chunk costs exactly one scan of its rows; a cold seal of
+// a k-chunk column reports k, and an append that reuses the base column's
+// full chunks reports only the chunks past the last full boundary.
+func ChunkScans() int64 { return chunkScans.Load() }
+
+// chunkMeta is one sealed chunk of one column.
+type chunkMeta struct {
+	// end is the exclusive row index of the chunk's end; its start is the
+	// previous chunk's end (0 for the first).
+	end int
+	// chain is the raw FNV-1a state of the column's payload hash chain
+	// after folding every cell through end — resumable by the next chunk,
+	// and layout-independent at any given row index.
+	chain uint64
+	// sketch carries the chunk's mergeable statistics (prefix moments).
+	sketch stats.ChunkSketch
+	// valid is the chunk's slice of the non-NULL bitmap, one bit per row in
+	// chunk order. Full chunks hold exactly chunkRows/64 words.
+	valid []uint64
+}
+
+// colSeal is the sealed view of one column under one chunk capacity.
+type colSeal struct {
+	chunkRows int
+	chunks    []chunkMeta
+	// finalized reports that chunks cover every row AND the merged view
+	// below was computed. Seals seeded by Append or a streaming Builder are
+	// stored unfinalized (a chunk prefix only) and complete on first use —
+	// coverage alone cannot distinguish a boundary-aligned prefix from a
+	// finished seal.
+	finalized bool
+	// merged is the fold of all chunk sketches: exact totals, extrema, and
+	// the flat-scan-identical running moments.
+	merged stats.ColumnSketch
+	// valid is the whole-column non-NULL bitmap, the concatenation of the
+	// per-chunk words — bit-identical to a flat scan because chunk
+	// capacities are multiples of 64.
+	valid []uint64
+}
+
+// covered returns the number of rows the seal accounts for.
+func (s *colSeal) covered() int {
+	if len(s.chunks) == 0 {
+		return 0
+	}
+	return s.chunks[len(s.chunks)-1].end
+}
+
+// chainEnd returns the raw payload hash-chain state after the last sealed
+// row (the FNV offset basis for an empty column).
+func (s *colSeal) chainEnd() uint64 {
+	if len(s.chunks) == 0 {
+		return uint64(memo.NewHasher())
+	}
+	return s.chunks[len(s.chunks)-1].chain
+}
+
+// sealChunks returns the column's seal under the given chunk capacity,
+// computing or extending it if needed. A cached seal with the same capacity
+// is extended in place-of: chunks it already sealed are reused and only rows
+// past its coverage are scanned — this is how an appended column, seeded
+// with its base's full-chunk prefix, seals by scanning only the new rows.
+func (c *Column) sealChunks(chunkRows int) *colSeal {
+	chunkRows = normalizeChunkRows(chunkRows)
+	if s := c.seal.Load(); s != nil && s.chunkRows == chunkRows && s.finalized && s.covered() == c.Len() {
+		return s
+	}
+	c.sealMu.Lock()
+	defer c.sealMu.Unlock()
+	s := c.seal.Load()
+	if s != nil && s.chunkRows == chunkRows && s.finalized && s.covered() == c.Len() {
+		return s
+	}
+	var prefix []chunkMeta
+	if s != nil && s.chunkRows == chunkRows {
+		prefix = s.chunks
+	}
+	ns := c.buildSeal(chunkRows, prefix)
+	c.seal.Store(ns)
+	return ns
+}
+
+// buildSeal seals the column's chunks from the end of prefix (which must be
+// boundary-aligned sealed chunks of this column's cells under the same
+// capacity) through the last row, then merges.
+func (c *Column) buildSeal(chunkRows int, prefix []chunkMeta) *colSeal {
+	n := c.Len()
+	s := &colSeal{chunkRows: chunkRows}
+	s.chunks = append([]chunkMeta(nil), prefix...)
+	start := 0
+	chain := uint64(memo.NewHasher())
+	var prev stats.ChunkSketch
+	if len(prefix) > 0 {
+		last := prefix[len(prefix)-1]
+		start, chain, prev = last.end, last.chain, last.sketch
+	}
+	for start < n {
+		end := start + chunkRows
+		if end > n {
+			end = n
+		}
+		cm := c.sealOneChunk(start, end, chain, prev)
+		s.chunks = append(s.chunks, cm)
+		chain, prev = cm.chain, cm.sketch
+		start = end
+		chunkScans.Add(1)
+	}
+	sketches := make([]stats.ChunkSketch, len(s.chunks))
+	words := 0
+	for i, cm := range s.chunks {
+		sketches[i] = cm.sketch
+		words += len(cm.valid)
+	}
+	s.merged = stats.MergeSketches(sketches, c.kind == Categorical)
+	s.valid = make([]uint64, 0, words)
+	for _, cm := range s.chunks {
+		s.valid = append(s.valid, cm.valid...)
+	}
+	s.finalized = true
+	return s
+}
+
+// sealOneChunk scans rows [start, end): it extends the payload hash chain,
+// seals the chunk sketch from the previous chunk's prefix state, and builds
+// the chunk's validity words.
+func (c *Column) sealOneChunk(start, end int, chain uint64, prev stats.ChunkSketch) chunkMeta {
+	cm := chunkMeta{end: end, valid: make([]uint64, (end-start+63)/64)}
+	h := memo.Hasher(chain)
+	switch c.kind {
+	case Numeric:
+		vals := c.floats[start:end]
+		for i, v := range vals {
+			h.Uint64(math.Float64bits(v))
+			if !math.IsNaN(v) {
+				cm.valid[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+		cm.sketch = stats.SketchNumericChunk(prev, vals)
+	case Categorical:
+		codes := c.codes[start:end]
+		for i, code := range codes {
+			h.Uint32(uint32(code))
+			if code >= 0 {
+				cm.valid[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+		cm.sketch = stats.SketchCategoricalChunk(prev, codes, len(c.dict))
+	}
+	cm.chain = uint64(h)
+	return cm
+}
+
+// ChunkRows returns the frame's chunk capacity (DefaultChunkRows when the
+// frame never chose one).
+func (f *Frame) ChunkRows() int { return normalizeChunkRows(f.chunkRows) }
+
+// NumChunks returns the number of chunks each column carves into under the
+// frame's chunk capacity (0 for an empty frame).
+func (f *Frame) NumChunks() int {
+	cr := f.ChunkRows()
+	return (f.numRows + cr - 1) / cr
+}
+
+// ColumnSketch returns the merged statistics sketch of column i, sealing
+// its chunks if needed: exact row/NULL counts and extrema, plus running
+// moments bit-identical to a flat scan — the preparation stage reads means
+// and NULL counts here instead of rescanning cells.
+func (f *Frame) ColumnSketch(i int) stats.ColumnSketch {
+	return f.cols[i].sealChunks(f.chunkRows).merged
+}
+
+// ColumnValidWords returns the non-NULL bitmap words of column i (bit r set
+// ⇔ row r is non-NULL), sealing its chunks if needed. Callers must not
+// modify the returned slice.
+func (f *Frame) ColumnValidWords(i int) []uint64 {
+	return f.cols[i].sealChunks(f.chunkRows).valid
+}
+
+// ChunkFingerprints returns the sealed fingerprint of every chunk of column
+// i, in chunk order. Each is the column's payload hash chain snapshotted at
+// that chunk's end, so chunk j's fingerprint commits to the contents of
+// chunks 0..j — two columns agreeing on chunk j's fingerprint agree on
+// every cell through it.
+func (f *Frame) ChunkFingerprints(i int) []uint64 {
+	s := f.cols[i].sealChunks(f.chunkRows)
+	fps := make([]uint64, len(s.chunks))
+	for j, cm := range s.chunks {
+		fps[j] = sealFingerprint(cm.chain)
+	}
+	return fps
+}
+
+// Append returns a new frame holding f's rows followed by rows' rows. The
+// schemas must match exactly: same column count, names, kinds, and order —
+// a mismatch is rejected loudly rather than coerced. An empty rows frame
+// returns f itself.
+//
+// The result shares no backing storage with either input (each column is
+// copied into a fresh exact-capacity array, so concurrent appends to the
+// same base cannot alias), but it inherits f's sealed full chunks: sealing
+// or fingerprinting the result scans only the rows past f's last full chunk
+// boundary — at most chunkRows−1 old rows plus the appended ones.
+func (f *Frame) Append(rows *Frame) (*Frame, error) {
+	if rows.NumCols() != len(f.cols) {
+		return nil, fmt.Errorf("frame: append to %q: %d columns, want %d", f.name, rows.NumCols(), len(f.cols))
+	}
+	for i, base := range f.cols {
+		add := rows.cols[i]
+		if add.name != base.name || add.kind != base.kind {
+			return nil, fmt.Errorf("frame: append to %q: column %d is %s %q, want %s %q",
+				f.name, i, add.kind, add.name, base.kind, base.name)
+		}
+	}
+	if rows.numRows == 0 {
+		return f, nil
+	}
+	chunkRows := f.ChunkRows()
+	cols := make([]*Column, len(f.cols))
+	for i, base := range f.cols {
+		add := rows.cols[i]
+		switch base.kind {
+		case Numeric:
+			vals := make([]float64, base.Len()+add.Len())
+			copy(vals, base.floats)
+			copy(vals[base.Len():], add.floats)
+			cols[i] = NewNumericColumn(base.name, vals)
+		case Categorical:
+			nc := &Column{name: base.name, kind: Categorical, index: make(map[string]int32, len(base.dict))}
+			nc.codes = make([]int32, base.Len()+add.Len())
+			copy(nc.codes, base.codes)
+			nc.dict = append([]string(nil), base.dict...)
+			for code, v := range nc.dict {
+				nc.index[v] = int32(code)
+			}
+			for j, code := range add.codes {
+				if code < 0 {
+					nc.codes[base.Len()+j] = -1
+				} else {
+					nc.codes[base.Len()+j] = nc.intern(add.dict[code])
+				}
+			}
+			cols[i] = nc
+		}
+		cols[i].adoptSealPrefix(base, chunkRows)
+	}
+	nf, err := New(f.name, cols)
+	if err != nil {
+		return nil, err
+	}
+	nf.chunkRows = f.chunkRows
+	return nf, nil
+}
+
+// adoptSealPrefix seeds c's seal with base's sealed full chunks (sealing
+// base first if needed — its cells are a prefix of c's, so the chain,
+// sketch, and validity metadata carry over verbatim). A trailing partial
+// chunk of base is dropped: its sketch histogram and validity words are
+// chunk-local and would change once the chunk fills, so its rows rescan.
+func (c *Column) adoptSealPrefix(base *Column, chunkRows int) {
+	s := base.sealChunks(chunkRows)
+	full := len(s.chunks)
+	if full > 0 && s.chunks[full-1].end%s.chunkRows != 0 {
+		full--
+	}
+	if full == 0 {
+		return
+	}
+	c.seal.Store(&colSeal{chunkRows: s.chunkRows, chunks: s.chunks[:full:full]})
+}

@@ -1,0 +1,366 @@
+package frame
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// sketchesMatch compares merged sketches on the fields with exact-merge
+// semantics: counts, extrema (NaN-aware), and the bit-exact prefix moments.
+// The numeric value histogram is deliberately excluded — its merge re-bins
+// per-chunk buckets, which is approximate and layout-dependent by design —
+// but categorical histograms (exact per-code sums) must match when
+// exactHist is set.
+func sketchesMatch(a, b stats.ColumnSketch, exactHist bool) bool {
+	feq := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	if a.Rows != b.Rows || a.Nulls != b.Nulls || a.Count != b.Count {
+		return false
+	}
+	if !feq(a.Min, b.Min) || !feq(a.Max, b.Max) || !feq(a.Sum, b.Sum) || !feq(a.SumSq, b.SumSq) {
+		return false
+	}
+	if exactHist && !reflect.DeepEqual(a.Hist, b.Hist) {
+		return false
+	}
+	return true
+}
+
+// buildChunked builds a two-column (numeric + categorical) frame over n rows
+// with the given chunk capacity; NULLs every 7th numeric row and every 11th
+// categorical row.
+func buildChunked(t *testing.T, n, chunkRows int) *Frame {
+	t.Helper()
+	vals := make([]float64, n)
+	strs := make([]string, n)
+	for i := range vals {
+		vals[i] = float64(i%97) * 1.5
+		if i%7 == 3 {
+			vals[i] = math.NaN()
+		}
+		strs[i] = fmt.Sprintf("v%d", i%13)
+	}
+	num := NewNumericColumn("x", vals)
+	cat := NewCategoricalColumn("c", strs)
+	for i := 0; i < n; i++ {
+		if i%11 == 5 {
+			cat.codes[i] = -1
+		}
+	}
+	f, err := NewChunked("t", []*Column{num, cat}, chunkRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestSealLayoutInvariance(t *testing.T) {
+	const n = 333
+	base := buildChunked(t, n, 0) // DefaultChunkRows: one chunk
+	for _, cr := range []int{64, 128, 256, DefaultChunkRows} {
+		f := buildChunked(t, n, cr)
+		if got, want := f.Fingerprint(), base.Fingerprint(); got != want {
+			t.Errorf("chunkRows=%d: fingerprint %x, want %x", cr, got, want)
+		}
+		for i := 0; i < f.NumCols(); i++ {
+			a, b := f.ColumnSketch(i), base.ColumnSketch(i)
+			if !sketchesMatch(a, b, f.Col(i).Kind() == Categorical) {
+				t.Errorf("chunkRows=%d col %d: merged sketch %+v, want %+v", cr, i, a, b)
+			}
+			if !reflect.DeepEqual(f.ColumnValidWords(i), base.ColumnValidWords(i)) {
+				t.Errorf("chunkRows=%d col %d: valid words differ from flat layout", cr, i)
+			}
+		}
+	}
+}
+
+func TestChunkRowsNormalization(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, DefaultChunkRows}, {-5, DefaultChunkRows}, {1, 64}, {64, 64}, {65, 128}, {1000, 1024},
+	} {
+		if got := normalizeChunkRows(tc.in); got != tc.want {
+			t.Errorf("normalizeChunkRows(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestChunkFingerprintsArePrefixCommitments(t *testing.T) {
+	short := buildChunked(t, 128, 64)
+	long := buildChunked(t, 256, 64) // same generator: first 128 rows identical
+	for i := 0; i < short.NumCols(); i++ {
+		sfp, lfp := short.ChunkFingerprints(i), long.ChunkFingerprints(i)
+		if len(sfp) != 2 || len(lfp) != 4 {
+			t.Fatalf("col %d: chunk counts %d/%d, want 2/4", i, len(sfp), len(lfp))
+		}
+		for j := range sfp {
+			if sfp[j] != lfp[j] {
+				t.Errorf("col %d chunk %d: fingerprint %x, want shared prefix %x", i, j, lfp[j], sfp[j])
+			}
+		}
+		if lfp[2] == lfp[3] || lfp[0] == lfp[1] {
+			t.Errorf("col %d: consecutive chunk fingerprints collide", i)
+		}
+	}
+}
+
+func TestNumChunks(t *testing.T) {
+	f := buildChunked(t, 150, 64)
+	if got := f.NumChunks(); got != 3 {
+		t.Errorf("NumChunks = %d, want 3", got)
+	}
+	if got := f.ChunkRows(); got != 64 {
+		t.Errorf("ChunkRows = %d, want 64", got)
+	}
+	empty := MustNew("e", nil)
+	if got := empty.NumChunks(); got != 0 {
+		t.Errorf("empty NumChunks = %d, want 0", got)
+	}
+}
+
+func TestAppendEquivalentToWholeBuild(t *testing.T) {
+	whole := buildChunked(t, 300, 64)
+	base := buildChunked(t, 190, 64)
+	extra := buildChunked(t, 300, 64)
+	// Carve the tail rows [190, 300) via Filter to get an independent frame
+	// with the same cells.
+	mask := NewBitmap(300)
+	for i := 190; i < 300; i++ {
+		mask.Set(i)
+	}
+	tail, err := extra.Filter(mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := base.Append(tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != whole.NumRows() {
+		t.Fatalf("appended rows = %d, want %d", got.NumRows(), whole.NumRows())
+	}
+	if got.Fingerprint() != whole.Fingerprint() {
+		t.Errorf("appended fingerprint %x, want %x", got.Fingerprint(), whole.Fingerprint())
+	}
+	for i := 0; i < whole.NumCols(); i++ {
+		if !sketchesMatch(got.ColumnSketch(i), whole.ColumnSketch(i), whole.Col(i).Kind() == Categorical) {
+			t.Errorf("col %d: appended sketch %+v, want %+v", i, got.ColumnSketch(i), whole.ColumnSketch(i))
+		}
+		if !reflect.DeepEqual(got.ColumnValidWords(i), whole.ColumnValidWords(i)) {
+			t.Errorf("col %d: appended valid words differ", i)
+		}
+		for r := 0; r < whole.NumRows(); r++ {
+			if !reflect.DeepEqual(got.Col(i).Value(r), whole.Col(i).Value(r)) {
+				t.Fatalf("col %d row %d: %v, want %v", i, r, got.Col(i).Value(r), whole.Col(i).Value(r))
+			}
+		}
+	}
+}
+
+func TestAppendScansOnlyNewChunks(t *testing.T) {
+	base := buildChunked(t, 256, 64) // 4 full chunks per column
+	base.Fingerprint()               // seal: 4 scans × 2 cols
+	tail := buildChunked(t, 64, 64)
+	before := ChunkScans()
+	appended, err := base.Append(tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appended.Fingerprint()
+	if delta := ChunkScans() - before; delta != 2 {
+		t.Errorf("append+seal scanned %d chunks, want 2 (one new chunk per column)", delta)
+	}
+
+	// A base with a trailing partial chunk rescans that partial plus the new
+	// rows — never the full prefix.
+	base2 := buildChunked(t, 200, 64) // chunks end at 64,128,192,200
+	base2.Fingerprint()
+	before = ChunkScans()
+	appended2, err := base2.Append(tail) // 264 rows: reseal covers [192,264) = 2 chunks/col
+	if err != nil {
+		t.Fatal(err)
+	}
+	appended2.Fingerprint()
+	if delta := ChunkScans() - before; delta != 4 {
+		t.Errorf("append over partial chunk scanned %d chunks, want 4 (two per column)", delta)
+	}
+}
+
+func TestAppendRejectsSchemaMismatch(t *testing.T) {
+	base := buildChunked(t, 64, 64)
+	for name, bad := range map[string]*Frame{
+		"column count":  MustNew("t", []*Column{NewNumericColumn("x", []float64{1})}),
+		"column name":   MustNew("t", []*Column{NewNumericColumn("y", []float64{1}), NewCategoricalColumn("c", []string{"a"})}),
+		"column kind":   MustNew("t", []*Column{NewCategoricalColumn("x", []string{"a"}), NewCategoricalColumn("c", []string{"a"})}),
+		"swapped order": MustNew("t", []*Column{NewCategoricalColumn("c", []string{"a"}), NewNumericColumn("x", []float64{1})}),
+	} {
+		if _, err := base.Append(bad); err == nil {
+			t.Errorf("append with mismatched %s: no error", name)
+		}
+	}
+}
+
+func TestAppendEmptyReturnsSame(t *testing.T) {
+	base := buildChunked(t, 64, 64)
+	empty := MustNew("t", []*Column{NewNumericColumn("x", nil), NewCategoricalColumn("c", nil)})
+	got, err := base.Append(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != base {
+		t.Error("empty append built a new frame")
+	}
+}
+
+func TestAppendDoesNotAliasBase(t *testing.T) {
+	base := buildChunked(t, 100, 64)
+	t1 := buildChunked(t, 30, 64)
+	t2 := buildChunked(t, 50, 64)
+	a, err := base.Append(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := base.Append(t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diamond appends: both descendants must keep their own tails intact.
+	for r := 0; r < 30; r++ {
+		if a.Col(0).Float(100+r) != t1.Col(0).Float(r) && !(math.IsNaN(a.Col(0).Float(100+r)) && math.IsNaN(t1.Col(0).Float(r))) {
+			t.Fatalf("first append clobbered at row %d", 100+r)
+		}
+	}
+	for r := 0; r < 50; r++ {
+		if b.Col(0).Float(100+r) != t2.Col(0).Float(r) && !(math.IsNaN(b.Col(0).Float(100+r)) && math.IsNaN(t2.Col(0).Float(r))) {
+			t.Fatalf("second append clobbered at row %d", 100+r)
+		}
+	}
+}
+
+func TestAppendGrowsDictionary(t *testing.T) {
+	base := MustNew("t", []*Column{NewCategoricalColumn("c", []string{"a", "b", "a"})})
+	tail := MustNew("t", []*Column{NewCategoricalColumn("c", []string{"z", "b", "q"})})
+	got, err := base.Append(tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := got.Col(0)
+	want := []string{"a", "b", "a", "z", "b", "q"}
+	for i, w := range want {
+		if c.Str(i) != w {
+			t.Errorf("row %d: %q, want %q", i, c.Str(i), w)
+		}
+	}
+	if !reflect.DeepEqual(c.Dict(), []string{"a", "b", "z", "q"}) {
+		t.Errorf("dict = %v, want base prefix preserved then new values", c.Dict())
+	}
+	if base.Col(0).Cardinality() != 2 {
+		t.Errorf("base dict mutated: %v", base.Col(0).Dict())
+	}
+}
+
+func TestStreamingBuilderSealsChunksEagerly(t *testing.T) {
+	mk := func(chunkRows int) (*Frame, int64) {
+		b := NewBuilder("t")
+		if chunkRows > 0 {
+			b.SetChunkRows(chunkRows)
+		}
+		xc := b.AddNumeric("x")
+		cc := b.AddCategorical("c")
+		before := ChunkScans()
+		for i := 0; i < 200; i++ {
+			b.AppendFloat(xc, float64(i))
+			b.AppendStr(cc, fmt.Sprintf("s%d", i%5))
+		}
+		streamed := ChunkScans() - before
+		return b.MustBuild(), streamed
+	}
+	chunked, streamed := mk(64)
+	if streamed != 6 {
+		t.Errorf("streaming build sealed %d chunks during append, want 6 (3 full per column)", streamed)
+	}
+	before := ChunkScans()
+	chunked.Fingerprint()
+	if delta := ChunkScans() - before; delta != 2 {
+		t.Errorf("finalize scanned %d chunks, want 2 (trailing partial per column)", delta)
+	}
+	flat, streamed := mk(0)
+	if streamed != 0 {
+		t.Errorf("non-streaming build sealed %d chunks during append, want 0", streamed)
+	}
+	// Layouts agree on content.
+	if chunked.Fingerprint() != flat.Fingerprint() {
+		t.Errorf("streamed fingerprint %x != flat %x", chunked.Fingerprint(), flat.Fingerprint())
+	}
+}
+
+func TestBuilderAppendRows(t *testing.T) {
+	b := NewBuilder("t")
+	b.AddNumeric("x")
+	b.AddCategorical("c")
+	if err := b.AppendRows([][]any{
+		{1.5, "a"},
+		{int(2), "b"},
+		{nil, nil},
+		{uint8(3), "a"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f := b.MustBuild()
+	if f.NumRows() != 4 {
+		t.Fatalf("rows = %d, want 4", f.NumRows())
+	}
+	if f.Col(0).Float(1) != 2 || f.Col(0).Float(3) != 3 || !f.Col(0).IsNull(2) {
+		t.Errorf("numeric column wrong: %v", f.Col(0).Floats())
+	}
+	if f.Col(1).Str(1) != "b" || !f.Col(1).IsNull(2) {
+		t.Errorf("categorical column wrong")
+	}
+
+	for name, rows := range map[string][][]any{
+		"short row":       {{1.5}},
+		"string->numeric": {{"x", "a"}},
+		"float->cat":      {{1.0, 2.0}},
+		"bad type":        {{[]byte("x"), "a"}},
+	} {
+		bad := NewBuilder("t")
+		bad.AddNumeric("x")
+		bad.AddCategorical("c")
+		if err := bad.AppendRows(rows); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+		if bad.NumRows() != 0 {
+			t.Errorf("%s: rejected row mutated builder (%d rows)", name, bad.NumRows())
+		}
+	}
+}
+
+func TestNullCountReadsSeal(t *testing.T) {
+	f := buildChunked(t, 300, 64)
+	wantX, wantC := f.Col(0).NullCount(), f.Col(1).NullCount() // pre-seal scan
+	f.Fingerprint()
+	if got := f.Col(0).NullCount(); got != wantX {
+		t.Errorf("sealed numeric NullCount = %d, want %d", got, wantX)
+	}
+	if got := f.Col(1).NullCount(); got != wantC {
+		t.Errorf("sealed categorical NullCount = %d, want %d", got, wantC)
+	}
+	if wantX == 0 || wantC == 0 {
+		t.Fatal("fixture should contain NULLs")
+	}
+}
+
+func TestInvalidateFingerprintDropsSeals(t *testing.T) {
+	f := buildChunked(t, 128, 64)
+	fp := f.Fingerprint()
+	f.Col(0).floats[0] = 12345.678 // in-place mutation, against convention
+	f.InvalidateFingerprint()
+	if got := f.Fingerprint(); got == fp {
+		t.Error("fingerprint unchanged after invalidate + mutation")
+	}
+	if f.ColumnSketch(0).Max < 12345 {
+		t.Error("sketch not resealed after invalidate")
+	}
+}

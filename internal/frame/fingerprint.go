@@ -1,8 +1,6 @@
 package frame
 
 import (
-	"math"
-
 	"repro/internal/memo"
 )
 
@@ -11,9 +9,16 @@ import (
 // schema and cell contents fingerprint identically even when they are
 // distinct objects — reloading a CSV or regenerating a synthetic table hits
 // the caches a pointer-keyed map would miss. The hash is memo.Hasher
-// (FNV-1a) over a canonical serialization (schema, then column payloads),
-// chosen for determinism and zero allocation; 64 bits is ample for the
-// cache-key population of one process.
+// (FNV-1a) over a canonical serialization (schema, then per-column payload
+// chains), chosen for determinism and zero allocation; 64 bits is ample for
+// the cache-key population of one process.
+//
+// Column payloads are hashed as per-column chains snapshotted at chunk
+// boundaries (chunks.go): the frame fingerprint folds each column's
+// chain-end state, which by construction equals the last chunk fingerprint
+// — so the frame fingerprint is derived from the ordered chunk fingerprints
+// yet independent of the chunk layout, and an append resumes the chains
+// instead of rehashing the rows it kept.
 
 // hashSum finalizes a content hasher. It is a package-level hook so tests
 // can force the raw hash to collide with the cache sentinel; production
@@ -39,12 +44,16 @@ func sealFingerprint(raw uint64) uint64 {
 
 // Fingerprint returns the content fingerprint of the frame: a hash of the
 // schema (column names, kinds, row count) and every cell, computed once and
-// cached on the frame. Frames are immutable by convention; the fingerprint
-// is not recomputed on its own, so code that mutates backing storage in
-// place must either build a new Frame or call InvalidateFingerprint
-// afterwards. The table name is deliberately excluded: a characterization
-// depends only on the data, so identical tables registered under different
-// names share cache entries.
+// cached on the frame. Cell payloads enter through each column's sealed
+// chunk chain (chunks.go): the fingerprint folds the chain state after the
+// last row — the last chunk's fingerprint — so a frame built by Append
+// hashes only the rows past the reused chunk prefix, and the value is
+// identical for every chunk layout of the same content. Frames are
+// immutable by convention; the fingerprint is not recomputed on its own, so
+// code that mutates backing storage in place must either build a new Frame
+// or call InvalidateFingerprint afterwards. The table name is deliberately
+// excluded: a characterization depends only on the data, so identical
+// tables registered under different names share cache entries.
 func (f *Frame) Fingerprint() uint64 {
 	if v := f.fp.Load(); v != 0 {
 		return v
@@ -53,39 +62,36 @@ func (f *Frame) Fingerprint() uint64 {
 	h.Uint64(uint64(f.numRows))
 	h.Uint64(uint64(len(f.cols)))
 	for _, c := range f.cols {
-		c.hashInto(&h)
+		h.String(c.name)
+		h.Uint64(uint64(c.kind))
+		h.Uint64(c.sealChunks(f.chunkRows).chainEnd())
+		if c.kind == Categorical {
+			// The dictionary is outside the chunk chain: it can grow on
+			// append (rewriting history a prefix chain cannot absorb), and
+			// it is small, so it hashes fresh here.
+			h.Uint64(uint64(len(c.dict)))
+			for _, s := range c.dict {
+				h.String(s)
+			}
+		}
 	}
 	v := sealFingerprint(hashSum(&h))
 	f.fp.Store(v)
 	return v
 }
 
-// InvalidateFingerprint clears the cached fingerprint so the next
-// Fingerprint call rehashes the current cell contents. Code that mutates a
-// frame's backing storage in place — against the immutability convention —
-// must call this (alongside Engine.InvalidateCache) before characterizing
-// the frame again; otherwise fresh results would be cached under the stale
-// pre-mutation hash and could be served to a frame that genuinely has that
-// content. It must not race with concurrent readers of the frame.
-func (f *Frame) InvalidateFingerprint() { f.fp.Store(0) }
-
-// hashInto folds one column's schema and payload into h.
-func (c *Column) hashInto(h *memo.Hasher) {
-	h.String(c.name)
-	h.Uint64(uint64(c.kind))
-	switch c.kind {
-	case Numeric:
-		for _, v := range c.floats {
-			h.Uint64(math.Float64bits(v))
-		}
-	case Categorical:
-		for _, code := range c.codes {
-			h.Uint32(uint32(code))
-		}
-		h.Uint64(uint64(len(c.dict)))
-		for _, s := range c.dict {
-			h.String(s)
-		}
+// InvalidateFingerprint clears the cached fingerprint and every column's
+// sealed chunk metadata so the next Fingerprint call rehashes the current
+// cell contents. Code that mutates a frame's backing storage in place —
+// against the immutability convention — must call this (alongside
+// Engine.InvalidateCache) before characterizing the frame again; otherwise
+// fresh results would be cached under the stale pre-mutation hash and could
+// be served to a frame that genuinely has that content. It must not race
+// with concurrent readers of the frame.
+func (f *Frame) InvalidateFingerprint() {
+	f.fp.Store(0)
+	for _, c := range f.cols {
+		c.seal.Store(nil)
 	}
 }
 

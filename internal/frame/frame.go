@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 )
 
@@ -43,6 +44,12 @@ type Column struct {
 	codes []int32
 	dict  []string
 	index map[string]int32 // dict value -> code
+
+	// seal caches the column's chunked metadata (per-chunk fingerprints,
+	// sketches, validity words — see chunks.go), built lazily under sealMu
+	// and shared by every frame holding this column.
+	sealMu sync.Mutex
+	seal   atomic.Pointer[colSeal]
 }
 
 // NewNumericColumn builds a numeric column that takes ownership of values.
@@ -193,8 +200,13 @@ func (c *Column) CodeOf(v string) int32 {
 	return -1
 }
 
-// NullCount returns the number of NULL rows.
+// NullCount returns the number of NULL rows. When the column's chunks are
+// already sealed the count is read off the merged sketch; otherwise it
+// scans.
 func (c *Column) NullCount() int {
+	if s := c.seal.Load(); s != nil && s.finalized && s.covered() == c.Len() {
+		return s.merged.Nulls
+	}
 	n := 0
 	for i := 0; i < c.Len(); i++ {
 		if c.IsNull(i) {
@@ -223,6 +235,10 @@ type Frame struct {
 	byName  map[string]int
 	numRows int
 
+	// chunkRows is the chunk capacity of this frame's columns; 0 means
+	// DefaultChunkRows. See chunks.go.
+	chunkRows int
+
 	// fp caches the content fingerprint; 0 means not yet computed.
 	fp atomic.Uint64
 }
@@ -249,6 +265,20 @@ func New(name string, cols []*Column) (*Frame, error) {
 		f.byName[c.name] = i
 		f.cols = append(f.cols, c)
 	}
+	return f, nil
+}
+
+// NewChunked is New with an explicit chunk capacity: the frame's columns
+// seal into chunks of chunkRows rows (rounded up to a multiple of 64;
+// non-positive means DefaultChunkRows). Chunking changes metadata layout
+// only — cell storage, fingerprints, and characterization results are
+// identical for every capacity.
+func NewChunked(name string, cols []*Column, chunkRows int) (*Frame, error) {
+	f, err := New(name, cols)
+	if err != nil {
+		return nil, err
+	}
+	f.chunkRows = normalizeChunkRows(chunkRows)
 	return f, nil
 }
 
@@ -336,7 +366,14 @@ func (f *Frame) Select(names ...string) (*Frame, error) {
 		}
 		cols = append(cols, c)
 	}
-	return New(f.name, cols)
+	nf, err := New(f.name, cols)
+	if err != nil {
+		return nil, err
+	}
+	// The view shares columns, so it keeps the parent's chunk capacity —
+	// sealed chunk metadata stays valid and shared.
+	nf.chunkRows = f.chunkRows
+	return nf, nil
 }
 
 // Filter materializes the rows where mask is set into a new frame.

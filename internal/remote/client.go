@@ -301,6 +301,11 @@ func (c *Client) Healthy() error {
 // (and may serve other fronts).
 func (c *Client) InvalidateCaches() {}
 
+// InvalidateFrame is a no-op for the same reason: a dropped table's
+// fingerprint becomes unreachable through this front, and the worker's LRU
+// ages the entries out on its own.
+func (c *Client) InvalidateFrame(uint64) {}
+
 // Close drops idle transport connections.
 func (c *Client) Close() error {
 	c.hc.CloseIdleConnections()

@@ -36,8 +36,11 @@ import (
 // codecVersion is bumped whenever the frame or request layout changes; a
 // decoder only accepts payloads of its own version. Version 2 added the
 // approximate-characterization options (ApproxRows, ApproxSeed) to the
-// request layout; a version-1 peer rejects it loudly rather than misparsing.
-const codecVersion = 2
+// request layout; version 3 added the frame's chunk capacity so a shipped
+// table keeps its chunk layout — and therefore its incremental append
+// behavior — on the worker. A version-skewed peer rejects loudly rather
+// than misparsing.
+const codecVersion = 3
 
 var (
 	frameMagic   = [4]byte{'Z', 'G', 'F', codecVersion}
@@ -65,6 +68,7 @@ func EncodeFrame(f *frame.Frame) []byte {
 	w.B = append(w.B, frameMagic[:]...)
 	w.U64(f.Fingerprint())
 	w.Str(f.Name())
+	w.U64(uint64(f.ChunkRows()))
 	w.U64(uint64(f.NumRows()))
 	w.U64(uint64(f.NumCols()))
 	for _, c := range f.Columns() {
@@ -97,6 +101,14 @@ func DecodeFrame(data []byte) (*frame.Frame, error) {
 	r := &wire.Reader{What: decodingFrame, B: data, Off: 4}
 	wantFP := r.U64()
 	name := r.Str()
+	// The chunk capacity is metadata, not payload: the fingerprint is the
+	// same for every layout, but shipping it keeps the worker's copy
+	// append-incremental with the same chunk boundaries as the sender's.
+	chunkRows64 := r.U64()
+	if chunkRows64 == 0 || chunkRows64%64 != 0 || chunkRows64 > 1<<31 {
+		r.Failf("invalid chunk capacity %d", chunkRows64)
+	}
+	chunkRows := int(chunkRows64)
 	// Every column stores at least one byte per row, so the row count is
 	// bounded by the remaining payload whenever columns exist; a zero-column
 	// frame legitimately has zero rows.
@@ -139,7 +151,7 @@ func DecodeFrame(data []byte) (*frame.Frame, error) {
 	if err := r.Finish(); err != nil {
 		return nil, err
 	}
-	f, err := frame.New(name, cols)
+	f, err := frame.NewChunked(name, cols, chunkRows)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", decodingFrame, err)
 	}

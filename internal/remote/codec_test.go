@@ -55,15 +55,50 @@ func TestFrameCodecRoundTrip(t *testing.T) {
 	}
 }
 
+// TestFrameCodecShipsChunkLayout pins that a chunked frame keeps its chunk
+// capacity — and therefore its incremental append behavior — across the
+// wire, and that the layout does not perturb the content fingerprint.
+func TestFrameCodecShipsChunkLayout(t *testing.T) {
+	vals := make([]float64, 300)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	chunked, err := frame.NewChunked("t", []*frame.Column{frame.NewNumericColumn("x", vals)}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeFrame(EncodeFrame(chunked))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.ChunkRows() != 128 || dec.NumChunks() != 3 {
+		t.Errorf("decoded layout %d rows/chunk × %d chunks, want 128 × 3", dec.ChunkRows(), dec.NumChunks())
+	}
+	flat := frame.MustNew("t", []*frame.Column{frame.NewNumericColumn("x", vals)})
+	if dec.Fingerprint() != flat.Fingerprint() {
+		t.Error("chunk layout leaked into the content fingerprint")
+	}
+
+	// A mangled chunk capacity (not a multiple of 64) is a decode error.
+	enc := EncodeFrame(chunked)
+	bad := append([]byte(nil), enc...)
+	// chunkRows is the u64 after the magic (4), fingerprint (8), and name
+	// (8-byte length + 1 byte "t").
+	bad[4+8+8+1] ^= 0x01
+	if _, err := DecodeFrame(bad); err == nil {
+		t.Error("unaligned chunk capacity accepted")
+	}
+}
+
 // TestFrameCodecRejectsCorruption covers decode error paths, including the
 // fingerprint integrity check.
 func TestFrameCodecRejectsCorruption(t *testing.T) {
 	enc := EncodeFrame(codecFrame(t))
 	cases := map[string][]byte{
 		"empty":          {},
-		"bad magic":      append([]byte("XXX\x02"), enc[4:]...),
-		"past version":   append([]byte("ZGF\x01"), enc[4:]...),
-		"future version": append([]byte("ZGF\x03"), enc[4:]...),
+		"bad magic":      append([]byte("XXX\x03"), enc[4:]...),
+		"past version":   append([]byte("ZGF\x02"), enc[4:]...),
+		"future version": append([]byte("ZGF\x04"), enc[4:]...),
 		"truncated":      enc[:len(enc)-3],
 		"trailing":       append(append([]byte(nil), enc...), 1),
 	}
@@ -114,8 +149,8 @@ func TestRequestCodecRoundTrip(t *testing.T) {
 	enc := EncodeRequest(req)
 	for name, data := range map[string][]byte{
 		"empty":        {},
-		"bad magic":    append([]byte("ZGF\x02"), enc[4:]...),
-		"past version": append([]byte("ZGQ\x01"), enc[4:]...),
+		"bad magic":    append([]byte("ZGF\x03"), enc[4:]...),
+		"past version": append([]byte("ZGQ\x02"), enc[4:]...),
 		"truncated":    enc[:len(enc)-1],
 		"trailing":     append(append([]byte(nil), enc...), 0),
 	} {

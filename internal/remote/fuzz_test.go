@@ -1,0 +1,113 @@
+package remote
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/frame"
+)
+
+// fuzzFrames builds the seed tables for FuzzFrameCodec: the corruption
+// fixture, a zero-column frame, and chunked layouts — multi-chunk at the
+// minimum capacity, a boundary-exact row count, and an appended frame whose
+// seal was built incrementally.
+func fuzzFrames() []*frame.Frame {
+	cat, err := frame.NewCategoricalColumnFromCodes("city",
+		[]int32{2, -1, 0, 1, 2}, []string{"zzz", "aaa", "mmm"})
+	if err != nil {
+		panic(err)
+	}
+	flat := frame.MustNew("wire", []*frame.Column{
+		frame.NewNumericColumn("x", []float64{1.5, math.NaN(), math.Inf(1), math.Copysign(0, -1), -3}),
+		cat,
+	})
+
+	vals := make([]float64, 200)
+	strs := make([]string, 200)
+	for i := range vals {
+		vals[i] = float64(i % 7)
+		strs[i] = string(rune('a' + i%3))
+	}
+	chunked, err := frame.NewChunked("chunked", []*frame.Column{
+		frame.NewNumericColumn("n", vals),
+		frame.NewCategoricalColumn("c", strs),
+	}, 64)
+	if err != nil {
+		panic(err)
+	}
+	exact, err := frame.NewChunked("exact", []*frame.Column{
+		frame.NewNumericColumn("n", vals[:128]),
+	}, 64)
+	if err != nil {
+		panic(err)
+	}
+	tail, err := frame.NewChunked("exact", []*frame.Column{
+		frame.NewNumericColumn("n", vals[128:]),
+	}, 64)
+	if err != nil {
+		panic(err)
+	}
+	appended, err := exact.Append(tail)
+	if err != nil {
+		panic(err)
+	}
+	return []*frame.Frame{flat, frame.MustNew("empty", nil), chunked, exact, appended}
+}
+
+// FuzzFrameCodec hammers the table-shipping decoder: arbitrary bytes must
+// either be rejected or decode into a frame that reproduces the sender's
+// fingerprint and re-encodes canonically.
+func FuzzFrameCodec(f *testing.F) {
+	f.Add([]byte{})
+	var full []byte
+	for _, fr := range fuzzFrames() {
+		enc := EncodeFrame(fr)
+		f.Add(enc)
+		full = enc
+	}
+	// Mild corruptions steer the fuzzer toward deep field boundaries
+	// instead of dying on the magic check: a truncation, a chunk-capacity
+	// mangle (byte 4+len("name")-ish lands in the chunkRows field for the
+	// appended seed), and a stale version header on a current body.
+	f.Add(full[:len(full)-2])
+	mangled := append([]byte(nil), full...)
+	mangled[20] ^= 0x40
+	f.Add(mangled)
+	f.Add(append([]byte("ZGF\x02"), full[4:]...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := DecodeFrame(data)
+		if err != nil {
+			return // rejection is fine; panics and false accepts are not
+		}
+		// An accepted payload passed the fingerprint integrity check; the
+		// decoded frame must re-encode to exactly the accepted bytes.
+		if again := EncodeFrame(dec); !bytes.Equal(again, data) {
+			t.Fatalf("accepted payload is not canonical:\n in: %x\nout: %x", data, again)
+		}
+	})
+}
+
+// FuzzRequestCodec hammers the characterize/probe request decoder the same
+// way: reject or round-trip, never panic.
+func FuzzRequestCodec(f *testing.F) {
+	f.Add([]byte{})
+	sel := frame.NewBitmap(100)
+	for i := 0; i < 100; i += 7 {
+		sel.Set(i)
+	}
+	enc := EncodeRequest(Request{Fingerprint: 0xabc, Sel: sel})
+	f.Add(enc)
+	f.Add(enc[:len(enc)-3])
+	empty := EncodeRequest(Request{Sel: frame.NewBitmap(0)})
+	f.Add(empty)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(data)
+		if err != nil {
+			return
+		}
+		if again := EncodeRequest(req); !bytes.Equal(again, data) {
+			t.Fatalf("accepted request is not canonical:\n in: %x\nout: %x", data, again)
+		}
+	})
+}

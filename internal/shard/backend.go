@@ -46,6 +46,13 @@ type Backend interface {
 	// InvalidateCaches drops the backend's cache tiers where it can (a
 	// remote backend leaves its worker's caches alone).
 	InvalidateCaches()
+	// InvalidateFrame drops the cache entries of the single frame with the
+	// given content fingerprint — the scoped invalidation behind the table
+	// lifecycle (unregister, append). Like InvalidateCaches, a remote
+	// backend leaves its worker's caches alone: the stale fingerprint is
+	// unreachable through the router once the table is gone, and the
+	// worker's LRU ages the entries out.
+	InvalidateFrame(fp uint64)
 	// Close releases transport resources; in-process backends no-op.
 	Close() error
 }
@@ -302,6 +309,11 @@ func (b *EngineBackend) Healthy() error { return nil }
 // InvalidateCaches drops the engine's prepared tier (and, because the
 // engine shares it, the report cache — idempotent across backends).
 func (b *EngineBackend) InvalidateCaches() { b.engine.InvalidateCache() }
+
+// InvalidateFrame drops the fingerprint's entries from the engine's
+// prepared tier and the shared report cache (idempotent across backends
+// sharing the cache).
+func (b *EngineBackend) InvalidateFrame(fp uint64) { b.engine.InvalidateFrame(fp) }
 
 // Close is a no-op for in-process backends.
 func (b *EngineBackend) Close() error { return nil }

@@ -320,6 +320,20 @@ func (r *Router) InvalidateCaches() {
 	r.reports.Purge()
 }
 
+// InvalidateFrame drops the cache entries of the single frame with the
+// given content fingerprint: its reports in the shared cache and its
+// prepared structures on every local backend. The table lifecycle calls
+// this on unregister and append so one table's turnover never costs other
+// tables their warm entries. Remote workers keep their caches, as with
+// InvalidateCaches — the fingerprint is unreachable once the table is
+// dropped, and their LRUs age the entries out.
+func (r *Router) InvalidateFrame(fp uint64) {
+	for _, b := range r.backends {
+		b.InvalidateFrame(fp)
+	}
+	r.reports.InvalidateFrame(fp)
+}
+
 // Close releases the backends' transport resources (idle RPC connections);
 // in-process backends are unaffected.
 func (r *Router) Close() error {

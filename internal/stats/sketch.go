@@ -1,0 +1,268 @@
+package stats
+
+import "math"
+
+// Chunked-column sketches. A growing table is stored as a sequence of
+// fixed-capacity row chunks (internal/frame); each sealed chunk carries a
+// ChunkSketch so that appending rows never re-reads the data of chunks that
+// did not change: per-chunk quantities merge exactly (counts, NULL counts,
+// min/max, histograms are plain sums and extrema) and the running moments
+// are *prefix* accumulators — the accumulator state after consuming every
+// row up to the chunk's end, chained from the previous chunk — so the merge
+// of any chunk layout reproduces the flat left-to-right float accumulation
+// bit for bit. That prefix discipline is what lets the engine's preparation
+// stage read per-column means off the sketches and still produce reports
+// byte-identical to a whole-table scan, for every chunk layout and append
+// history.
+
+// SketchHistBins is the bucket count of the per-chunk numeric value
+// histogram.
+const SketchHistBins = 16
+
+// SketchMaxCard caps the cardinality up to which categorical chunks carry a
+// per-code frequency histogram; wider dictionaries skip it (the histogram is
+// observability, not a correctness input).
+const SketchMaxCard = 256
+
+// ChunkSketch summarizes one sealed chunk of one column.
+//
+// Rows, Nulls, Min, Max and Hist are chunk-local and merge exactly (integer
+// sums and extrema; histograms re-bin). Count, Sum and SumSq are prefix
+// accumulators over the non-NULL values of every row from the start of the
+// column through this chunk's end: the last chunk's prefix fields ARE the
+// whole column's totals, computed in exactly the order a flat scan would
+// have used.
+type ChunkSketch struct {
+	// Rows is the number of rows in this chunk; Nulls the NULLs among them.
+	Rows, Nulls int
+
+	// Min and Max are the chunk-local extrema of the non-NULL numeric
+	// values (NaN when the chunk holds none, and for categorical chunks).
+	Min, Max float64
+
+	// Count is the running non-NULL row count through this chunk's end.
+	Count int
+	// Sum and SumSq are the running Σx and Σx² over non-NULL numeric values
+	// through this chunk's end, accumulated left to right in row order —
+	// resuming them from the previous chunk's state reproduces a flat scan
+	// bit for bit.
+	Sum, SumSq float64
+
+	// Hist is the chunk-local value histogram: for numeric chunks,
+	// SketchHistBins equi-width buckets over [Min, Max]; for categorical
+	// chunks of cardinality ≤ SketchMaxCard, one count per dictionary code.
+	// nil when the chunk has no non-NULL values or the cardinality exceeds
+	// the cap.
+	Hist []int64
+}
+
+// SketchNumericChunk seals the sketch of one numeric chunk: values are the
+// chunk's cells (NaN = NULL) and prev is the previous chunk's sketch (the
+// zero ChunkSketch for the first chunk). The prefix fields resume from prev;
+// everything else is computed chunk-locally in one scan plus one histogram
+// pass.
+func SketchNumericChunk(prev ChunkSketch, values []float64) ChunkSketch {
+	s := ChunkSketch{
+		Rows:  len(values),
+		Min:   math.NaN(),
+		Max:   math.NaN(),
+		Count: prev.Count,
+		Sum:   prev.Sum,
+		SumSq: prev.SumSq,
+	}
+	for _, v := range values {
+		if math.IsNaN(v) {
+			s.Nulls++
+			continue
+		}
+		if s.Count == prev.Count { // first non-NULL of this chunk
+			s.Min, s.Max = v, v
+		} else {
+			if v < s.Min || math.IsNaN(s.Min) {
+				s.Min = v
+			}
+			if v > s.Max || math.IsNaN(s.Max) {
+				s.Max = v
+			}
+		}
+		s.Count++
+		s.Sum += v
+		s.SumSq += v * v
+	}
+	if s.Count > prev.Count {
+		s.Hist = histNumeric(values, s.Min, s.Max)
+	}
+	return s
+}
+
+// histNumeric bins the non-NULL values of one chunk into SketchHistBins
+// equi-width buckets over [min, max]. A degenerate range (min == max, or a
+// non-finite span) puts every value in the first bucket.
+func histNumeric(values []float64, min, max float64) []int64 {
+	h := make([]int64, SketchHistBins)
+	span := max - min
+	degenerate := !(span > 0) || math.IsInf(span, 0)
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		b := 0
+		if !degenerate {
+			b = int(float64(SketchHistBins) * (v - min) / span)
+			if b >= SketchHistBins {
+				b = SketchHistBins - 1
+			} else if b < 0 {
+				b = 0
+			}
+		}
+		h[b]++
+	}
+	return h
+}
+
+// SketchCategoricalChunk seals the sketch of one categorical chunk: codes
+// are the chunk's dictionary codes (-1 = NULL), card the column cardinality,
+// prev the previous chunk's sketch. Sum/SumSq track the code values — they
+// exist only to keep the prefix discipline uniform; nothing downstream reads
+// them for categorical columns.
+func SketchCategoricalChunk(prev ChunkSketch, codes []int32, card int) ChunkSketch {
+	s := ChunkSketch{
+		Rows:  len(codes),
+		Min:   math.NaN(),
+		Max:   math.NaN(),
+		Count: prev.Count,
+		Sum:   prev.Sum,
+		SumSq: prev.SumSq,
+	}
+	var hist []int64
+	if card > 0 && card <= SketchMaxCard {
+		hist = make([]int64, card)
+	}
+	for _, code := range codes {
+		if code < 0 {
+			s.Nulls++
+			continue
+		}
+		s.Count++
+		v := float64(code)
+		s.Sum += v
+		s.SumSq += v * v
+		if hist != nil {
+			hist[code]++
+		}
+	}
+	if s.Count > prev.Count {
+		s.Hist = hist
+	}
+	return s
+}
+
+// ColumnSketch is the merged view over a column's ordered chunk sketches:
+// exact totals and extrema, the flat-scan-identical mean, and an approximate
+// re-binned value histogram.
+type ColumnSketch struct {
+	// Rows, Nulls and Count are exact (integer merges).
+	Rows, Nulls, Count int
+	// Min and Max are exact extrema over the non-NULL values.
+	Min, Max float64
+	// Sum and SumSq are the whole-column running moments — the last chunk's
+	// prefix accumulators, bit-identical to a flat left-to-right scan.
+	Sum, SumSq float64
+	// Hist is the merged value histogram: numeric chunks re-bin into
+	// SketchHistBins buckets over the merged [Min, Max] (approximate: each
+	// source bucket's count lands at its midpoint); categorical chunks sum
+	// per-code counts exactly. nil when no chunk carried one.
+	Hist []int64
+}
+
+// Mean returns Sum/Count over the non-NULL values, or NaN when empty. For a
+// NULL-free column this is bit-identical to stats.Mean over the flat cells.
+func (cs ColumnSketch) Mean() float64 {
+	if cs.Count == 0 {
+		return math.NaN()
+	}
+	return cs.Sum / float64(cs.Count)
+}
+
+// MergeSketches folds a column's ordered chunk sketches into one
+// ColumnSketch. categorical selects the histogram merge: exact per-code
+// sums, versus numeric re-binning over the merged range.
+func MergeSketches(chunks []ChunkSketch, categorical bool) ColumnSketch {
+	var out ColumnSketch
+	out.Min, out.Max = math.NaN(), math.NaN()
+	if len(chunks) == 0 {
+		return out
+	}
+	for _, c := range chunks {
+		out.Rows += c.Rows
+		out.Nulls += c.Nulls
+		if !math.IsNaN(c.Min) && (math.IsNaN(out.Min) || c.Min < out.Min) {
+			out.Min = c.Min
+		}
+		if !math.IsNaN(c.Max) && (math.IsNaN(out.Max) || c.Max > out.Max) {
+			out.Max = c.Max
+		}
+	}
+	last := chunks[len(chunks)-1]
+	out.Count, out.Sum, out.SumSq = last.Count, last.Sum, last.SumSq
+	if categorical {
+		for _, c := range chunks {
+			if len(c.Hist) > len(out.Hist) {
+				grown := make([]int64, len(c.Hist))
+				copy(grown, out.Hist)
+				out.Hist = grown
+			}
+			for i, n := range c.Hist {
+				out.Hist[i] += n
+			}
+		}
+		return out
+	}
+	out.Hist = mergeNumericHists(chunks, out.Min, out.Max)
+	return out
+}
+
+// mergeNumericHists re-bins per-chunk numeric histograms into
+// SketchHistBins buckets over the merged range [min, max], assigning each
+// source bucket's count to the target bucket of its midpoint.
+func mergeNumericHists(chunks []ChunkSketch, min, max float64) []int64 {
+	any := false
+	for _, c := range chunks {
+		if c.Hist != nil {
+			any = true
+			break
+		}
+	}
+	if !any || math.IsNaN(min) {
+		return nil
+	}
+	out := make([]int64, SketchHistBins)
+	span := max - min
+	degenerate := !(span > 0) || math.IsInf(span, 0)
+	for _, c := range chunks {
+		if c.Hist == nil {
+			continue
+		}
+		cSpan := c.Max - c.Min
+		for i, n := range c.Hist {
+			if n == 0 {
+				continue
+			}
+			b := 0
+			if !degenerate {
+				mid := c.Min
+				if cSpan > 0 && !math.IsInf(cSpan, 0) {
+					mid = c.Min + cSpan*(float64(i)+0.5)/float64(SketchHistBins)
+				}
+				b = int(float64(SketchHistBins) * (mid - min) / span)
+				if b >= SketchHistBins {
+					b = SketchHistBins - 1
+				} else if b < 0 {
+					b = 0
+				}
+			}
+			out[b] += n
+		}
+	}
+	return out
+}

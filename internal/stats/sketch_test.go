@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// chunkUp seals values into chunks of the given sizes, chaining prefixes.
+func chunkUp(values []float64, sizes []int) []ChunkSketch {
+	var out []ChunkSketch
+	var prev ChunkSketch
+	start := 0
+	for _, sz := range sizes {
+		s := SketchNumericChunk(prev, values[start:start+sz])
+		out = append(out, s)
+		prev = s
+		start += sz
+	}
+	return out
+}
+
+func TestSketchPrefixMomentsMatchFlatScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	values := make([]float64, 1000)
+	for i := range values {
+		values[i] = rng.NormFloat64() * 1e3
+		if i%17 == 4 {
+			values[i] = math.NaN()
+		}
+	}
+	// The flat reference: one sequential accumulation, as stats.Mean and a
+	// whole-column scan would do it.
+	var flatSum, flatSumSq float64
+	flatCount := 0
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		flatCount++
+		flatSum += v
+		flatSumSq += v * v
+	}
+	flatMean := flatSum / float64(flatCount)
+
+	for _, sizes := range [][]int{
+		{1000},
+		{500, 500},
+		{64, 64, 64, 64, 744},
+		{1, 999},
+		{333, 333, 334},
+	} {
+		merged := MergeSketches(chunkUp(values, sizes), false)
+		if merged.Count != flatCount || merged.Rows != 1000 {
+			t.Fatalf("sizes %v: count %d/%d, want %d/1000", sizes, merged.Count, merged.Rows, flatCount)
+		}
+		if math.Float64bits(merged.Sum) != math.Float64bits(flatSum) {
+			t.Errorf("sizes %v: Sum %x differs from flat scan %x", sizes, merged.Sum, flatSum)
+		}
+		if math.Float64bits(merged.SumSq) != math.Float64bits(flatSumSq) {
+			t.Errorf("sizes %v: SumSq differs from flat scan", sizes)
+		}
+		if math.Float64bits(merged.Mean()) != math.Float64bits(flatMean) {
+			t.Errorf("sizes %v: Mean %v differs from flat %v", sizes, merged.Mean(), flatMean)
+		}
+	}
+}
+
+func TestSketchNumericChunkLocals(t *testing.T) {
+	s1 := SketchNumericChunk(ChunkSketch{}, []float64{3, math.NaN(), -2, 7})
+	if s1.Rows != 4 || s1.Nulls != 1 || s1.Count != 3 {
+		t.Fatalf("counts: %+v", s1)
+	}
+	if s1.Min != -2 || s1.Max != 7 {
+		t.Errorf("extrema: %+v", s1)
+	}
+	if len(s1.Hist) != SketchHistBins {
+		t.Errorf("hist bins = %d, want %d", len(s1.Hist), SketchHistBins)
+	}
+	var total int64
+	for _, n := range s1.Hist {
+		total += n
+	}
+	if total != 3 {
+		t.Errorf("hist total = %d, want 3 non-NULL values", total)
+	}
+
+	s2 := SketchNumericChunk(s1, []float64{10})
+	if s2.Min != 10 || s2.Max != 10 {
+		t.Errorf("chunk-local extrema leaked across chunks: %+v", s2)
+	}
+	if s2.Count != 4 || s2.Sum != 3-2+7+10 {
+		t.Errorf("prefix not resumed: %+v", s2)
+	}
+
+	empty := SketchNumericChunk(s2, []float64{math.NaN(), math.NaN()})
+	if !math.IsNaN(empty.Min) || empty.Hist != nil {
+		t.Errorf("all-NULL chunk should have NaN extrema and no hist: %+v", empty)
+	}
+	if empty.Count != s2.Count || empty.Sum != s2.Sum {
+		t.Errorf("all-NULL chunk moved the prefix: %+v", empty)
+	}
+}
+
+func TestSketchCategoricalChunk(t *testing.T) {
+	s := SketchCategoricalChunk(ChunkSketch{}, []int32{0, 1, -1, 1, 2}, 3)
+	if s.Rows != 5 || s.Nulls != 1 || s.Count != 4 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if len(s.Hist) != 3 || s.Hist[0] != 1 || s.Hist[1] != 2 || s.Hist[2] != 1 {
+		t.Errorf("hist = %v", s.Hist)
+	}
+	if !math.IsNaN(s.Min) {
+		t.Errorf("categorical min should be NaN")
+	}
+
+	wide := SketchCategoricalChunk(ChunkSketch{}, []int32{0, 1}, SketchMaxCard+1)
+	if wide.Hist != nil {
+		t.Errorf("cardinality above cap should skip hist, got %v", wide.Hist)
+	}
+}
+
+func TestMergeSketchesCategoricalGrowsHist(t *testing.T) {
+	// Dictionary grew between chunks: later chunks carry longer histograms.
+	c1 := SketchCategoricalChunk(ChunkSketch{}, []int32{0, 1, 0}, 2)
+	c2 := SketchCategoricalChunk(c1, []int32{3, 0, 2}, 4)
+	m := MergeSketches([]ChunkSketch{c1, c2}, true)
+	want := []int64{3, 1, 1, 1}
+	if len(m.Hist) != len(want) {
+		t.Fatalf("hist = %v, want %v", m.Hist, want)
+	}
+	for i := range want {
+		if m.Hist[i] != want[i] {
+			t.Fatalf("hist = %v, want %v", m.Hist, want)
+		}
+	}
+	if m.Count != 6 || m.Nulls != 0 || m.Rows != 6 {
+		t.Errorf("merged counts: %+v", m)
+	}
+}
+
+func TestMergeSketchesNumericExtremaAndHist(t *testing.T) {
+	chunks := chunkUp([]float64{1, 2, 3, 4, 100, 200, 300, 400}, []int{4, 4})
+	m := MergeSketches(chunks, false)
+	if m.Min != 1 || m.Max != 400 {
+		t.Errorf("extrema: %+v", m)
+	}
+	var total int64
+	for _, n := range m.Hist {
+		total += n
+	}
+	if total != 8 {
+		t.Errorf("merged hist total = %d, want 8", total)
+	}
+	if len(m.Hist) != SketchHistBins {
+		t.Errorf("merged hist bins = %d", len(m.Hist))
+	}
+}
+
+func TestMergeSketchesEmpty(t *testing.T) {
+	m := MergeSketches(nil, false)
+	if m.Rows != 0 || m.Hist != nil || !math.IsNaN(m.Min) || !math.IsNaN(m.Mean()) {
+		t.Errorf("empty merge: %+v", m)
+	}
+	one := MergeSketches([]ChunkSketch{SketchNumericChunk(ChunkSketch{}, nil)}, false)
+	if one.Rows != 0 || one.Hist != nil {
+		t.Errorf("zero-row chunk merge: %+v", one)
+	}
+}
+
+func TestSketchDegenerateRangeHist(t *testing.T) {
+	s := SketchNumericChunk(ChunkSketch{}, []float64{5, 5, 5})
+	if s.Hist[0] != 3 {
+		t.Errorf("constant column hist = %v, want all in bucket 0", s.Hist)
+	}
+	inf := SketchNumericChunk(ChunkSketch{}, []float64{math.Inf(-1), 0, math.Inf(1)})
+	var total int64
+	for _, n := range inf.Hist {
+		total += n
+	}
+	if total != 3 {
+		t.Errorf("infinite-span hist total = %d, want 3", total)
+	}
+}

@@ -14,7 +14,7 @@
 //
 // Quick start:
 //
-//	session, err := ziggy.NewSession(ziggy.DefaultConfig())
+//	session, err := ziggy.New(ziggy.DefaultConfig())
 //	...
 //	session.Register(ziggy.USCrimeData(42))
 //	report, err := session.Characterize(
@@ -77,7 +77,7 @@ type (
 	CacheSnapshot = memo.Snapshot
 
 	// ReportCache is the shared content-addressed report memo. One cache
-	// serves every shard of a session's router, and NewSessionShared
+	// serves every shard of a session's router, and WithSharedCache
 	// attaches several sessions to the same cache so they serve each
 	// other's repeat queries.
 	ReportCache = core.ReportCache
@@ -86,7 +86,7 @@ type (
 	Router = shard.Router
 	// Backend is one shard behind the router: an in-process engine or a
 	// remote worker process — the transport-agnostic boundary the router
-	// fans out over. See NewSessionPeers and NewSessionBackends.
+	// fans out over. See WithPeers and WithBackends.
 	Backend = shard.Backend
 	// ShardStats is the aggregated snapshot of a sharded serving layer:
 	// per-shard traffic and prepared-cache counters plus the shared report
@@ -170,10 +170,53 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // frames and selections.
 func NewEngine(cfg Config) (*Engine, error) { return core.New(cfg) }
 
+// CSVOptions configures CSV loading.
+type CSVOptions struct {
+	// Comma is the field delimiter; ',' when zero.
+	Comma rune
+	// MaxInferRows bounds how many data rows the type-inference pass
+	// examines. For LoadCSVOpts, 0 means all rows; for OpenCSV — which
+	// buffers only the inference window — 0 means csvio's DefaultInferRows
+	// (4096).
+	MaxInferRows int
+	// ForceCategorical lists column names that must be categorical even if
+	// all their values parse as numbers (e.g. zip codes).
+	ForceCategorical []string
+	// ChunkRows is the chunk capacity of the loaded frame, rounded up to a
+	// multiple of 64. For LoadCSVOpts, 0 keeps the flat default; OpenCSV
+	// always builds a chunked frame and treats 0 as the default capacity.
+	ChunkRows int
+}
+
+func (o CSVOptions) internal() csvio.Options {
+	return csvio.Options{
+		Comma:            o.Comma,
+		MaxInferRows:     o.MaxInferRows,
+		ForceCategorical: o.ForceCategorical,
+		ChunkRows:        o.ChunkRows,
+	}
+}
+
 // LoadCSV reads a CSV file with a header row into a Frame, inferring
 // numeric vs categorical column types.
 func LoadCSV(path string) (*Frame, error) {
 	return csvio.ReadFile(path, csvio.Options{})
+}
+
+// LoadCSVOpts is LoadCSV with options. It buffers the whole file, so the
+// inference pass may examine every row; use OpenCSV for bounded-memory
+// loading.
+func LoadCSVOpts(path string, opts CSVOptions) (*Frame, error) {
+	return csvio.ReadFile(path, opts.internal())
+}
+
+// OpenCSV streams a CSV file into a chunked Frame: only the type-inference
+// window (opts.MaxInferRows rows) is buffered, the rest of the file is
+// parsed record by record while chunks seal as they fill, and the loaded
+// frame arrives with its chunk fingerprints and stats sketches already
+// computed — ready for incremental Session.Append growth.
+func OpenCSV(path string, opts CSVOptions) (*Frame, error) {
+	return csvio.ReadFileStream(path, opts.internal())
 }
 
 // WriteCSV writes a Frame to a CSV file.
@@ -215,53 +258,101 @@ type Session struct {
 	router  *shard.Router
 }
 
-// NewSession validates cfg and creates an empty session running cfg.Shards
-// engine shards (0 = all CPUs) with a private shared report cache.
-func NewSession(cfg Config) (*Session, error) {
-	return NewSessionShared(cfg, nil)
+// Option configures New. Options compose: WithPeers and WithBackends
+// accumulate backends in call order, WithSharedCache attaches an external
+// report cache to whichever topology results.
+type Option func(*sessionConfig)
+
+type sessionConfig struct {
+	reports  *ReportCache
+	backends []Backend
 }
 
-// NewSessionShared is NewSession with an externally owned report cache.
-// Sessions attached to the same cache serve each other's repeat queries —
-// an identical query answered by any of them becomes a ~µs lookup for all,
-// and concurrent identical queries across them compute exactly once. nil
-// behaves like NewSession.
-func NewSessionShared(cfg Config, reports *ReportCache) (*Session, error) {
-	r, err := shard.NewWithCache(cfg, reports)
+// WithSharedCache attaches an externally owned report cache. Sessions
+// attached to the same cache serve each other's repeat queries — an
+// identical query answered by any of them becomes a ~µs lookup for all, and
+// concurrent identical queries across them compute exactly once. nil is the
+// default (a private cache).
+func WithSharedCache(reports *ReportCache) Option {
+	return func(sc *sessionConfig) { sc.reports = reports }
+}
+
+// WithPeers adds one remote worker backend (`ziggyd -worker`) per address,
+// routed by the same rendezvous hash over table content fingerprints the
+// in-process router uses. Tables ship to their owning worker once
+// (content-addressed), repeat queries are served from the workers' report
+// caches without re-shipping, and unreachable workers fail over along the
+// rendezvous ranking.
+func WithPeers(addrs ...string) Option {
+	return func(sc *sessionConfig) {
+		for _, addr := range addrs {
+			sc.backends = append(sc.backends, remote.NewClient(addr))
+		}
+	}
+}
+
+// WithBackends adds explicit backends — remote workers (NewWorkerBackend),
+// in-process engines (NewEngineBackend), or a mix.
+func WithBackends(backends ...Backend) Option {
+	return func(sc *sessionConfig) { sc.backends = append(sc.backends, backends...) }
+}
+
+// New validates cfg and creates an empty session. With no options it runs
+// cfg.Shards in-process engine shards (0 = all CPUs) behind a
+// consistent-hash router with a private shared report cache; WithPeers /
+// WithBackends replace the in-process shards with an explicit topology, and
+// WithSharedCache swaps in an externally owned report cache.
+func New(cfg Config, opts ...Option) (*Session, error) {
+	var sc sessionConfig
+	for _, opt := range opts {
+		opt(&sc)
+	}
+	var (
+		r   *shard.Router
+		err error
+	)
+	if len(sc.backends) > 0 {
+		r, err = shard.NewWithBackends(cfg, sc.reports, sc.backends)
+	} else {
+		r, err = shard.NewWithCache(cfg, sc.reports)
+	}
 	if err != nil {
 		return nil, err
 	}
 	return &Session{catalog: db.NewCatalog(), router: r}, nil
 }
 
+// NewSession creates a session with in-process shards and a private report
+// cache.
+//
+// Deprecated: use New(cfg).
+func NewSession(cfg Config) (*Session, error) {
+	return New(cfg)
+}
+
+// NewSessionShared is NewSession with an externally owned report cache.
+//
+// Deprecated: use New(cfg, WithSharedCache(reports)).
+func NewSessionShared(cfg Config, reports *ReportCache) (*Session, error) {
+	return New(cfg, WithSharedCache(reports))
+}
+
 // NewSessionPeers creates a session whose characterizations run on remote
-// worker processes (`ziggyd -worker`) instead of in-process shards: one
-// backend per address, routed by the same rendezvous hash over table
-// content fingerprints. Tables ship to their owning worker once
-// (content-addressed), repeat queries are served from the workers' report
-// caches without re-shipping, and unreachable workers fail over along the
-// rendezvous ranking.
+// worker processes.
+//
+// Deprecated: use New(cfg, WithPeers(peers...)).
 func NewSessionPeers(cfg Config, peers ...string) (*Session, error) {
 	if len(peers) == 0 {
 		return nil, fmt.Errorf("ziggy: no worker peers")
 	}
-	backends := make([]Backend, len(peers))
-	for i, addr := range peers {
-		backends[i] = remote.NewClient(addr)
-	}
-	return NewSessionBackends(cfg, nil, backends)
+	return New(cfg, WithPeers(peers...))
 }
 
-// NewSessionBackends creates a session over an explicit backend topology —
-// remote workers (NewWorkerBackend), in-process engines, or a mix. reports
-// is the shared pre-admission cache for in-process backends (nil = a fresh
-// one).
+// NewSessionBackends creates a session over an explicit backend topology.
+//
+// Deprecated: use New(cfg, WithSharedCache(reports), WithBackends(backends...)).
 func NewSessionBackends(cfg Config, reports *ReportCache, backends []Backend) (*Session, error) {
-	r, err := shard.NewWithBackends(cfg, reports, backends)
-	if err != nil {
-		return nil, err
-	}
-	return &Session{catalog: db.NewCatalog(), router: r}, nil
+	return New(cfg, WithSharedCache(reports), WithBackends(backends...))
 }
 
 // NewWorkerBackend returns a Backend that fronts the worker process at addr
@@ -290,6 +381,50 @@ func (s *Session) RegisterCSV(path string) (*Frame, error) {
 	}
 	return f, nil
 }
+
+// Append grows the named table with rows' rows. The schemas must match
+// exactly (column count, names, kinds, and order) or the append is rejected
+// loudly; an empty rows frame is a no-op. The grown table replaces the old
+// one under the same name, cached reports keyed to the old content are
+// dropped (other tables' entries are untouched), and — because the chunked
+// representation reuses the old table's sealed chunks — the next
+// characterization rescans only the rows past the last full chunk boundary.
+func (s *Session) Append(table string, rows *Frame) error {
+	base, ok := s.catalog.Table(table)
+	if !ok {
+		return fmt.Errorf("ziggy: append to unknown table %q", table)
+	}
+	grown, err := base.Append(rows)
+	if err != nil {
+		return fmt.Errorf("ziggy: %w", err)
+	}
+	if grown == base {
+		return nil // empty append: content unchanged, caches stay valid
+	}
+	if err := s.catalog.Register(grown); err != nil {
+		return err
+	}
+	s.router.InvalidateFrame(base.Fingerprint())
+	return nil
+}
+
+// Unregister drops the named table and purges the serving layer's cached
+// reports for its content (entries for other tables are untouched). It
+// reports whether the table was registered.
+func (s *Session) Unregister(name string) bool {
+	f, ok := s.catalog.Table(name)
+	if !ok {
+		return false
+	}
+	s.catalog.Unregister(name)
+	s.router.InvalidateFrame(f.Fingerprint())
+	return true
+}
+
+// Close releases the serving layer's transport resources (idle RPC
+// connections to remote workers); in-process shards need no teardown. The
+// session must not be used after Close.
+func (s *Session) Close() error { return s.router.Close() }
 
 // Tables lists registered table names.
 func (s *Session) Tables() []string { return s.catalog.TableNames() }
