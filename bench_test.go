@@ -26,6 +26,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/frame"
 	"repro/internal/hypo"
+	"repro/internal/remote"
 	"repro/internal/server"
 	"repro/internal/shard"
 	"repro/internal/stats"
@@ -745,5 +746,96 @@ func BenchmarkAppendCharacterize(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// BenchmarkRemoteAppendShip measures the chunk-granular transport on the
+// append lifecycle, over a real worker HTTP round trip. "delta" re-registers
+// a table that grew by a tail after its base already shipped: the two-phase
+// manifest negotiation finds the resident prefix and only the new chunk
+// crosses. "full" registers a from-scratch table of the same size every
+// iteration: the cold path, every chunk crossing. The shipB/op and chunks/op
+// metrics are read from the client's transport meters, so the gap between
+// the arms is exactly the wire traffic the delta protocol saves (~rows/tail
+// ×), independent of codec CPU noise.
+func BenchmarkRemoteAppendShip(b *testing.B) {
+	const rows, nCols, chunkRows, tailRows = 8192, 4, 1024, 512
+	buildCols := func(delta float64, lo, n int) []*frame.Column {
+		out := make([]*frame.Column, nCols)
+		for c := 0; c < nCols; c++ {
+			vals := make([]float64, n)
+			for i := range vals {
+				vals[i] = float64(((lo+i)*(c+3))%257) + delta
+			}
+			out[c] = frame.NewNumericColumn(fmt.Sprintf("m%d", c), vals)
+		}
+		return out
+	}
+	newTarget := func(b *testing.B) *remote.Client {
+		cfg := core.DefaultConfig()
+		cfg.Shards = 1
+		cfg.Parallelism = 1
+		router, err := shard.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(remote.NewWorker(router))
+		b.Cleanup(ts.Close)
+		c := remote.NewClient(ts.URL)
+		b.Cleanup(func() { c.Close() })
+		return c
+	}
+	shipMetrics := func(b *testing.B, c *remote.Client, start shard.ShardSnapshot) {
+		end := c.Snapshot()
+		b.ReportMetric(float64(end.BytesShipped-start.BytesShipped)/float64(b.N), "shipB/op")
+		b.ReportMetric(float64(end.ChunksShipped-start.ChunksShipped)/float64(b.N), "chunks/op")
+	}
+
+	b.Run("delta", func(b *testing.B) {
+		c := newTarget(b)
+		base, err := frame.NewChunked("ship", buildCols(0, 0, rows), chunkRows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.RegisterTable(base); err != nil {
+			b.Fatal(err)
+		}
+		start := c.Snapshot()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Each iteration appends a distinct tail (fresh fingerprint) onto
+			// the one shipped base; only the tail's chunk should cross.
+			tail, err := frame.NewChunked("ship", buildCols(float64(i+1), rows, tailRows), chunkRows)
+			if err != nil {
+				b.Fatal(err)
+			}
+			grown, err := base.Append(tail)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := c.RegisterTable(grown); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		shipMetrics(b, c, start)
+	})
+
+	b.Run("full", func(b *testing.B) {
+		c := newTarget(b)
+		start := c.Snapshot()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Distinct from the first row on: no resident prefix to adopt.
+			f, err := frame.NewChunked("ship", buildCols(float64(i)+0.25, 0, rows), chunkRows)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := c.RegisterTable(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		shipMetrics(b, c, start)
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"os/exec"
 	"path/filepath"
@@ -11,6 +12,11 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	ziggy "repro"
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/shard"
 )
 
 // TestTwoProcessSmoke is the end-to-end proof that the distribution layer
@@ -158,4 +164,122 @@ func postSmoke(t *testing.T, addr, body string) []byte {
 		t.Fatalf("characterize status %d: %s", resp.StatusCode, buf.String())
 	}
 	return buf.Bytes()
+}
+
+// TestTwoProcessAppendShipsChunks extends the smoke test to the delta
+// transport: a front session appends to a table already shipped to a real
+// worker process and the chunk/byte meters prove only the new chunks crossed
+// the wire — while the reports stay byte-identical to a purely local session.
+func TestTwoProcessAppendShipsChunks(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go toolchain not in PATH: %v", err)
+	}
+	bin := filepath.Join(t.TempDir(), "ziggyd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building ziggyd: %v\n%s", err, out)
+	}
+	workerAddr := startDaemon(t, bin, "-worker", "-addr", "127.0.0.1:0", "-shards", "1", "-parallelism", "1")
+
+	cfg := core.DefaultConfig()
+	cfg.Parallelism = 1
+	front, err := ziggy.New(cfg, ziggy.WithPeers(workerAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer front.Close()
+	local, err := ziggy.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A 10-chunk table at the minimum chunk capacity; the append adds one.
+	base := smokeTable(t, 0, 640)
+	tail := smokeTable(t, 640, 64)
+	for _, s := range []*ziggy.Session{front, local} {
+		if err := s.Register(base); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const query = "SELECT * FROM smoke WHERE c0 >= 0.5"
+	rep, err := front.Characterize(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localRep, err := local.Characterize(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(canonicalSmoke(rep.Report), canonicalSmoke(localRep.Report)) {
+		t.Error("cold two-process report diverged from the local session")
+	}
+	cold := shipMeter(t, front)
+	if cold.TablesShipped != 1 || cold.ChunksShipped != int64(base.NumChunks()) {
+		t.Fatalf("cold meters = %+v, want 1 table / %d chunks", cold, base.NumChunks())
+	}
+
+	for _, s := range []*ziggy.Session{front, local} {
+		if err := s.Append("smoke", tail); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err = front.Characterize(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localRep, err = local.Characterize(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(canonicalSmoke(rep.Report), canonicalSmoke(localRep.Report)) {
+		t.Error("post-append two-process report diverged from the local session")
+	}
+	warm := shipMeter(t, front)
+	if d := warm.ChunksShipped - cold.ChunksShipped; d != 1 {
+		t.Errorf("append shipped %d chunks over the real wire, want 1", d)
+	}
+	if d := warm.BytesShipped - cold.BytesShipped; d <= 0 || d >= cold.BytesShipped/4 {
+		t.Errorf("append shipped %d bytes (cold ship %d), want o(table size)", d, cold.BytesShipped)
+	}
+}
+
+// smokeTable builds rows [lo, lo+n) of a deterministic 3-column table at the
+// minimum chunk capacity, so separately built slices append seamlessly.
+func smokeTable(t *testing.T, lo, n int) *frame.Frame {
+	t.Helper()
+	cols := make([]*frame.Column, 0, 3)
+	for c := 0; c < 3; c++ {
+		vals := make([]float64, n)
+		for i := range vals {
+			r := lo + i
+			vals[i] = float64((r*(c+7)+r*r%101)%97) / 97
+		}
+		cols = append(cols, frame.NewNumericColumn(fmt.Sprintf("c%d", c), vals))
+	}
+	f, err := frame.NewChunked("smoke", cols, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// canonicalSmoke mirrors the remote package's canonical(): volatile fields
+// neutralized, then the deterministic wire encoding.
+func canonicalSmoke(rep *core.Report) []byte {
+	c := *rep
+	c.Timings = core.Timings{}
+	c.CacheHit = false
+	c.ReportCacheHit = false
+	return core.EncodeReport(&c)
+}
+
+// shipMeter returns the front's single remote shard snapshot.
+func shipMeter(t *testing.T, s *ziggy.Session) shard.ShardSnapshot {
+	t.Helper()
+	ss := s.ShardStats()
+	if len(ss.Shards) != 1 || ss.Shards[0].Kind != shard.KindRemote {
+		t.Fatalf("front shards = %+v, want exactly one remote", ss.Shards)
+	}
+	return ss.Shards[0]
 }

@@ -194,9 +194,14 @@ func (s *shell) execute(line string, out io.Writer) error {
 		printTier("prepared", totals.Prepared)
 		printTier("reports", totals.Reports)
 		for _, sh := range ss.Shards {
-			fmt.Fprintf(out, "shard %-3d requests=%d rejected=%d inflight=%d queued=%d prepared{hits=%d misses=%d entries=%d}\n",
+			fmt.Fprintf(out, "shard %-3d requests=%d rejected=%d inflight=%d queued=%d prepared{hits=%d misses=%d entries=%d}",
 				sh.Shard, sh.Requests, sh.Rejected, sh.Inflight, sh.Queued,
 				sh.Prepared.Hits, sh.Prepared.Misses, sh.Prepared.Entries)
+			if sh.Kind == "remote" {
+				fmt.Fprintf(out, " shipped{tables=%d chunks=%d bytes=%d}",
+					sh.TablesShipped, sh.ChunksShipped, sh.BytesShipped)
+			}
+			fmt.Fprintln(out)
 		}
 		return nil
 

@@ -229,6 +229,83 @@ func (f *Frame) ColumnValidWords(i int) []uint64 {
 	return f.cols[i].sealChunks(f.chunkRows).valid
 }
 
+// ChunkBounds returns the row range [start, end) of chunk j under the
+// frame's chunk capacity. Chunk starts are always multiples of the capacity
+// (itself a multiple of 64), so per-chunk validity bitmaps are word-aligned.
+func (f *Frame) ChunkBounds(j int) (start, end int) {
+	cr := f.ChunkRows()
+	start = j * cr
+	end = start + cr
+	if end > f.numRows {
+		end = f.numRows
+	}
+	return start, end
+}
+
+// FullChunks returns the number of boundary-complete chunks: the prefix of
+// the frame whose per-chunk metadata is final and therefore transplantable.
+// It equals NumChunks when the row count is chunk-aligned and NumChunks−1
+// when the last chunk is partial.
+func (f *Frame) FullChunks() int { return f.numRows / f.ChunkRows() }
+
+// AdoptChunkPrefix seeds every column's seal with the first fullChunks
+// sealed chunks of the corresponding base column, the cross-frame form of
+// what Append does for its own result: fingerprinting or sealing f
+// afterwards scans only the rows past the adopted prefix. The frames must
+// share schema and chunk capacity, both must span the prefix, and — because
+// chunk chains hash dictionary codes, not strings — a categorical base
+// column's dictionary must be a prefix of f's.
+//
+// The caller is responsible for content: adopting a prefix asserts that
+// base's cells over those chunks are identical to f's (verify with
+// ChunkFingerprints — chunk j's fingerprint commits to every cell through
+// j). Adopting a mismatched prefix yields a frame whose fingerprint and
+// sketches describe the base's cells, not f's.
+func (f *Frame) AdoptChunkPrefix(base *Frame, fullChunks int) error {
+	if fullChunks <= 0 {
+		return nil
+	}
+	cr := f.ChunkRows()
+	if base.ChunkRows() != cr {
+		return fmt.Errorf("frame: adopt prefix: chunk capacity %d, base has %d", cr, base.ChunkRows())
+	}
+	if len(base.cols) != len(f.cols) {
+		return fmt.Errorf("frame: adopt prefix: %d columns, base has %d", len(f.cols), len(base.cols))
+	}
+	rows := fullChunks * cr
+	if rows > f.numRows || rows > base.numRows {
+		return fmt.Errorf("frame: adopt prefix: %d chunks (%d rows) exceed %d/%d rows", fullChunks, rows, f.numRows, base.numRows)
+	}
+	for i, c := range f.cols {
+		bc := base.cols[i]
+		if bc.name != c.name || bc.kind != c.kind {
+			return fmt.Errorf("frame: adopt prefix: column %d is %s %q, base has %s %q",
+				i, c.kind, c.name, bc.kind, bc.name)
+		}
+		if c.kind == Categorical {
+			if len(bc.dict) > len(c.dict) {
+				return fmt.Errorf("frame: adopt prefix: column %q dictionary shrank from %d to %d values",
+					c.name, len(bc.dict), len(c.dict))
+			}
+			for code, v := range bc.dict {
+				if c.dict[code] != v {
+					return fmt.Errorf("frame: adopt prefix: column %q dictionary diverges at code %d (%q vs %q)",
+						c.name, code, c.dict[code], v)
+				}
+			}
+		}
+	}
+	for i, c := range f.cols {
+		s := base.cols[i].sealChunks(cr)
+		if len(s.chunks) < fullChunks || s.chunks[fullChunks-1].end != rows {
+			return fmt.Errorf("frame: adopt prefix: column %q base seal covers %d chunks, want %d full",
+				c.name, len(s.chunks), fullChunks)
+		}
+		c.seal.Store(&colSeal{chunkRows: s.chunkRows, chunks: s.chunks[:fullChunks:fullChunks]})
+	}
+	return nil
+}
+
 // ChunkFingerprints returns the sealed fingerprint of every chunk of column
 // i, in chunk order. Each is the column's payload hash chain snapshotted at
 // that chunk's end, so chunk j's fingerprint commits to the contents of

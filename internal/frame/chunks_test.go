@@ -364,3 +364,107 @@ func TestInvalidateFingerprintDropsSeals(t *testing.T) {
 		t.Error("sketch not resealed after invalidate")
 	}
 }
+
+// TestChunkBoundsAndFullChunks pins the chunk geometry helpers the
+// transport's manifest slicing relies on.
+func TestChunkBoundsAndFullChunks(t *testing.T) {
+	f := buildChunked(t, 150, 64) // chunks: [0,64) [64,128) [128,150)
+	want := [][2]int{{0, 64}, {64, 128}, {128, 150}}
+	for j, w := range want {
+		if s, e := f.ChunkBounds(j); s != w[0] || e != w[1] {
+			t.Errorf("ChunkBounds(%d) = [%d,%d), want [%d,%d)", j, s, e, w[0], w[1])
+		}
+	}
+	if got := f.FullChunks(); got != 2 {
+		t.Errorf("FullChunks = %d, want 2 (last chunk partial)", got)
+	}
+	exact := buildChunked(t, 128, 64)
+	if got := exact.FullChunks(); got != exact.NumChunks() {
+		t.Errorf("aligned FullChunks = %d, want NumChunks %d", got, exact.NumChunks())
+	}
+}
+
+// TestAdoptChunkPrefix pins the cross-frame seal transplant: after adopting
+// the base's full chunks, sealing the grown frame scans only the rows past
+// the prefix and every derived quantity matches a cold build.
+func TestAdoptChunkPrefix(t *testing.T) {
+	base := buildChunked(t, 128, 64)
+	whole := buildChunked(t, 300, 64) // shares the generator: identical prefix
+	cold := buildChunked(t, 300, 64)
+
+	base.Fingerprint() // warm the base's seal; adoption reuses it
+	before := ChunkScans()
+	if err := whole.AdoptChunkPrefix(base, 2); err != nil {
+		t.Fatal(err)
+	}
+	fp := whole.Fingerprint()
+	scans := ChunkScans() - before
+	// 300 rows / 64 = 5 chunks; 2 adopted, so each of the 2 columns scans 3.
+	if scans > 6 {
+		t.Errorf("adoption + fingerprint scanned %d chunks, want ≤ 6", scans)
+	}
+	if fp != cold.Fingerprint() {
+		t.Errorf("adopted fingerprint %x, cold build %x", fp, cold.Fingerprint())
+	}
+	for i := 0; i < whole.NumCols(); i++ {
+		if !reflect.DeepEqual(whole.ChunkFingerprints(i), cold.ChunkFingerprints(i)) {
+			t.Errorf("col %d: chunk fingerprints diverged after adoption", i)
+		}
+		if !reflect.DeepEqual(whole.ColumnValidWords(i), cold.ColumnValidWords(i)) {
+			t.Errorf("col %d: valid words diverged after adoption", i)
+		}
+	}
+
+	// Adopting zero (or fewer) chunks is a no-op, not an error.
+	if err := cold.AdoptChunkPrefix(base, 0); err != nil {
+		t.Errorf("zero-chunk adoption: %v", err)
+	}
+}
+
+// TestAdoptChunkPrefixRejectsMismatch covers the guard rails: capacity,
+// schema, span, and dictionary-prefix violations all refuse loudly.
+func TestAdoptChunkPrefixRejectsMismatch(t *testing.T) {
+	base := buildChunked(t, 128, 64)
+	f := buildChunked(t, 300, 64)
+
+	if err := f.AdoptChunkPrefix(buildChunked(t, 128, 128), 1); err == nil {
+		t.Error("capacity mismatch accepted")
+	}
+	if err := f.AdoptChunkPrefix(MustNew("e", nil), 1); err == nil {
+		t.Error("column-count mismatch accepted")
+	}
+	if err := f.AdoptChunkPrefix(base, 3); err == nil {
+		t.Error("prefix beyond the base accepted")
+	}
+	if err := base.AdoptChunkPrefix(f, 3); err == nil {
+		t.Error("prefix beyond the adopter accepted")
+	}
+
+	renamed, err := NewChunked("t", []*Column{
+		NewNumericColumn("y", make([]float64, 128)),
+		NewCategoricalColumn("c", make([]string, 128)),
+	}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AdoptChunkPrefix(renamed, 1); err == nil {
+		t.Error("column-name mismatch accepted")
+	}
+
+	// A base whose dictionary is not a prefix of the adopter's: its chunk
+	// chains hash different codes, so adoption must refuse.
+	strs := make([]string, 128)
+	for i := range strs {
+		strs[i] = fmt.Sprintf("w%d", i%13) // disjoint from buildChunked's v%d
+	}
+	divergent, err := NewChunked("t", []*Column{
+		NewNumericColumn("x", make([]float64, 128)),
+		NewCategoricalColumn("c", strs),
+	}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AdoptChunkPrefix(divergent, 1); err == nil {
+		t.Error("divergent dictionary accepted")
+	}
+}

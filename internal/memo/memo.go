@@ -247,6 +247,22 @@ func (c *Cache[K, V]) RemoveIf(pred func(K) bool) int {
 	return removed
 }
 
+// Each calls fn for every resident entry in recency order (most recent
+// first) until fn returns false, without touching recency or the counters.
+// fn runs under the cache lock: it must be cheap and must not call back
+// into the cache — collect what you need and return. The remote worker uses
+// this to scan its table store for delta-ship prefix candidates.
+func (c *Cache[K, V]) Each(fn func(K, V) bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry[K, V])
+		if !fn(e.key, e.val) {
+			return
+		}
+	}
+}
+
 // Purge drops every cached entry. In-flight computations are unaffected and
 // insert their results when they finish. Purged entries do not count as
 // evictions.

@@ -261,3 +261,51 @@ func TestOutcomeString(t *testing.T) {
 		}
 	}
 }
+
+// TestEach covers the locked iteration: recency order (most recent first),
+// early stop, and visibility of every resident entry.
+func TestEach(t *testing.T) {
+	c := New[int, string](8, 0)
+	for i := 1; i <= 3; i++ {
+		c.Do(i, func(string) int64 { return 1 }, func() (string, error) {
+			return fmt.Sprintf("v%d", i), nil
+		})
+	}
+	c.Get(1) // bump 1 to most recent
+
+	var keys []int
+	c.Each(func(k int, v string) bool {
+		if want := fmt.Sprintf("v%d", k); v != want {
+			t.Errorf("key %d carries %q, want %q", k, v, want)
+		}
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != 3 || keys[0] != 1 {
+		t.Errorf("iteration order %v, want most-recent (1) first and all 3 entries", keys)
+	}
+
+	var visited int
+	c.Each(func(int, string) bool {
+		visited++
+		return false
+	})
+	if visited != 1 {
+		t.Errorf("early stop visited %d entries, want 1", visited)
+	}
+
+	// Iterating must not perturb recency: 1 is still the freshest, so
+	// inserting past the bound evicts the oldest (2), not it.
+	small := New[int, string](2, 0)
+	small.Do(1, func(string) int64 { return 1 }, func() (string, error) { return "a", nil })
+	small.Do(2, func(string) int64 { return 1 }, func() (string, error) { return "b", nil })
+	small.Get(1)
+	small.Each(func(int, string) bool { return true })
+	small.Do(3, func(string) int64 { return 1 }, func() (string, error) { return "c", nil })
+	if _, ok := small.Get(1); !ok {
+		t.Error("iteration perturbed recency: 1 was evicted")
+	}
+	if _, ok := small.Get(2); ok {
+		t.Error("LRU victim 2 survived")
+	}
+}

@@ -9,12 +9,12 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/frame"
+	"repro/internal/memo"
 	"repro/internal/shard"
 )
 
@@ -24,20 +24,28 @@ import (
 const probeTimeout = 3 * time.Second
 
 // Client is the RPC shard.Backend: it fronts one worker process over
-// HTTP. Tables ship at most once per client (content-addressed by
-// fingerprint; a worker restart is detected by its unknown-fingerprint
-// response and healed by re-shipping once), cache probes cross the process
-// boundary by fingerprint alone, and transport failures surface as
-// shard.ErrBackendUnavailable so the router fails over along the
-// rendezvous ranking. Safe for concurrent use.
+// HTTP. Tables ship at most once per client and at chunk granularity
+// (content-addressed by fingerprint down to per-chunk chain fingerprints:
+// an append ships only the new chunks; a worker restart is detected by its
+// unknown-fingerprint response and healed by re-shipping what was lost),
+// cache probes cross the process boundary by fingerprint alone, and
+// transport failures surface as shard.ErrBackendUnavailable so the router
+// fails over along the rendezvous ranking. Safe for concurrent use.
 type Client struct {
 	addr string
 	hc   *http.Client
 
-	mu      sync.Mutex
-	shipped map[uint64]bool
+	// shipped remembers which fingerprints this client has registered on
+	// the worker, LRU-bounded to the same default entry budget as the
+	// worker's table store — a long-lived front churning through tables
+	// cannot leak tracking state past what the worker could even hold. An
+	// aged-out entry costs one redundant manifest round-trip (the worker
+	// answers "registered", no chunks ship), never a re-ship.
+	shipped *memo.Cache[uint64, struct{}]
 
 	tablesShipped atomic.Int64
+	chunksShipped atomic.Int64
+	bytesShipped  atomic.Int64
 	// healthy tracks the last transport outcome for stats; it never gates
 	// requests (every request finds out for itself).
 	healthy atomic.Bool
@@ -49,10 +57,11 @@ func NewClient(addr string) *Client {
 	if !strings.Contains(addr, "://") {
 		addr = "http://" + addr
 	}
+	entries, _ := core.DefaultConfig().EffectiveCacheBounds()
 	c := &Client{
 		addr:    strings.TrimRight(addr, "/"),
 		hc:      &http.Client{},
-		shipped: make(map[uint64]bool),
+		shipped: memo.New[uint64, struct{}](entries, 0),
 	}
 	c.healthy.Store(true)
 	return c
@@ -102,31 +111,82 @@ func errorMessage(resp *http.Response) string {
 // worker side is content-addressed too, so concurrent fronts shipping the
 // same table cost one store, not a conflict.
 func (c *Client) RegisterTable(f *frame.Frame) error {
-	fp := f.Fingerprint()
-	c.mu.Lock()
-	done := c.shipped[fp]
-	c.mu.Unlock()
-	if done {
+	if _, done := c.shipped.Get(f.Fingerprint()); done {
 		return nil
 	}
 	return c.register(f)
 }
 
-// register unconditionally ships f and marks it shipped.
+// markShipped records fp in the bounded shipped set.
+func (c *Client) markShipped(fp uint64) {
+	c.shipped.Do(fp, func(struct{}) int64 { return 1 }, func() (struct{}, error) { return struct{}{}, nil })
+}
+
+// forgetShipped drops fp from the shipped set (the worker proved it no
+// longer holds the table, or this front superseded it).
+func (c *Client) forgetShipped(fp uint64) {
+	c.shipped.RemoveIf(func(k uint64) bool { return k == fp })
+}
+
+// register negotiates f onto the worker: POST the chunk manifest, then
+// stream exactly the chunk ranges the worker reports missing — none when
+// the fingerprint is known, the post-prefix suffix when the worker holds an
+// earlier version of the table, everything when it is cold. A 409 from the
+// chunk phase means the negotiation went stale under us (the prefix base
+// was evicted between the phases); renegotiate once from scratch.
 func (c *Client) register(f *frame.Frame) error {
-	resp, err := c.post(nil, PathRegister, EncodeFrame(f))
+	manifest := EncodeManifest(BuildManifest(f))
+	for attempt := 0; ; attempt++ {
+		nr, err := c.negotiate(manifest)
+		if err != nil {
+			return err
+		}
+		if nr.Registered {
+			break
+		}
+		body, err := EncodeChunks(f, nr.Missing)
+		if err != nil {
+			return fmt.Errorf("remote: worker %s sent unusable missing ranges: %w", c.addr, err)
+		}
+		resp, err := c.post(nil, PathChunks, body)
+		if err != nil {
+			return c.unavailable(err)
+		}
+		if resp.StatusCode == http.StatusConflict && attempt == 0 {
+			resp.Body.Close()
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			defer resp.Body.Close()
+			return fmt.Errorf("remote: worker %s rejected chunk stream: %s", c.addr, errorMessage(resp))
+		}
+		resp.Body.Close()
+		nChunks, _ := CountChunks(nr.Missing, f.NumChunks())
+		c.tablesShipped.Add(1)
+		c.chunksShipped.Add(int64(nChunks))
+		c.bytesShipped.Add(int64(len(body)))
+		break
+	}
+	c.markShipped(f.Fingerprint())
+	return nil
+}
+
+// negotiate runs the manifest phase and returns the worker's answer.
+func (c *Client) negotiate(manifest []byte) (ManifestResponse, error) {
+	resp, err := c.post(nil, PathManifest, manifest)
 	if err != nil {
-		return c.unavailable(err)
+		return ManifestResponse{}, c.unavailable(err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("remote: worker %s rejected table registration: %s", c.addr, errorMessage(resp))
+		return ManifestResponse{}, fmt.Errorf("remote: worker %s rejected table manifest: %s", c.addr, errorMessage(resp))
 	}
-	c.tablesShipped.Add(1)
-	c.mu.Lock()
-	c.shipped[f.Fingerprint()] = true
-	c.mu.Unlock()
-	return nil
+	var nr ManifestResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(&nr); err != nil {
+		return ManifestResponse{}, c.unavailable(fmt.Errorf("manifest response: %w", err))
+	}
+	c.bytesShipped.Add(int64(len(manifest)))
+	return nr, nil
 }
 
 // Characterize runs the request on the worker. An unknown-fingerprint
@@ -143,9 +203,10 @@ func (c *Client) Characterize(f *frame.Frame, sel *frame.Bitmap, opts core.Optio
 	rep, retry, err := c.characterizeOnce(body)
 	if retry {
 		// The worker lost the table (restart); our shipped-set was stale.
-		c.mu.Lock()
-		delete(c.shipped, f.Fingerprint())
-		c.mu.Unlock()
+		// Re-registering heals it, and heals it incrementally: the manifest
+		// phase discovers what the worker still holds, so only the lost
+		// chunk ranges cross the wire again.
+		c.forgetShipped(f.Fingerprint())
 		if err := c.register(f); err != nil {
 			return nil, err
 		}
@@ -234,6 +295,8 @@ func (c *Client) Snapshot() shard.ShardSnapshot {
 		Kind:          shard.KindRemote,
 		Addr:          c.addr,
 		TablesShipped: c.tablesShipped.Load(),
+		ChunksShipped: c.chunksShipped.Load(),
+		BytesShipped:  c.bytesShipped.Load(),
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
 	defer cancel()
@@ -301,10 +364,26 @@ func (c *Client) Healthy() error {
 // (and may serve other fronts).
 func (c *Client) InvalidateCaches() {}
 
-// InvalidateFrame is a no-op for the same reason: a dropped table's
-// fingerprint becomes unreachable through this front, and the worker's LRU
-// ages the entries out on its own.
-func (c *Client) InvalidateFrame(uint64) {}
+// InvalidateFrame tells the worker to drop the derived cache entries
+// (reports, prepared structures) of a fingerprint this front's table
+// lifecycle just superseded — Unregister and Append call it through the
+// router, so an appended table's old reports don't squat the worker's
+// caches until table-store eviction. The worker keeps the stored table
+// itself (it is the delta base for the successor's registration) and other
+// fronts recompute identical bytes on demand, so this is scoped precisely
+// to what the re-registration supersedes. Best-effort: an unreachable
+// worker has nothing worth invalidating.
+func (c *Client) InvalidateFrame(fp uint64) {
+	c.forgetShipped(fp)
+	ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+	defer cancel()
+	resp, err := c.post(ctx, PathInvalidate, EncodeInvalidate(fp))
+	if err != nil {
+		c.healthy.Store(false)
+		return
+	}
+	resp.Body.Close()
+}
 
 // Close drops idle transport connections.
 func (c *Client) Close() error {

@@ -8,10 +8,10 @@ import (
 	"repro/internal/frame"
 )
 
-// fuzzFrames builds the seed tables for FuzzFrameCodec: the corruption
-// fixture, a zero-column frame, and chunked layouts — multi-chunk at the
-// minimum capacity, a boundary-exact row count, and an appended frame whose
-// seal was built incrementally.
+// fuzzFrames builds the seed tables for the transport fuzzers: the
+// corruption fixture, a zero-column frame, and chunked layouts — multi-chunk
+// at the minimum capacity, a boundary-exact row count, and an appended frame
+// whose seal was built incrementally.
 func fuzzFrames() []*frame.Frame {
 	cat, err := frame.NewCategoricalColumnFromCodes("city",
 		[]int32{2, -1, 0, 1, 2}, []string{"zzz", "aaa", "mmm"})
@@ -55,35 +55,80 @@ func fuzzFrames() []*frame.Frame {
 	return []*frame.Frame{flat, frame.MustNew("empty", nil), chunked, exact, appended}
 }
 
-// FuzzFrameCodec hammers the table-shipping decoder: arbitrary bytes must
-// either be rejected or decode into a frame that reproduces the sender's
-// fingerprint and re-encodes canonically.
-func FuzzFrameCodec(f *testing.F) {
+// FuzzManifestCodec hammers the registration-offer decoder: arbitrary bytes
+// must either be rejected or decode into a manifest that re-encodes
+// canonically.
+func FuzzManifestCodec(f *testing.F) {
 	f.Add([]byte{})
 	var full []byte
 	for _, fr := range fuzzFrames() {
-		enc := EncodeFrame(fr)
+		enc := EncodeManifest(BuildManifest(fr))
 		f.Add(enc)
 		full = enc
 	}
 	// Mild corruptions steer the fuzzer toward deep field boundaries
 	// instead of dying on the magic check: a truncation, a chunk-capacity
-	// mangle (byte 4+len("name")-ish lands in the chunkRows field for the
-	// appended seed), and a stale version header on a current body.
+	// mangle, and a stale version header on a current body.
 	f.Add(full[:len(full)-2])
 	mangled := append([]byte(nil), full...)
 	mangled[20] ^= 0x40
 	f.Add(mangled)
-	f.Add(append([]byte("ZGF\x02"), full[4:]...))
+	f.Add(append([]byte("ZGM\x02"), full[4:]...))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		dec, err := DecodeFrame(data)
+		m, err := DecodeManifest(data)
 		if err != nil {
 			return // rejection is fine; panics and false accepts are not
 		}
-		// An accepted payload passed the fingerprint integrity check; the
-		// decoded frame must re-encode to exactly the accepted bytes.
-		if again := EncodeFrame(dec); !bytes.Equal(again, data) {
-			t.Fatalf("accepted payload is not canonical:\n in: %x\nout: %x", data, again)
+		if again := EncodeManifest(m); !bytes.Equal(again, data) {
+			t.Fatalf("accepted manifest is not canonical:\n in: %x\nout: %x", data, again)
+		}
+	})
+}
+
+// FuzzChunkCodec hammers the chunk-stream decoder against a fixed manifest:
+// arbitrary bytes must either be rejected or decode into chunk payloads
+// whose chains match the manifest's commitments and which re-encode
+// canonically.
+func FuzzChunkCodec(f *testing.F) {
+	frames := fuzzFrames()
+	ref := frames[2] // the multi-chunk table
+	m := BuildManifest(ref)
+	f.Add([]byte{})
+	for _, fr := range frames {
+		if fr.NumChunks() == 0 {
+			continue
+		}
+		enc, err := EncodeChunks(fr, []ChunkRange{{Start: 0, End: fr.NumChunks()}})
+		if err != nil {
+			panic(err)
+		}
+		f.Add(enc)
+	}
+	partial, err := EncodeChunks(ref, []ChunkRange{{Start: 1, End: 3}})
+	if err != nil {
+		panic(err)
+	}
+	f.Add(partial)
+	f.Add(partial[:len(partial)-2])
+	mangled := append([]byte(nil), partial...)
+	mangled[30] ^= 0x08
+	f.Add(mangled)
+	f.Add(append([]byte("ZGC\x02"), partial[4:]...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		chunks, err := DecodeChunks(data, m)
+		if err != nil {
+			return
+		}
+		for _, p := range chunks {
+			for i, cc := range p.Cols {
+				if cc.Chain != m.Cols[i].Chains[p.Index] {
+					t.Fatalf("accepted chunk %d col %d with chain %#x, manifest committed %#x",
+						p.Index, i, cc.Chain, m.Cols[i].Chains[p.Index])
+				}
+			}
+		}
+		if again := EncodeChunkPayloads(m.Fingerprint, chunks); !bytes.Equal(again, data) {
+			t.Fatalf("accepted chunk stream is not canonical:\n in: %x\nout: %x", data, again)
 		}
 	})
 }

@@ -504,8 +504,8 @@ func TestRemoteSaturationMapsRetryAfter(t *testing.T) {
 			w.WriteHeader(http.StatusNoContent)
 			return
 		}
-		if strings.HasSuffix(r.URL.Path, PathRegister) {
-			writeJSON(w, http.StatusOK, RegisterResponse{Fingerprint: "0x1", Registered: true})
+		if strings.HasSuffix(r.URL.Path, PathManifest) {
+			writeJSON(w, http.StatusOK, ManifestResponse{Fingerprint: "0x1", Registered: true})
 			return
 		}
 		w.Header().Set("Retry-After", "2")
@@ -561,8 +561,24 @@ func TestWorkerEndpointValidation(t *testing.T) {
 	if resp, err := http.Get(ts.URL + PathCharacterize); err != nil || resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET characterize status %v %v", resp.StatusCode, err)
 	}
-	if resp := post(PathRegister, []byte("garbage")); resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("garbage register status %d", resp.StatusCode)
+	if resp := post(PathManifest, []byte("garbage")); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage manifest status %d", resp.StatusCode)
+	}
+	if resp := post(PathChunks, []byte("garbage")); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage chunks status %d", resp.StatusCode)
+	}
+	if resp := post(PathInvalidate, []byte("garbage")); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage invalidate status %d", resp.StatusCode)
+	}
+	// A well-formed chunk stream with no pending negotiation is a conflict:
+	// the front must renegotiate, never blind-write.
+	orphan, _ := testTable(t, 41)
+	stream, err := EncodeChunks(orphan, []ChunkRange{{Start: 0, End: orphan.NumChunks()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := post(PathChunks, stream); resp.StatusCode != http.StatusConflict {
+		t.Errorf("orphan chunk stream status %d, want 409", resp.StatusCode)
 	}
 	if resp := post(PathCharacterize, []byte("garbage")); resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("garbage characterize status %d", resp.StatusCode)

@@ -8,21 +8,25 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/frame"
 	"repro/internal/memo"
 	"repro/internal/shard"
+	"repro/internal/wire"
 )
 
 // Worker endpoint paths, mounted by ziggyd -worker (and by tests directly).
 const (
 	PathHealth       = "/api/worker/health"
 	PathStats        = "/api/worker/stats"
-	PathRegister     = "/api/worker/register"
+	PathManifest     = "/api/worker/manifest"
+	PathChunks       = "/api/worker/chunks"
 	PathCharacterize = "/api/worker/characterize"
 	PathCached       = "/api/worker/cached"
+	PathInvalidate   = "/api/worker/invalidate"
 )
 
 // RetryAfterMillisHeader carries the saturation backoff hint at millisecond
@@ -34,11 +38,12 @@ const maxBodyBytes = 1 << 30
 
 // Worker serves the shard.Backend operations over HTTP for one process: a
 // content-addressed table store feeding the process's own shard.Router.
-// Tables arrive once (register is a no-op on a known fingerprint),
-// characterize and cache-probe requests address them by fingerprint, and
-// admission control is the router's — a saturated worker sheds with 503 and
-// a Retry-After hint exactly like an in-process shard sheds with
-// ErrSaturated.
+// Tables arrive chunk-by-chunk through the two-phase manifest/chunks
+// negotiation (a known fingerprint ships nothing; a resident prefix version
+// ships only the suffix), characterize and cache-probe requests address
+// them by fingerprint, and admission control is the router's — a saturated
+// worker sheds with 503 and a Retry-After hint exactly like an in-process
+// shard sheds with ErrSaturated.
 //
 // The table store is LRU-bounded by the router's configured cache budget,
 // like every other tier in the system: a long-running worker fed many
@@ -49,19 +54,45 @@ type Worker struct {
 	router *shard.Router
 	mux    *http.ServeMux
 	tables *memo.Cache[uint64, *frame.Frame]
+
+	// pending holds open manifest negotiations keyed by table fingerprint:
+	// the manifest plus the prefix offer the worker made. Entries are tiny
+	// (no cells) and short-lived — resolved by the chunk stream, replaced by
+	// a re-negotiation, or evicted FIFO past maxPending.
+	pendMu    sync.Mutex
+	pending   map[uint64]pendingShip
+	pendOrder []uint64
 }
+
+// pendingShip is one open negotiation: what the front offered and what the
+// worker asked for.
+type pendingShip struct {
+	manifest     Manifest
+	baseFP       uint64 // resident prefix frame to adopt from; 0 = none
+	prefixChunks int
+	missing      []ChunkRange
+}
+
+// maxPending bounds concurrently open negotiations.
+const maxPending = 64
 
 // NewWorker wraps a router (typically a fresh local one: the worker's own
 // shards) in the worker HTTP API.
 func NewWorker(router *shard.Router) *Worker {
 	entries, bytes := router.Config().EffectiveCacheBounds()
-	w := &Worker{router: router, tables: memo.New[uint64, *frame.Frame](entries, bytes)}
+	w := &Worker{
+		router:  router,
+		tables:  memo.New[uint64, *frame.Frame](entries, bytes),
+		pending: make(map[uint64]pendingShip),
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc(PathHealth, w.handleHealth)
 	mux.HandleFunc(PathStats, w.handleStats)
-	mux.HandleFunc(PathRegister, w.handleRegister)
+	mux.HandleFunc(PathManifest, w.handleManifest)
+	mux.HandleFunc(PathChunks, w.handleChunks)
 	mux.HandleFunc(PathCharacterize, w.handleCharacterize)
 	mux.HandleFunc(PathCached, w.handleCached)
+	mux.HandleFunc(PathInvalidate, w.handleInvalidate)
 	w.mux = mux
 	return w
 }
@@ -145,7 +176,8 @@ func (w *Worker) handleStats(rw http.ResponseWriter, r *http.Request) {
 	writeJSON(rw, http.StatusOK, StatsResponse{Tables: w.NumTables(), Stats: w.router.Stats()})
 }
 
-// RegisterResponse is the register endpoint body.
+// RegisterResponse is the chunk-stream endpoint body, completing a
+// registration.
 type RegisterResponse struct {
 	// Fingerprint is the registered table's content fingerprint, as the
 	// worker computed it (hex).
@@ -155,22 +187,189 @@ type RegisterResponse struct {
 	Registered bool `json:"registered"`
 }
 
-func (w *Worker) handleRegister(rw http.ResponseWriter, r *http.Request) {
+// setPending records an open negotiation, evicting the oldest past the
+// bound; a re-negotiation for the same fingerprint replaces in place.
+func (w *Worker) setPending(fp uint64, p pendingShip) {
+	w.pendMu.Lock()
+	defer w.pendMu.Unlock()
+	if _, ok := w.pending[fp]; !ok {
+		if len(w.pendOrder) >= maxPending {
+			delete(w.pending, w.pendOrder[0])
+			w.pendOrder = w.pendOrder[1:]
+		}
+		w.pendOrder = append(w.pendOrder, fp)
+	}
+	w.pending[fp] = p
+}
+
+func (w *Worker) takePending(fp uint64) (pendingShip, bool) {
+	w.pendMu.Lock()
+	defer w.pendMu.Unlock()
+	p, ok := w.pending[fp]
+	return p, ok
+}
+
+func (w *Worker) dropPending(fp uint64) {
+	w.pendMu.Lock()
+	defer w.pendMu.Unlock()
+	if _, ok := w.pending[fp]; !ok {
+		return
+	}
+	delete(w.pending, fp)
+	for i, k := range w.pendOrder {
+		if k == fp {
+			w.pendOrder = append(w.pendOrder[:i], w.pendOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// storeFrame registers an assembled frame in the table store and builds the
+// completion response.
+func (w *Worker) storeFrame(f *frame.Frame) RegisterResponse {
+	fp := f.Fingerprint()
+	_, outcome, _ := w.tables.Do(fp, frameSize, func() (*frame.Frame, error) { return f, nil })
+	return RegisterResponse{Fingerprint: fmt.Sprintf("%#x", fp), Registered: outcome == memo.Miss}
+}
+
+// handleManifest answers phase one of a registration: given the chunk
+// manifest, report which chunk ranges this worker is missing. A known
+// fingerprint needs nothing; otherwise the store is scanned for the longest
+// resident prefix version (typically the pre-append table, still resident
+// under its old fingerprint) and only the suffix is requested.
+func (w *Worker) handleManifest(rw http.ResponseWriter, r *http.Request) {
 	body, ok := readBody(rw, r)
 	if !ok {
 		return
 	}
-	f, err := DecodeFrame(body)
+	m, err := DecodeManifest(body)
 	if err != nil {
 		writeError(rw, http.StatusBadRequest, err)
 		return
 	}
-	fp := f.Fingerprint()
-	_, outcome, _ := w.tables.Do(fp, frameSize, func() (*frame.Frame, error) { return f, nil })
-	writeJSON(rw, http.StatusOK, RegisterResponse{
-		Fingerprint: fmt.Sprintf("%#x", fp),
-		Registered:  outcome == memo.Miss,
+	fpHex := fmt.Sprintf("%#x", m.Fingerprint)
+	if _, ok := w.table(m.Fingerprint); ok {
+		writeJSON(rw, http.StatusOK, ManifestResponse{Fingerprint: fpHex, Registered: true})
+		return
+	}
+	// Collect candidates under the store lock, match outside it: sealing a
+	// cold candidate's chunks is column-scan work.
+	type candidate struct {
+		fp uint64
+		f  *frame.Frame
+	}
+	var cands []candidate
+	w.tables.Each(func(fp uint64, f *frame.Frame) bool {
+		cands = append(cands, candidate{fp, f})
+		return true
 	})
+	var baseFP uint64
+	prefix := 0
+	for _, c := range cands {
+		if k := matchPrefix(m, c.f); k > prefix {
+			prefix, baseFP = k, c.fp
+		}
+	}
+	numChunks := m.NumChunks()
+	if prefix == numChunks {
+		// Every chunk is already resident (an empty table, or a truncation
+		// of a resident table to a chunk boundary): assemble without a
+		// stream.
+		var base *frame.Frame
+		if prefix > 0 {
+			base, _ = w.table(baseFP)
+		}
+		f, err := AssembleFrame(m, base, prefix, nil)
+		if err != nil {
+			writeError(rw, http.StatusBadRequest, err)
+			return
+		}
+		w.storeFrame(f)
+		writeJSON(rw, http.StatusOK, ManifestResponse{Fingerprint: fpHex, Registered: true, PrefixChunks: prefix})
+		return
+	}
+	missing := []ChunkRange{{Start: prefix, End: numChunks}}
+	w.setPending(m.Fingerprint, pendingShip{manifest: m, baseFP: baseFP, prefixChunks: prefix, missing: missing})
+	writeJSON(rw, http.StatusOK, ManifestResponse{
+		Fingerprint:  fpHex,
+		PrefixChunks: prefix,
+		Missing:      missing,
+	})
+}
+
+// handleChunks completes phase two: decode the streamed chunks against the
+// pending manifest, splice them onto the adopted prefix, and register the
+// verified frame. A missing negotiation or an evicted prefix base answers
+// 409 so the front renegotiates from scratch; a payload that fails any
+// integrity check answers 400.
+func (w *Worker) handleChunks(rw http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(rw, r)
+	if !ok {
+		return
+	}
+	if err := wire.CheckMagic(body, chunksMagic, decodingChunks); err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	hdr := &wire.Reader{What: decodingChunks, B: body, Off: 4}
+	fp := hdr.U64()
+	if hdr.Err != nil {
+		writeError(rw, http.StatusBadRequest, hdr.Err)
+		return
+	}
+	pend, ok := w.takePending(fp)
+	if !ok {
+		writeError(rw, http.StatusConflict, fmt.Errorf("no pending registration for table %#x; send its manifest first", fp))
+		return
+	}
+	var base *frame.Frame
+	if pend.baseFP != 0 {
+		if base, ok = w.table(pend.baseFP); !ok {
+			// The prefix offer went stale between the phases (LRU eviction);
+			// drop the negotiation and make the front start over.
+			w.dropPending(fp)
+			writeError(rw, http.StatusConflict, fmt.Errorf("prefix base %#x for table %#x is no longer resident; renegotiate", pend.baseFP, fp))
+			return
+		}
+	}
+	chunks, err := DecodeChunks(body, pend.manifest)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	f, err := AssembleFrame(pend.manifest, base, pend.prefixChunks, chunks)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	resp := w.storeFrame(f)
+	w.dropPending(fp)
+	writeJSON(rw, http.StatusOK, resp)
+}
+
+// InvalidateResponse is the invalidate endpoint body.
+type InvalidateResponse struct {
+	Fingerprint string `json:"fingerprint"`
+}
+
+// handleInvalidate drops the derived cache entries (reports, prepared
+// structures) of one fingerprint — what a front's Unregister/Append
+// supersedes. The stored table itself stays resident: it is exactly the
+// prefix base the successor registration's delta ship wants, and other
+// fronts still serving the old content re-derive identical bytes on demand,
+// so cross-front coherence is unaffected.
+func (w *Worker) handleInvalidate(rw http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(rw, r)
+	if !ok {
+		return
+	}
+	fp, err := DecodeInvalidate(body)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	w.router.InvalidateFrame(fp)
+	writeJSON(rw, http.StatusOK, InvalidateResponse{Fingerprint: fmt.Sprintf("%#x", fp)})
 }
 
 // SetRetryAfter writes the standard integer-seconds Retry-After header

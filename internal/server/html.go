@@ -129,7 +129,7 @@ function renderStats(s) {
     " · reports " + tierCell(s.reports) + " hits/misses";
   let html = "<table><tr><th>shard</th><th>backend</th><th>health</th>" +
     "<th>requests</th><th>rejected</th><th>inflight</th><th>queued</th>" +
-    "<th>retry-after</th><th>prepared h/m</th><th>reports h/m</th><th>tables shipped</th></tr>";
+    "<th>retry-after</th><th>prepared h/m</th><th>reports h/m</th><th>shipped t/c/bytes</th></tr>";
   (s.shards || []).forEach(sh => {
     const backend = sh.kind + (sh.addr ? " · " + sh.addr : "");
     const health = sh.healthy
@@ -141,7 +141,8 @@ function renderStats(s) {
       "</td><td>" + (sh.retryAfterMillis > 0 ? sh.retryAfterMillis + "ms" : "–") +
       "</td><td>" + sh.prepared.hits + "/" + sh.prepared.misses +
       "</td><td>" + sh.reports.hits + "/" + sh.reports.misses +
-      "</td><td>" + (sh.tablesShipped || 0) + "</td></tr>";
+      "</td><td>" + (sh.tablesShipped || 0) + "/" + (sh.chunksShipped || 0) +
+      "/" + (sh.bytesShipped || 0) + "</td></tr>";
   });
   html += "</table>";
   document.getElementById("stats-shards").innerHTML = html;

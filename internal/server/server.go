@@ -396,6 +396,8 @@ type shardJSON struct {
 	Completed         int64    `json:"completed"`
 	MeanServiceMillis float64  `json:"meanServiceMillis,omitempty"`
 	TablesShipped     int64    `json:"tablesShipped,omitempty"`
+	ChunksShipped     int64    `json:"chunksShipped,omitempty"`
+	BytesShipped      int64    `json:"bytesShipped,omitempty"`
 	Prepared          tierJSON `json:"prepared"`
 	// Reports is a remote worker's own report tier; local shards share the
 	// router cache reported in the top-level reports field.
@@ -453,6 +455,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Completed:         sh.Completed,
 			MeanServiceMillis: sh.MeanServiceMillis,
 			TablesShipped:     sh.TablesShipped,
+			ChunksShipped:     sh.ChunksShipped,
+			BytesShipped:      sh.BytesShipped,
 			Prepared:          tierFrom(sh.Prepared),
 			Reports:           tierFrom(sh.Reports),
 		})

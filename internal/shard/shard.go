@@ -386,6 +386,13 @@ type ShardSnapshot struct {
 	// (re-registrations that matched by fingerprint are not shipments).
 	// Always zero for local backends.
 	TablesShipped int64 `json:"tablesShipped,omitempty"`
+	// ChunksShipped and BytesShipped meter the chunk-granular transport:
+	// how many chunk frames, and how many registration wire bytes (manifests
+	// plus chunk streams), this backend actually sent. An append to a
+	// registered table moves these by the delta, not the table size. Always
+	// zero for local backends.
+	ChunksShipped int64 `json:"chunksShipped,omitempty"`
+	BytesShipped  int64 `json:"bytesShipped,omitempty"`
 	// Prepared is the backend's prepared-structure memo tier.
 	Prepared memo.Snapshot `json:"prepared"`
 	// Reports is a remote worker's own shared report tier. Local backends

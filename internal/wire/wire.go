@@ -42,6 +42,22 @@ func (w *Buf) Bool(v bool) {
 	}
 }
 
+// U64s appends a fixed-width run of 64-bit values with no count prefix —
+// the caller's schema fixes the length (chunk geometry, word counts).
+func (w *Buf) U64s(vs []uint64) {
+	for _, v := range vs {
+		w.U64(v)
+	}
+}
+
+// F64s appends a fixed-width run of float64 bit patterns with no count
+// prefix.
+func (w *Buf) F64s(vs []float64) {
+	for _, v := range vs {
+		w.F64(v)
+	}
+}
+
 // Str appends a length-prefixed string.
 func (w *Buf) Str(s string) {
 	w.U64(uint64(len(s)))
@@ -147,6 +163,39 @@ func (r *Reader) Str() string {
 	s := string(r.B[r.Off : r.Off+int(n)])
 	r.Off += int(n)
 	return s
+}
+
+// U64s reads a fixed-length run of 64-bit values (the schema-implied
+// counterpart of Buf.U64s), bounds-checked as one block before allocating.
+func (r *Reader) U64s(n int) []uint64 {
+	if r.Err != nil || n == 0 {
+		return nil
+	}
+	if n < 0 || uint64(n) > uint64(len(r.B)-r.Off)/8 {
+		r.Failf("run of %d u64s exceeds remaining payload", n)
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.U64()
+	}
+	return out
+}
+
+// F64s reads a fixed-length run of float64s from their IEEE bit patterns.
+func (r *Reader) F64s(n int) []float64 {
+	if r.Err != nil || n == 0 {
+		return nil
+	}
+	if n < 0 || uint64(n) > uint64(len(r.B)-r.Off)/8 {
+		r.Failf("run of %d f64s exceeds remaining payload", n)
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.F64()
+	}
+	return out
 }
 
 // Count reads a list length and bounds it against the smallest possible

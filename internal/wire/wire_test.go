@@ -110,3 +110,64 @@ func TestCheckMagic(t *testing.T) {
 		}
 	}
 }
+
+// TestBulkRuns covers the bulk u64/f64 helpers the chunk transport leans
+// on: round-trip fidelity (bit-exact floats), empty runs, and run lengths
+// that exceed the remaining payload.
+func TestBulkRuns(t *testing.T) {
+	u := []uint64{0, 1, 1<<64 - 1, 0xdeadbeef}
+	f := []float64{0, math.Copysign(0, -1), math.NaN(), math.Inf(1), -2.5}
+
+	var w Buf
+	w.U64s(u)
+	w.F64s(f)
+	r := &Reader{What: "wire: test", B: w.B}
+	gotU := r.U64s(len(u))
+	gotF := r.F64s(len(f))
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range u {
+		if gotU[i] != u[i] {
+			t.Errorf("u64 %d: %#x, want %#x", i, gotU[i], u[i])
+		}
+	}
+	for i := range f {
+		if math.Float64bits(gotF[i]) != math.Float64bits(f[i]) {
+			t.Errorf("f64 %d: %v, want %v", i, gotF[i], f[i])
+		}
+	}
+
+	// Empty runs write and read nothing.
+	var empty Buf
+	empty.U64s(nil)
+	empty.F64s(nil)
+	if len(empty.B) != 0 {
+		t.Errorf("empty runs wrote %d bytes", len(empty.B))
+	}
+	r = &Reader{What: "wire: test", B: nil}
+	if got := r.U64s(0); got != nil || r.Err != nil {
+		t.Errorf("zero-length u64 run: %v %v", got, r.Err)
+	}
+
+	// A run past the payload fails without allocating.
+	r = &Reader{What: "wire: test", B: make([]byte, 16)}
+	if r.U64s(3); r.Err == nil {
+		t.Error("oversized u64 run accepted")
+	}
+	r = &Reader{What: "wire: test", B: make([]byte, 16)}
+	if r.F64s(1 << 50); r.Err == nil {
+		t.Error("huge f64 run accepted")
+	}
+	r = &Reader{What: "wire: test", B: make([]byte, 16)}
+	if r.U64s(-1); r.Err == nil {
+		t.Error("negative run accepted")
+	}
+
+	// A sticky error suppresses reads.
+	r = &Reader{What: "wire: test", B: make([]byte, 16)}
+	r.Failf("poisoned")
+	if got := r.F64s(2); got != nil {
+		t.Error("poisoned reader still produced a run")
+	}
+}
